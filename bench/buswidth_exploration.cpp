@@ -1,0 +1,58 @@
+// Bus-width exploration (a system-level knob the paper's models enable):
+// the same SoC synthesized at different link data widths. Wider links
+// run at lower utilization (less dynamic energy per bit of payload) but
+// pay more tracks, repeaters, and router area; narrow links saturate and
+// spill into parallel channels. The calibrated models price all of it.
+#include <cstdio>
+
+#include "cosi/synthesis.hpp"
+#include "cosi/testcases.hpp"
+#include "models/proposed.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include "common.hpp"
+
+using namespace pim;
+using namespace pim::unit;
+
+int main() {
+  const TechNode node = TechNode::N65;
+  const Technology& tech = technology(node);
+  const TechnologyFit fit = pim::bench::cached_fit(node);
+  const ProposedModel model(tech, fit);
+
+  printf("Bus-width exploration — DVOPD at %s @ %.2f GHz, proposed model\n\n",
+         tech.name.c_str(), unit::to_GHz(tech.clock_frequency));
+
+  Table table({"width (bits)", "Pdyn (mW)", "Pleak (mW)", "area (mm2)", "links",
+               "routers", "hops avg"});
+  CsvWriter csv({"width_bits", "dynamic_mw", "leakage_mw", "area_mm2", "links",
+                 "routers", "avg_hops"});
+
+  for (int width : {32, 64, 128, 256}) {
+    SocSpec spec = dvopd_spec();
+    spec.data_width = width;
+    const NocSynthesisResult r = synthesize_noc(spec, model);
+    const NocMetrics& m = r.metrics;
+    table.add_row({format("%d", width), format("%.2f", m.dynamic_power() / mW),
+                   format("%.2f", m.leakage_power() / mW),
+                   format("%.3f", m.total_area() / mm2), format("%d", m.num_links),
+                   format("%d", m.num_routers), format("%.2f", m.avg_hops)});
+    csv.add_row({format("%d", width), format("%.4f", m.dynamic_power() / mW),
+                 format("%.4f", m.leakage_power() / mW),
+                 format("%.5f", m.total_area() / mm2), format("%d", m.num_links),
+                 format("%d", m.num_routers), format("%.3f", m.avg_hops)});
+  }
+
+  printf("%s\n", table.to_string().c_str());
+  printf("(leakage and area scale with width while DVOPD's modest bandwidth\n"
+         " never stresses capacity — the narrow end of the sweep is where an\n"
+         " area-constrained design should sit; dynamic power stays roughly\n"
+         " flat because the same payload bits toggle regardless of width)\n");
+
+  pim::bench::export_csv(csv, "buswidth_exploration.csv");
+  return 0;
+}

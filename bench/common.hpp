@@ -1,0 +1,37 @@
+// Shared helpers for the bench binaries: cached calibrated fits (so a
+// re-run of a bench does not repeat the simulation-heavy
+// characterization) and output-directory handling. Coefficient caches and
+// CSV exports land in ./bench_out of the invoking directory.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "sta/calibrated.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace pim::bench {
+
+inline std::string out_dir() {
+  const std::string dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Calibrated fit for `node`, cached under bench_out/.
+inline TechnologyFit cached_fit(TechNode node) {
+  CharacterizationOptions copt;
+  copt.drives = {2, 4, 8, 16, 32, 64};
+  const std::string path = out_dir() + "/coeffs_" + tech_node_name(node) + ".pimfit";
+  return calibrated_fit(node, path, copt);
+}
+
+/// Writes a CSV into bench_out and notes it on stderr.
+inline void export_csv(const CsvWriter& csv, const std::string& name) {
+  const std::string path = out_dir() + "/" + name;
+  csv.write_file(path);
+  log_line(LogLevel::Warn, "wrote " + path);
+}
+
+}  // namespace pim::bench

@@ -1,0 +1,86 @@
+// Micro-benchmarks for the Table II "RT" claim: closed-form model
+// evaluation is orders of magnitude faster than sign-off analysis (and
+// all three analytical models run at comparable speed).
+//
+// google-benchmark binary: reports ns/op per model and per golden
+// analysis configuration.
+#include <benchmark/benchmark.h>
+
+#include "buffering/optimize.hpp"
+#include "models/baseline.hpp"
+#include "models/proposed.hpp"
+#include "sta/signoff.hpp"
+#include "util/units.hpp"
+
+#include "common.hpp"
+
+using namespace pim;
+using namespace pim::unit;
+
+namespace {
+
+const Technology& tech() { return technology(TechNode::N65); }
+
+const ProposedModel& proposed() {
+  static const ProposedModel model(tech(), pim::bench::cached_fit(TechNode::N65));
+  return model;
+}
+
+LinkContext context(double len_mm) {
+  LinkContext ctx;
+  ctx.length = len_mm * mm;
+  ctx.input_slew = 300 * ps;
+  return ctx;
+}
+
+LinkDesign design(int n) {
+  LinkDesign d;
+  d.drive = 16;
+  d.num_repeaters = n;
+  return d;
+}
+
+void BM_ProposedModel(benchmark::State& state) {
+  const LinkContext ctx = context(static_cast<double>(state.range(0)));
+  const LinkDesign d = design(static_cast<int>(state.range(0)));
+  const ProposedModel& model = proposed();
+  for (auto _ : state) benchmark::DoNotOptimize(model.evaluate(ctx, d).delay);
+}
+BENCHMARK(BM_ProposedModel)->Arg(1)->Arg(5)->Arg(15);
+
+void BM_BakogluModel(benchmark::State& state) {
+  const LinkContext ctx = context(5.0);
+  const LinkDesign d = design(5);
+  const BakogluModel model(tech());
+  for (auto _ : state) benchmark::DoNotOptimize(model.evaluate(ctx, d).delay);
+}
+BENCHMARK(BM_BakogluModel);
+
+void BM_PamunuwaModel(benchmark::State& state) {
+  const LinkContext ctx = context(5.0);
+  const LinkDesign d = design(5);
+  const PamunuwaModel model(tech());
+  for (auto _ : state) benchmark::DoNotOptimize(model.evaluate(ctx, d).delay);
+}
+BENCHMARK(BM_PamunuwaModel);
+
+void BM_BufferingSearch(benchmark::State& state) {
+  const LinkContext ctx = context(5.0);
+  BufferingOptions opt;
+  opt.weight = 0.7;
+  const ProposedModel& model = proposed();
+  for (auto _ : state) benchmark::DoNotOptimize(optimize_buffering(model, ctx, opt).cost);
+}
+BENCHMARK(BM_BufferingSearch)->Unit(benchmark::kMicrosecond);
+
+void BM_GoldenSignoff(benchmark::State& state) {
+  const LinkContext ctx = context(static_cast<double>(state.range(0)));
+  const LinkDesign d = design(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(signoff_link(tech(), ctx, d).delay);
+}
+BENCHMARK(BM_GoldenSignoff)->Arg(1)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

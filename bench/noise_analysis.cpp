@@ -1,0 +1,71 @@
+// EXTENSION bench (beyond the paper — see DESIGN.md): cross-talk noise
+// (glitch) on quiet victims, golden vs. the calibrated charge-divider
+// model, across segment lengths, holder strengths, and design styles.
+// Quantifies the OTHER reason (besides delay push-out) the paper's
+// staggered/shielded wiring options exist.
+#include <cstdio>
+
+#include "sta/noise.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include "common.hpp"
+
+using namespace pim;
+using namespace pim::unit;
+
+int main() {
+  const Technology& tech = technology(TechNode::N65);
+  const TechnologyFit fit = pim::bench::cached_fit(TechNode::N65);
+
+  std::fprintf(stderr, "calibrating noise model against golden glitch sims...\n");
+  const NoiseCalibration cal = calibrate_noise(tech, fit);
+  printf("Cross-talk noise — %s, quiet victim, both neighbors switching\n", tech.name.c_str());
+  printf("(charge-divider model, kappa_n = %.3f, training worst error %.0f %%)\n\n",
+         cal.kappa_n, 100 * cal.worst_rel_error);
+
+  Table table({"segment (mm)", "drive", "golden (mV)", "model (mV)", "err %",
+               "% of vdd"});
+  CsvWriter csv({"segment_mm", "drive", "golden_mv", "model_mv", "err_pct",
+                 "fraction_of_vdd_pct"});
+
+  for (int drive : {4, 12, 32}) {
+    for (double seg : {0.3, 0.8, 1.5, 2.5}) {
+      LinkContext ctx;
+      ctx.length = seg * mm;
+      ctx.input_slew = 100 * ps;
+      LinkDesign d;
+      d.drive = drive;
+      d.num_repeaters = 1;
+      const double g = golden_noise_peak(tech, ctx, d);
+      const double m = noise_peak_model(tech, fit, ctx, d, cal.kappa_n);
+      table.add_row({format("%.1f", seg), format("D%d", drive), format("%.1f", g * 1e3),
+                     format("%.1f", m * 1e3), format("%+.1f", 100 * (m - g) / g),
+                     format("%.1f", 100 * g / tech.vdd)});
+      csv.add_row({format("%.2f", seg), format("%d", drive), format("%.2f", g * 1e3),
+                   format("%.2f", m * 1e3), format("%.2f", 100 * (m - g) / g),
+                   format("%.2f", 100 * g / tech.vdd)});
+    }
+    table.add_separator();
+  }
+
+  // Shielding: the mitigation that removes the aggressors entirely.
+  {
+    LinkContext ctx;
+    ctx.length = 1.5 * mm;
+    ctx.style = DesignStyle::Shielded;
+    LinkDesign d;
+    d.drive = 12;
+    d.num_repeaters = 1;
+    const double g = golden_noise_peak(tech, ctx, d);
+    printf("%s\n", table.to_string().c_str());
+    printf("shielded 1.5 mm segment: golden glitch %.1f mV (%.1f %% of vdd) — shields\n"
+           "terminate the coupling that produces the 15-25 %%-of-vdd glitches above\n",
+           g * 1e3, 100 * g / tech.vdd);
+  }
+
+  pim::bench::export_csv(csv, "noise_analysis.csv");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Reproduces paper Table II: accuracy of the delay models against the
+// golden sign-off analysis of physically implemented buffered lines.
+//
+// For each (technology, length, design style): the line is buffered with
+// a paper-realistic repeater choice (INVD4..D20 range, picked by the
+// proposed-model optimizer), implemented as a distributed transistor-
+// level netlist with worst-case switching aggressors, and timed by the
+// golden simulator ("PT" column). The table reports the percentage error
+// of Bakoglu (B), Pamunuwa (P), and the proposed model (Prop), plus the
+// runtime ratio RT = golden-analysis time / proposed-model time.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "buffering/optimize.hpp"
+#include "models/baseline.hpp"
+#include "models/proposed.hpp"
+#include "sta/signoff.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include "common.hpp"
+
+using namespace pim;
+using namespace pim::unit;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  printf("Table II — evaluation of model accuracy vs. golden sign-off\n");
+  printf("(input transition time = 300 ps, worst-case switching aggressors)\n\n");
+
+  const std::vector<TechNode> nodes = {TechNode::N90, TechNode::N65, TechNode::N45};
+  const std::vector<double> lengths_mm = {1, 3, 5, 10, 15};
+  const std::vector<DesignStyle> styles = {DesignStyle::SingleSpacing, DesignStyle::Shielded};
+
+  Table table({"tech", "DS", "L (mm)", "N", "drive", "PT (ps)", "B %", "P %", "Prop %", "RT"});
+  CsvWriter csv({"tech", "style", "length_mm", "repeaters", "drive", "golden_ps",
+                 "bakoglu_err_pct", "pamunuwa_err_pct", "proposed_err_pct", "runtime_ratio"});
+
+  double worst_prop = 0.0, worst_b = 0.0, worst_p = 0.0;
+  for (TechNode node : nodes) {
+    const Technology& tech = technology(node);
+    const TechnologyFit fit = pim::bench::cached_fit(node);
+    const ProposedModel prop(tech, fit);
+    const BakogluModel bak(tech);
+    const PamunuwaModel pam(tech);
+
+    for (DesignStyle style : styles) {
+      for (double len : lengths_mm) {
+        LinkContext ctx;
+        ctx.style = style;
+        ctx.length = len * mm;
+        ctx.input_slew = 300 * ps;
+
+        // Paper-realistic buffering: uniform INVD12 repeaters at a fixed
+        // per-node segment pitch — mirroring the paper's physical
+        // implementation (repeaters "placed at equal distances", sizes in
+        // the INVD4..INVD20 range), independent of any model.
+        const double seg_target =
+            node == TechNode::N90 ? 1.25 * mm : (node == TechNode::N65 ? 1.0 * mm : 0.75 * mm);
+        LinkDesign design;
+        design.kind = CellKind::Inverter;
+        design.drive = 12;
+        design.num_repeaters =
+            std::max(1, static_cast<int>(std::lround(ctx.length / seg_target)));
+        const BufferingResult chosen{true, design, ctx.layer,
+                                     prop.evaluate(ctx, design), 0.0, 0};
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const SignoffResult golden = signoff_link(tech, ctx, chosen.design);
+        const double t_golden = seconds_since(t0);
+
+        // Model runtime: average over repeated evaluations.
+        const int reps = 2000;
+        const auto t1 = std::chrono::steady_clock::now();
+        double sink = 0.0;
+        for (int r = 0; r < reps; ++r) sink += prop.evaluate(ctx, chosen.design).delay;
+        const double t_model = seconds_since(t1) / reps;
+        (void)sink;
+
+        const double d_b = bak.evaluate(ctx, chosen.design).delay;
+        const double d_p = pam.evaluate(ctx, chosen.design).delay;
+        const double d_prop = prop.evaluate(ctx, chosen.design).delay;
+        auto err = [&](double d) { return 100.0 * (d - golden.delay) / golden.delay; };
+        worst_b = std::max(worst_b, std::fabs(err(d_b)));
+        worst_p = std::max(worst_p, std::fabs(err(d_p)));
+        worst_prop = std::max(worst_prop, std::fabs(err(d_prop)));
+
+        const double rt = t_golden / t_model;
+        table.add_row({tech.name, design_style_name(style), format("%.0f", len),
+                       format("%d", chosen.design.num_repeaters),
+                       format("D%d", chosen.design.drive),
+                       format("%.0f", golden.delay / ps), format("%+.1f", err(d_b)),
+                       format("%+.1f", err(d_p)), format("%+.1f", err(d_prop)),
+                       format("%.0fx", rt)});
+        csv.add_row({tech.name, design_style_name(style), format("%.0f", len),
+                     format("%d", chosen.design.num_repeaters),
+                     format("%d", chosen.design.drive), format("%.2f", golden.delay / ps),
+                     format("%.2f", err(d_b)), format("%.2f", err(d_p)),
+                     format("%.2f", err(d_prop)), format("%.1f", rt)});
+      }
+      table.add_separator();
+    }
+  }
+
+  printf("%s\n", table.to_string().c_str());
+  printf("worst |error|: Bakoglu %.1f %%, Pamunuwa %.1f %%, proposed %.1f %%\n",
+         worst_b, worst_p, worst_prop);
+  printf("(paper: proposed within ~12 %%; previous models err between -7 %% and 106 %%;\n"
+         " the proposed model is orders of magnitude faster than sign-off — RT column)\n");
+
+  pim::bench::export_csv(csv, "table2_accuracy.csv");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces paper Table III: the impact of interconnect-model accuracy
+// on NoC synthesis.
+//
+// Both SoC designs (VPROC, 42 cores; DVOPD, 26 cores; 128-bit data) are
+// synthesized by the COSI-style tool twice per technology node — once
+// with the "original" model (Bakoglu, uncalibrated, coupling-blind,
+// simplistic area) and once with the proposed calibrated model — at the
+// paper's clocks (1.5 / 2.25 / 3.0 GHz for 90 / 65 / 45 nm). Reported
+// per run: dynamic and leakage interconnect power, worst link delay,
+// area, average hop count, router count — plus the implementability
+// audit: each link chosen by the original model is re-timed with the
+// proposed model against the hop budget.
+#include <cstdio>
+
+#include "cosi/synthesis.hpp"
+#include "cosi/testcases.hpp"
+#include "models/baseline.hpp"
+#include "models/proposed.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include "common.hpp"
+
+using namespace pim;
+using namespace pim::unit;
+
+int main() {
+  printf("Table III — model impact on NoC synthesis (clocks: 1.5/2.25/3.0 GHz)\n\n");
+
+  const std::vector<TechNode> nodes = {TechNode::N90, TechNode::N65, TechNode::N45};
+
+  Table table({"design", "tech", "model", "Pdyn (mW)", "Pleak (mW)", "delay (ps)",
+               "area (mm2)", "hops", "routers", "audit viol", "worst x budget"});
+  CsvWriter csv({"design", "tech", "model", "dynamic_mw", "leakage_mw", "worst_delay_ps",
+                 "area_mm2", "avg_hops", "max_hops", "routers", "links",
+                 "audit_violations", "audit_worst_ratio"});
+
+  for (const SocSpec& spec : {vproc_spec(), dvopd_spec()}) {
+    for (TechNode node : nodes) {
+      const Technology& tech = technology(node);
+      const TechnologyFit fit = pim::bench::cached_fit(node);
+      const ProposedModel proposed(tech, fit);
+      const BakogluModel original(tech);
+
+      for (const InterconnectModel* model :
+           {static_cast<const InterconnectModel*>(&original),
+            static_cast<const InterconnectModel*>(&proposed)}) {
+        const NocSynthesisResult r = synthesize_noc(spec, *model);
+        // Implementability audit: the proposed (calibrated) model re-times
+        // every chosen link against the hop budget.
+        const AuditResult audit =
+            audit_links(r.architecture, proposed, r.base_context, r.delay_budget);
+
+        const NocMetrics& m = r.metrics;
+        table.add_row({spec.name, tech.name, model->name(),
+                       format("%.2f", m.dynamic_power() / mW),
+                       format("%.2f", m.leakage_power() / mW),
+                       format("%.0f", m.worst_link_delay / ps),
+                       format("%.3f", m.total_area() / mm2), format("%.2f", m.avg_hops),
+                       format("%d", m.num_routers), format("%d", audit.violations),
+                       format("%.2f", audit.worst_overshoot)});
+        csv.add_row({spec.name, tech.name, model->name(),
+                     format("%.4f", m.dynamic_power() / mW),
+                     format("%.4f", m.leakage_power() / mW),
+                     format("%.1f", m.worst_link_delay / ps),
+                     format("%.5f", m.total_area() / mm2), format("%.3f", m.avg_hops),
+                     format("%d", m.max_hops), format("%d", m.num_routers),
+                     format("%d", m.num_links), format("%d", audit.violations),
+                     format("%.3f", audit.worst_overshoot)});
+      }
+      table.add_separator();
+    }
+  }
+
+  printf("%s\n", table.to_string().c_str());
+  printf("Shapes to check against the paper:\n"
+         " * proposed-model dynamic power well above the original's estimate\n"
+         "   (coupling capacitance the original neglects), up to ~3x;\n"
+         " * dynamic power RISES from 65 to 45 nm (library vdd 1.0 -> 1.1 V);\n"
+         " * the original model admits longer wires / fewer hops; its links\n"
+         "   fail the audit (non-conservative abstraction -> not implementable);\n"
+         " * area estimates differ strongly (simplistic original area model).\n");
+
+  pim::bench::export_csv(csv, "table3_noc_synthesis.csv");
+  return 0;
+}

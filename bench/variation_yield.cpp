@@ -1,0 +1,112 @@
+// EXTENSION bench (beyond the paper — see DESIGN.md): parametric yield
+// of buffered links under die-to-die process variation.
+//
+// For a 5 mm 65 nm link implemented three ways (delay-optimal, balanced,
+// staggered), runs a Monte-Carlo over device-strength / capacitance /
+// wire-RC variation and reports the delay distribution and the yield
+// achievable at a sweep of clock budgets — quantifying the guard band a
+// system-level designer must carry on top of the nominal model numbers.
+#include <cstdio>
+
+#include "buffering/optimize.hpp"
+#include "models/proposed.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "variation/variation.hpp"
+
+#include "common.hpp"
+
+using namespace pim;
+using namespace pim::unit;
+
+int main() {
+  const Technology& tech = technology(TechNode::N65);
+  const TechnologyFit fit = pim::bench::cached_fit(TechNode::N65);
+  const ProposedModel model(tech, fit);
+
+  LinkContext ctx;
+  ctx.length = 5 * mm;
+  ctx.input_slew = 100 * ps;
+  ctx.frequency = tech.clock_frequency;
+
+  printf("Variation extension — 5 mm link at %s, 2000 Monte-Carlo corners\n\n",
+         tech.name.c_str());
+
+  struct Variant {
+    const char* name;
+    LinkDesign design;
+  };
+  std::vector<Variant> variants;
+  {
+    BufferingOptions fast;
+    fast.kinds = {CellKind::Inverter};
+    fast.weight = 1.0;
+    variants.push_back({"delay-optimal", optimize_buffering(model, ctx, fast).design});
+    BufferingOptions balanced = fast;
+    balanced.weight = 0.5;
+    variants.push_back({"balanced", optimize_buffering(model, ctx, balanced).design});
+    LinkDesign staggered = variants[0].design;
+    staggered.miller_factor = 0.0;
+    variants.push_back({"staggered", staggered});
+  }
+
+  const int samples = 2000;
+  Table table({"variant", "N", "drive", "nominal (ps)", "mean (ps)", "sigma (ps)",
+               "p99 (ps)", "guardband p99"});
+  CsvWriter csv({"variant", "repeaters", "drive", "nominal_ps", "mean_ps", "sigma_ps",
+                 "p99_ps", "guardband_pct"});
+  std::vector<MonteCarloResult> results;
+  for (const Variant& v : variants) {
+    const MonteCarloResult mc = monte_carlo_link(model, ctx, v.design, samples, 2026);
+    const double p99 = mc.delay_quantile(0.99);
+    const double guard = 100.0 * (p99 / mc.nominal_delay - 1.0);
+    table.add_row({v.name, format("%d", v.design.num_repeaters),
+                   format("D%d", v.design.drive), format("%.1f", mc.nominal_delay / ps),
+                   format("%.1f", mc.mean_delay / ps), format("%.2f", mc.sigma_delay / ps),
+                   format("%.1f", p99 / ps), format("%+.1f %%", guard)});
+    csv.add_row({v.name, format("%d", v.design.num_repeaters),
+                 format("%d", v.design.drive), format("%.2f", mc.nominal_delay / ps),
+                 format("%.2f", mc.mean_delay / ps), format("%.3f", mc.sigma_delay / ps),
+                 format("%.2f", p99 / ps), format("%.2f", guard)});
+    results.push_back(mc);
+  }
+  printf("%s\n", table.to_string().c_str());
+
+  // Yield vs. clock budget for the delay-optimal variant.
+  const MonteCarloResult& mc = results[0];
+  Table yield_table({"budget (ps)", "yield %"});
+  CsvWriter yield_csv({"budget_ps", "yield_pct"});
+  for (double f = 0.95; f <= 1.25; f += 0.05) {
+    const double budget = f * mc.nominal_delay;
+    yield_table.add_row({format("%.1f", budget / ps),
+                         format("%.1f", 100.0 * mc.yield_at(budget))});
+    yield_csv.add_row({format("%.2f", budget / ps),
+                       format("%.2f", 100.0 * mc.yield_at(budget))});
+  }
+  printf("%s\n", yield_table.to_string().c_str());
+  printf("(yield at the NOMINAL delay is ~50 %% — designing to the nominal model\n"
+         " number without a guard band forfeits half the dies; the p99 column is\n"
+         " the guard band needed for 99 %% parametric yield)\n\n");
+
+  // Die-to-die vs within-die: independent per-repeater corners average
+  // out along the chain (~1/sqrt(N)), so WID is far kinder than D2D.
+  VariationSigmas only_drive;
+  only_drive.device_cap = 0.0;
+  only_drive.leakage = 0.0;
+  only_drive.wire_res = 0.0;
+  only_drive.wire_cap = 0.0;
+  const LinkDesign& d0 = variants[0].design;
+  const MonteCarloResult d2d = monte_carlo_link(model, ctx, d0, samples, 7, only_drive);
+  const MonteCarloResult wid =
+      monte_carlo_link_within_die(model, ctx, d0, samples, 7, only_drive);
+  printf("device-strength variation only, %d-stage link:\n", d0.num_repeaters);
+  printf("  die-to-die sigma %.2f ps | within-die sigma %.2f ps (%.1fx smaller,\n"
+         "  ~sqrt(N) stage averaging — repeatered wires are naturally WID-robust)\n",
+         d2d.sigma_delay / ps, wid.sigma_delay / ps, d2d.sigma_delay / wid.sigma_delay);
+
+  pim::bench::export_csv(csv, "variation_guardband.csv");
+  pim::bench::export_csv(yield_csv, "variation_yield.csv");
+  return 0;
+}

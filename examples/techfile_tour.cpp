@@ -1,0 +1,80 @@
+// Tour of the EDA file formats pim speaks:
+//   * technology descriptors  (tech-file text format)
+//   * characterized libraries (Liberty-lite)
+//   * fitted coefficients     (.pimfit)
+//   * SoC communication specs (.soc)
+// Writes one of each to the current directory, reads them back, and
+// prints digests — a template for wiring pim into an external flow.
+//
+// Usage:   ./examples/techfile_tour [tech]
+#include <cstdio>
+#include <string>
+
+#include "charlib/characterize.hpp"
+#include "charlib/coeffs_io.hpp"
+#include "charlib/fit.hpp"
+#include "cosi/specfile.hpp"
+#include "cosi/testcases.hpp"
+#include "liberty/libertyfile.hpp"
+#include "tech/techfile.hpp"
+#include "util/units.hpp"
+
+using namespace pim;
+using namespace pim::unit;
+
+int main(int argc, char** argv) {
+  const TechNode node = argc > 1 ? tech_node_from_name(argv[1]) : TechNode::N65;
+  const Technology& tech = technology(node);
+
+  // 1. Technology file.
+  const std::string tech_path = tech.name + ".tech";
+  save_techfile(tech, tech_path);
+  const Technology reread = load_techfile(tech_path);
+  printf("wrote %-18s and reread it: vdd=%.2f V, global wire %.0f nm wide,\n",
+         tech_path.c_str(), reread.vdd, reread.interconnect.global.width / nm);
+  printf("  barrier %.1f nm, row height %.2f um\n",
+         reread.interconnect.barrier_thickness / nm, reread.area.row_height / um);
+
+  // 2. A small characterized library in Liberty-lite format (two drives
+  //    to keep this example quick; the benches build full libraries).
+  CharacterizationOptions copt;
+  copt.drives = {4, 16};
+  copt.slew_axis = {50 * ps, 200 * ps};
+  copt.fanout_axis = {2.0, 10.0};
+  copt.buffers = false;
+  printf("\ncharacterizing INVD4/INVD16 (transistor-level sims)...\n");
+  const CellLibrary lib = characterize_library(tech, copt);
+  const std::string lib_path = "pim_" + tech.name + "_mini.lib";
+  save_liberty(lib, lib_path);
+  const CellLibrary relib = load_liberty(lib_path);
+  const RepeaterCell& cell = relib.cell("INVD16");
+  printf("wrote %-18s and reread it: %zu cells; INVD16: cin=%.2f fF, leak=%.1f nW,\n",
+         lib_path.c_str(), relib.cells().size(), cell.input_cap / fF,
+         cell.leakage_avg() / nW);
+  printf("  delay(100 ps, 50 fF) = %.1f ps\n",
+         cell.worst_delay(100 * ps, 50 * fF) / ps);
+
+  // 3. Fitted coefficients (without the composition calibration — that
+  //    needs golden line sims; see the quickstart / benches).
+  CharacterizationOptions fit_opt;
+  fit_opt.drives = {2, 8, 32};
+  fit_opt.buffers = false;
+  printf("\nfitting coefficients from a 3-size library...\n");
+  const TechnologyFit fit = fit_technology(tech, characterize_library(tech, fit_opt));
+  const std::string fit_path = tech.name + ".pimfit";
+  save_fit(fit, fit_path);
+  const TechnologyFit refit = load_fit(fit_path);
+  printf("wrote %-18s and reread it: gamma=%.3f fF/um, rho0=%.0f ohm*um (R^2=%.3f)\n",
+         fit_path.c_str(), refit.gamma * um / fF, refit.inv_fall.rho0 / um,
+         refit.inv_fall.r2_drive_res);
+
+  // 4. SoC spec.
+  const SocSpec spec = dvopd_spec();
+  const std::string spec_path = spec.name + ".soc";
+  save_soc_spec(spec, spec_path);
+  const SocSpec respec = load_soc_spec(spec_path);
+  printf("\nwrote %-18s and reread it: %zu cores, %zu flows, %.2f Gb/s total\n",
+         spec_path.c_str(), respec.cores.size(), respec.flows.size(),
+         respec.total_bandwidth() / 1e9);
+  return 0;
+}

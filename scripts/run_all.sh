@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, then regenerates every
+# paper table/figure (writing bench_out/ CSVs). First run characterizes
+# all six technologies (several minutes); later runs reuse the
+# coefficient caches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+cd build
+for b in fig1_intrinsic_delay table1_coefficients table2_accuracy \
+         table3_noc_synthesis buffering_tradeoff leakage_area_accuracy \
+         ablation_ingredients timer_comparison mesh_vs_synthesis \
+         noise_analysis buswidth_exploration tapered_buffering \
+         variation_yield noc_yield sizing_for_yield; do
+  echo "=== bench/$b ==="
+  ./bench/"$b"
+done
+./bench/model_runtime --benchmark_min_time=0.1

@@ -1,0 +1,212 @@
+#include "buffering/vanginneken.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "charlib/characterize.hpp"
+#include "liberty/library.hpp"
+#include "util/error.hpp"
+
+namespace pim {
+namespace {
+
+// Frozen per-size buffer parameters at the nominal slew.
+struct BufferChoice {
+  int drive;
+  double intrinsic;  // [s]
+  double rd;         // [ohm]
+  double ci;         // [F]
+};
+
+// Persistent (shared-suffix) placement list for the DP states.
+struct PlacementNode {
+  double position;
+  int drive;
+  std::shared_ptr<const PlacementNode> next;
+};
+
+struct State {
+  double cap;    // load seen looking downstream [F]
+  double delay;  // accumulated downstream delay [s]
+  std::shared_ptr<const PlacementNode> placement;
+};
+
+// Keeps only non-dominated states: ascending cap must give strictly
+// descending delay.
+void prune(std::vector<State>& states) {
+  std::sort(states.begin(), states.end(), [](const State& a, const State& b) {
+    if (a.cap != b.cap) return a.cap < b.cap;
+    return a.delay < b.delay;
+  });
+  std::vector<State> kept;
+  double best_delay = std::numeric_limits<double>::infinity();
+  for (const State& s : states) {
+    if (s.delay < best_delay - 1e-18) {
+      kept.push_back(s);
+      best_delay = s.delay;
+    }
+  }
+  states = std::move(kept);
+}
+
+std::vector<BufferChoice> make_menu(const Technology& tech, const TechnologyFit& fit,
+                                    const VanGinnekenOptions& opt) {
+  const std::vector<int>& drives =
+      opt.drives.empty() ? standard_drive_strengths() : opt.drives;
+  require(!drives.empty(), "van_ginneken: empty drive menu");
+  const RepeaterEdgeFit& f = fit.edge_fit(CellKind::Inverter, false);
+  const double s = opt.nominal_slew;
+  std::vector<BufferChoice> menu;
+  for (int d : drives) {
+    const RepeaterSizing sz = repeater_sizing(tech, CellKind::Inverter, d);
+    BufferChoice c;
+    c.drive = d;
+    c.intrinsic = f.a0 + f.a1 * s + f.a2 * s * s;
+    c.rd = f.drive_resistance(s, sz.wn_out);
+    c.ci = fit.gamma * (sz.wn_out + sz.wp_out);
+    menu.push_back(c);
+  }
+  return menu;
+}
+
+// Per-meter wire parasitics under the DP's (worst-case Miller) view, and
+// the composition weights of the context's style class.
+struct WireView {
+  double r_per_m;
+  double c_per_m;  // kappa_c-weighted effective capacitance
+};
+
+WireView wire_view(const Technology& tech, const TechnologyFit& fit,
+                   const LinkContext& ctx) {
+  const WireRc rc = extract_wire(tech, ctx.layer, ctx.style, ctx.wire_options);
+  const CompositionWeights& comp = fit.composition(ctx.style);
+  WireView v;
+  v.r_per_m = rc.res_per_m;
+  v.c_per_m =
+      comp.kappa_c * (rc.cap_ground_per_m + kWorstCaseMiller * 2.0 * rc.cap_couple_per_m);
+  return v;
+}
+
+// Upstream traversal of a wire piece: Elmore with distributed self-delay.
+void cross_wire(State& s, const WireView& w, double length) {
+  const double r = w.r_per_m * length;
+  const double c = w.c_per_m * length;
+  s.delay += r * (0.5 * c + s.cap);
+  s.cap += c;
+}
+
+double source_drive_res(const std::vector<BufferChoice>& menu,
+                        const VanGinnekenOptions& opt) {
+  if (opt.source_drive_res > 0.0) return opt.source_drive_res;
+  double best = menu.front().rd;
+  for (const BufferChoice& c : menu) best = std::min(best, c.rd);
+  return best;
+}
+
+double default_sink_cap(const std::vector<BufferChoice>& menu,
+                        const VanGinnekenOptions& opt) {
+  if (opt.sink_cap > 0.0) return opt.sink_cap;
+  double best = 0.0;
+  for (const BufferChoice& c : menu) best = std::max(best, c.ci);
+  return best;
+}
+
+}  // namespace
+
+TaperedBuffering van_ginneken(const Technology& tech, const TechnologyFit& fit,
+                              const LinkContext& ctx, const VanGinnekenOptions& opt) {
+  require(ctx.length > 0.0, "van_ginneken: length must be positive");
+  require(opt.slots >= 1, "van_ginneken: need at least one slot");
+
+  const std::vector<BufferChoice> menu = make_menu(tech, fit, opt);
+  const WireView wire = wire_view(tech, fit, ctx);
+  const double piece = ctx.length / (opt.slots + 1);
+
+  TaperedBuffering result;
+
+  // Start at the sink.
+  std::vector<State> states;
+  states.push_back({default_sink_cap(menu, opt), 0.0, nullptr});
+
+  for (int slot = opt.slots; slot >= 1; --slot) {
+    // Wire piece between this slot and the next structure downstream.
+    for (State& s : states) cross_wire(s, wire, piece);
+
+    // Option per state: leave the slot empty, or insert each menu size.
+    const double position = slot * piece;
+    std::vector<State> next = states;  // leave empty
+    for (const State& s : states) {
+      for (const BufferChoice& c : menu) {
+        State b;
+        b.cap = c.ci;
+        b.delay = s.delay + c.intrinsic + c.rd * s.cap;
+        b.placement = std::make_shared<PlacementNode>(
+            PlacementNode{position, c.drive, s.placement});
+        next.push_back(b);
+      }
+    }
+    result.states_explored += static_cast<long>(next.size());
+    prune(next);
+    states = std::move(next);
+  }
+
+  // Final wire piece to the source, then the source driver.
+  const double rd_src = source_drive_res(menu, opt);
+  double best = std::numeric_limits<double>::infinity();
+  const State* winner = nullptr;
+  for (State& s : states) {
+    cross_wire(s, wire, piece);
+    const double total = s.delay + rd_src * s.cap;
+    if (total < best) {
+      best = total;
+      winner = &s;
+    }
+  }
+  require(winner != nullptr, "van_ginneken: no states survived");
+
+  result.delay = best;
+  for (auto node = winner->placement; node != nullptr; node = node->next)
+    result.repeaters.push_back({node->position, node->drive});
+  std::sort(result.repeaters.begin(), result.repeaters.end(),
+            [](const TaperedRepeater& a, const TaperedRepeater& b) {
+              return a.position < b.position;
+            });
+  return result;
+}
+
+double tapered_delay(const Technology& tech, const TechnologyFit& fit,
+                     const LinkContext& ctx,
+                     const std::vector<TaperedRepeater>& repeaters,
+                     const VanGinnekenOptions& opt) {
+  const std::vector<BufferChoice> menu = make_menu(tech, fit, opt);
+  const WireView wire = wire_view(tech, fit, ctx);
+
+  auto choice_for = [&](int drive) -> const BufferChoice& {
+    for (const BufferChoice& c : menu)
+      if (c.drive == drive) return c;
+    fail("tapered_delay: drive not in the menu");
+  };
+
+  // Walk from the sink upstream.
+  std::vector<TaperedRepeater> sorted = repeaters;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TaperedRepeater& a, const TaperedRepeater& b) {
+              return a.position < b.position;
+            });
+  State s{default_sink_cap(menu, opt), 0.0, nullptr};
+  double at = ctx.length;
+  for (size_t i = sorted.size(); i-- > 0;) {
+    require(sorted[i].position > 0.0 && sorted[i].position < ctx.length,
+            "tapered_delay: repeater outside the wire");
+    cross_wire(s, wire, at - sorted[i].position);
+    const BufferChoice& c = choice_for(sorted[i].drive);
+    s.delay += c.intrinsic + c.rd * s.cap;
+    s.cap = c.ci;
+    at = sorted[i].position;
+  }
+  cross_wire(s, wire, at);
+  return s.delay + source_drive_res(menu, opt) * s.cap;
+}
+
+}  // namespace pim

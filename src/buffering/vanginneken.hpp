@@ -1,0 +1,64 @@
+// Van Ginneken-style optimal buffer insertion.
+//
+// The paper's §III-D search assumes UNIFORM repeaters (equal sizes at
+// equal spacing) — the practical choice for long point-to-point links.
+// This module implements the classic dynamic program that drops the
+// uniformity assumption: given candidate buffer slots along the wire and
+// a size menu, it computes the delay-optimal placement exactly (under an
+// Elmore-composed delay model with the library's fitted coefficients) by
+// propagating a pruned Pareto frontier of (load, delay) states from the
+// sink to the source.
+//
+// Used as an ablation of the uniformity assumption: how much delay does
+// uniform buffering leave on the table? (Answer in bench/tapered_buffering:
+// very little for homogeneous wires — which is why the paper's uniform
+// search is the right tool — but the DP wins visibly when the sink load
+// is large or slots are constrained.)
+#pragma once
+
+#include <vector>
+
+#include "charlib/fit.hpp"
+#include "models/link.hpp"
+
+namespace pim {
+
+/// One placed repeater of the tapered solution.
+struct TaperedRepeater {
+  double position = 0.0;  ///< distance from the source [m]
+  int drive = 0;          ///< drive strength
+};
+
+/// Result of the dynamic program.
+struct TaperedBuffering {
+  std::vector<TaperedRepeater> repeaters;  ///< sorted by position
+  double delay = 0.0;                      ///< Elmore-composed source-to-sink delay [s]
+  long states_explored = 0;                ///< DP work metric
+};
+
+/// Options for the DP.
+struct VanGinnekenOptions {
+  int slots = 40;                 ///< equally spaced candidate positions
+  std::vector<int> drives;        ///< size menu; empty = standard list
+  double source_drive_res = 0.0;  ///< driver resistance at the source [ohm];
+                                  ///< 0 = use the largest menu size's rd
+  double sink_cap = 0.0;          ///< receiver load [F]; 0 = input cap of the
+                                  ///< largest menu size
+  double nominal_slew = 100e-12;  ///< slew at which rd/intrinsic are frozen
+};
+
+/// Runs the DP for the wire described by `context` (its style/layer/length)
+/// in technology `tech` with fitted coefficients `fit`.
+TaperedBuffering van_ginneken(const Technology& tech, const TechnologyFit& fit,
+                              const LinkContext& context,
+                              const VanGinnekenOptions& options = {});
+
+/// The same Elmore-composed delay metric the DP optimizes, evaluated for
+/// an arbitrary placement — lets callers score uniform solutions on the
+/// DP's own objective for a fair comparison.
+double tapered_delay(const Technology& tech, const TechnologyFit& fit,
+                     const LinkContext& context,
+                     const std::vector<TaperedRepeater>& repeaters,
+                     const VanGinnekenOptions& options = {});
+
+}  // namespace pim

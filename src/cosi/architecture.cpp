@@ -1,0 +1,245 @@
+#include "cosi/architecture.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "models/area.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace pim {
+
+NocArchitecture::NocArchitecture(const SocSpec& spec) : spec_(&spec) {
+  spec.validate();
+  nodes_.reserve(spec.cores.size());
+  for (const Core& c : spec.cores) nodes_.push_back({false, c.name, c.x, c.y});
+  paths_.resize(spec.flows.size());
+}
+
+int NocArchitecture::add_router(double x, double y) {
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back({true, "r" + std::to_string(router_count()), x, y});
+  return id;
+}
+
+double NocArchitecture::edge_length(int e) const {
+  const NocEdge& edge = edges_.at(static_cast<size_t>(e));
+  return node_distance(edge.a, edge.b);
+}
+
+double NocArchitecture::node_distance(int a, int b) const {
+  const NocNode& na = nodes_.at(static_cast<size_t>(a));
+  const NocNode& nb = nodes_.at(static_cast<size_t>(b));
+  return std::fabs(na.x - nb.x) + std::fabs(na.y - nb.y);
+}
+
+int NocArchitecture::port_count(int node) const {
+  std::set<int> neighbors;
+  for (const NocEdge& e : edges_) {
+    if (!e.alive) continue;
+    if (e.a == node) neighbors.insert(e.b);
+    if (e.b == node) neighbors.insert(e.a);
+  }
+  return static_cast<int>(neighbors.size());
+}
+
+double NocArchitecture::node_traffic(int node) const {
+  double acc = 0.0;
+  for (const NocEdge& e : edges_) {
+    if (!e.alive) continue;
+    if (e.a == node || e.b == node) acc += e.bandwidth;
+  }
+  return acc;
+}
+
+int NocArchitecture::allocate_edge(int a, int b, double extra, double capacity) {
+  require(a != b, "allocate_edge: loop edge");
+  require(extra > 0.0, "allocate_edge: bandwidth must be positive");
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    NocEdge& e = edges_[i];
+    if (e.alive && e.a == a && e.b == b && e.bandwidth + extra <= capacity) {
+      e.bandwidth += extra;
+      return static_cast<int>(i);
+    }
+  }
+  NocEdge e;
+  e.a = a;
+  e.b = b;
+  e.bandwidth = extra;
+  edges_.push_back(e);
+  return static_cast<int>(edges_.size()) - 1;
+}
+
+void NocArchitecture::append_to_path(int flow, int edge) {
+  paths_.at(static_cast<size_t>(flow)).push_back(edge);
+}
+
+void NocArchitecture::move_node(int node, double x, double y) {
+  nodes_.at(static_cast<size_t>(node)).x = x;
+  nodes_.at(static_cast<size_t>(node)).y = y;
+}
+
+void NocArchitecture::redirect_node(int from, int to, double capacity) {
+  require(nodes_.at(static_cast<size_t>(from)).is_router, "redirect_node: 'from' must be a router");
+  require(from != to, "redirect_node: nothing to do");
+
+  // Rewire; loops die immediately.
+  for (NocEdge& e : edges_) {
+    if (!e.alive) continue;
+    if (e.a == from) e.a = to;
+    if (e.b == from) e.b = to;
+    if (e.a == e.b) e.alive = false;
+  }
+
+  // Combine parallels where the sum fits the capacity: keep the first
+  // edge per (a, b), fold later ones into it. edge_remap records where a
+  // path reference should now point (-1 = the edge vanished).
+  std::vector<int> remap(edges_.size());
+  for (size_t i = 0; i < edges_.size(); ++i) remap[i] = static_cast<int>(i);
+  std::map<std::pair<int, int>, std::vector<size_t>> groups;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (!edges_[i].alive) {
+      remap[i] = -1;
+      continue;
+    }
+    groups[{edges_[i].a, edges_[i].b}].push_back(i);
+  }
+  for (const auto& [key, members] : groups) {
+    (void)key;
+    for (size_t m = 1; m < members.size(); ++m) {
+      NocEdge& keeper = edges_[members[0]];
+      NocEdge& extra = edges_[members[m]];
+      if (keeper.bandwidth + extra.bandwidth <= capacity) {
+        keeper.bandwidth += extra.bandwidth;
+        extra.alive = false;
+        remap[members[m]] = static_cast<int>(members[0]);
+      }
+    }
+  }
+
+  // Patch flow paths (dead loop edges drop out of the path).
+  for (auto& path : paths_) {
+    std::vector<int> next;
+    next.reserve(path.size());
+    for (int e : path) {
+      const int target = remap[static_cast<size_t>(e)];
+      if (target >= 0) next.push_back(target);
+    }
+    path = std::move(next);
+  }
+}
+
+void NocArchitecture::implement_links(const LinkImplementer& implementer) {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (!edges_[i].alive) continue;
+    edges_[i].impl = implementer.implement(edge_length(static_cast<int>(i)));
+  }
+}
+
+void NocArchitecture::compact() {
+  std::vector<int> remap(edges_.size(), -1);
+  std::vector<NocEdge> live;
+  live.reserve(edges_.size());
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (!edges_[i].alive) continue;
+    remap[i] = static_cast<int>(live.size());
+    live.push_back(edges_[i]);
+  }
+  edges_ = std::move(live);
+  for (auto& path : paths_) {
+    for (int& e : path) {
+      e = remap[static_cast<size_t>(e)];
+      require(e >= 0, "compact: path references a dead edge");
+    }
+  }
+}
+
+NocMetrics evaluate_noc(const NocArchitecture& arch, const LinkImplementer& implementer,
+                        const RouterModel& router_model, double clock_frequency) {
+  const SocSpec& spec = arch.spec();
+  const Technology& tech = implementer.model().tech();
+  const LinkContext& base = implementer.base_context();
+  const double capacity_bits = spec.data_width * clock_frequency;
+
+  NocMetrics m;
+  m.num_routers = arch.router_count();
+
+  for (size_t i = 0; i < arch.edges().size(); ++i) {
+    const NocEdge& e = arch.edges()[i];
+    if (!e.alive) continue;
+    ++m.num_links;
+    const double len = arch.edge_length(static_cast<int>(i));
+    if (!e.impl.feasible) {
+      ++m.infeasible_links;
+      continue;
+    }
+    const double utilization = std::min(1.0, e.bandwidth / capacity_bits);
+    const LinkEstimate est = implementer.evaluate(len, e.impl, 0.5 * utilization);
+    m.link_dynamic_power += spec.data_width * est.dynamic_power;
+    m.link_leakage_power += spec.data_width * est.leakage_power;
+    m.link_area += spec.data_width * est.repeater_area +
+                   bus_wire_area(tech, e.impl.layer, base.style, spec.data_width, len);
+    m.worst_link_delay = std::max(m.worst_link_delay, est.delay);
+  }
+
+  for (size_t n = spec.cores.size(); n < arch.nodes().size(); ++n) {
+    const int node = static_cast<int>(n);
+    const int ports = arch.port_count(node);
+    if (ports == 0) continue;  // orphaned by a merge
+    m.router_dynamic_power += router_model.dynamic_power(arch.node_traffic(node));
+    m.router_leakage_power += ports * router_model.leakage_per_port;
+    m.router_area += ports * router_model.area_per_port;
+  }
+
+  size_t routed = 0;
+  double hop_acc = 0.0;
+  for (const auto& path : arch.flow_paths()) {
+    if (path.empty()) continue;
+    ++routed;
+    hop_acc += static_cast<double>(path.size());
+    m.max_hops = std::max(m.max_hops, static_cast<int>(path.size()));
+  }
+  m.avg_hops = routed ? hop_acc / static_cast<double>(routed) : 0.0;
+  return m;
+}
+
+AuditResult audit_links(const NocArchitecture& arch, const InterconnectModel& reference,
+                        const LinkContext& base_context, double delay_budget) {
+  require(delay_budget > 0.0, "audit_links: budget must be positive");
+  AuditResult out;
+  for (size_t i = 0; i < arch.edges().size(); ++i) {
+    const NocEdge& e = arch.edges()[i];
+    if (!e.alive || !e.impl.feasible) continue;
+    ++out.links_checked;
+    LinkContext ctx = base_context;
+    ctx.length = arch.edge_length(static_cast<int>(i));
+    ctx.layer = e.impl.layer;
+    const double delay = reference.evaluate(ctx, e.impl.design).delay;
+    if (delay > delay_budget) ++out.violations;
+    out.worst_overshoot = std::max(out.worst_overshoot, delay / delay_budget);
+  }
+  return out;
+}
+
+std::string to_dot(const NocArchitecture& arch) {
+  std::ostringstream os;
+  os << "digraph noc {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  for (size_t n = 0; n < arch.nodes().size(); ++n) {
+    const NocNode& node = arch.nodes()[n];
+    os << "  n" << n << " [label=\"" << node.name << "\", shape="
+       << (node.is_router ? "circle" : "box") << "];\n";
+  }
+  for (const NocEdge& e : arch.edges()) {
+    if (!e.alive) continue;
+    os << "  n" << e.a << " -> n" << e.b << " [label=\""
+       << format("%.2f", e.bandwidth / 1e9) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pim

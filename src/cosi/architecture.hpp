@@ -1,0 +1,136 @@
+// Synthesized NoC architecture: cores plus relay/merge routers, directed
+// links carrying allocated bandwidth, and the route of every flow.
+// Produced by pim::cosi synthesis and consumed by the metrics evaluator,
+// the implementability audit, and the DOT exporter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cosi/linkimpl.hpp"
+#include "cosi/router.hpp"
+#include "cosi/spec.hpp"
+
+namespace pim {
+
+/// A network endpoint: a core (index < spec.cores.size()) or a router.
+struct NocNode {
+  bool is_router = false;
+  std::string name;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A directed link. `impl` is filled by implement_links().
+struct NocEdge {
+  int a = 0;
+  int b = 0;
+  double bandwidth = 0.0;  ///< allocated traffic [bit/s]
+  bool alive = true;       ///< dead edges are purged by compact()
+  ImplementedLink impl;
+};
+
+/// The architecture under construction / as synthesized.
+class NocArchitecture {
+ public:
+  explicit NocArchitecture(const SocSpec& spec);
+
+  const SocSpec& spec() const { return *spec_; }
+
+  const std::vector<NocNode>& nodes() const { return nodes_; }
+  const std::vector<NocEdge>& edges() const { return edges_; }
+  const std::vector<std::vector<int>>& flow_paths() const { return paths_; }
+
+  /// Node id of core `core_index` (identity by construction).
+  int core_node(int core_index) const { return core_index; }
+
+  int router_count() const { return static_cast<int>(nodes_.size() - spec_->cores.size()); }
+
+  /// Adds a relay/merge router at (x, y); returns its node id.
+  int add_router(double x, double y);
+
+  /// Manhattan length of edge `e`.
+  double edge_length(int e) const;
+
+  /// Manhattan distance between two nodes.
+  double node_distance(int a, int b) const;
+
+  /// Number of distinct neighbors of a node (its port count).
+  int port_count(int node) const;
+
+  /// Total traffic traversing a node over its live incident edges [bit/s]
+  /// (counts each edge once).
+  double node_traffic(int node) const;
+
+  /// Finds a live a->b edge with spare capacity (bandwidth + extra <=
+  /// capacity) or creates one; adds `extra` to it. Returns the edge id.
+  int allocate_edge(int a, int b, double extra, double capacity);
+
+  /// Appends edge `e` to flow `f`'s path.
+  void append_to_path(int flow, int edge);
+
+  /// Moves node `node` to a new position (router merges).
+  void move_node(int node, double x, double y);
+
+  /// Rewires every live edge touching `from` onto `to`, drops loops, and
+  /// combines parallel duplicates whose combined bandwidth fits
+  /// `capacity`; flow paths are updated. Used by router merging — `from`
+  /// must be a router and becomes orphaned (degree 0).
+  void redirect_node(int from, int to, double capacity);
+
+  /// Fills every live edge's `impl` through the implementer.
+  void implement_links(const LinkImplementer& implementer);
+
+  /// Drops dead edges and remaps flow paths; called after redirect_node.
+  void compact();
+
+ private:
+  const SocSpec* spec_;
+  std::vector<NocNode> nodes_;
+  std::vector<NocEdge> edges_;
+  std::vector<std::vector<int>> paths_;
+};
+
+/// Aggregate figures of merit (paper Table III rows).
+struct NocMetrics {
+  double link_dynamic_power = 0.0;
+  double link_leakage_power = 0.0;
+  double router_dynamic_power = 0.0;
+  double router_leakage_power = 0.0;
+  double link_area = 0.0;
+  double router_area = 0.0;
+  double worst_link_delay = 0.0;
+  double avg_hops = 0.0;
+  int max_hops = 0;
+  int num_routers = 0;
+  int num_links = 0;
+  int infeasible_links = 0;
+
+  double dynamic_power() const { return link_dynamic_power + router_dynamic_power; }
+  double leakage_power() const { return link_leakage_power + router_leakage_power; }
+  double total_power() const { return dynamic_power() + leakage_power(); }
+  double total_area() const { return link_area + router_area; }
+};
+
+/// Evaluates the architecture under the implementer's model. Links must
+/// have been implemented (implement_links) first.
+NocMetrics evaluate_noc(const NocArchitecture& arch, const LinkImplementer& implementer,
+                        const RouterModel& router_model, double clock_frequency);
+
+/// Implementability audit: re-times every link's *chosen design* under a
+/// reference model and counts links whose delay exceeds the budget — the
+/// paper's "non-conservative abstraction leads to design solutions that
+/// are actually not implementable".
+struct AuditResult {
+  int links_checked = 0;
+  int violations = 0;
+  double worst_overshoot = 0.0;  ///< worst delay / budget ratio
+};
+AuditResult audit_links(const NocArchitecture& arch, const InterconnectModel& reference,
+                        const LinkContext& base_context, double delay_budget);
+
+/// Graphviz export (cores as boxes, routers as circles, edge labels in
+/// Gb/s).
+std::string to_dot(const NocArchitecture& arch);
+
+}  // namespace pim

@@ -1,0 +1,75 @@
+#include "cosi/linkimpl.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pim {
+namespace {
+constexpr double kQuantum = 25e-6;  // memoization granularity [m]
+}
+
+LinkImplementer::LinkImplementer(const InterconnectModel& model, LinkContext base_context,
+                                 double delay_budget, BufferingOptions buffering)
+    : model_(&model), base_(base_context), budget_(delay_budget),
+      buffering_(std::move(buffering)) {
+  require(budget_ > 0.0, "LinkImplementer: delay budget must be positive");
+  buffering_.max_delay = budget_;
+}
+
+const ImplementedLink& LinkImplementer::implement(double length) const {
+  require(length > 0.0, "LinkImplementer::implement: length must be positive");
+  const long key = std::max(1L, std::lround(length / kQuantum));
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  LinkContext ctx = base_;
+  ctx.length = static_cast<double>(key) * kQuantum;
+  const BufferingResult best = optimize_buffering(*model_, ctx, buffering_);
+  ImplementedLink link;
+  link.feasible = best.feasible;
+  if (best.feasible) {
+    link.design = best.design;
+    link.layer = best.layer;
+  }
+  return cache_.emplace(key, link).first->second;
+}
+
+double LinkImplementer::max_feasible_length() const {
+  if (max_length_) return *max_length_;
+  // Exponential probe up, then bisect.
+  double lo = 0.0;
+  double hi = 0.5e-3;
+  while (implement(hi).feasible && hi < 0.2) {
+    lo = hi;
+    hi *= 2.0;
+  }
+  if (hi >= 0.2) {
+    // Effectively unconstrained on-chip.
+    max_length_ = lo;
+    return *max_length_;
+  }
+  require(lo > 0.0 || implement(kQuantum).feasible,
+          "LinkImplementer: even the shortest link misses the delay budget");
+  while (hi - lo > 50e-6) {
+    const double mid = 0.5 * (lo + hi);
+    if (implement(mid).feasible) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  max_length_ = lo;
+  return *max_length_;
+}
+
+LinkEstimate LinkImplementer::evaluate(double length, const ImplementedLink& link,
+                                       double activity) const {
+  LinkContext ctx = base_;
+  ctx.length = length;
+  ctx.layer = link.layer;
+  ctx.activity = activity;
+  return model_->evaluate(ctx, link.design);
+}
+
+}  // namespace pim

@@ -1,0 +1,54 @@
+// Link implementation service for NoC synthesis: given a wire length,
+// pick the buffering that meets the clock-period timing budget at minimum
+// weighted cost, through whichever interconnect model the synthesizer was
+// handed. Results are memoized on a quantized length so the greedy
+// merging loop can query thousands of candidates cheaply.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "buffering/optimize.hpp"
+#include "models/model.hpp"
+
+namespace pim {
+
+/// One implemented (or unimplementable) link.
+struct ImplementedLink {
+  bool feasible = false;
+  LinkDesign design;
+  WireLayer layer = WireLayer::Global;  ///< routing layer the optimizer chose
+};
+
+class LinkImplementer {
+ public:
+  /// `delay_budget` is the absolute per-link delay limit (typically a
+  /// fraction of the clock period: each hop is pipelined).
+  LinkImplementer(const InterconnectModel& model, LinkContext base_context,
+                  double delay_budget, BufferingOptions buffering = {});
+
+  /// Best buffering for a wire of `length`; memoized at 25 um granularity.
+  const ImplementedLink& implement(double length) const;
+
+  /// Longest length (to within ~50 um) that is still implementable under
+  /// the delay budget; computed once by bisection.
+  double max_feasible_length() const;
+
+  /// Evaluates an implemented link at a specific activity factor (on the
+  /// layer the implementation chose).
+  LinkEstimate evaluate(double length, const ImplementedLink& link, double activity) const;
+
+  const InterconnectModel& model() const { return *model_; }
+  const LinkContext& base_context() const { return base_; }
+  double delay_budget() const { return budget_; }
+
+ private:
+  const InterconnectModel* model_;
+  LinkContext base_;
+  double budget_;
+  BufferingOptions buffering_;
+  mutable std::map<long, ImplementedLink> cache_;
+  mutable std::optional<double> max_length_;
+};
+
+}  // namespace pim

@@ -1,0 +1,99 @@
+#include "cosi/mesh.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pim {
+namespace {
+
+int auto_dim(double extent, double other_extent, int router_target) {
+  const double aspect = extent / other_extent;
+  return std::max(1, static_cast<int>(std::lround(std::sqrt(router_target * aspect))));
+}
+
+}  // namespace
+
+NocSynthesisResult build_mesh_noc(const SocSpec& spec, const InterconnectModel& model,
+                                  const NocSynthesisOptions& options,
+                                  const MeshOptions& mesh) {
+  spec.validate();
+  const Technology& tech = model.tech();
+  const double clock = tech.clock_frequency;
+  const double budget = options.delay_budget_fraction / clock;
+  const double capacity = options.capacity_fraction * spec.data_width * clock;
+
+  LinkContext base;
+  base.layer = options.layer;
+  base.style = options.style;
+  base.input_slew = options.input_slew;
+  base.frequency = clock;
+
+  BufferingOptions buffering = options.buffering;
+  if (options.explore_layers)
+    buffering.layers = {WireLayer::Global, WireLayer::Intermediate};
+  LinkImplementer implementer(model, base, budget, buffering);
+
+  int cols = mesh.cols;
+  int rows = mesh.rows;
+  if (cols <= 0 || rows <= 0) {
+    const int router_target =
+        std::max(2, static_cast<int>(std::lround(spec.cores.size() / 2.5)));
+    cols = auto_dim(spec.die_width, spec.die_height, router_target);
+    rows = std::max(1, (router_target + cols - 1) / cols);
+  }
+
+  NocSynthesisResult result{NocArchitecture(spec), base, budget, clock, {}, 0};
+  NocArchitecture& arch = result.architecture;
+
+  // Router grid (cell centers).
+  std::vector<std::vector<int>> router(rows, std::vector<int>(cols));
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      router[static_cast<size_t>(r)][static_cast<size_t>(c)] = arch.add_router(
+          (c + 0.5) * spec.die_width / cols, (r + 0.5) * spec.die_height / rows);
+
+  // Core -> nearest router assignment.
+  auto home = [&](int core) {
+    const Core& k = spec.cores[static_cast<size_t>(core)];
+    const int c = std::min(cols - 1, static_cast<int>(k.x / spec.die_width * cols));
+    const int r = std::min(rows - 1, static_cast<int>(k.y / spec.die_height * rows));
+    return std::pair{r, c};
+  };
+
+  // Flows: core -> home router -> XY route -> home router -> core.
+  for (size_t f = 0; f < spec.flows.size(); ++f) {
+    const Flow& flow = spec.flows[f];
+    const auto [r0, c0] = home(flow.src);
+    const auto [r1, c1] = home(flow.dst);
+
+    std::vector<int> waypoints;
+    waypoints.push_back(arch.core_node(flow.src));
+    int r = r0;
+    int c = c0;
+    waypoints.push_back(router[static_cast<size_t>(r)][static_cast<size_t>(c)]);
+    while (c != c1) {
+      c += (c1 > c) ? 1 : -1;
+      waypoints.push_back(router[static_cast<size_t>(r)][static_cast<size_t>(c)]);
+    }
+    while (r != r1) {
+      r += (r1 > r) ? 1 : -1;
+      waypoints.push_back(router[static_cast<size_t>(r)][static_cast<size_t>(c)]);
+    }
+    waypoints.push_back(arch.core_node(flow.dst));
+
+    for (size_t w = 0; w + 1 < waypoints.size(); ++w) {
+      if (waypoints[w] == waypoints[w + 1]) continue;  // core on its router? never, but safe
+      const int e =
+          arch.allocate_edge(waypoints[w], waypoints[w + 1], flow.bandwidth, capacity);
+      arch.append_to_path(static_cast<int>(f), e);
+    }
+  }
+
+  arch.implement_links(implementer);
+  result.metrics = evaluate_noc(arch, implementer, RouterModel::for_tech(tech, spec.data_width),
+                                clock);
+  return result;
+}
+
+}  // namespace pim

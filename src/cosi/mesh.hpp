@@ -1,0 +1,28 @@
+// Regular 2-D mesh NoC construction — the classic packet-switched
+// architecture the NoC literature (paper §I: [8], [11], [12]) proposes,
+// used as the reference point that constraint-driven synthesis is
+// compared against. Routers sit on a grid over the die, every core
+// attaches to its nearest router, and flows follow dimension-ordered
+// (XY) routing.
+#pragma once
+
+#include "cosi/architecture.hpp"
+#include "cosi/synthesis.hpp"
+
+namespace pim {
+
+/// Mesh shape; zero rows/cols = choose automatically from the core count
+/// (targeting two to three cores per router).
+struct MeshOptions {
+  int rows = 0;
+  int cols = 0;
+};
+
+/// Builds and implements a mesh NoC for `spec` under `model`, using the
+/// same budgets and link environment as synthesize_noc — so the two
+/// results are directly comparable.
+NocSynthesisResult build_mesh_noc(const SocSpec& spec, const InterconnectModel& model,
+                                  const NocSynthesisOptions& options = {},
+                                  const MeshOptions& mesh = {});
+
+}  // namespace pim

@@ -1,0 +1,30 @@
+#include "cosi/router.hpp"
+
+#include "spice/mosfet.hpp"
+#include "util/error.hpp"
+
+namespace pim {
+
+RouterModel RouterModel::for_tech(const Technology& tech, int data_width) {
+  require(data_width >= 1, "RouterModel: data width must be positive");
+  RouterModel m;
+  // Unit-inverter quantities anchor the scaling.
+  const double wn = tech.unit_nmos_width;
+  const double wp = tech.pmos_width(wn);
+  const double c_unit = wn * tech.nmos.c_gate + wp * tech.pmos.c_gate;
+  const double leak_unit =
+      tech.vdd * (off_current(tech.nmos, wn, tech.vdd) + off_current(tech.pmos, wp, tech.vdd));
+
+  // ~8 unit-gate capacitances switch per bit through buffer + crossbar +
+  // arbitration (Orion-magnitude: a few fJ/bit at 90 nm).
+  m.energy_per_bit = 8.0 * c_unit * tech.vdd * tech.vdd;
+  // ~30 leaking unit gates per bit of port storage/mux.
+  m.leakage_per_port = 30.0 * data_width * leak_unit;
+  // Empirical footprint: ~2e4 F^2 of silicon per bit of port.
+  const double f2 = tech.area.feature_size * tech.area.feature_size;
+  m.area_per_port = 2.0e4 * data_width * f2;
+  m.max_ports = 8;
+  return m;
+}
+
+}  // namespace pim

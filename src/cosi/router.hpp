@@ -1,0 +1,30 @@
+// Router cost model for NoC synthesis.
+//
+// A compact Orion-flavored linear model: traversing a router costs a
+// fixed energy per bit, each port contributes static leakage and area.
+// Coefficients are derived from the technology's unit inverter so they
+// scale sanely across nodes (documented substitution — the paper relies
+// on COSI-OCC's built-in router characterization).
+#pragma once
+
+#include "tech/technology.hpp"
+
+namespace pim {
+
+/// Linear router cost model (per data_width-bit router).
+struct RouterModel {
+  double energy_per_bit = 0.0;   ///< J per bit per traversal
+  double leakage_per_port = 0.0; ///< W per port (whole data width)
+  double area_per_port = 0.0;    ///< m^2 per port
+  int max_ports = 8;             ///< synthesis degree cap
+
+  /// Derives coefficients for `tech` and a given link data width.
+  static RouterModel for_tech(const Technology& tech, int data_width);
+
+  /// Dynamic power of a router given total traversing traffic [bit/s].
+  double dynamic_power(double traffic_bits_per_s) const {
+    return energy_per_bit * traffic_bits_per_s;
+  }
+};
+
+}  // namespace pim

@@ -1,0 +1,26 @@
+// Text format for SoC communication specs:
+//
+//   soc "dvopd" {
+//     die 4.2e-03 3.1e-03
+//     data_width 128
+//     core vld  5e-04 5e-04 8e-04 8e-04      # name x y width height
+//     core rle  1.5e-03 5e-04 8e-04 8e-04
+//     flow vld rle 1.12e+09                  # src dst bits-per-second
+//   }
+//
+// Flows reference cores by name. '#' starts a comment.
+#pragma once
+
+#include <string>
+
+#include "cosi/spec.hpp"
+
+namespace pim {
+
+std::string write_soc_spec(const SocSpec& spec);
+SocSpec parse_soc_spec(const std::string& text);
+
+void save_soc_spec(const SocSpec& spec, const std::string& path);
+SocSpec load_soc_spec(const std::string& path);
+
+}  // namespace pim

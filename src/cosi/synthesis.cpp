@@ -1,0 +1,186 @@
+#include "cosi/synthesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace pim {
+namespace {
+
+// Phase 2: route one flow, reusing a relay chain for identical endpoints.
+void route_flow(NocArchitecture& arch, int flow_index, const Flow& flow,
+                double max_length, double capacity,
+                std::map<std::pair<int, int>, std::vector<int>>& relay_chains) {
+  const int src = arch.core_node(flow.src);
+  const int dst = arch.core_node(flow.dst);
+  const double dist = arch.node_distance(src, dst);
+
+  std::vector<int> waypoints;
+  waypoints.push_back(src);
+  if (dist > max_length) {
+    const auto key = std::make_pair(src, dst);
+    auto it = relay_chains.find(key);
+    if (it == relay_chains.end()) {
+      const int segments = static_cast<int>(std::ceil(dist / max_length));
+      std::vector<int> relays;
+      const NocNode& a = arch.nodes()[static_cast<size_t>(src)];
+      const NocNode& b = arch.nodes()[static_cast<size_t>(dst)];
+      for (int k = 1; k < segments; ++k) {
+        const double t = static_cast<double>(k) / segments;
+        relays.push_back(arch.add_router(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)));
+      }
+      it = relay_chains.emplace(key, std::move(relays)).first;
+    }
+    for (int r : it->second) waypoints.push_back(r);
+  }
+  waypoints.push_back(dst);
+
+  for (size_t w = 0; w + 1 < waypoints.size(); ++w) {
+    const int e = arch.allocate_edge(waypoints[w], waypoints[w + 1], flow.bandwidth, capacity);
+    arch.append_to_path(flow_index, e);
+  }
+}
+
+// Architecture-level cost the merging loop minimizes: total power, with
+// infeasible links forbidden outright.
+struct TrialOutcome {
+  bool acceptable = false;
+  double cost = 0.0;
+};
+
+TrialOutcome assess(const NocArchitecture& arch, const LinkImplementer& impl,
+                    const RouterModel& router_model, double clock, int max_ports) {
+  const NocMetrics m = evaluate_noc(arch, impl, router_model, clock);
+  TrialOutcome out;
+  if (m.infeasible_links > 0) return out;
+  for (size_t n = arch.spec().cores.size(); n < arch.nodes().size(); ++n)
+    if (arch.port_count(static_cast<int>(n)) > max_ports) return out;
+  out.acceptable = true;
+  out.cost = m.total_power();
+  return out;
+}
+
+}  // namespace
+
+NocSynthesisResult synthesize_noc(const SocSpec& spec, const InterconnectModel& model,
+                                  const NocSynthesisOptions& options) {
+  spec.validate();
+  const Technology& tech = model.tech();
+  const double clock = tech.clock_frequency;
+  const double budget = options.delay_budget_fraction / clock;
+  const double capacity = options.capacity_fraction * spec.data_width * clock;
+
+  LinkContext base;
+  base.layer = options.layer;
+  base.style = options.style;
+  base.input_slew = options.input_slew;
+  base.frequency = clock;
+
+  BufferingOptions buffering = options.buffering;
+  if (options.explore_layers)
+    buffering.layers = {WireLayer::Global, WireLayer::Intermediate};
+  LinkImplementer implementer(model, base, budget, buffering);
+  const RouterModel router_model = RouterModel::for_tech(tech, spec.data_width);
+
+  NocSynthesisResult result{NocArchitecture(spec), base, budget, clock, {}, 0};
+  NocArchitecture& arch = result.architecture;
+
+  // Phase 2: point-to-point with relay chains.
+  const double max_len = implementer.max_feasible_length();
+  require(max_len > 0.0, "synthesize_noc: no implementable wire length at this clock");
+  std::map<std::pair<int, int>, std::vector<int>> relay_chains;
+  for (size_t f = 0; f < spec.flows.size(); ++f)
+    route_flow(arch, static_cast<int>(f), spec.flows[f], max_len, capacity, relay_chains);
+  arch.implement_links(implementer);
+
+  TrialOutcome current = assess(arch, implementer, router_model, clock, 1 << 20);
+  require(current.acceptable, "synthesize_noc: initial point-to-point network infeasible");
+
+  // Phase 3: greedy merging of nearby routers.
+  const size_t first_router = spec.cores.size();
+  for (int iter = 0; iter < options.max_merges; ++iter) {
+    int best_i = -1;
+    int best_j = -1;
+    NocArchitecture best_arch(spec);
+    double best_cost = current.cost;
+
+    for (size_t i = first_router; i < arch.nodes().size(); ++i) {
+      if (arch.port_count(static_cast<int>(i)) == 0) continue;
+      for (size_t j = i + 1; j < arch.nodes().size(); ++j) {
+        if (arch.port_count(static_cast<int>(j)) == 0) continue;
+        if (arch.node_distance(static_cast<int>(i), static_cast<int>(j)) >
+            options.merge_radius)
+          continue;
+
+        NocArchitecture trial = arch;
+        const NocNode& ni = trial.nodes()[i];
+        const NocNode& nj = trial.nodes()[j];
+        trial.move_node(static_cast<int>(i), 0.5 * (ni.x + nj.x), 0.5 * (ni.y + nj.y));
+        trial.redirect_node(static_cast<int>(j), static_cast<int>(i), capacity);
+        trial.implement_links(implementer);
+        const TrialOutcome outcome =
+            assess(trial, implementer, router_model, clock, router_model.max_ports);
+        if (outcome.acceptable && outcome.cost < best_cost - 1e-12) {
+          best_cost = outcome.cost;
+          best_i = static_cast<int>(i);
+          best_j = static_cast<int>(j);
+          best_arch = std::move(trial);
+        }
+      }
+    }
+
+    if (best_i < 0) break;
+    arch = std::move(best_arch);
+    current.cost = best_cost;
+    ++result.merges_applied;
+    log_debug("synthesize_noc: merged routers ", best_i, " and ", best_j,
+              ", cost now ", best_cost);
+  }
+
+  // Phase 4: router placement refinement — move each router to the
+  // bandwidth-weighted centroid of its neighbors when that lowers cost
+  // (shorter heavy links burn less wire power).
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    bool improved = false;
+    for (size_t n = first_router; n < arch.nodes().size(); ++n) {
+      const int node = static_cast<int>(n);
+      if (arch.port_count(node) == 0) continue;
+      double wx = 0.0;
+      double wy = 0.0;
+      double wsum = 0.0;
+      for (const NocEdge& e : arch.edges()) {
+        if (!e.alive) continue;
+        int other = -1;
+        if (e.a == node) other = e.b;
+        if (e.b == node) other = e.a;
+        if (other < 0) continue;
+        const NocNode& peer = arch.nodes()[static_cast<size_t>(other)];
+        wx += e.bandwidth * peer.x;
+        wy += e.bandwidth * peer.y;
+        wsum += e.bandwidth;
+      }
+      if (wsum <= 0.0) continue;
+      NocArchitecture trial = arch;
+      trial.move_node(node, wx / wsum, wy / wsum);
+      trial.implement_links(implementer);
+      const TrialOutcome outcome =
+          assess(trial, implementer, router_model, clock, router_model.max_ports);
+      if (outcome.acceptable && outcome.cost < current.cost - 1e-12) {
+        arch = std::move(trial);
+        current.cost = outcome.cost;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+
+  arch.compact();
+  arch.implement_links(implementer);
+  result.metrics = evaluate_noc(arch, implementer, router_model, clock);
+  return result;
+}
+
+}  // namespace pim

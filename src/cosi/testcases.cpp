@@ -1,0 +1,247 @@
+#include "cosi/testcases.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace pim {
+namespace {
+
+using namespace pim::unit;
+
+constexpr double kMBps = 8.0e6;  // MB/s -> bit/s
+
+// Grid placement helper: core centered in cell (col, row) of an
+// ncols x nrows grid over the die.
+Core grid_core(const std::string& name, int col, int row, int ncols, int nrows,
+               double die_w, double die_h) {
+  Core c;
+  c.name = name;
+  c.x = (col + 0.5) * die_w / ncols;
+  c.y = (row + 0.5) * die_h / nrows;
+  c.width = 0.8 * die_w / ncols;
+  c.height = 0.8 * die_h / nrows;
+  return c;
+}
+
+}  // namespace
+
+SocSpec vproc_spec() {
+  SocSpec spec;
+  spec.name = "vproc";
+  spec.data_width = 128;
+  spec.die_width = 10.0 * mm;
+  spec.die_height = 10.0 * mm;
+  const int ncols = 10;
+  const int nrows = 6;
+
+  auto add = [&](const std::string& name, int col, int row) {
+    spec.cores.push_back(grid_core(name, col, row, ncols, nrows, spec.die_width, spec.die_height));
+    return static_cast<int>(spec.cores.size()) - 1;
+  };
+  auto flow = [&](int src, int dst, double mbps) {
+    spec.flows.push_back({src, dst, mbps * kMBps});
+  };
+
+  // Four 8-stage pipelines on rows 1..4, stream-in on the left edge,
+  // stream-out on the right edge.
+  std::vector<int> ins, outs;
+  std::vector<std::vector<int>> stage(4);
+  for (int p = 0; p < 4; ++p) {
+    ins.push_back(add(format("in%d", p), 0, p + 1));
+    for (int s = 0; s < 8; ++s) stage[p].push_back(add(format("p%d_%d", p, s), s + 1, p + 1));
+    outs.push_back(add(format("out%d", p), 9, p + 1));
+  }
+  const int ctrl = add("ctrl", 4, 0);
+  const int dram = add("dram", 5, 5);
+  require(spec.cores.size() == 42, "vproc_spec: expected 42 cores");
+
+  for (int p = 0; p < 4; ++p) {
+    flow(ins[p], stage[p][0], 250.0);
+    for (int s = 0; s + 1 < 8; ++s) flow(stage[p][s], stage[p][s + 1], 320.0);
+    flow(stage[p][7], outs[p], 250.0);
+    // Frame-buffer traffic from the mid-pipeline stages.
+    flow(stage[p][3], dram, 110.0);
+    flow(dram, stage[p][4], 110.0);
+    // Low-rate control.
+    flow(ctrl, stage[p][0], 8.0);
+    flow(stage[p][7], ctrl, 8.0);
+  }
+  flow(ctrl, dram, 16.0);
+  spec.validate();
+  return spec;
+}
+
+SocSpec dvopd_spec() {
+  SocSpec spec;
+  spec.name = "dvopd";
+  spec.data_width = 128;
+  spec.die_width = 6.0 * mm;
+  spec.die_height = 4.0 * mm;
+  const int ncols = 8;
+  const int nrows = 4;
+
+  auto add = [&](const std::string& name, int col, int row) {
+    spec.cores.push_back(grid_core(name, col, row, ncols, nrows, spec.die_width, spec.die_height));
+    return static_cast<int>(spec.cores.size()) - 1;
+  };
+  auto flow = [&](int src, int dst, double mbps) {
+    spec.flows.push_back({src, dst, mbps * kMBps});
+  };
+
+  // One VOPD instance: 13 cores in a 4 x 4 quadrant (col offset selects
+  // the instance). Core names and MB/s bandwidths follow the published
+  // VOPD task graph.
+  auto instance = [&](int col0, const char* suffix) {
+    std::vector<int> c;
+    c.push_back(add(std::string("vld") + suffix, col0 + 0, 0));        // 0
+    c.push_back(add(std::string("run_le") + suffix, col0 + 1, 0));     // 1
+    c.push_back(add(std::string("inv_scan") + suffix, col0 + 2, 0));   // 2
+    c.push_back(add(std::string("ac_dc") + suffix, col0 + 3, 0));      // 3
+    c.push_back(add(std::string("stripe") + suffix, col0 + 0, 1));     // 4
+    c.push_back(add(std::string("iquant") + suffix, col0 + 1, 1));     // 5
+    c.push_back(add(std::string("idct") + suffix, col0 + 2, 1));       // 6
+    c.push_back(add(std::string("upsamp") + suffix, col0 + 3, 1));     // 7
+    c.push_back(add(std::string("vop_rec") + suffix, col0 + 0, 2));    // 8
+    c.push_back(add(std::string("pad") + suffix, col0 + 1, 2));        // 9
+    c.push_back(add(std::string("vop_mem") + suffix, col0 + 2, 2));    // 10
+    c.push_back(add(std::string("arm") + suffix, col0 + 3, 2));        // 11
+    c.push_back(add(std::string("mem_ctrl") + suffix, col0 + 1, 3));   // 12
+
+    flow(c[0], c[1], 70.0);
+    flow(c[1], c[2], 362.0);
+    flow(c[2], c[3], 362.0);
+    flow(c[3], c[4], 49.0);
+    flow(c[3], c[5], 357.0);
+    flow(c[4], c[5], 27.0);
+    flow(c[5], c[6], 353.0);
+    flow(c[6], c[7], 300.0);
+    flow(c[7], c[8], 313.0);
+    flow(c[8], c[9], 500.0);
+    flow(c[9], c[10], 94.0);
+    flow(c[10], c[9], 500.0);
+    flow(c[6], c[11], 16.0);
+    flow(c[11], c[7], 16.0);
+    flow(c[10], c[12], 250.0);
+    flow(c[12], c[0], 150.0);
+    return c;
+  };
+
+  const auto a = instance(0, "_a");
+  const auto b = instance(4, "_b");
+  require(spec.cores.size() == 26, "dvopd_spec: expected 26 cores");
+
+  // Cross-instance coordination and shared-memory traffic.
+  flow(a[11], b[11], 16.0);
+  flow(b[11], a[11], 16.0);
+  flow(a[12], b[12], 100.0);
+
+  spec.validate();
+  return spec;
+}
+
+SocSpec mpeg4_spec() {
+  SocSpec spec;
+  spec.name = "mpeg4";
+  spec.data_width = 128;
+  spec.die_width = 4.0 * mm;
+  spec.die_height = 3.0 * mm;
+  const int ncols = 4;
+  const int nrows = 3;
+
+  auto add = [&](const std::string& name, int col, int row) {
+    spec.cores.push_back(grid_core(name, col, row, ncols, nrows, spec.die_width, spec.die_height));
+    return static_cast<int>(spec.cores.size()) - 1;
+  };
+  auto flow = [&](int src, int dst, double mbps) {
+    spec.flows.push_back({src, dst, mbps * kMBps});
+  };
+
+  const int vu = add("vu", 0, 0);
+  const int au = add("au", 1, 0);
+  const int med_cpu = add("med_cpu", 2, 0);
+  const int rast = add("rast", 3, 0);
+  const int idct = add("idct", 0, 1);
+  const int sdram = add("sdram", 1, 1);   // the star hub
+  const int sram1 = add("sram1", 2, 1);
+  const int sram2 = add("sram2", 3, 1);
+  const int adsp = add("adsp", 0, 2);
+  const int up_samp = add("up_samp", 1, 2);
+  const int bab = add("bab", 2, 2);
+  const int risc = add("risc", 3, 2);
+  require(spec.cores.size() == 12, "mpeg4_spec: expected 12 cores");
+
+  // Published-magnitude SDRAM-centric star plus a few peer links (MB/s).
+  flow(vu, sdram, 190.0);
+  flow(sdram, vu, 190.0);
+  flow(au, sdram, 0.5);
+  flow(med_cpu, sdram, 60.0);
+  flow(rast, sdram, 640.0);
+  flow(sdram, rast, 640.0);
+  flow(idct, sdram, 250.0);
+  flow(adsp, sdram, 0.5);
+  flow(up_samp, sdram, 910.0);
+  flow(sdram, up_samp, 498.0);
+  flow(bab, sdram, 32.0);
+  flow(risc, sdram, 500.0);
+  flow(sdram, risc, 250.0);
+  flow(vu, sram1, 190.0);
+  flow(rast, sram1, 640.0);
+  flow(med_cpu, sram2, 60.0);
+  flow(idct, sram2, 250.0);
+  flow(risc, med_cpu, 100.0);
+  spec.validate();
+  return spec;
+}
+
+SocSpec mwd_spec() {
+  SocSpec spec;
+  spec.name = "mwd";
+  spec.data_width = 128;
+  spec.die_width = 4.0 * mm;
+  spec.die_height = 3.0 * mm;
+  const int ncols = 4;
+  const int nrows = 3;
+
+  auto add = [&](const std::string& name, int col, int row) {
+    spec.cores.push_back(grid_core(name, col, row, ncols, nrows, spec.die_width, spec.die_height));
+    return static_cast<int>(spec.cores.size()) - 1;
+  };
+  auto flow = [&](int src, int dst, double mbps) {
+    spec.flows.push_back({src, dst, mbps * kMBps});
+  };
+
+  const int in = add("in", 0, 0);
+  const int nr = add("nr", 1, 0);
+  const int mem1 = add("mem1", 2, 0);
+  const int hs = add("hs", 3, 0);
+  const int vs = add("vs", 0, 1);
+  const int mem2 = add("mem2", 1, 1);
+  const int hvs = add("hvs", 2, 1);
+  const int mem3 = add("mem3", 3, 1);
+  const int jug1 = add("jug1", 0, 2);
+  const int jug2 = add("jug2", 1, 2);
+  const int se = add("se", 2, 2);
+  const int blend = add("blend", 3, 2);
+  require(spec.cores.size() == 12, "mwd_spec: expected 12 cores");
+
+  // The published MWD pipeline (MB/s).
+  flow(in, nr, 64.0);
+  flow(in, jug1, 64.0);
+  flow(nr, mem1, 96.0);
+  flow(nr, hs, 96.0);
+  flow(mem1, hs, 96.0);
+  flow(hs, vs, 96.0);
+  flow(vs, mem2, 96.0);
+  flow(mem2, hvs, 96.0);
+  flow(hvs, jug2, 96.0);
+  flow(jug1, mem3, 64.0);
+  flow(mem3, se, 64.0);
+  flow(jug2, mem3, 64.0);
+  flow(se, blend, 64.0);
+  flow(hvs, blend, 96.0);
+  spec.validate();
+  return spec;
+}
+
+}  // namespace pim

@@ -1,0 +1,33 @@
+// Built-in SoC test cases mirroring the paper's Table III designs (see
+// DESIGN.md substitutions — the industrial netlists are not public, so
+// these preserve the published scale, data width, and traffic structure):
+//
+//   VPROC — a 42-core video processor, 128-bit data: four 8-stage
+//   processing pipelines with stream-in/stream-out cores on the die
+//   edges, a shared DRAM controller and a control processor.
+//
+//   DVOPD — a dual video object plane decoder, 26 cores, 128-bit data:
+//   two mirrored 13-core VOPD instances (published VOPD core names and
+//   MB/s-scale bandwidths) with cross-instance control and memory
+//   traffic.
+#pragma once
+
+#include "cosi/spec.hpp"
+
+namespace pim {
+
+/// 42-core video processor on a 10 x 10 mm die.
+SocSpec vproc_spec();
+
+/// 26-core dual video object plane decoder on a 6 x 4 mm die.
+SocSpec dvopd_spec();
+
+/// 12-core MPEG-4 decoder on a 4 x 3 mm die: the classic SDRAM-centric
+/// star traffic pattern of the published benchmark.
+SocSpec mpeg4_spec();
+
+/// 12-core multi-window display (MWD) on a 4 x 3 mm die: the published
+/// pipelined filter chain with frame memories.
+SocSpec mwd_spec();
+
+}  // namespace pim

@@ -1,0 +1,41 @@
+#include "liberty/cell.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pim {
+
+std::string cell_kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::Inverter: return "INV";
+    case CellKind::Buffer: return "BUF";
+  }
+  fail("cell_kind_name: unknown kind");
+}
+
+bool TimingTable::valid() const {
+  return slew_axis.size() >= 2 && load_axis.size() >= 2 &&
+         delay.rows() == slew_axis.size() && delay.cols() == load_axis.size() &&
+         out_slew.rows() == slew_axis.size() && out_slew.cols() == load_axis.size();
+}
+
+double TimingTable::eval_delay(double input_slew, double load) const {
+  require(valid(), "TimingTable::eval_delay: table not populated");
+  return Grid2D(slew_axis, load_axis, delay).eval(input_slew, load);
+}
+
+double TimingTable::eval_out_slew(double input_slew, double load) const {
+  require(valid(), "TimingTable::eval_out_slew: table not populated");
+  return Grid2D(slew_axis, load_axis, out_slew).eval(input_slew, load);
+}
+
+double RepeaterCell::worst_delay(double input_slew, double load) const {
+  return std::max(rise.eval_delay(input_slew, load), fall.eval_delay(input_slew, load));
+}
+
+std::string repeater_cell_name(CellKind kind, int drive) {
+  return cell_kind_name(kind) + "D" + std::to_string(drive);
+}
+
+}  // namespace pim

@@ -1,0 +1,58 @@
+// Repeater cell: an inverter or buffer at a given drive strength, carrying
+// NLDM-style characterization tables (delay and output slew indexed by
+// input slew x load capacitance), leakage, input capacitance, and area —
+// the same payload a Liberty .lib provides to a timer.
+#pragma once
+
+#include <string>
+
+#include "numeric/interp.hpp"
+#include "numeric/matrix.hpp"
+
+namespace pim {
+
+enum class CellKind { Inverter, Buffer };
+
+/// "INV" / "BUF".
+std::string cell_kind_name(CellKind kind);
+
+/// NLDM lookup table pair for one output edge: delay(slew, load) and
+/// output_slew(slew, load), bilinear with edge extrapolation.
+struct TimingTable {
+  Vector slew_axis;  ///< input slew samples [s], strictly increasing
+  Vector load_axis;  ///< load cap samples [F], strictly increasing
+  Matrix delay;      ///< [slew][load] -> 50 % delay [s]
+  Matrix out_slew;   ///< [slew][load] -> output slew [s]
+
+  /// True once the table has been populated with a valid grid.
+  bool valid() const;
+
+  double eval_delay(double input_slew, double load) const;
+  double eval_out_slew(double input_slew, double load) const;
+};
+
+/// One library cell.
+struct RepeaterCell {
+  std::string name;       ///< e.g. "INVD4"
+  CellKind kind = CellKind::Inverter;
+  int drive = 1;          ///< integer drive strength (Dk)
+  double wn = 0.0;        ///< output-stage NMOS width [m]
+  double wp = 0.0;        ///< output-stage PMOS width [m]
+  double input_cap = 0.0; ///< [F]
+  double leakage_nmos = 0.0;  ///< leakage power, output-high state [W]
+  double leakage_pmos = 0.0;  ///< leakage power, output-low state [W]
+  double area = 0.0;      ///< [m^2]
+  TimingTable rise;       ///< output rising edge
+  TimingTable fall;       ///< output falling edge
+
+  /// State-averaged leakage, the paper's p_s = (p_sn + p_sp) / 2.
+  double leakage_avg() const { return 0.5 * (leakage_nmos + leakage_pmos); }
+
+  /// Worst (max) of rise/fall delay at an operating point.
+  double worst_delay(double input_slew, double load) const;
+};
+
+/// Canonical cell name, e.g. ("INV", 4) -> "INVD4".
+std::string repeater_cell_name(CellKind kind, int drive);
+
+}  // namespace pim

@@ -1,0 +1,43 @@
+// Liberty-lite text format for characterized cell libraries.
+//
+// A pragmatic dialect of Liberty: group statements `key (arg) {` with
+// matching `}`, attribute statements `key value... ;`, and NLDM tables as
+// `row` statements (one per input-slew sample). Example:
+//
+//   library (pim_65nm) {
+//     technology 65nm;
+//     voltage 1;
+//     cell (INVD4) {
+//       kind INV; drive 4;
+//       wn 1.04e-06; wp 2.08e-06;
+//       input_cap 3.12e-15; area 1.2e-12;
+//       leakage_nmos 3.4e-08; leakage_pmos 2.1e-08;
+//       timing (rise) {
+//         index_1 1e-11 5e-11 1e-10;
+//         index_2 1e-15 5e-15;
+//         delay { row 1.1e-11 2.0e-11; row 1.4e-11 2.4e-11; row 2e-11 3e-11; }
+//         out_slew { ... }
+//       }
+//       timing (fall) { ... }
+//     }
+//   }
+#pragma once
+
+#include <string>
+
+#include "liberty/library.hpp"
+
+namespace pim {
+
+/// Serializes the library (cells must carry valid timing tables).
+std::string write_liberty(const CellLibrary& library);
+
+/// Parses the Liberty-lite dialect; throws pim::Error with a line number
+/// on malformed input.
+CellLibrary parse_liberty(const std::string& text);
+
+/// File convenience wrappers.
+void save_liberty(const CellLibrary& library, const std::string& path);
+CellLibrary load_liberty(const std::string& path);
+
+}  // namespace pim

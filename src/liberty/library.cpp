@@ -1,0 +1,48 @@
+#include "liberty/library.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pim {
+
+const std::vector<int>& standard_drive_strengths() {
+  static const std::vector<int> drives = {1, 2, 4, 6, 8, 12, 16, 20, 24, 32, 48, 64};
+  return drives;
+}
+
+CellLibrary::CellLibrary(std::string name, TechNode node, double vdd)
+    : name_(std::move(name)), node_(node), vdd_(vdd) {
+  require(vdd_ > 0.0, "CellLibrary: vdd must be positive");
+}
+
+void CellLibrary::add_cell(RepeaterCell cell) {
+  require(!has_cell(cell.name), "CellLibrary::add_cell: duplicate cell '" + cell.name + "'");
+  cells_.push_back(std::move(cell));
+}
+
+const RepeaterCell& CellLibrary::cell(const std::string& name) const {
+  for (const auto& c : cells_)
+    if (c.name == name) return c;
+  fail("CellLibrary::cell: no cell named '" + name + "'");
+}
+
+const RepeaterCell& CellLibrary::cell(CellKind kind, int drive) const {
+  return cell(repeater_cell_name(kind, drive));
+}
+
+bool CellLibrary::has_cell(const std::string& name) const {
+  return std::any_of(cells_.begin(), cells_.end(),
+                     [&](const RepeaterCell& c) { return c.name == name; });
+}
+
+std::vector<const RepeaterCell*> CellLibrary::cells_of_kind(CellKind kind) const {
+  std::vector<const RepeaterCell*> out;
+  for (const auto& c : cells_)
+    if (c.kind == kind) out.push_back(&c);
+  std::sort(out.begin(), out.end(),
+            [](const RepeaterCell* a, const RepeaterCell* b) { return a->drive < b->drive; });
+  return out;
+}
+
+}  // namespace pim

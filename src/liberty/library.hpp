@@ -1,0 +1,50 @@
+// A characterized cell library for one technology node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "liberty/cell.hpp"
+#include "tech/technology.hpp"
+
+namespace pim {
+
+/// The drive strengths characterized per kind — covers the repeater range
+/// used for global interconnects (the paper's experiments use INVD4..D20;
+/// buffering optimization explores up to D64).
+const std::vector<int>& standard_drive_strengths();
+
+/// Cell library: named cells plus the technology identity they were
+/// characterized for.
+class CellLibrary {
+ public:
+  CellLibrary() = default;
+  CellLibrary(std::string name, TechNode node, double vdd);
+
+  const std::string& name() const { return name_; }
+  TechNode node() const { return node_; }
+  double vdd() const { return vdd_; }
+
+  void add_cell(RepeaterCell cell);
+
+  const std::vector<RepeaterCell>& cells() const { return cells_; }
+
+  /// Lookup by name; throws if absent.
+  const RepeaterCell& cell(const std::string& name) const;
+
+  /// Lookup by kind and drive; throws if absent.
+  const RepeaterCell& cell(CellKind kind, int drive) const;
+
+  bool has_cell(const std::string& name) const;
+
+  /// All cells of one kind, ascending drive.
+  std::vector<const RepeaterCell*> cells_of_kind(CellKind kind) const;
+
+ private:
+  std::string name_;
+  TechNode node_ = TechNode::N90;
+  double vdd_ = 0.0;
+  std::vector<RepeaterCell> cells_;
+};
+
+}  // namespace pim

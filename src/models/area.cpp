@@ -1,0 +1,29 @@
+#include "models/area.hpp"
+
+#include "util/error.hpp"
+
+namespace pim {
+
+double predictive_repeater_area(const Technology& tech, double wn, double wp) {
+  require(wn > 0.0 && wp >= 0.0, "predictive_repeater_area: bad widths");
+  const double usable = tech.area.row_height - 4.0 * tech.area.contact_pitch;
+  require(usable > 0.0, "predictive_repeater_area: row height too small");
+  const double fingers = (wn + wp) / usable;  // continuous: no layout yet to quantize
+  const double cell_width = (fingers + 1.0) * tech.area.contact_pitch;
+  return tech.area.row_height * cell_width;
+}
+
+double bus_wire_area(const Technology& tech, WireLayer layer, DesignStyle style,
+                     int bits, double length) {
+  require(bits >= 1, "bus_wire_area: need at least one bit");
+  require(length > 0.0, "bus_wire_area: length must be positive");
+  const WireRc rc = extract_wire(tech, layer, style, {});
+  // rc.pitch already accounts for shielding (a signal pays for its shield
+  // track); the paper's trailing + s_w closes the bus with one spacing.
+  const WireLayerGeometry& g =
+      layer == WireLayer::Global ? tech.interconnect.global : tech.interconnect.intermediate;
+  const double cross_section = bits * rc.pitch + g.spacing;
+  return cross_section * length;
+}
+
+}  // namespace pim

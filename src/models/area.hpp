@@ -1,0 +1,29 @@
+// Area models (paper §III-C).
+//
+// Repeater area, two flavors:
+//   - regressed:   a_r = area0 + area1 * wn (coefficients from Table I) —
+//     used when a characterized library exists ("existing technologies");
+//   - predictive:  finger count from feature size / contact pitch / row
+//     height — usable before any library exists ("future technologies").
+//
+// Wire (bus) area: a_w = n * (w_w + s_w) + s_w tracks wide, times length,
+// where width/spacing come from the routing layer and design style.
+#pragma once
+
+#include "tech/wire.hpp"
+
+namespace pim {
+
+/// Predictive repeater area from early-available layout quantities:
+/// N_f = (wp + wn) / (h_row - 4 p_contact), w_cell = (N_f + 1) p_contact,
+/// a_r = h_row * w_cell. Continuous (non-quantized) variant of the layout
+/// model used for golden areas.
+double predictive_repeater_area(const Technology& tech, double wn, double wp);
+
+/// Routed area of an n-bit bus of the given length: the paper's
+/// a_w = n (w_w + s_w) + s_w cross-section times the run length. The
+/// design style sets the effective per-bit pitch (shielded doubles it).
+double bus_wire_area(const Technology& tech, WireLayer layer, DesignStyle style,
+                     int bits, double length);
+
+}  // namespace pim

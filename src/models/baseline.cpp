@@ -1,0 +1,121 @@
+#include "models/baseline.hpp"
+
+#include <algorithm>
+
+#include "charlib/characterize.hpp"
+#include "models/area.hpp"
+#include "util/error.hpp"
+
+namespace pim {
+
+double first_principles_resistance(const MosfetParams& device, double vdd, double w) {
+  require(w > 0.0 && vdd > 0.0, "first_principles_resistance: bad arguments");
+  const double ion = eval_alpha_power(device, w, vdd, vdd).ids;
+  return vdd / ion;
+}
+
+namespace {
+
+// Quantities both baselines share for a given design point.
+struct BaselineStage {
+  double rd;        // switching resistance (worst polarity)
+  double c_self;    // driver's own drain capacitance
+  double ci;        // next repeater's input capacitance
+  double leak;      // per-repeater leakage power
+  double area;      // per-repeater active area ("simplistic assumption")
+};
+
+BaselineStage baseline_stage(const Technology& tech, const LinkDesign& design) {
+  const RepeaterSizing sz = repeater_sizing(tech, design.kind, design.drive);
+  BaselineStage st;
+  // Worst-polarity switching resistance from first principles (the weaker
+  // PMOS dominates the rise).
+  const double rd_fall = first_principles_resistance(tech.nmos, tech.vdd, sz.wn_out);
+  const double rd_rise = first_principles_resistance(tech.pmos, tech.vdd, sz.wp_out);
+  st.rd = std::max(rd_fall, rd_rise);
+  st.c_self = sz.wn_out * tech.nmos.c_drain + sz.wp_out * tech.pmos.c_drain;
+  const double win_n = design.kind == CellKind::Inverter ? sz.wn_out : sz.wn_in;
+  const double win_p = design.kind == CellKind::Inverter ? sz.wp_out : sz.wp_in;
+  st.ci = win_n * tech.nmos.c_gate + win_p * tech.pmos.c_gate;
+  st.leak = 0.5 * tech.vdd *
+            (off_current(tech.nmos, sz.wn_out, tech.vdd) +
+             off_current(tech.pmos, sz.wp_out, tech.vdd));
+  // Active area only: total device width times a 2F gate-pitch footprint.
+  st.area = (sz.wn_out + sz.wp_out + sz.wn_in + sz.wp_in) * 2.0 * tech.area.feature_size;
+  return st;
+}
+
+// Both baselines ignore scattering and barrier corrections.
+LinkContext uncorrected(const LinkContext& ctx) {
+  LinkContext plain = ctx;
+  plain.wire_options.scattering = false;
+  plain.wire_options.barrier = false;
+  return plain;
+}
+
+// Minimum-pitch wire area, oblivious to shielding and trailing spacing —
+// the "simplistic assumption" the paper calls out in Table III.
+double simplistic_wire_area(const Technology& tech, WireLayer layer, double length) {
+  const WireLayerGeometry& g =
+      layer == WireLayer::Global ? tech.interconnect.global : tech.interconnect.intermediate;
+  return (g.width + g.spacing) * length;
+}
+
+}  // namespace
+
+LinkEstimate BakogluModel::evaluate(const LinkContext& context,
+                                    const LinkDesign& design) const {
+  const Technology& tech = *tech_;
+  const LinkContext ctx = uncorrected(context);
+  const LinkGeometry g(tech, ctx, design);
+  const BaselineStage st = baseline_stage(tech, design);
+
+  // Bakoglu stage delay: coupling capacitance does not exist in this
+  // model — only ground capacitance loads the stage.
+  const double c_wire = g.seg_cap_ground;
+  const double stage = 0.69 * st.rd * (st.c_self + c_wire + st.ci) +
+                       g.seg_res * (0.38 * c_wire + 0.69 * st.ci);
+
+  LinkEstimate est;
+  est.delay = design.num_repeaters * stage;
+  est.output_slew = 2.2 * (st.rd * (st.c_self + c_wire + st.ci) + 0.5 * g.seg_res * c_wire);
+
+  est.switched_cap =
+      design.num_repeaters * (st.ci + st.c_self) + ctx.length * g.rc.cap_ground_per_m;
+  est.dynamic_power = ctx.activity * est.switched_cap * tech.vdd * tech.vdd * ctx.frequency;
+  est.leakage_power = design.num_repeaters * st.leak;
+  est.repeater_area = design.num_repeaters * st.area;
+  est.wire_area = simplistic_wire_area(tech, ctx.layer, ctx.length);
+  return est;
+}
+
+LinkEstimate PamunuwaModel::evaluate(const LinkContext& context,
+                                     const LinkDesign& design) const {
+  const Technology& tech = *tech_;
+  const LinkContext ctx = uncorrected(context);
+  const LinkGeometry g(tech, ctx, design);
+  const BaselineStage st = baseline_stage(tech, design);
+
+  // Cross-talk-aware: the driver sees Miller-amplified coupling and the
+  // wire term carries the (xi/2) coupling weight.
+  const double mf = design.miller_factor;
+  const double c_load = g.seg_cap_ground + mf * g.seg_cap_couple_total + st.ci;
+  const double stage =
+      0.69 * st.rd * (st.c_self + c_load) +
+      g.seg_res * (0.4 * g.seg_cap_ground + 0.5 * mf * g.seg_cap_couple_total + 0.7 * st.ci);
+
+  LinkEstimate est;
+  est.delay = design.num_repeaters * stage;
+  est.output_slew = 2.2 * (st.rd * (st.c_self + c_load) + 0.5 * g.seg_res * c_load);
+
+  est.switched_cap =
+      design.num_repeaters * (st.ci + st.c_self) +
+      ctx.length * (g.rc.cap_ground_per_m + 2.0 * g.rc.cap_couple_per_m);
+  est.dynamic_power = ctx.activity * est.switched_cap * tech.vdd * tech.vdd * ctx.frequency;
+  est.leakage_power = design.num_repeaters * st.leak;
+  est.repeater_area = design.num_repeaters * st.area;
+  est.wire_area = bus_wire_area(tech, ctx.layer, ctx.style, 1, ctx.length);
+  return est;
+}
+
+}  // namespace pim

@@ -1,0 +1,57 @@
+// Baseline interconnect models the paper compares against (§II, Table II):
+//
+// BakogluModel — the "classic" model ([2] in the paper) as used by the
+// original COSI-OCC: first-principles drive resistance (vdd / Ion,
+// slew-independent), wire resistance without scattering or barrier
+// effects, NO coupling capacitance anywhere (delay or power), and a
+// simplistic area estimate (active device area only, minimum wire pitch).
+// This is the paper's "original model" column in Table III.
+//
+// PamunuwaModel — Pamunuwa et al. ([20]): adds the cross-talk-aware wire
+// delay term with the worst-case switch factor, and counts coupling in
+// dynamic power, but keeps the slew-independent first-principles drive
+// resistance and the uncorrected wire resistivity.
+//
+// Neither model tracks slew; their reported output slew is a crude
+// 2.2 R C estimate.
+#pragma once
+
+#include "models/model.hpp"
+
+namespace pim {
+
+class BakogluModel final : public InterconnectModel {
+ public:
+  explicit BakogluModel(const Technology& tech) : tech_(&tech) {}
+
+  const std::string& name() const override { return name_; }
+  const Technology& tech() const override { return *tech_; }
+
+  LinkEstimate evaluate(const LinkContext& context,
+                        const LinkDesign& design) const override;
+
+ private:
+  const Technology* tech_;
+  std::string name_ = "bakoglu";
+};
+
+class PamunuwaModel final : public InterconnectModel {
+ public:
+  explicit PamunuwaModel(const Technology& tech) : tech_(&tech) {}
+
+  const std::string& name() const override { return name_; }
+  const Technology& tech() const override { return *tech_; }
+
+  LinkEstimate evaluate(const LinkContext& context,
+                        const LinkDesign& design) const override;
+
+ private:
+  const Technology* tech_;
+  std::string name_ = "pamunuwa";
+};
+
+/// First-principles switching resistance of a device of width `w`:
+/// vdd / Ion(vdd). Shared by both baselines.
+double first_principles_resistance(const MosfetParams& device, double vdd, double w);
+
+}  // namespace pim

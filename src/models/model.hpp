@@ -1,0 +1,32 @@
+// Abstract interconnect-model interface.
+//
+// COSI-OCC and the buffering optimizer are written against this
+// interface, so swapping the paper's proposed model for a baseline (or an
+// ablated variant) changes *only* the numbers the optimization sees —
+// which is exactly the experiment of paper Table III.
+#pragma once
+
+#include <string>
+
+#include "models/link.hpp"
+#include "tech/technology.hpp"
+
+namespace pim {
+
+/// Predicts delay/power/area of buffered links in one technology.
+class InterconnectModel {
+ public:
+  virtual ~InterconnectModel() = default;
+
+  /// Model name for tables ("proposed", "bakoglu", "pamunuwa").
+  virtual const std::string& name() const = 0;
+
+  /// The technology this model instance is bound to.
+  virtual const Technology& tech() const = 0;
+
+  /// Evaluates one candidate link implementation.
+  virtual LinkEstimate evaluate(const LinkContext& context,
+                                const LinkDesign& design) const = 0;
+};
+
+}  // namespace pim

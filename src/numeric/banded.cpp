@@ -1,0 +1,97 @@
+#include "numeric/banded.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace pim {
+
+BandedMatrix::BandedMatrix(size_t n, size_t lower, size_t upper)
+    : n_(n), lower_(lower), upper_(upper),
+      band_((lower + upper + 1) * n, 0.0) {
+  require(n > 0, "BandedMatrix: size must be positive");
+}
+
+void BandedMatrix::add(size_t r, size_t c, double value) {
+  require(r < n_ && c < n_, "BandedMatrix::add: index out of range");
+  require(in_band(r, c), "BandedMatrix::add: entry outside band");
+  band_[(upper_ + r - c) * n_ + c] += value;
+}
+
+double BandedMatrix::at(size_t r, size_t c) const {
+  if (r >= n_ || c >= n_ || !in_band(r, c)) return 0.0;
+  return band_[(upper_ + r - c) * n_ + c];
+}
+
+void BandedMatrix::set_zero() { band_.assign(band_.size(), 0.0); }
+
+Vector BandedMatrix::multiply(const Vector& x) const {
+  require(x.size() == n_, "BandedMatrix::multiply: dimension mismatch");
+  Vector y(n_, 0.0);
+  for (size_t r = 0; r < n_; ++r) {
+    const size_t c_lo = r > lower_ ? r - lower_ : 0;
+    const size_t c_hi = std::min(n_ - 1, r + upper_);
+    double acc = 0.0;
+    for (size_t c = c_lo; c <= c_hi; ++c) acc += at(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix BandedMatrix::to_dense() const {
+  Matrix m(n_, n_);
+  for (size_t r = 0; r < n_; ++r) {
+    const size_t c_lo = r > lower_ ? r - lower_ : 0;
+    const size_t c_hi = std::min(n_ - 1, r + upper_);
+    for (size_t c = c_lo; c <= c_hi; ++c) m(r, c) = at(r, c);
+  }
+  return m;
+}
+
+BandedLu::BandedLu(BandedMatrix a) : lu_(std::move(a)) {
+  const size_t n = lu_.n_;
+  const size_t kl = lu_.lower_;
+  const size_t ku = lu_.upper_;
+  auto entry = [&](size_t r, size_t c) -> double& {
+    return lu_.band_[(ku + r - c) * n + c];
+  };
+  for (size_t k = 0; k < n; ++k) {
+    const double pivot = entry(k, k);
+    require(std::fabs(pivot) > 1e-300, "BandedLu: zero pivot (matrix singular or needs pivoting)");
+    const double inv = 1.0 / pivot;
+    const size_t r_hi = std::min(n - 1, k + kl);
+    const size_t c_hi = std::min(n - 1, k + ku);
+    for (size_t r = k + 1; r <= r_hi; ++r) {
+      const double factor = entry(r, k) * inv;
+      entry(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (size_t c = k + 1; c <= c_hi; ++c) entry(r, c) -= factor * entry(k, c);
+    }
+  }
+}
+
+Vector BandedLu::solve(const Vector& b) const {
+  const size_t n = lu_.n_;
+  require(b.size() == n, "BandedLu::solve: dimension mismatch");
+  const size_t kl = lu_.lower_;
+  const size_t ku = lu_.upper_;
+  Vector x = b;
+  // Forward substitution (unit-lower factor).
+  for (size_t k = 0; k < n; ++k) {
+    const double xk = x[k];
+    if (xk == 0.0) continue;
+    const size_t r_hi = std::min(n - 1, k + kl);
+    for (size_t r = k + 1; r <= r_hi; ++r) x[r] -= lu_.at(r, k) * xk;
+  }
+  // Back substitution (upper factor).
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = x[ri];
+    const size_t c_hi = std::min(n - 1, ri + ku);
+    for (size_t c = ri + 1; c <= c_hi; ++c) acc -= lu_.at(ri, c) * x[c];
+    x[ri] = acc / lu_.at(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace pim

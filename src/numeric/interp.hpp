@@ -1,0 +1,38 @@
+// Piecewise-linear interpolation, 1-D and on rectangular grids.
+//
+// NLDM-style cell tables (delay/slew indexed by input slew x load) are
+// evaluated by bilinear interpolation with linear extrapolation at the
+// edges — the same convention Liberty-consuming timers use.
+#pragma once
+
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace pim {
+
+/// Linear interpolation of (xs, ys) samples at `x`; extrapolates linearly
+/// beyond the ends. xs must be strictly increasing with >= 2 entries.
+double interp_linear(const Vector& xs, const Vector& ys, double x);
+
+/// Rectangular-grid bilinear interpolator with edge extrapolation.
+class Grid2D {
+ public:
+  /// `values(i, j)` corresponds to (rows[i], cols[j]). Both axes must be
+  /// strictly increasing with >= 2 entries.
+  Grid2D(Vector rows, Vector cols, Matrix values);
+
+  /// Bilinear interpolation at (r, c), extrapolating at the boundary.
+  double eval(double r, double c) const;
+
+  const Vector& row_axis() const { return rows_; }
+  const Vector& col_axis() const { return cols_; }
+  const Matrix& values() const { return values_; }
+
+ private:
+  Vector rows_;
+  Vector cols_;
+  Matrix values_;
+};
+
+}  // namespace pim

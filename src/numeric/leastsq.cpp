@@ -1,0 +1,62 @@
+#include "numeric/leastsq.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pim {
+
+Vector least_squares(const Matrix& a, const Vector& b) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  require(m >= n && n > 0, "least_squares: need rows >= cols >= 1");
+  require(b.size() == m, "least_squares: dimension mismatch");
+
+  // Householder QR, transforming a working copy of [A | b] in place.
+  Matrix r = a;
+  Vector y = b;
+  for (size_t k = 0; k < n; ++k) {
+    // Build the Householder vector for column k below the diagonal.
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    require(norm > 1e-300, "least_squares: rank-deficient design matrix");
+    const double alpha = (r(k, k) >= 0.0) ? -norm : norm;
+    Vector v(m - k);
+    v[0] = r(k, k) - alpha;
+    for (size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vtv = 0.0;
+    for (double vi : v) vtv += vi * vi;
+    if (vtv > 0.0) {
+      const double beta = 2.0 / vtv;
+      // Apply the reflector to the remaining columns of R.
+      for (size_t c = k; c < n; ++c) {
+        double proj = 0.0;
+        for (size_t i = k; i < m; ++i) proj += v[i - k] * r(i, c);
+        proj *= beta;
+        for (size_t i = k; i < m; ++i) r(i, c) -= proj * v[i - k];
+      }
+      // And to the right-hand side.
+      double proj = 0.0;
+      for (size_t i = k; i < m; ++i) proj += v[i - k] * y[i];
+      proj *= beta;
+      for (size_t i = k; i < m; ++i) y[i] -= proj * v[i - k];
+    }
+  }
+
+  // Back-substitute the upper-triangular system R x = y.
+  Vector x(n);
+  for (size_t ki = n; ki-- > 0;) {
+    double acc = y[ki];
+    for (size_t c = ki + 1; c < n; ++c) acc -= r(ki, c) * x[c];
+    require(std::fabs(r(ki, ki)) > 1e-300, "least_squares: rank-deficient design matrix");
+    x[ki] = acc / r(ki, ki);
+  }
+  return x;
+}
+
+double residual_norm(const Matrix& a, const Vector& x, const Vector& b) {
+  return norm2(subtract(a.multiply(x), b));
+}
+
+}  // namespace pim

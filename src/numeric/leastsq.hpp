@@ -1,0 +1,19 @@
+// Linear least-squares via Householder QR.
+//
+// All model-fitting in pim::charlib reduces to min ||A x - b||_2 for small
+// dense A (tens to hundreds of rows, <= 4 columns). QR is preferred over
+// normal equations for its numerical robustness at negligible cost.
+#pragma once
+
+#include "numeric/matrix.hpp"
+
+namespace pim {
+
+/// Solves min ||A x - b||_2 for full-column-rank A (rows >= cols).
+/// Throws pim::Error if A is rank-deficient to working precision.
+Vector least_squares(const Matrix& a, const Vector& b);
+
+/// Residual norm ||A x - b||_2 for a candidate solution.
+double residual_norm(const Matrix& a, const Vector& x, const Vector& b);
+
+}  // namespace pim

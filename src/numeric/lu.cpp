@@ -1,0 +1,65 @@
+#include "numeric/lu.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace pim {
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  require(lu_.rows() == lu_.cols(), "LuDecomposition: matrix must be square");
+  const size_t n = lu_.rows();
+  perm_.resize(n);
+  for (size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    size_t pivot = k;
+    double best = std::fabs(lu_(k, k));
+    for (size_t r = k + 1; r < n; ++r) {
+      const double mag = std::fabs(lu_(r, k));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    require(best > 0.0, "LuDecomposition: singular matrix");
+    if (pivot != k) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+    }
+    const double inv = 1.0 / lu_(k, k);
+    for (size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) * inv;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const size_t n = lu_.rows();
+  require(b.size() == n, "LuDecomposition::solve: dimension mismatch");
+  Vector x(n);
+  // Forward substitution with the permuted right-hand side.
+  for (size_t r = 0; r < n; ++r) {
+    double acc = b[perm_[r]];
+    for (size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+    x[r] = acc;
+  }
+  // Back substitution.
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = x[ri];
+    for (size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+    x[ri] = acc / lu_(ri, ri);
+  }
+  return x;
+}
+
+Vector solve_dense(Matrix a, const Vector& b) {
+  return LuDecomposition(std::move(a)).solve(b);
+}
+
+}  // namespace pim

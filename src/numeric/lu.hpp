@@ -1,0 +1,32 @@
+// Dense LU factorization with partial pivoting.
+//
+// Used as the general-purpose linear solver for small MNA systems and as
+// the fallback when the banded path is not applicable.
+#pragma once
+
+#include "numeric/matrix.hpp"
+
+namespace pim {
+
+/// LU decomposition (Doolittle with partial pivoting) of a square matrix.
+/// Factor once, solve many right-hand sides.
+class LuDecomposition {
+ public:
+  /// Factors `a`; throws pim::Error if the matrix is singular to working
+  /// precision.
+  explicit LuDecomposition(Matrix a);
+
+  /// Solves A x = b for the factored A.
+  Vector solve(const Vector& b) const;
+
+  size_t size() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<size_t> perm_;
+};
+
+/// One-shot convenience: factor `a` and solve for `b`.
+Vector solve_dense(Matrix a, const Vector& b);
+
+}  // namespace pim

@@ -1,0 +1,62 @@
+// Dense row-major matrix and free-function vector helpers.
+//
+// The simulator and the regression code only need modest sizes (up to a
+// few thousand rows), so a plain dense container with explicit loops keeps
+// the numerics transparent and dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pim {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(size_t rows, size_t cols);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Sets every entry to zero, keeping the shape.
+  void set_zero();
+
+  /// Identity matrix of size n.
+  static Matrix identity(size_t n);
+
+  /// Matrix-vector product; `x.size()` must equal `cols()`.
+  Vector multiply(const Vector& x) const;
+
+  /// Matrix-matrix product; `other.rows()` must equal `cols()`.
+  Matrix multiply(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+/// Largest |v_i|.
+double norm_inf(const Vector& v);
+
+/// Element-wise a - b; sizes must match.
+Vector subtract(const Vector& a, const Vector& b);
+
+/// Dot product; sizes must match.
+double dot(const Vector& a, const Vector& b);
+
+}  // namespace pim

@@ -1,0 +1,64 @@
+#include "numeric/optimize.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pim {
+
+MinimizeResult golden_section_minimize(const std::function<double(double)>& f,
+                                       double lo, double hi, double tolerance) {
+  require(lo <= hi, "golden_section_minimize: empty interval");
+  require(tolerance > 0.0, "golden_section_minimize: tolerance must be positive");
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;  // 0.618...
+  double a = lo;
+  double b = hi;
+  double x1 = b - phi * (b - a);
+  double x2 = a + phi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  while (b - a > tolerance) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - phi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + phi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  const double xm = 0.5 * (a + b);
+  return {xm, f(xm)};
+}
+
+MinimizeIntResult ternary_search_min(const std::function<double(long)>& f,
+                                     long lo, long hi) {
+  require(lo <= hi, "ternary_search_min: empty interval");
+  while (hi - lo > 3) {
+    const long m1 = lo + (hi - lo) / 3;
+    const long m2 = hi - (hi - lo) / 3;
+    if (f(m1) <= f(m2)) {
+      hi = m2 - 1;
+    } else {
+      lo = m1 + 1;
+    }
+  }
+  return scan_min(f, lo, hi);
+}
+
+MinimizeIntResult scan_min(const std::function<double(long)>& f, long lo, long hi) {
+  require(lo <= hi, "scan_min: empty interval");
+  MinimizeIntResult best{lo, f(lo)};
+  for (long x = lo + 1; x <= hi; ++x) {
+    const double v = f(x);
+    if (v < best.value) best = {x, v};
+  }
+  return best;
+}
+
+}  // namespace pim

@@ -1,0 +1,34 @@
+// One-dimensional minimization helpers used by the buffering optimizer.
+#pragma once
+
+#include <functional>
+
+namespace pim {
+
+/// Result of a scalar minimization.
+struct MinimizeResult {
+  double x = 0.0;
+  double value = 0.0;
+};
+
+/// Golden-section search for the minimum of a unimodal function on
+/// [lo, hi]; stops when the bracket is below `tolerance`.
+MinimizeResult golden_section_minimize(const std::function<double(double)>& f,
+                                       double lo, double hi, double tolerance);
+
+/// Result of an integer-domain minimization.
+struct MinimizeIntResult {
+  long x = 0;
+  double value = 0.0;
+};
+
+/// Ternary search over integers for a unimodal f on [lo, hi] (inclusive).
+/// Falls back to scanning the final small bracket, so it is exact for
+/// unimodal inputs.
+MinimizeIntResult ternary_search_min(const std::function<double(long)>& f,
+                                     long lo, long hi);
+
+/// Exhaustive scan over [lo, hi] (inclusive): always exact, O(hi - lo).
+MinimizeIntResult scan_min(const std::function<double(long)>& f, long lo, long hi);
+
+}  // namespace pim

@@ -1,0 +1,38 @@
+// SPICE-deck text format for pim netlists.
+//
+// A classic deck subset: comment lines (*), `.model` cards for the
+// alpha-power MOSFET parameters, element cards (R/C/V/M), and `.end`.
+// Write + parse round-trips every circuit the library builds, so golden
+// netlists can be inspected, archived, or replayed:
+//
+//   * pim spice deck
+//   .model nm0 alpha_power type=nmos vth=0.3 k_sat=1050 ...
+//   V1 vdd 0 DC 1
+//   V2 in 0 PWL(0 0 2e-11 0 1.2e-10 1)
+//   R1 in n3 250
+//   C1 n3 0 2e-14
+//   M1 out in 0 nm0 w=2.6e-06
+//   .end
+//
+// Voltage sources are grounded (the only kind the engine supports); PWL
+// breakpoints reproduce the waveform exactly.
+#pragma once
+
+#include <string>
+
+#include "spice/circuit.hpp"
+
+namespace pim {
+
+/// Serializes the circuit as a SPICE-like deck.
+std::string write_deck(const Circuit& circuit);
+
+/// Parses a deck produced by write_deck (or hand-written in the same
+/// subset); throws pim::Error with a line number on malformed input.
+Circuit parse_deck(const std::string& text);
+
+/// File convenience wrappers.
+void save_deck(const Circuit& circuit, const std::string& path);
+Circuit load_deck(const std::string& path);
+
+}  // namespace pim

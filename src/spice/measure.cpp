@@ -1,0 +1,50 @@
+#include "spice/measure.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pim {
+
+double crossing_time(const std::vector<double>& time, const std::vector<double>& values,
+                     double level, EdgeKind edge) {
+  require(time.size() == values.size(), "crossing_time: size mismatch");
+  require(time.size() >= 2, "crossing_time: need at least two samples");
+  for (size_t i = 1; i < values.size(); ++i) {
+    const double a = values[i - 1];
+    const double b = values[i];
+    const bool crosses = (edge == EdgeKind::Rising) ? (a < level && b >= level)
+                                                    : (a > level && b <= level);
+    if (!crosses) continue;
+    const double f = (level - a) / (b - a);
+    return time[i - 1] + f * (time[i] - time[i - 1]);
+  }
+  fail("crossing_time: waveform never crosses the level");
+}
+
+double delay_50(const std::vector<double>& time, const std::vector<double>& input,
+                EdgeKind input_edge, const std::vector<double>& output,
+                EdgeKind output_edge, double swing) {
+  require(swing > 0.0, "delay_50: swing must be positive");
+  const double t_in = crossing_time(time, input, 0.5 * swing, input_edge);
+  const double t_out = crossing_time(time, output, 0.5 * swing, output_edge);
+  return t_out - t_in;
+}
+
+double measure_slew(const std::vector<double>& time, const std::vector<double>& values,
+                    EdgeKind edge, double swing) {
+  require(swing > 0.0, "measure_slew: swing must be positive");
+  const double lo = 0.2 * swing;
+  const double hi = 0.8 * swing;
+  double t_lo, t_hi;
+  if (edge == EdgeKind::Rising) {
+    t_lo = crossing_time(time, values, lo, EdgeKind::Rising);
+    t_hi = crossing_time(time, values, hi, EdgeKind::Rising);
+  } else {
+    t_hi = crossing_time(time, values, hi, EdgeKind::Falling);
+    t_lo = crossing_time(time, values, lo, EdgeKind::Falling);
+  }
+  return std::fabs(t_hi - t_lo) / 0.6;
+}
+
+}  // namespace pim

@@ -1,0 +1,33 @@
+// Waveform measurements: threshold crossings, 50 % delay, slew.
+//
+// Conventions (used consistently by characterization, models, and
+// sign-off): delay is measured between 50 %-of-swing crossings, and slew
+// is the 20 %-80 % crossing interval scaled by 1/0.6 to a full-swing
+// equivalent ramp time — the same convention used to *drive* inputs, so a
+// measured slew can be fed back in as an input slew.
+#pragma once
+
+#include <vector>
+
+namespace pim {
+
+/// Edge direction of interest.
+enum class EdgeKind { Rising, Falling };
+
+/// First time `values` crosses `level` in the direction `edge`, linearly
+/// interpolated between samples. Throws pim::Error if it never crosses.
+double crossing_time(const std::vector<double>& time, const std::vector<double>& values,
+                     double level, EdgeKind edge);
+
+/// 50 %-to-50 % delay from an input edge to an output edge (edges may have
+/// opposite polarity, as through an inverter). `swing` is the full voltage
+/// swing (vdd).
+double delay_50(const std::vector<double>& time, const std::vector<double>& input,
+                EdgeKind input_edge, const std::vector<double>& output,
+                EdgeKind output_edge, double swing);
+
+/// Full-swing-equivalent transition time of the edge: (t80 - t20) / 0.6.
+double measure_slew(const std::vector<double>& time, const std::vector<double>& values,
+                    EdgeKind edge, double swing);
+
+}  // namespace pim

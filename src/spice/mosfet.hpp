@@ -1,0 +1,48 @@
+// Alpha-power-law MOSFET compact model (Sakurai–Newton style) with a
+// softplus-smoothed overdrive so the current and its derivatives are
+// continuous from deep subthreshold through strong inversion — a property
+// the Newton iteration of the transient engine depends on.
+//
+// This model stands in for the BSIM decks the paper characterizes against
+// (see DESIGN.md, substitutions): it reproduces the phenomena the paper's
+// predictive models capture — slew-dependent effective drive resistance,
+// size-independent intrinsic delay, load-dependent output slew, and
+// width-proportional subthreshold leakage.
+#pragma once
+
+namespace pim {
+
+enum class MosType { Nmos, Pmos };
+
+/// Technology parameters of one device polarity. All per-width quantities
+/// are per meter of gate width; voltages in volts.
+struct MosfetParams {
+  double vth = 0.3;       ///< threshold voltage magnitude [V]
+  double k_sat = 600.0;   ///< saturation current factor [A / (m * V^alpha)]
+  double alpha = 1.3;     ///< velocity-saturation index (2 = long channel)
+  double k_vdsat = 0.6;   ///< V_dsat = k_vdsat * (overdrive)^(alpha/2) [V^(1-alpha/2)]
+  double lambda = 0.08;   ///< channel-length modulation [1/V]
+  double n_sub = 1.45;    ///< subthreshold slope factor (n * kT/q swing)
+  double c_gate = 1e-9;   ///< gate capacitance per width [F/m] (1e-9 F/m = 1 fF/um)
+  double c_drain = 0.6e-9;///< drain junction capacitance per width [F/m]
+};
+
+/// Drain current and small-signal derivatives at one bias point.
+struct MosEval {
+  double ids = 0.0;   ///< drain-to-source current [A] (positive into drain for NMOS conduction)
+  double g_m = 0.0;   ///< d ids / d vgs [S]
+  double g_ds = 0.0;  ///< d ids / d vds [S]
+};
+
+/// Evaluates an NMOS-polarity device of width `w` [m] at (vgs, vds).
+/// Negative vds is handled by the source/drain-swap symmetry. PMOS devices
+/// are evaluated through the same function with negated terminal voltages
+/// (see Mosfet::eval in circuit.cpp).
+MosEval eval_alpha_power(const MosfetParams& p, double w, double vgs, double vds);
+
+/// Subthreshold (off-state) leakage current of a device of width `w` with
+/// vgs = 0 and |vds| = vdd; this is what the paper's linear-in-width
+/// leakage model is fitted to.
+double off_current(const MosfetParams& p, double w, double vdd);
+
+}  // namespace pim

@@ -1,0 +1,335 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "numeric/banded.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+#include "util/error.hpp"
+
+namespace pim {
+
+const std::vector<double>& TransientResult::trace(NodeId node) const {
+  for (const auto& t : traces)
+    if (t.node == node) return t.values;
+  fail("TransientResult::trace: node was not probed");
+}
+
+namespace {
+
+// Per-terminal linearization of a MOSFET's drain-branch current. With the
+// sign conventions below the stamp pattern is identical for both device
+// polarities: +i_d leaves the drain node, -i_d leaves the source node.
+struct BranchEval {
+  double i_d;
+  double di_dvg;
+  double di_dvd;
+  double di_dvs;
+};
+
+BranchEval eval_branch(const Mosfet& m, double vg, double vd, double vs) {
+  MosEval e;
+  double sign;
+  if (m.type == MosType::Nmos) {
+    e = eval_alpha_power(m.params, m.width, vg - vs, vd - vs);
+    sign = 1.0;
+  } else {
+    e = eval_alpha_power(m.params, m.width, vs - vg, vs - vd);
+    sign = -1.0;
+  }
+  // For both polarities the chain rule collapses to the same Jacobian
+  // pattern (see mosfet.cpp for the swap symmetry).
+  return {sign * e.ids, e.g_m, e.g_ds, -(e.g_m + e.g_ds)};
+}
+
+// Linear system that is either banded or dense, chosen once from the
+// netlist's bandwidth under the creation-order node numbering.
+class LinearSystem {
+ public:
+  LinearSystem(size_t n, size_t bandwidth, size_t band_threshold)
+      : n_(n), rhs_(n, 0.0) {
+    if (bandwidth <= band_threshold) {
+      banded_ = std::make_unique<BandedMatrix>(std::max<size_t>(n, 1), bandwidth, bandwidth);
+    } else {
+      dense_ = std::make_unique<Matrix>(n, n);
+    }
+  }
+
+  void clear() {
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+    if (banded_) banded_->set_zero();
+    if (dense_) dense_->set_zero();
+  }
+
+  void add(size_t r, size_t c, double g) {
+    if (banded_) {
+      banded_->add(r, c, g);
+    } else {
+      (*dense_)(r, c) += g;
+    }
+  }
+
+  Vector& rhs() { return rhs_; }
+
+  Vector solve() const {
+    if (n_ == 0) return {};
+    if (banded_) return BandedLu(*banded_).solve(rhs_);
+    return LuDecomposition(*dense_).solve(rhs_);
+  }
+
+ private:
+  size_t n_;
+  Vector rhs_;
+  std::unique_ptr<BandedMatrix> banded_;
+  std::unique_ptr<Matrix> dense_;
+};
+
+class TransientSolver {
+ public:
+  TransientSolver(const Circuit& circuit, const TransientOptions& options,
+                  const std::vector<NodeId>& probes)
+      : ckt_(circuit), opt_(options), probes_(probes) {
+    require(opt_.dt > 0.0 && opt_.t_stop > 0.0, "run_transient: dt and t_stop must be positive");
+    index_nodes();
+    system_ = std::make_unique<LinearSystem>(
+        static_cast<size_t>(unknown_count_), bandwidth(), opt_.band_threshold);
+    v_node_.assign(ckt_.node_count(), 0.0);
+    cap_current_.assign(ckt_.capacitors().size(), 0.0);
+  }
+
+  TransientResult run() {
+    TransientResult result;
+    result.sources.resize(ckt_.vsources().size());
+    for (NodeId p : probes_) result.traces.push_back({p, {}});
+
+    // Settling pre-roll: backward Euler, inputs frozen at t = 0, so the
+    // main window starts from the DC operating point.
+    if (opt_.t_settle > 0.0 && opt_.settle_steps > 0) {
+      const double dts = opt_.t_settle / opt_.settle_steps;
+      for (int k = 0; k < opt_.settle_steps; ++k)
+        step(0.0, dts, Integrator::BackwardEuler, nullptr);
+    }
+
+    // Main window.
+    record(0.0, result);
+    const long steps = static_cast<long>(std::ceil(opt_.t_stop / opt_.dt - 1e-9));
+    for (long k = 1; k <= steps; ++k) {
+      const double t = std::min(opt_.t_stop, static_cast<double>(k) * opt_.dt);
+      step(t, opt_.dt, opt_.integrator, &result);
+      record(t, result);
+    }
+    return result;
+  }
+
+ private:
+  void index_nodes() {
+    const size_t n = ckt_.node_count();
+    unknown_of_node_.assign(n, -1);
+    source_value_index_.assign(n, -1);
+    for (size_t i = 0; i < ckt_.vsources().size(); ++i)
+      source_value_index_[static_cast<size_t>(ckt_.vsources()[i].node)] = static_cast<int>(i);
+    unknown_count_ = 0;
+    for (size_t node = 1; node < n; ++node) {
+      if (source_value_index_[node] >= 0) continue;
+      unknown_of_node_[node] = unknown_count_++;
+    }
+  }
+
+  size_t bandwidth() const {
+    size_t band = 0;
+    auto pair_band = [&](NodeId a, NodeId b) {
+      const int ia = unknown_of_node_[static_cast<size_t>(a)];
+      const int ib = unknown_of_node_[static_cast<size_t>(b)];
+      if (ia < 0 || ib < 0) return;
+      band = std::max(band, static_cast<size_t>(std::abs(ia - ib)));
+    };
+    for (const auto& r : ckt_.resistors()) pair_band(r.a, r.b);
+    for (const auto& c : ckt_.capacitors()) pair_band(c.a, c.b);
+    for (const auto& m : ckt_.mosfets()) {
+      pair_band(m.gate, m.drain);
+      pair_band(m.gate, m.source);
+      pair_band(m.drain, m.source);
+    }
+    return band;
+  }
+
+  // Known voltage of ground/source nodes at time t; unknowns read from
+  // the current iterate in v_node_.
+  void load_known_voltages(double t) {
+    v_node_[0] = 0.0;
+    for (const auto& src : ckt_.vsources())
+      v_node_[static_cast<size_t>(src.node)] = src.wave.value(t);
+  }
+
+  // Adds conductance g at matrix position (row_node, col_node), routing
+  // known-voltage columns into the right-hand side.
+  void stamp(NodeId row, NodeId col, double g) {
+    const int ri = unknown_of_node_[static_cast<size_t>(row)];
+    if (ri < 0) return;
+    const int ci = unknown_of_node_[static_cast<size_t>(col)];
+    if (ci >= 0) {
+      system_->add(static_cast<size_t>(ri), static_cast<size_t>(ci), g);
+    } else {
+      system_->rhs()[static_cast<size_t>(ri)] -= g * v_node_[static_cast<size_t>(col)];
+    }
+  }
+
+  void rhs_add(NodeId node, double value) {
+    const int i = unknown_of_node_[static_cast<size_t>(node)];
+    if (i >= 0) system_->rhs()[static_cast<size_t>(i)] += value;
+  }
+
+  // One converged timestep ending at absolute time t. When `result` is
+  // non-null, per-source charge/energy are accumulated (main window only).
+  void step(double t, double dt, Integrator integrator, TransientResult* result) {
+    const auto& caps = ckt_.capacitors();
+    // Capacitor companion constants for this step, from the *previous*
+    // timestep's converged state.
+    cap_geq_.resize(caps.size());
+    cap_ieq_.resize(caps.size());
+    for (size_t i = 0; i < caps.size(); ++i) {
+      const double v_ab =
+          v_node_[static_cast<size_t>(caps[i].a)] - v_node_[static_cast<size_t>(caps[i].b)];
+      if (integrator == Integrator::Trapezoidal) {
+        cap_geq_[i] = 2.0 * caps[i].farads / dt;
+        cap_ieq_[i] = cap_geq_[i] * v_ab + cap_current_[i];
+      } else {
+        cap_geq_[i] = caps[i].farads / dt;
+        cap_ieq_[i] = cap_geq_[i] * v_ab;
+      }
+    }
+
+    load_known_voltages(t);
+
+    bool converged = false;
+    for (int iter = 0; iter < opt_.max_newton; ++iter) {
+      assemble();
+      const Vector v_new = system_->solve();
+      double worst = 0.0;
+      for (size_t node = 1; node < v_node_.size(); ++node) {
+        const int ui = unknown_of_node_[node];
+        if (ui < 0) continue;
+        double delta = v_new[static_cast<size_t>(ui)] - v_node_[node];
+        delta = std::clamp(delta, -opt_.v_step_limit, opt_.v_step_limit);
+        v_node_[node] += delta;
+        worst = std::max(worst, std::fabs(delta));
+      }
+      if (worst < opt_.v_tol) {
+        converged = true;
+        break;
+      }
+    }
+    require(converged, "run_transient: Newton failed to converge at t = " + std::to_string(t));
+
+    // Update capacitor branch-current state from the converged solution.
+    for (size_t i = 0; i < caps.size(); ++i) {
+      const double v_ab =
+          v_node_[static_cast<size_t>(caps[i].a)] - v_node_[static_cast<size_t>(caps[i].b)];
+      cap_current_[i] = cap_geq_[i] * v_ab - cap_ieq_[i];
+    }
+
+    if (result != nullptr) accumulate_sources(*result, dt);
+  }
+
+  // Assembles the Newton linear system around the current iterate.
+  void assemble() {
+    system_->clear();
+
+    for (const auto& r : ckt_.resistors()) {
+      stamp(r.a, r.a, r.conductance);
+      stamp(r.a, r.b, -r.conductance);
+      stamp(r.b, r.b, r.conductance);
+      stamp(r.b, r.a, -r.conductance);
+    }
+
+    const auto& caps = ckt_.capacitors();
+    for (size_t i = 0; i < caps.size(); ++i) {
+      const double g = cap_geq_[i];
+      stamp(caps[i].a, caps[i].a, g);
+      stamp(caps[i].a, caps[i].b, -g);
+      stamp(caps[i].b, caps[i].b, g);
+      stamp(caps[i].b, caps[i].a, -g);
+      rhs_add(caps[i].a, cap_ieq_[i]);
+      rhs_add(caps[i].b, -cap_ieq_[i]);
+    }
+
+    for (const auto& m : ckt_.mosfets()) {
+      const double vg = v_node_[static_cast<size_t>(m.gate)];
+      const double vd = v_node_[static_cast<size_t>(m.drain)];
+      const double vs = v_node_[static_cast<size_t>(m.source)];
+      const BranchEval e = eval_branch(m, vg, vd, vs);
+      stamp(m.drain, m.gate, e.di_dvg);
+      stamp(m.drain, m.drain, e.di_dvd);
+      stamp(m.drain, m.source, e.di_dvs);
+      stamp(m.source, m.gate, -e.di_dvg);
+      stamp(m.source, m.drain, -e.di_dvd);
+      stamp(m.source, m.source, -e.di_dvs);
+      const double i_eq = e.i_d - e.di_dvg * vg - e.di_dvd * vd - e.di_dvs * vs;
+      rhs_add(m.drain, -i_eq);
+      rhs_add(m.source, i_eq);
+    }
+  }
+
+  // Current delivered by each source = sum of branch currents leaving its
+  // node, integrated into charge and energy.
+  void accumulate_sources(TransientResult& result, double dt) {
+    const auto& sources = ckt_.vsources();
+    for (size_t si = 0; si < sources.size(); ++si) {
+      const NodeId n = sources[si].node;
+      double current = 0.0;
+      for (const auto& r : ckt_.resistors()) {
+        if (r.a == n)
+          current += r.conductance * (v_node_[static_cast<size_t>(r.a)] -
+                                      v_node_[static_cast<size_t>(r.b)]);
+        if (r.b == n)
+          current += r.conductance * (v_node_[static_cast<size_t>(r.b)] -
+                                      v_node_[static_cast<size_t>(r.a)]);
+      }
+      const auto& caps = ckt_.capacitors();
+      for (size_t i = 0; i < caps.size(); ++i) {
+        if (caps[i].a == n) current += cap_current_[i];
+        if (caps[i].b == n) current -= cap_current_[i];
+      }
+      for (const auto& m : ckt_.mosfets()) {
+        if (m.drain == n || m.source == n) {
+          const BranchEval e = eval_branch(m, v_node_[static_cast<size_t>(m.gate)],
+                                           v_node_[static_cast<size_t>(m.drain)],
+                                           v_node_[static_cast<size_t>(m.source)]);
+          if (m.drain == n) current += e.i_d;
+          if (m.source == n) current -= e.i_d;
+        }
+      }
+      result.sources[si].charge += current * dt;
+      result.sources[si].energy += current * v_node_[static_cast<size_t>(n)] * dt;
+    }
+  }
+
+  void record(double t, TransientResult& result) {
+    result.time.push_back(t);
+    for (auto& trace : result.traces)
+      trace.values.push_back(v_node_[static_cast<size_t>(trace.node)]);
+  }
+
+  const Circuit& ckt_;
+  TransientOptions opt_;
+  std::vector<NodeId> probes_;
+  std::vector<int> unknown_of_node_;
+  std::vector<int> source_value_index_;
+  int unknown_count_ = 0;
+  std::unique_ptr<LinearSystem> system_;
+  Vector v_node_;                    // absolute voltage per node (current iterate)
+  std::vector<double> cap_current_;  // converged branch current per capacitor
+  std::vector<double> cap_geq_;
+  std::vector<double> cap_ieq_;
+};
+
+}  // namespace
+
+TransientResult run_transient(const Circuit& circuit, const TransientOptions& options,
+                              const std::vector<NodeId>& probes) {
+  return TransientSolver(circuit, options, probes).run();
+}
+
+}  // namespace pim

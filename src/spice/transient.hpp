@@ -1,0 +1,67 @@
+// Fixed-step transient analysis with Newton iteration.
+//
+// Modified nodal analysis where voltage-source nodes are eliminated
+// (their voltages are known at every time point), capacitors become
+// trapezoidal (or backward-Euler) companion models, and MOSFETs are
+// Newton-linearized each iteration. The linear system is solved with a
+// banded LU when the netlist's node numbering yields a narrow band —
+// which buffered-interconnect netlists built along the wire always do —
+// and a dense LU otherwise.
+//
+// A backward-Euler settling phase (inputs frozen at t = 0) runs before
+// the main window so the circuit starts from its DC operating point; this
+// replaces a separate DC solver and is unconditionally robust for the
+// RC + CMOS circuits this library builds.
+#pragma once
+
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace pim {
+
+enum class Integrator { Trapezoidal, BackwardEuler };
+
+/// Knobs for a transient run. Defaults suit repeater-scale circuits; the
+/// sign-off analyzer overrides t_stop/dt per line length.
+struct TransientOptions {
+  double t_stop = 2e-9;       ///< end of the simulated window [s]
+  double dt = 1e-12;          ///< fixed timestep [s]
+  double t_settle = 2e-9;     ///< pre-roll to reach DC, inputs frozen at t=0 [s]
+  int settle_steps = 400;     ///< steps across the settling pre-roll
+  Integrator integrator = Integrator::Trapezoidal;
+  int max_newton = 60;        ///< Newton iterations per step before failing
+  double v_tol = 1e-6;        ///< convergence: max |dV| between iterations [V]
+  double v_step_limit = 0.3;  ///< per-iteration voltage damping clamp [V]
+  size_t band_threshold = 48; ///< use dense LU above this half-bandwidth
+};
+
+/// Per-source integrated quantities over the main window (not the
+/// settling pre-roll), in vsource declaration order.
+struct SourceTotals {
+  double charge = 0.0;  ///< integral of delivered current [C]
+  double energy = 0.0;  ///< integral of v * i [J]
+};
+
+/// Sampled node waveform.
+struct Trace {
+  NodeId node = 0;
+  std::vector<double> values;  // one per time sample
+};
+
+/// Everything a transient run produces.
+struct TransientResult {
+  std::vector<double> time;         ///< sample times, t = 0 .. t_stop
+  std::vector<Trace> traces;        ///< one per requested probe
+  std::vector<SourceTotals> sources;///< per voltage source
+
+  /// The trace for `node`; throws if it was not probed.
+  const std::vector<double>& trace(NodeId node) const;
+};
+
+/// Runs a transient analysis of `circuit`, recording the `probes` nodes.
+TransientResult run_transient(const Circuit& circuit,
+                              const TransientOptions& options,
+                              const std::vector<NodeId>& probes);
+
+}  // namespace pim

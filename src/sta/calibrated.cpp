@@ -1,0 +1,34 @@
+#include "sta/calibrated.hpp"
+
+#include <fstream>
+
+#include "charlib/coeffs_io.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace pim {
+
+TechnologyFit calibrated_fit(TechNode node, const std::string& cache_path,
+                             const CharacterizationOptions& characterization,
+                             const CompositionOptions& composition) {
+  if (!cache_path.empty()) {
+    std::ifstream probe(cache_path);
+    if (probe.good()) {
+      try {
+        TechnologyFit cached = load_fit(cache_path);
+        if (cached.node == node) return cached;
+        log_warn("calibrated_fit: cache '", cache_path, "' holds a different node; refitting");
+      } catch (const Error& e) {
+        log_warn("calibrated_fit: ignoring unreadable cache '", cache_path, "': ", e.what());
+      }
+    }
+  }
+  const Technology& tech = technology(node);
+  log_info("calibrated_fit: characterizing ", tech.name, " (this runs transistor-level sims)");
+  const CellLibrary library = characterize_library(tech, characterization);
+  TechnologyFit fit = calibrate_composition(tech, fit_technology(tech, library), composition);
+  if (!cache_path.empty()) save_fit(fit, cache_path);
+  return fit;
+}
+
+}  // namespace pim

@@ -1,0 +1,22 @@
+// One-call model construction: characterize -> fit -> composition-
+// calibrate, with an optional coefficient-file cache so repeated tool
+// runs skip the (simulation-heavy) characterization.
+#pragma once
+
+#include <string>
+
+#include "charlib/characterize.hpp"
+#include "charlib/fit.hpp"
+#include "sta/composition.hpp"
+
+namespace pim {
+
+/// Returns the fully calibrated coefficient set for `node`. When
+/// `cache_path` is non-empty and holds a parseable fit for the same node,
+/// it is returned directly; otherwise the full flow runs and (when a path
+/// was given) the result is saved there.
+TechnologyFit calibrated_fit(TechNode node, const std::string& cache_path = "",
+                             const CharacterizationOptions& characterization = {},
+                             const CompositionOptions& composition = {});
+
+}  // namespace pim

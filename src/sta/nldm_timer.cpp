@@ -1,0 +1,70 @@
+#include "sta/nldm_timer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sta/awe.hpp"
+#include "util/error.hpp"
+
+namespace pim {
+
+NldmTimerResult nldm_link_delay(const CellLibrary& library, const Technology& tech,
+                                const LinkContext& ctx, const LinkDesign& design,
+                                const NldmTimerOptions& opt) {
+  require(opt.sections >= 1, "nldm_link_delay: need at least one wire section");
+  const RepeaterCell& cell = library.cell(design.kind, design.drive);
+  const LinkGeometry g(tech, ctx, design);
+
+  // The lumped load the gate tables see: Miller-weighted segment
+  // capacitance plus the next input pin.
+  const double c_wire = g.seg_cap_ground + design.miller_factor * g.seg_cap_couple_total;
+  const double c_total = c_wire + cell.input_cap;
+
+  // Driverless wire moments to the far end (the gate table already
+  // accounts for driving the lumped load).
+  RcTree tree(0.5 * c_wire / opt.sections);
+  int far = 0;
+  for (int k = 0; k < opt.sections; ++k) {
+    const double cap = (k + 1 < opt.sections)
+                           ? c_wire / opt.sections
+                           : 0.5 * c_wire / opt.sections + cell.input_cap;
+    far = tree.add_node(far, g.seg_res / opt.sections, cap);
+  }
+  const RcTree::Moments m = tree.moments(far, 0.0);
+  const double wire_delay = opt.wire == WireDelayMethod::Elmore
+                                ? 0.69 * m.m1
+                                : two_pole_delay(m.m1, m.m2, 0.5);
+
+  NldmTimerResult result;
+  double slew = ctx.input_slew;
+  double worst_total = 0.0;
+  double worst_slew = 0.0;
+  for (const bool launch_rising : {true, false}) {
+    double s = ctx.input_slew;
+    double total = 0.0;
+    bool edge_rising = launch_rising;
+    for (int k = 0; k < design.num_repeaters; ++k) {
+      const bool out_rising =
+          design.kind == CellKind::Inverter ? !edge_rising : edge_rising;
+      const TimingTable& table = out_rising ? cell.rise : cell.fall;
+      total += table.eval_delay(s, c_total) + wire_delay;
+      const double gate_out_slew = table.eval_out_slew(s, c_total);
+      // PERI rule: slews add in quadrature across the wire; 1.1 * m1
+      // approximates the 20-80 % transition of the wire's dominant pole
+      // in our full-swing-equivalent slew convention.
+      const double wire_slew = 1.1 * m.m1;
+      s = std::sqrt(gate_out_slew * gate_out_slew + wire_slew * wire_slew);
+      edge_rising = out_rising;
+    }
+    if (total > worst_total) {
+      worst_total = total;
+      worst_slew = s;
+    }
+  }
+  (void)slew;
+  result.delay = worst_total;
+  result.output_slew = worst_slew;
+  return result;
+}
+
+}  // namespace pim

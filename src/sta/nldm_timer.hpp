@@ -1,0 +1,39 @@
+// NLDM static-timing path: evaluates a buffered link from characterized
+// Liberty-style tables (gate delay/slew lookups) plus reduced-order wire
+// delay (Elmore or the AWE two-pole) and PERI-rule slew degradation —
+// the mid-fidelity analysis a conventional STA flow performs, sitting
+// between the paper's closed-form model (fastest) and the transistor-
+// level golden (most accurate).
+//
+// Requires the drive strength to exist in the library (unlike the
+// closed-form model, tables do not extrapolate across sizes).
+#pragma once
+
+#include "liberty/library.hpp"
+#include "models/link.hpp"
+#include "tech/technology.hpp"
+
+namespace pim {
+
+enum class WireDelayMethod {
+  Elmore,   ///< first moment only (pessimistic upper bound flavor)
+  AwePade,  ///< two-pole Pade match of the first two moments
+};
+
+struct NldmTimerOptions {
+  int sections = 6;  ///< wire discretization for the moment computation
+  WireDelayMethod wire = WireDelayMethod::AwePade;
+};
+
+struct NldmTimerResult {
+  double delay = 0.0;        ///< 50 % input-to-far-end delay [s]
+  double output_slew = 0.0;  ///< far-end slew [s]
+};
+
+/// Times the link (context, design) using the characterized tables in
+/// `library`; throws pim::Error if the required cell is missing.
+NldmTimerResult nldm_link_delay(const CellLibrary& library, const Technology& tech,
+                                const LinkContext& context, const LinkDesign& design,
+                                const NldmTimerOptions& options = {});
+
+}  // namespace pim

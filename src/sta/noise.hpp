@@ -1,0 +1,46 @@
+// Cross-talk noise (glitch) analysis of buffered links — the other half
+// of signal integrity beyond the delay push-out the Miller factor
+// models: when the victim is QUIET, switching neighbors inject a charge-
+// sharing glitch that can flip the next repeater if it approaches the
+// switching threshold.
+//
+// Golden: the implemented line is simulated with the victim held and the
+// aggressors switching; the peak deviation at the victim's far end is
+// measured.
+//
+// Model: per segment, the classic charge-divider peak
+//     v_peak = vdd * c_c / (c_c + c_g + c_i + c_self)
+// attenuated by the holder-strength factor 1 / (1 + tau_agg / tau_hold)
+// (a strong holder bleeds the injected charge before the aggressor edge
+// completes), with one calibration scalar fitted against golden runs per
+// technology — consistent with the library's calibration philosophy.
+#pragma once
+
+#include "charlib/fit.hpp"
+#include "models/link.hpp"
+#include "sta/signoff.hpp"
+
+namespace pim {
+
+/// Golden glitch measurement: victim quiet (held low), both direct
+/// aggressors switching upward. Returns the peak victim deviation at the
+/// far end of the FIRST wire segment (the repeater boundary where a
+/// glitch would be sampled), in volts.
+double golden_noise_peak(const Technology& tech, const LinkContext& context,
+                         const LinkDesign& design, const SignoffOptions& options = {});
+
+/// Closed-form noise model. `kappa_n` is the calibration scalar
+/// (default 1 = raw charge divider with holder attenuation).
+double noise_peak_model(const Technology& tech, const TechnologyFit& fit,
+                        const LinkContext& context, const LinkDesign& design,
+                        double kappa_n = 1.0);
+
+/// Fits kappa_n by zero-intercept regression of golden peaks against the
+/// raw model over a small grid of drives and segment lengths.
+struct NoiseCalibration {
+  double kappa_n = 1.0;
+  double worst_rel_error = 0.0;  ///< over the training grid
+};
+NoiseCalibration calibrate_noise(const Technology& tech, const TechnologyFit& fit);
+
+}  // namespace pim

@@ -1,0 +1,109 @@
+#include "sta/spef.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pim {
+
+std::string write_spef(const Technology& tech, const LinkContext& ctx,
+                       const LinkDesign& design, const SpefOptions& opt) {
+  require(opt.sections_per_segment >= 1, "write_spef: need at least one section");
+  const LinkGeometry g(tech, ctx, design);
+  const int npi = opt.sections_per_segment;
+  const bool coupled = ctx.style != DesignStyle::Shielded;
+
+  std::ostringstream os;
+  os << "*SPEF \"IEEE 1481\"\n";
+  os << "*DESIGN \"" << opt.design_name << "\"\n";
+  os << "*T_UNIT 1 NS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n*L_UNIT 1 HENRY\n";
+  os << "*DIVIDER /\n*DELIMITER :\n\n";
+
+  const double r_step = g.seg_res / npi;
+  const double cg_step = g.seg_cap_ground / npi;
+  const double cc_step_side = (0.5 * g.seg_cap_couple_total) / npi;
+
+  for (int seg = 0; seg < design.num_repeaters; ++seg) {
+    const std::string net = "victim_" + std::to_string(seg);
+    const double total_cap = g.seg_cap_ground + g.seg_cap_couple_total;
+    os << "*D_NET " << net << ' ' << format_sig(total_cap / 1e-15, 9) << "\n";
+    os << "*CONN\n";
+    os << "*I rep" << seg << ":Z O\n";
+    os << "*I rep" << seg + 1 << ":A I\n";
+    os << "*CAP\n";
+    int cap_id = 0;
+    for (int k = 0; k <= npi; ++k) {
+      const double scale = (k == 0 || k == npi) ? 0.5 : 1.0;
+      os << ++cap_id << ' ' << net << ':' << k << ' '
+         << format_sig(scale * cg_step / 1e-15, 9) << "\n";
+      if (coupled) {
+        os << ++cap_id << ' ' << net << ':' << k << " agg_l_" << seg << ':' << k << ' '
+           << format_sig(scale * cc_step_side / 1e-15, 9) << "\n";
+        os << ++cap_id << ' ' << net << ':' << k << " agg_r_" << seg << ':' << k << ' '
+           << format_sig(scale * cc_step_side / 1e-15, 9) << "\n";
+      }
+    }
+    os << "*RES\n";
+    for (int k = 0; k < npi; ++k) {
+      os << k + 1 << ' ' << net << ':' << k << ' ' << net << ':' << k + 1 << ' '
+         << format_sig(r_step, 9) << "\n";
+    }
+    os << "*END\n\n";
+  }
+  return os.str();
+}
+
+SpefDigest digest_spef(const std::string& text) {
+  SpefDigest digest;
+  std::istringstream is(text);
+  std::string line;
+  enum class Section { None, Cap, Res } section = Section::None;
+  int lineno = 0;
+  bool in_net = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string_view t = trim(line);
+    if (t.empty()) continue;
+    auto syntax = [&](const std::string& msg) {
+      fail("spef: line " + std::to_string(lineno) + ": " + msg);
+    };
+    if (starts_with(t, "*D_NET")) {
+      require(!in_net, "spef: nested *D_NET");
+      in_net = true;
+      ++digest.nets;
+      section = Section::None;
+    } else if (t == "*CAP") {
+      if (!in_net) syntax("*CAP outside a net");
+      section = Section::Cap;
+    } else if (t == "*RES") {
+      if (!in_net) syntax("*RES outside a net");
+      section = Section::Res;
+    } else if (t == "*END") {
+      if (!in_net) syntax("*END outside a net");
+      in_net = false;
+      section = Section::None;
+    } else if (t[0] == '*') {
+      section = Section::None;  // header or *CONN content
+    } else if (section == Section::Cap) {
+      const auto tokens = split_whitespace(t);
+      if (tokens.size() == 3) {
+        digest.total_ground_cap += parse_double(tokens[2]) * 1e-15;
+      } else if (tokens.size() == 4) {
+        digest.total_couple_cap += parse_double(tokens[3]) * 1e-15;
+      } else {
+        syntax("malformed *CAP entry");
+      }
+      ++digest.cap_entries;
+    } else if (section == Section::Res) {
+      const auto tokens = split_whitespace(t);
+      if (tokens.size() != 4) syntax("malformed *RES entry");
+      digest.total_res += parse_double(tokens[3]);
+      ++digest.res_entries;
+    }
+  }
+  require(!in_net, "spef: unterminated *D_NET");
+  return digest;
+}
+
+}  // namespace pim

@@ -1,0 +1,45 @@
+// SPEF-lite parasitic export: writes the victim net of an implemented
+// buffered line in an IEEE-1481-flavored Standard Parasitic Exchange
+// Format — the artifact a place-and-route extraction flow would hand to a
+// sign-off timer (the paper's flow reads "the parasitics output from SOC
+// Encounter in SPEF" into PrimeTime SI).
+//
+// One *D_NET per inter-repeater wire segment of the victim, with
+// distributed *RES sections, grounded *CAP entries, and coupling *CAP
+// entries to the neighboring aggressor nets.
+#pragma once
+
+#include <string>
+
+#include "models/link.hpp"
+#include "tech/technology.hpp"
+
+namespace pim {
+
+/// SPEF serialization controls.
+struct SpefOptions {
+  int sections_per_segment = 6;  ///< distributed RC sections per wire segment
+  std::string design_name = "pim_link";
+};
+
+/// Writes the victim-net parasitics of the line (context, design) in
+/// SPEF-lite. Totals per segment match the LinkGeometry extraction
+/// exactly.
+std::string write_spef(const Technology& tech, const LinkContext& context,
+                       const LinkDesign& design, const SpefOptions& options = {});
+
+/// Digest of a SPEF-lite text (used by tests and quick inspection).
+struct SpefDigest {
+  int nets = 0;
+  int res_entries = 0;
+  int cap_entries = 0;
+  double total_res = 0.0;       ///< [ohm]
+  double total_ground_cap = 0.0;///< [F]
+  double total_couple_cap = 0.0;///< [F]
+};
+
+/// Parses the subset write_spef emits and accumulates totals; throws
+/// pim::Error on malformed input.
+SpefDigest digest_spef(const std::string& text);
+
+}  // namespace pim

@@ -1,0 +1,223 @@
+#include "tech/techfile.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pim {
+namespace {
+
+void emit_mosfet(std::ostringstream& os, const char* name, const MosfetParams& p,
+                 const char* indent) {
+  os << indent << name << " {\n";
+  os << indent << "  vth " << format_sig(p.vth, 12) << "\n";
+  os << indent << "  k_sat " << format_sig(p.k_sat, 12) << "\n";
+  os << indent << "  alpha " << format_sig(p.alpha, 12) << "\n";
+  os << indent << "  k_vdsat " << format_sig(p.k_vdsat, 12) << "\n";
+  os << indent << "  lambda " << format_sig(p.lambda, 12) << "\n";
+  os << indent << "  n_sub " << format_sig(p.n_sub, 12) << "\n";
+  os << indent << "  c_gate " << format_sig(p.c_gate, 12) << "\n";
+  os << indent << "  c_drain " << format_sig(p.c_drain, 12) << "\n";
+  os << indent << "}\n";
+}
+
+void emit_layer(std::ostringstream& os, const char* name, const WireLayerGeometry& g,
+                const char* indent) {
+  os << indent << name << " {\n";
+  os << indent << "  width " << format_sig(g.width, 12) << "\n";
+  os << indent << "  spacing " << format_sig(g.spacing, 12) << "\n";
+  os << indent << "  thickness " << format_sig(g.thickness, 12) << "\n";
+  os << indent << "  ild_height " << format_sig(g.ild_height, 12) << "\n";
+  os << indent << "  k_dielectric " << format_sig(g.k_dielectric, 12) << "\n";
+  os << indent << "}\n";
+}
+
+}  // namespace
+
+std::string write_techfile(const Technology& tech) {
+  std::ostringstream os;
+  os << "technology \"" << tech.name << "\" {\n";
+  os << "  vdd " << format_sig(tech.vdd, 12) << "\n";
+  os << "  pn_ratio " << format_sig(tech.pn_ratio, 12) << "\n";
+  os << "  unit_nmos_width " << format_sig(tech.unit_nmos_width, 12) << "\n";
+  os << "  clock_frequency " << format_sig(tech.clock_frequency, 12) << "\n";
+  emit_mosfet(os, "nmos", tech.nmos, "  ");
+  emit_mosfet(os, "pmos", tech.pmos, "  ");
+  os << "  interconnect {\n";
+  emit_layer(os, "global", tech.interconnect.global, "    ");
+  emit_layer(os, "intermediate", tech.interconnect.intermediate, "    ");
+  os << "    barrier_thickness " << format_sig(tech.interconnect.barrier_thickness, 12) << "\n";
+  os << "    rho_bulk " << format_sig(tech.interconnect.rho_bulk, 12) << "\n";
+  os << "    scattering_coeff " << format_sig(tech.interconnect.scattering_coeff, 12) << "\n";
+  os << "  }\n";
+  os << "  area {\n";
+  os << "    feature_size " << format_sig(tech.area.feature_size, 12) << "\n";
+  os << "    contact_pitch " << format_sig(tech.area.contact_pitch, 12) << "\n";
+  os << "    row_height " << format_sig(tech.area.row_height, 12) << "\n";
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+namespace {
+
+// Parsed tree: nested blocks of key -> scalar or key -> sub-block.
+struct Block {
+  std::map<std::string, double> scalars;
+  std::map<std::string, Block> blocks;
+  std::string label;  // quoted string after the block key, if any
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) {
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+      ++lineno;
+      const size_t hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      const std::string_view t = trim(line);
+      if (!t.empty()) lines_.emplace_back(lineno, std::string(t));
+    }
+  }
+
+  Block parse_top() {
+    pos_ = 0;
+    require(!lines_.empty(), "techfile: empty input");
+    Block root = parse_block_body("technology");
+    require(pos_ == lines_.size(), "techfile: trailing content after top-level block");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void syntax_error(size_t idx, const std::string& msg) const {
+    fail("techfile: line " + std::to_string(lines_[idx].first) + ": " + msg);
+  }
+
+  // Expects lines_[pos_] to open a block with key `expected_key` (or any
+  // key when null); consumes through the matching '}'.
+  Block parse_block_body(const char* expected_key) {
+    auto& [lineno, text] = lines_[pos_];
+    (void)lineno;
+    const auto tokens = split_whitespace(text);
+    require(tokens.back() == "{", "techfile: expected '{' opening a block");
+    if (expected_key != nullptr && tokens.front() != expected_key)
+      syntax_error(pos_, "expected block '" + std::string(expected_key) + "'");
+    Block block;
+    // Optional quoted label between the key and '{'.
+    if (tokens.size() == 3) {
+      std::string label = tokens[1];
+      if (label.size() >= 2 && label.front() == '"' && label.back() == '"')
+        label = label.substr(1, label.size() - 2);
+      block.label = label;
+    }
+    ++pos_;
+    while (true) {
+      require(pos_ < lines_.size(), "techfile: unterminated block");
+      const std::string& ln = lines_[pos_].second;
+      if (ln == "}") {
+        ++pos_;
+        return block;
+      }
+      const auto parts = split_whitespace(ln);
+      if (parts.back() == "{") {
+        const std::string key = parts.front();
+        block.blocks[key] = parse_block_body(nullptr);
+      } else if (parts.size() == 2) {
+        block.scalars[parts[0]] = parse_double(parts[1]);
+        ++pos_;
+      } else {
+        syntax_error(pos_, "expected 'key value', 'key {', or '}'");
+      }
+    }
+  }
+
+  std::vector<std::pair<int, std::string>> lines_;
+  size_t pos_ = 0;
+};
+
+double need(const Block& b, const std::string& key) {
+  const auto it = b.scalars.find(key);
+  require(it != b.scalars.end(), "techfile: missing field '" + key + "'");
+  return it->second;
+}
+
+const Block& need_block(const Block& b, const std::string& key) {
+  const auto it = b.blocks.find(key);
+  require(it != b.blocks.end(), "techfile: missing block '" + key + "'");
+  return it->second;
+}
+
+MosfetParams parse_mosfet(const Block& b) {
+  MosfetParams p;
+  p.vth = need(b, "vth");
+  p.k_sat = need(b, "k_sat");
+  p.alpha = need(b, "alpha");
+  p.k_vdsat = need(b, "k_vdsat");
+  p.lambda = need(b, "lambda");
+  p.n_sub = need(b, "n_sub");
+  p.c_gate = need(b, "c_gate");
+  p.c_drain = need(b, "c_drain");
+  return p;
+}
+
+WireLayerGeometry parse_layer(const Block& b) {
+  WireLayerGeometry g;
+  g.width = need(b, "width");
+  g.spacing = need(b, "spacing");
+  g.thickness = need(b, "thickness");
+  g.ild_height = need(b, "ild_height");
+  g.k_dielectric = need(b, "k_dielectric");
+  return g;
+}
+
+}  // namespace
+
+Technology parse_techfile(const std::string& text) {
+  Parser parser(text);
+  const Block root = parser.parse_top();
+
+  Technology t;
+  require(!root.label.empty(), "techfile: technology block needs a name label");
+  t.name = root.label;
+  t.node = tech_node_from_name(t.name);
+  t.vdd = need(root, "vdd");
+  t.pn_ratio = need(root, "pn_ratio");
+  t.unit_nmos_width = need(root, "unit_nmos_width");
+  t.clock_frequency = need(root, "clock_frequency");
+  t.nmos = parse_mosfet(need_block(root, "nmos"));
+  t.pmos = parse_mosfet(need_block(root, "pmos"));
+  const Block& ic = need_block(root, "interconnect");
+  t.interconnect.global = parse_layer(need_block(ic, "global"));
+  t.interconnect.intermediate = parse_layer(need_block(ic, "intermediate"));
+  t.interconnect.barrier_thickness = need(ic, "barrier_thickness");
+  t.interconnect.rho_bulk = need(ic, "rho_bulk");
+  t.interconnect.scattering_coeff = need(ic, "scattering_coeff");
+  const Block& area = need_block(root, "area");
+  t.area.feature_size = need(area, "feature_size");
+  t.area.contact_pitch = need(area, "contact_pitch");
+  t.area.row_height = need(area, "row_height");
+  return t;
+}
+
+void save_techfile(const Technology& tech, const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "save_techfile: cannot open '" + path + "'");
+  out << write_techfile(tech);
+  require(out.good(), "save_techfile: write failed");
+}
+
+Technology load_techfile(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "load_techfile: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_techfile(buffer.str());
+}
+
+}  // namespace pim

@@ -1,0 +1,35 @@
+// Text serialization of a Technology descriptor — the library's analog of
+// LEF/ITF technology inputs. The format is line-based:
+//
+//   technology "90nm" {
+//     vdd 1.2
+//     nmos { vth 0.32 ... }
+//     interconnect {
+//       global { width 4.5e-07 ... }
+//       ...
+//     }
+//   }
+//
+// Each line is `key value`, `key {` (open block), or `}` (close block);
+// `#` starts a comment. All values are SI. Round-tripping a built-in
+// technology reproduces it exactly to printed precision.
+#pragma once
+
+#include <string>
+
+#include "tech/technology.hpp"
+
+namespace pim {
+
+/// Serializes `tech` to the tech-file text format.
+std::string write_techfile(const Technology& tech);
+
+/// Parses a tech file; throws pim::Error with a line number on syntax
+/// errors, unknown keys, or missing required fields.
+Technology parse_techfile(const std::string& text);
+
+/// File convenience wrappers.
+void save_techfile(const Technology& tech, const std::string& path);
+Technology load_techfile(const std::string& path);
+
+}  // namespace pim

@@ -1,0 +1,32 @@
+// CSV writer for exporting bench results to files (one file per
+// table/figure, so plots can be regenerated outside the binary).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pim {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file (quotes cells that
+/// contain commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; must match header arity.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Serializes all rows; also usable for tests without touching the disk.
+  std::string to_string() const;
+
+  /// Writes to `path`, throwing pim::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pim

@@ -1,0 +1,11 @@
+#include "util/error.hpp"
+
+namespace pim {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+void fail(const std::string& message) { throw Error(message); }
+
+}  // namespace pim

@@ -1,0 +1,24 @@
+// Library-wide error type and contract-checking helpers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pim {
+
+/// Exception thrown on any contract violation or unrecoverable failure
+/// inside the pim library (bad arguments, singular matrices, unparseable
+/// files, non-convergent solves, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws pim::Error with `message` when `condition` is false.
+/// Used to establish preconditions at public API boundaries.
+void require(bool condition, const std::string& message);
+
+/// Unconditionally throws pim::Error; use for unreachable branches.
+[[noreturn]] void fail(const std::string& message);
+
+}  // namespace pim

@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace pim {
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "[debug] ";
+    case LogLevel::Info:
+      return "[info ] ";
+    case LogLevel::Warn:
+      return "[warn ] ";
+    case LogLevel::ErrorLevel:
+      return "[error] ";
+    case LogLevel::Off:
+      break;
+  }
+  return "";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  std::cerr << prefix(level) << message << '\n';
+}
+
+}  // namespace pim

@@ -1,0 +1,57 @@
+// Minimal leveled logger for command-line tools.
+//
+// The library itself never logs at Info level from hot paths; benches and
+// examples use it to narrate progress. Thread safety is not required: all
+// pim tools are single-threaded.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pim {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr with a level prefix if `level` passes the
+/// threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Variadic convenience wrappers: log_info("delay=", d, " ps").
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() > LogLevel::Debug) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(LogLevel::Debug, os.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() > LogLevel::Info) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(LogLevel::Info, os.str());
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() > LogLevel::Warn) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(LogLevel::Warn, os.str());
+}
+
+}  // namespace pim

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random generator (SplitMix64) used by tests and the
+// NoC testcase generators. Determinism matters: every bench re-generates
+// the same workloads on every run, so paper-style tables are reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace pim {
+
+/// SplitMix64: tiny, fast, full-period 64-bit generator; adequate for
+/// workload synthesis and Monte-Carlo-style sweeps (not cryptographic).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n).
+  uint64_t next_below(uint64_t n) { return n ? next_u64() % n : 0; }
+
+  /// Standard normal deviate (Box-Muller; one value per call, the spare
+  /// is cached).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    const double u2 = next_double();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586;
+    spare_ = mag * std::sin(two_pi * u2);
+    have_spare_ = true;
+    return mag * std::cos(two_pi * u2);
+  }
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+ private:
+  uint64_t state_;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace pim

@@ -1,0 +1,89 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace pim {
+
+std::string_view trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(std::string_view text, char separator) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(separator, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(trim(text.substr(start)));
+      break;
+    }
+    pieces.emplace_back(trim(text.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::vector<std::string> split_whitespace(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+double parse_double(std::string_view text) {
+  const std::string buffer{trim(text)};
+  require(!buffer.empty(), "parse_double: empty input");
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  require(end == buffer.c_str() + buffer.size(),
+          "parse_double: trailing characters in '" + buffer + "'");
+  return value;
+}
+
+long parse_long(std::string_view text) {
+  const std::string buffer{trim(text)};
+  require(!buffer.empty(), "parse_long: empty input");
+  char* end = nullptr;
+  const long value = std::strtol(buffer.c_str(), &end, 10);
+  require(end == buffer.c_str() + buffer.size(),
+          "parse_long: trailing characters in '" + buffer + "'");
+  return value;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+std::string format_sig(double value, int digits) {
+  std::string out = format("%.*g", digits, value);
+  return out;
+}
+
+}  // namespace pim

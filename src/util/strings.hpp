@@ -1,0 +1,35 @@
+// Small string helpers shared by the text-format parsers (tech files,
+// Liberty-lite, SoC specs) and the table/CSV writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pim {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Splits on `separator`, trimming each piece; empty pieces are kept.
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Splits on runs of whitespace; empty tokens are never produced.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parses a floating-point number; throws pim::Error on any trailing junk.
+double parse_double(std::string_view text);
+
+/// Parses a non-negative integer; throws pim::Error on any trailing junk.
+long parse_long(std::string_view text);
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats `value` with `digits` significant digits, trimming zeros.
+std::string format_sig(double value, int digits);
+
+}  // namespace pim

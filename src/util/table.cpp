@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pim {
+namespace {
+// Sentinel that marks a separator row; never produced by add_row.
+const std::vector<std::string> kSeparator = {};
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "Table: row arity does not match header");
+  rows_.push_back(std::move(cells));
+  ++data_rows_;
+}
+
+void Table::add_separator() { rows_.push_back(kSeparator); }
+
+std::string Table::to_string() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto emit = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size())
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+
+  std::ostringstream os;
+  emit(os, header_);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      emit(os, row);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pim

@@ -1,0 +1,38 @@
+// Console table formatter used by benches to print paper-style tables.
+//
+// Usage:
+//   Table t({"L (mm)", "B%", "P%", "Prop%"});
+//   t.add_row({"1", "45.2", "-7.1", "3.9"});
+//   std::cout << t.to_string();
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pim {
+
+/// Right-pads cells so columns line up; renders with a header underline.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row. Must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void add_separator();
+
+  /// Number of data rows added so far (separators excluded).
+  size_t row_count() const { return data_rows_; }
+
+  /// Renders the whole table, each line newline-terminated.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row with exactly one empty sentinel cell marks a separator.
+  std::vector<std::vector<std::string>> rows_;
+  size_t data_rows_ = 0;
+};
+
+}  // namespace pim

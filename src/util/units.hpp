@@ -1,0 +1,91 @@
+// SI unit constants and conversion helpers.
+//
+// All quantities inside the library are stored in base SI units: seconds,
+// meters, ohms, farads, watts, volts, hertz, square meters. These constants
+// make literals at the API boundary readable (`5.0 * unit::mm`), and the
+// `to_*` helpers convert back for display.
+#pragma once
+
+namespace pim::unit {
+
+// --- time ---
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+inline constexpr double fs = 1e-15;
+
+// --- length ---
+inline constexpr double m = 1.0;
+inline constexpr double cm = 1e-2;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+// --- capacitance ---
+inline constexpr double F = 1.0;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+inline constexpr double aF = 1e-18;
+
+// --- resistance ---
+inline constexpr double ohm = 1.0;
+inline constexpr double kohm = 1e3;
+inline constexpr double Mohm = 1e6;
+
+// --- power / energy / current ---
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+inline constexpr double nW = 1e-9;
+inline constexpr double J = 1.0;
+inline constexpr double fJ = 1e-15;
+inline constexpr double A = 1.0;
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+inline constexpr double nA = 1e-9;
+
+// --- frequency ---
+inline constexpr double Hz = 1.0;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// --- area ---
+inline constexpr double m2 = 1.0;
+inline constexpr double mm2 = 1e-6;
+inline constexpr double um2 = 1e-12;
+
+// --- display conversions (value in SI -> value in unit) ---
+inline constexpr double to_ps(double t) { return t / ps; }
+inline constexpr double to_ns(double t) { return t / ns; }
+inline constexpr double to_fF(double c) { return c / fF; }
+inline constexpr double to_pF(double c) { return c / pF; }
+inline constexpr double to_um(double l) { return l / um; }
+inline constexpr double to_mm(double l) { return l / mm; }
+inline constexpr double to_nm(double l) { return l / nm; }
+inline constexpr double to_mW(double p) { return p / mW; }
+inline constexpr double to_uW(double p) { return p / uW; }
+inline constexpr double to_GHz(double f) { return f / GHz; }
+inline constexpr double to_um2(double a) { return a / um2; }
+inline constexpr double to_mm2(double a) { return a / mm2; }
+
+}  // namespace pim::unit
+
+namespace pim::constant {
+
+// Vacuum permittivity [F/m].
+inline constexpr double eps0 = 8.8541878128e-12;
+// Boltzmann constant [J/K].
+inline constexpr double k_boltzmann = 1.380649e-23;
+// Elementary charge [C].
+inline constexpr double q_electron = 1.602176634e-19;
+// Thermal voltage kT/q at 300 K [V].
+inline constexpr double v_thermal_300k = 0.025852;
+// Bulk resistivity of copper [ohm*m].
+inline constexpr double rho_copper_bulk = 1.72e-8;
+// Electron mean free path in copper [m]; drives the width-dependent
+// scattering term of the effective resistivity model.
+inline constexpr double copper_mean_free_path = 39.0e-9;
+
+}  // namespace pim::constant

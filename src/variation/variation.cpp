@@ -1,0 +1,171 @@
+#include "variation/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/regression.hpp"
+#include "charlib/characterize.hpp"
+#include "util/error.hpp"
+
+namespace pim {
+namespace {
+
+double clamp_scale(double v) { return std::clamp(v, 0.5, 2.0); }
+
+// A perturbed copy of the fit: drive resistance scales inversely with
+// device strength; input capacitance and leakage scale directly.
+TechnologyFit perturb_fit(const TechnologyFit& fit, const VariationSample& s) {
+  TechnologyFit out = fit;
+  const double r_scale = 1.0 / s.drive_strength;
+  for (RepeaterEdgeFit* f : {&out.inv_rise, &out.inv_fall, &out.buf_rise, &out.buf_fall}) {
+    f->rho0 *= r_scale;
+    f->rho1 *= r_scale;
+    // Intrinsic delay tracks device speed too.
+    f->a0 *= r_scale;
+    f->a1 *= r_scale;
+    f->a2 *= r_scale;
+    // Slower devices also degrade the output slew proportionally.
+    f->b0 *= r_scale;
+    f->b2 *= r_scale;
+  }
+  out.gamma *= s.device_cap;
+  out.leakage.n0 *= s.leakage;
+  out.leakage.n1 *= s.leakage;
+  out.leakage.p0 *= s.leakage;
+  out.leakage.p1 *= s.leakage;
+  return out;
+}
+
+}  // namespace
+
+VariationSample sample_variation(Rng& rng, const VariationSigmas& sigmas) {
+  VariationSample s;
+  s.drive_strength = clamp_scale(rng.normal(1.0, sigmas.drive_strength));
+  s.device_cap = clamp_scale(rng.normal(1.0, sigmas.device_cap));
+  // Leakage varies lognormally (it is exponential in threshold voltage).
+  s.leakage = clamp_scale(std::exp(rng.normal(0.0, sigmas.leakage)));
+  s.wire_res = clamp_scale(rng.normal(1.0, sigmas.wire_res));
+  s.wire_cap = clamp_scale(rng.normal(1.0, sigmas.wire_cap));
+  return s;
+}
+
+LinkEstimate evaluate_with_variation(const ProposedModel& model, const LinkContext& context,
+                                     const LinkDesign& design,
+                                     const VariationSample& sample) {
+  const ProposedModel perturbed(model.tech(), perturb_fit(model.fit(), sample));
+  LinkContext ctx = context;
+  ctx.wire_options.res_scale *= sample.wire_res;
+  ctx.wire_options.cap_scale *= sample.wire_cap;
+  return perturbed.evaluate(ctx, design);
+}
+
+double MonteCarloResult::yield_at(double max_delay) const {
+  if (delays.empty()) return 0.0;
+  const auto it = std::upper_bound(delays.begin(), delays.end(), max_delay);
+  return static_cast<double>(it - delays.begin()) / static_cast<double>(delays.size());
+}
+
+double MonteCarloResult::delay_quantile(double q) const {
+  require(!delays.empty(), "delay_quantile: empty result");
+  require(q >= 0.0 && q <= 1.0, "delay_quantile: q must be in [0, 1]");
+  const size_t idx = std::min(delays.size() - 1,
+                              static_cast<size_t>(q * static_cast<double>(delays.size())));
+  return delays[idx];
+}
+
+double link_delay_within_die(const ProposedModel& model, const LinkContext& ctx,
+                             const LinkDesign& design, Rng& rng,
+                             const VariationSigmas& sigmas) {
+  // Rebuild the proposed model's chain stage by stage, drawing a fresh
+  // device corner per repeater. Wire parasitics stay nominal here (wire
+  // variation is spatially correlated far beyond one segment).
+  const Technology& tech = model.tech();
+  const TechnologyFit& fit = model.fit();
+  const LinkGeometry g(tech, ctx, design);
+  const RepeaterSizing sz = repeater_sizing(tech, design.kind, design.drive);
+  const double win_n = design.kind == CellKind::Inverter ? sz.wn_out : sz.wn_in;
+  const double win_p = design.kind == CellKind::Inverter ? sz.wp_out : sz.wp_in;
+  const double ci = fit.gamma * (win_n + win_p);
+  const double mf = design.miller_factor;
+  const CompositionWeights& comp = fit.composition(ctx.style);
+  const double c_wire = g.seg_cap_ground + mf * g.seg_cap_couple_total;
+  const double cl_rho0 = comp.kappa_c * c_wire + ci;
+  const double cl_rho1 = comp.kappa_c1 * c_wire + ci;
+  const double cl_slew = comp.kappa_c * c_wire + ci;
+  const double d_wire =
+      comp.kappa_w * g.seg_res *
+      (0.4 * g.seg_cap_ground + 0.5 * mf * g.seg_cap_couple_total + 0.7 * ci);
+
+  double slew = ctx.input_slew;
+  double total = 0.0;
+  bool edge_rising = true;
+  for (int k = 0; k < design.num_repeaters; ++k) {
+    const bool out_rising = design.kind == CellKind::Inverter ? !edge_rising : edge_rising;
+    const RepeaterEdgeFit& f = fit.edge_fit(design.kind, out_rising);
+    const double wr = out_rising ? sz.wp_out : sz.wn_out;
+    // Per-repeater corner: strength scales all delay terms of THIS stage.
+    const double strength = clamp_scale(rng.normal(1.0, sigmas.drive_strength));
+    const double r_scale = 1.0 / strength;
+    const double intrinsic =
+        r_scale * (f.a0 + f.a1 * slew + f.a2 * slew * slew);
+    const double d_rep =
+        intrinsic + r_scale * (f.rho0 * cl_rho0 + f.rho1 * slew * cl_rho1) / wr;
+    total += d_rep + d_wire;
+    slew = r_scale * f.b0 + f.b1 * slew + r_scale * f.b2 * cl_slew / wr;
+    edge_rising = out_rising;
+  }
+  return total;
+}
+
+MonteCarloResult monte_carlo_link_within_die(const ProposedModel& model,
+                                             const LinkContext& ctx,
+                                             const LinkDesign& design, int samples,
+                                             uint64_t seed,
+                                             const VariationSigmas& sigmas) {
+  require(samples >= 1, "monte_carlo_link_within_die: need at least one sample");
+  Rng rng(seed);
+  MonteCarloResult result;
+  result.nominal_delay = model.evaluate(ctx, design).delay;
+  result.delays.reserve(static_cast<size_t>(samples));
+  for (int i = 0; i < samples; ++i)
+    result.delays.push_back(link_delay_within_die(model, ctx, design, rng, sigmas));
+  std::sort(result.delays.begin(), result.delays.end());
+  result.mean_delay = mean(result.delays);
+  double var = 0.0;
+  for (double d : result.delays) {
+    const double r = d - result.mean_delay;
+    var += r * r;
+  }
+  result.sigma_delay = std::sqrt(var / static_cast<double>(result.delays.size()));
+  result.mean_power = model.evaluate(ctx, design).total_power();
+  return result;
+}
+
+MonteCarloResult monte_carlo_link(const ProposedModel& model, const LinkContext& context,
+                                  const LinkDesign& design, int samples, uint64_t seed,
+                                  const VariationSigmas& sigmas) {
+  require(samples >= 1, "monte_carlo_link: need at least one sample");
+  Rng rng(seed);
+  MonteCarloResult result;
+  result.nominal_delay = model.evaluate(context, design).delay;
+  result.delays.reserve(static_cast<size_t>(samples));
+  double power_acc = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const VariationSample s = sample_variation(rng, sigmas);
+    const LinkEstimate est = evaluate_with_variation(model, context, design, s);
+    result.delays.push_back(est.delay);
+    power_acc += est.total_power();
+  }
+  std::sort(result.delays.begin(), result.delays.end());
+  result.mean_delay = mean(result.delays);
+  double var = 0.0;
+  for (double d : result.delays) {
+    const double r = d - result.mean_delay;
+    var += r * r;
+  }
+  result.sigma_delay = std::sqrt(var / static_cast<double>(result.delays.size()));
+  result.mean_power = power_acc / samples;
+  return result;
+}
+
+}  // namespace pim

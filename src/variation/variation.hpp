@@ -1,0 +1,88 @@
+// EXTENSION beyond the paper: process-variation analysis of buffered
+// links (documented in DESIGN.md as an extension; the paper's related-
+// work positions its models inside flows that must ultimately close
+// timing under variation).
+//
+// Variation is applied at the model level: each Monte-Carlo sample
+// perturbs the fitted device strength (drive resistance), device
+// capacitance, leakage, and the wire RC, then re-evaluates the link with
+// the proposed closed-form model. This captures die-to-die (one scale
+// per link) variation of the quantities the model is sensitive to,
+// without re-running characterization per sample.
+#pragma once
+
+#include <vector>
+
+#include "models/proposed.hpp"
+#include "util/rng.hpp"
+
+namespace pim {
+
+/// One sampled corner: multiplicative deviations around nominal (1.0).
+struct VariationSample {
+  double drive_strength = 1.0;  ///< scales 1/rd (device current)
+  double device_cap = 1.0;      ///< scales gamma (and hence c_i)
+  double leakage = 1.0;         ///< scales leakage power
+  double wire_res = 1.0;        ///< scales wire resistance
+  double wire_cap = 1.0;        ///< scales wire capacitance
+};
+
+/// Gaussian sigmas of the relative deviations. Defaults are
+/// 3-sigma ~ 15 % device strength, 5 % caps, lognormal-ish 30 % leakage,
+/// 10 % wire geometry — representative die-to-die magnitudes.
+struct VariationSigmas {
+  double drive_strength = 0.05;
+  double device_cap = 0.017;
+  double leakage = 0.10;  ///< sigma of ln(leakage scale)
+  double wire_res = 0.033;
+  double wire_cap = 0.033;
+};
+
+/// Draws one corner; scales are clamped to [0.5, 2.0].
+VariationSample sample_variation(Rng& rng, const VariationSigmas& sigmas);
+
+/// Evaluates `design` on a perturbed copy of the model's fit and wire.
+LinkEstimate evaluate_with_variation(const ProposedModel& model,
+                                     const LinkContext& context,
+                                     const LinkDesign& design,
+                                     const VariationSample& sample);
+
+/// Monte-Carlo results for one link implementation.
+struct MonteCarloResult {
+  std::vector<double> delays;   ///< sorted ascending [s]
+  double nominal_delay = 0.0;   ///< unperturbed model delay [s]
+  double mean_delay = 0.0;
+  double sigma_delay = 0.0;
+  double mean_power = 0.0;
+
+  /// Fraction of samples meeting `max_delay`.
+  double yield_at(double max_delay) const;
+
+  /// Delay at the given quantile in [0, 1] (e.g. 0.997 for ~3 sigma).
+  double delay_quantile(double q) const;
+};
+
+/// Runs `samples` Monte-Carlo corners (deterministic for a given seed).
+MonteCarloResult monte_carlo_link(const ProposedModel& model, const LinkContext& context,
+                                  const LinkDesign& design, int samples,
+                                  uint64_t seed = 1, const VariationSigmas& sigmas = {});
+
+/// WITHIN-DIE variation: each repeater of the chain draws its own
+/// device-strength/cap deviation (wire variation stays die-wide). Stage
+/// delays then average along the chain, so an N-stage link's relative
+/// sigma shrinks like ~1/sqrt(N) compared to the die-to-die case — the
+/// classic argument for why repeatered interconnect is naturally robust
+/// to random WID variation.
+double link_delay_within_die(const ProposedModel& model, const LinkContext& context,
+                             const LinkDesign& design, Rng& rng,
+                             const VariationSigmas& sigmas = {});
+
+/// Monte-Carlo over within-die corners (wire variation disabled so the
+/// pure stage-averaging effect is visible).
+MonteCarloResult monte_carlo_link_within_die(const ProposedModel& model,
+                                             const LinkContext& context,
+                                             const LinkDesign& design, int samples,
+                                             uint64_t seed = 1,
+                                             const VariationSigmas& sigmas = {});
+
+}  // namespace pim

@@ -1,0 +1,321 @@
+// Tests for pim::buffering — exhaustiveness, weight semantics,
+// constraint handling, and staggering. Runs on the (cheap, closed-form)
+// baseline models so no characterization is needed.
+#include <gtest/gtest.h>
+
+#include "buffering/optimize.hpp"
+#include "buffering/vanginneken.hpp"
+#include "models/baseline.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pim {
+namespace {
+
+using namespace pim::unit;
+
+LinkContext ctx_mm(double len) {
+  LinkContext ctx;
+  ctx.length = len * mm;
+  ctx.input_slew = 100 * ps;
+  return ctx;
+}
+
+TEST(Buffering, DelayOptimalBeatsEveryScannedCandidate) {
+  const PamunuwaModel model(technology(TechNode::N65));
+  const LinkContext ctx = ctx_mm(5.0);
+  BufferingOptions opt;
+  opt.weight = 1.0;
+  const BufferingResult best = optimize_buffering(model, ctx, opt);
+  ASSERT_TRUE(best.feasible);
+  // Re-scan a coarse grid; nothing may beat the optimizer's answer.
+  for (int drive : {4, 8, 16, 32, 64}) {
+    for (int n : {1, 2, 4, 8, 16, 24}) {
+      LinkDesign d;
+      d.drive = drive;
+      d.num_repeaters = n;
+      EXPECT_GE(model.evaluate(ctx, d).delay, best.estimate.delay - 1e-18);
+    }
+  }
+  EXPECT_GT(best.evaluations, 100);
+}
+
+TEST(Buffering, WeightTradesDelayForPower) {
+  const PamunuwaModel model(technology(TechNode::N65));
+  const LinkContext ctx = ctx_mm(5.0);
+  BufferingOptions fast;
+  fast.weight = 1.0;
+  BufferingOptions frugal;
+  frugal.weight = 0.2;
+  const BufferingResult r_fast = optimize_buffering(model, ctx, fast);
+  const BufferingResult r_frugal = optimize_buffering(model, ctx, frugal);
+  ASSERT_TRUE(r_fast.feasible && r_frugal.feasible);
+  EXPECT_LE(r_fast.estimate.delay, r_frugal.estimate.delay);
+  EXPECT_LE(r_frugal.estimate.total_power(), r_fast.estimate.total_power());
+  // The power-leaning design uses smaller or fewer repeaters.
+  EXPECT_LE(r_frugal.design.drive * r_frugal.design.num_repeaters,
+            r_fast.design.drive * r_fast.design.num_repeaters);
+}
+
+TEST(Buffering, ConstraintsGateFeasibility) {
+  const PamunuwaModel model(technology(TechNode::N65));
+  const LinkContext ctx = ctx_mm(8.0);
+  BufferingOptions opt;
+  opt.max_delay = 1 * ps;  // impossible
+  EXPECT_FALSE(optimize_buffering(model, ctx, opt).feasible);
+  opt.max_delay = 10 * ns;  // trivial
+  const BufferingResult r = optimize_buffering(model, ctx, opt);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_LE(r.estimate.delay, opt.max_delay);
+}
+
+TEST(Buffering, ConstrainedOptimumMeetsBudgetTightly) {
+  const PamunuwaModel model(technology(TechNode::N65));
+  const LinkContext ctx = ctx_mm(6.0);
+  // Find the unconstrained delay-optimal first.
+  BufferingOptions fastest;
+  fastest.weight = 1.0;
+  const double d_min = optimize_buffering(model, ctx, fastest).estimate.delay;
+  // Power-optimize with a 40 % slack budget: result must fit the budget
+  // and burn no more power than the delay-optimal design.
+  BufferingOptions frugal;
+  frugal.weight = 0.0;
+  frugal.max_delay = 1.4 * d_min;
+  const BufferingResult r = optimize_buffering(model, ctx, frugal);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.estimate.delay, frugal.max_delay);
+  EXPECT_LE(r.estimate.total_power(),
+            optimize_buffering(model, ctx, fastest).estimate.total_power());
+}
+
+TEST(Buffering, StaggeringExploredWhenEnabled) {
+  const PamunuwaModel model(technology(TechNode::N65));
+  const LinkContext ctx = ctx_mm(5.0);
+  BufferingOptions opt;
+  opt.weight = 1.0;
+  opt.try_staggered = true;
+  const BufferingResult r = optimize_buffering(model, ctx, opt);
+  ASSERT_TRUE(r.feasible);
+  // With worst-case coupling on the table, the staggered variant (Miller
+  // factor 0) is strictly faster under Pamunuwa, so it must win.
+  EXPECT_DOUBLE_EQ(r.design.miller_factor, 0.0);
+}
+
+TEST(Buffering, SlewConstraintHonored) {
+  const PamunuwaModel model(technology(TechNode::N65));
+  const LinkContext ctx = ctx_mm(5.0);
+  BufferingOptions opt;
+  opt.weight = 0.3;
+  opt.max_output_slew = 120 * ps;
+  const BufferingResult r = optimize_buffering(model, ctx, opt);
+  if (r.feasible) EXPECT_LE(r.estimate.output_slew, opt.max_output_slew);
+}
+
+TEST(Buffering, InvalidOptionsRejected) {
+  const PamunuwaModel model(technology(TechNode::N65));
+  BufferingOptions opt;
+  opt.weight = 1.5;
+  EXPECT_THROW(optimize_buffering(model, ctx_mm(1.0), opt), Error);
+  BufferingOptions empty;
+  empty.kinds.clear();
+  EXPECT_THROW(optimize_buffering(model, ctx_mm(1.0), empty), Error);
+}
+
+TEST(Buffering, LayerExplorationChoosesAndRecords) {
+  const PamunuwaModel model(technology(TechNode::N65));
+  BufferingOptions opt;
+  opt.weight = 1.0;
+  opt.layers = {WireLayer::Global, WireLayer::Intermediate};
+  // Long link: the fat global layer must win the delay race.
+  const BufferingResult long_link = optimize_buffering(model, ctx_mm(8.0), opt);
+  ASSERT_TRUE(long_link.feasible);
+  EXPECT_EQ(long_link.layer, WireLayer::Global);
+  // Power-only objective on a short hop: the narrow intermediate layer
+  // (lower capacitance per meter at min pitch) can win; either way the
+  // explored winner must never be worse than the single-layer answer.
+  BufferingOptions frugal = opt;
+  frugal.weight = 0.0;
+  frugal.max_delay = 500 * ps;
+  const BufferingResult both = optimize_buffering(model, ctx_mm(0.5), frugal);
+  BufferingOptions global_only = frugal;
+  global_only.layers = {WireLayer::Global};
+  const BufferingResult global_r = optimize_buffering(model, ctx_mm(0.5), global_only);
+  ASSERT_TRUE(both.feasible && global_r.feasible);
+  EXPECT_LE(both.cost, global_r.cost + 1e-18);
+}
+
+TEST(Buffering, EmptyLayerListKeepsContextLayer) {
+  const PamunuwaModel model(technology(TechNode::N65));
+  LinkContext ctx = ctx_mm(2.0);
+  ctx.layer = WireLayer::Intermediate;
+  BufferingOptions opt;
+  const BufferingResult r = optimize_buffering(model, ctx, opt);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.layer, WireLayer::Intermediate);
+}
+
+TEST(Buffering, RestrictedDriveListRespected) {
+  const PamunuwaModel model(technology(TechNode::N65));
+  BufferingOptions opt;
+  opt.drives = {4, 8};
+  const BufferingResult r = optimize_buffering(model, ctx_mm(3.0), opt);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.design.drive == 4 || r.design.drive == 8);
+}
+
+// ------------------------------------------------------- van Ginneken
+
+// Hand-filled plausible coefficients: the DP needs a TechnologyFit but
+// not a characterized one, which keeps these tests instant and exact.
+TechnologyFit synthetic_fit(const Technology& t) {
+  TechnologyFit f;
+  f.node = t.node;
+  f.vdd = t.vdd;
+  RepeaterEdgeFit e;
+  e.a0 = 3e-12;
+  e.a1 = 0.11;
+  e.a2 = 0.0;
+  e.rho0 = 650e-6;   // 650 ohm*um
+  e.rho1 = 1.9e6;    // ~1900 ohm*um/ns
+  e.b0 = 1e-12;
+  e.b1 = 0.14;
+  e.b2 = 1.5e-3;     // 1.5 ps*um/fF
+  f.inv_rise = f.inv_fall = f.buf_rise = f.buf_fall = e;
+  f.gamma = 0.9e-9;  // 0.9 fF/um
+  f.leakage = {1e-9, 40.0, 1e-9, 17.0};
+  f.area0 = 4e-13;
+  f.area1 = 1e-6;
+  return f;
+}
+
+TEST(VanGinneken, MatchesBruteForceOnSmallInstance) {
+  const Technology& t = technology(TechNode::N65);
+  const TechnologyFit fit = synthetic_fit(t);
+  LinkContext ctx;
+  ctx.length = 3 * mm;
+
+  VanGinnekenOptions opt;
+  opt.slots = 3;
+  opt.drives = {4, 16};
+  const TaperedBuffering dp = van_ginneken(t, fit, ctx, opt);
+
+  // Enumerate every assignment of {empty, D4, D16} to the three slots.
+  const double piece = ctx.length / 4.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int c = 0; c < 3; ++c) {
+        std::vector<TaperedRepeater> placement;
+        const int choice[3] = {a, b, c};
+        for (int slot = 0; slot < 3; ++slot) {
+          if (choice[slot] == 0) continue;
+          placement.push_back({(slot + 1) * piece, choice[slot] == 1 ? 4 : 16});
+        }
+        best = std::min(best, tapered_delay(t, fit, ctx, placement, opt));
+      }
+    }
+  }
+  EXPECT_NEAR(dp.delay, best, 1e-9 * best);
+  EXPECT_GT(dp.states_explored, 0);
+}
+
+TEST(VanGinneken, NeverWorseThanUniformOnItsOwnObjective) {
+  const Technology& t = technology(TechNode::N65);
+  const TechnologyFit fit = synthetic_fit(t);
+  LinkContext ctx;
+  ctx.length = 8 * mm;
+  VanGinnekenOptions opt;
+  opt.slots = 40;
+  opt.drives = {4, 8, 16, 32};
+
+  const TaperedBuffering dp = van_ginneken(t, fit, ctx, opt);
+  // The DP is optimal over ITS slot grid, so snap the uniform candidates
+  // onto that grid to stay inside the search space.
+  const double piece = ctx.length / (opt.slots + 1);
+  for (int n = 1; n <= 12; ++n) {
+    for (int drive : opt.drives) {
+      std::vector<TaperedRepeater> uniform;
+      for (int k = 1; k <= n; ++k) {
+        const double ideal = k * ctx.length / (n + 1);
+        const double snapped =
+            std::clamp(std::round(ideal / piece), 1.0, static_cast<double>(opt.slots)) *
+            piece;
+        if (!uniform.empty() && uniform.back().position == snapped) continue;
+        uniform.push_back({snapped, drive});
+      }
+      EXPECT_LE(dp.delay, tapered_delay(t, fit, ctx, uniform, opt) * (1.0 + 1e-12))
+          << "n=" << n << " drive=" << drive;
+    }
+  }
+  // Long wire: the optimum uses several repeaters, sorted by position.
+  EXPECT_GE(dp.repeaters.size(), 3u);
+  for (size_t i = 1; i < dp.repeaters.size(); ++i)
+    EXPECT_GT(dp.repeaters[i].position, dp.repeaters[i - 1].position);
+}
+
+TEST(VanGinneken, ShortWireNeedsNoBuffers) {
+  const Technology& t = technology(TechNode::N65);
+  const TechnologyFit fit = synthetic_fit(t);
+  LinkContext ctx;
+  ctx.length = 0.15 * mm;
+  VanGinnekenOptions opt;
+  opt.slots = 10;
+  opt.drives = {4, 16};
+  const TaperedBuffering dp = van_ginneken(t, fit, ctx, opt);
+  EXPECT_TRUE(dp.repeaters.empty());
+  EXPECT_NEAR(dp.delay, tapered_delay(t, fit, ctx, {}, opt), 1e-20);
+}
+
+TEST(VanGinneken, HeavySinkPullsABufferClose) {
+  const Technology& t = technology(TechNode::N65);
+  const TechnologyFit fit = synthetic_fit(t);
+  LinkContext ctx;
+  ctx.length = 4 * mm;
+  VanGinnekenOptions opt;
+  opt.slots = 30;
+  opt.drives = {4, 8, 16, 32, 64};
+  opt.sink_cap = 1e-12;  // a 1 pF sink
+  const TaperedBuffering dp = van_ginneken(t, fit, ctx, opt);
+  ASSERT_FALSE(dp.repeaters.empty());
+  // The last repeater sits in the sink half and is a big one.
+  const TaperedRepeater& last = dp.repeaters.back();
+  EXPECT_GT(last.position, 0.5 * ctx.length);
+  EXPECT_GE(last.drive, 32);
+  // Buffering beats driving the fat sink straight.
+  EXPECT_LT(dp.delay, tapered_delay(t, fit, ctx, {}, opt));
+}
+
+TEST(VanGinneken, DelayMonotoneInLength) {
+  const Technology& t = technology(TechNode::N65);
+  const TechnologyFit fit = synthetic_fit(t);
+  VanGinnekenOptions opt;
+  opt.slots = 20;
+  opt.drives = {8, 32};
+  double prev = 0.0;
+  for (double len : {1.0, 3.0, 6.0, 12.0}) {
+    LinkContext ctx;
+    ctx.length = len * mm;
+    const double d = van_ginneken(t, fit, ctx, opt).delay;
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(VanGinneken, ValidationErrors) {
+  const Technology& t = technology(TechNode::N65);
+  const TechnologyFit fit = synthetic_fit(t);
+  LinkContext ctx;
+  ctx.length = 1 * mm;
+  VanGinnekenOptions opt;
+  opt.slots = 0;
+  EXPECT_THROW(van_ginneken(t, fit, ctx, opt), Error);
+  opt.slots = 4;
+  EXPECT_THROW(tapered_delay(t, fit, ctx, {{2 * mm, 8}}, opt), Error);  // off-wire
+  EXPECT_THROW(tapered_delay(t, fit, ctx, {{0.5 * mm, 999}}, opt), Error);  // bad drive
+}
+
+}  // namespace
+}  // namespace pim

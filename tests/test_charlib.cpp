@@ -1,0 +1,268 @@
+// Tests for pim::charlib — sizing, area quantization, simulated cell
+// characterization, and the regression fits the paper's models rest on.
+// The characterization runs real transistor-level simulations, so the
+// fixture trims the sweep axes to keep the suite fast.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "charlib/characterize.hpp"
+#include "charlib/fit.hpp"
+#include "numeric/regression.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace pim {
+namespace {
+
+using namespace pim::unit;
+
+CharacterizationOptions fast_options() {
+  CharacterizationOptions opt;
+  opt.slew_axis = {20 * ps, 100 * ps, 300 * ps};
+  opt.fanout_axis = {2.0, 8.0, 20.0};
+  opt.drives = {2, 8, 32};
+  return opt;
+}
+
+TEST(Sizing, WidthsScaleWithDrive) {
+  const Technology& t = technology(TechNode::N65);
+  const RepeaterSizing s4 = repeater_sizing(t, CellKind::Inverter, 4);
+  const RepeaterSizing s8 = repeater_sizing(t, CellKind::Inverter, 8);
+  EXPECT_DOUBLE_EQ(s8.wn_out, 2.0 * s4.wn_out);
+  EXPECT_DOUBLE_EQ(s4.wp_out, t.pn_ratio * s4.wn_out);
+  EXPECT_DOUBLE_EQ(s4.wn_in, 0.0);  // inverter has one stage
+}
+
+TEST(Sizing, BufferFirstStageIsQuarter) {
+  const Technology& t = technology(TechNode::N65);
+  const RepeaterSizing s16 = repeater_sizing(t, CellKind::Buffer, 16);
+  EXPECT_DOUBLE_EQ(s16.wn_in, t.drive_nmos_width(4));
+  const RepeaterSizing s2 = repeater_sizing(t, CellKind::Buffer, 2);
+  EXPECT_DOUBLE_EQ(s2.wn_in, t.drive_nmos_width(1));  // floor at one unit
+  EXPECT_THROW(repeater_sizing(t, CellKind::Inverter, 0), Error);
+}
+
+TEST(GoldenArea, MonotonicStaircase) {
+  const Technology& t = technology(TechNode::N90);
+  double prev = 0.0;
+  for (int d = 1; d <= 64; d *= 2) {
+    const RepeaterSizing s = repeater_sizing(t, CellKind::Inverter, d);
+    const double a = golden_cell_area(t, s.wn_out, s.wp_out);
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+  // Minimum cell still has nonzero area (two contact pitches of width).
+  EXPECT_GT(golden_cell_area(t, 0.1 * um, 0.2 * um),
+            t.area.row_height * t.area.contact_pitch);
+}
+
+// Characterize once, share across tests (simulation is the slow part).
+class CharacterizedFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tech_ = &technology(TechNode::N65);
+    CharacterizationOptions opt = fast_options();
+    library_ = new CellLibrary(characterize_library(*tech_, opt));
+    fit_ = new TechnologyFit(fit_technology(*tech_, *library_));
+  }
+  static void TearDownTestSuite() {
+    delete library_;
+    delete fit_;
+    library_ = nullptr;
+    fit_ = nullptr;
+  }
+
+  static const Technology* tech_;
+  static CellLibrary* library_;
+  static TechnologyFit* fit_;
+};
+
+const Technology* CharacterizedFixture::tech_ = nullptr;
+CellLibrary* CharacterizedFixture::library_ = nullptr;
+TechnologyFit* CharacterizedFixture::fit_ = nullptr;
+
+TEST_F(CharacterizedFixture, LibraryHasAllRequestedCells) {
+  EXPECT_EQ(library_->cells().size(), 6u);  // 3 drives x {INV, BUF}
+  EXPECT_TRUE(library_->has_cell("INVD8"));
+  EXPECT_TRUE(library_->has_cell("BUFD32"));
+}
+
+TEST_F(CharacterizedFixture, DelayMonotonicInLoadAndSlew) {
+  const RepeaterCell& c = library_->cell("INVD8");
+  const TimingTable& t = c.fall;
+  for (size_t i = 0; i < t.slew_axis.size(); ++i)
+    for (size_t j = 1; j < t.load_axis.size(); ++j)
+      EXPECT_GT(t.delay(i, j), t.delay(i, j - 1));
+  for (size_t j = 0; j < t.load_axis.size(); ++j)
+    for (size_t i = 1; i < t.slew_axis.size(); ++i)
+      EXPECT_GT(t.delay(i, j), t.delay(i - 1, j));
+}
+
+TEST_F(CharacterizedFixture, OutputSlewMonotonicInLoad) {
+  const RepeaterCell& c = library_->cell("INVD2");
+  for (const TimingTable* t : {&c.rise, &c.fall})
+    for (size_t i = 0; i < t->slew_axis.size(); ++i)
+      for (size_t j = 1; j < t->load_axis.size(); ++j)
+        EXPECT_GT(t->out_slew(i, j), t->out_slew(i, j - 1));
+}
+
+TEST_F(CharacterizedFixture, InputCapMatchesDeviceCaps) {
+  // The measured input capacitance should equal the lumped gate caps the
+  // netlist builder attaches (the measurement integrates real charge).
+  for (const char* name : {"INVD2", "INVD8", "INVD32"}) {
+    const RepeaterCell& c = library_->cell(name);
+    const double analytic = c.wn * tech_->nmos.c_gate + c.wp * tech_->pmos.c_gate;
+    EXPECT_NEAR(c.input_cap, analytic, 0.05 * analytic) << name;
+  }
+}
+
+TEST_F(CharacterizedFixture, BufferInputCapSmallerThanInverterSameDrive) {
+  // Buffer input pin is its quarter-size first stage.
+  EXPECT_LT(library_->cell("BUFD8").input_cap, library_->cell("INVD8").input_cap);
+}
+
+TEST_F(CharacterizedFixture, LargerDrivesAreFasterAtFixedLoad) {
+  const double slew = 100 * ps;
+  const double load = 50 * fF;
+  const double d2 = library_->cell("INVD2").worst_delay(slew, load);
+  const double d8 = library_->cell("INVD8").worst_delay(slew, load);
+  const double d32 = library_->cell("INVD32").worst_delay(slew, load);
+  EXPECT_GT(d2, d8);
+  EXPECT_GT(d8, d32);
+}
+
+TEST_F(CharacterizedFixture, LeakageScalesWithDrive) {
+  const double l2 = library_->cell("INVD2").leakage_avg();
+  const double l32 = library_->cell("INVD32").leakage_avg();
+  EXPECT_NEAR(l32 / l2, 16.0, 0.5);
+  EXPECT_GT(l2, 0.0);
+}
+
+// ------------------------------------------------------------- the fits
+
+TEST_F(CharacterizedFixture, GammaRecoversGateCapDensity) {
+  // With equal n/p gate-cap density the zero-intercept fit must land on it.
+  EXPECT_NEAR(fit_->gamma, tech_->nmos.c_gate, 0.05 * tech_->nmos.c_gate);
+}
+
+TEST_F(CharacterizedFixture, IntrinsicDelayGrowsWithSlewAndFitsQuadratic) {
+  // Paper Fig. 1: intrinsic delay depends strongly on input slew and the
+  // quadratic regression captures it tightly. (Our golden device bends
+  // the curve the other way — see the documented deviation in fit.hpp —
+  // but the magnitude and quality of the fit are what the models need.)
+  for (const RepeaterEdgeFit* f : {&fit_->inv_rise, &fit_->inv_fall}) {
+    EXPECT_GT(f->a0, 0.0);
+    const double i_fast = f->a0 + f->a1 * 20 * ps + f->a2 * (20 * ps) * (20 * ps);
+    const double i_slow = f->a0 + f->a1 * 300 * ps + f->a2 * (300 * ps) * (300 * ps);
+    EXPECT_GT(i_slow, 2.0 * i_fast);
+    EXPECT_GT(f->r2_intrinsic, 0.95);
+  }
+}
+
+TEST_F(CharacterizedFixture, IntrinsicDelayIndependentOfSize) {
+  // Paper Fig. 1's headline: the zero-load delay intercept is the same
+  // for every repeater size. Extract it per cell and compare.
+  const double slew = 100 * ps;
+  Vector intercepts;
+  for (const char* name : {"INVD2", "INVD8", "INVD32"}) {
+    const RepeaterCell& c = library_->cell(name);
+    const TimingTable& t = c.fall;
+    // Linear extrapolation of delay to zero load at the middle slew row.
+    Vector d(t.load_axis.size());
+    for (size_t j = 0; j < t.load_axis.size(); ++j) d[j] = t.eval_delay(slew, t.load_axis[j]);
+    const LinearFit line = fit_linear(t.load_axis, d);
+    intercepts.push_back(line.intercept);
+  }
+  for (double i : intercepts)
+    EXPECT_NEAR(i, intercepts.front(), 0.08 * intercepts.front());
+}
+
+TEST_F(CharacterizedFixture, DriveResistancePositiveAndSlewDependent) {
+  for (const RepeaterEdgeFit* f : {&fit_->inv_rise, &fit_->inv_fall}) {
+    EXPECT_GT(f->rho0, 0.0);
+    EXPECT_GT(f->rho1, 0.0);  // rd grows with input slew
+    EXPECT_GT(f->r2_drive_res, 0.7);
+  }
+  // rd halves when size doubles.
+  const double rd8 = fit_->inv_fall.drive_resistance(100 * ps, 8 * tech_->unit_nmos_width);
+  const double rd16 = fit_->inv_fall.drive_resistance(100 * ps, 16 * tech_->unit_nmos_width);
+  EXPECT_NEAR(rd8 / rd16, 2.0, 1e-9);
+}
+
+TEST_F(CharacterizedFixture, LeakageFitIsLinearInWidth) {
+  const RepeaterCell& c = library_->cell("INVD8");
+  EXPECT_NEAR(fit_->leakage.eval_nmos(c.wn), c.leakage_nmos, 0.1 * c.leakage_nmos);
+  EXPECT_NEAR(fit_->leakage.eval_pmos(c.wp), c.leakage_pmos, 0.1 * c.leakage_pmos);
+}
+
+TEST_F(CharacterizedFixture, AreaFitWithinPaperTolerance) {
+  // Paper reports the linear area model within 8 % of library values.
+  for (const char* name : {"INVD2", "INVD8", "INVD32"}) {
+    const RepeaterCell& c = library_->cell(name);
+    const double predicted = fit_->area0 + fit_->area1 * c.wn;
+    EXPECT_NEAR(predicted, c.area, 0.15 * c.area) << name;
+  }
+}
+
+TEST_F(CharacterizedFixture, FittedDelayModelTracksTables) {
+  // The closed-form model must reproduce the characterization data it was
+  // fitted from within a modest tolerance across the whole grid.
+  for (const char* name : {"INVD2", "INVD8", "INVD32"}) {
+    const RepeaterCell& c = library_->cell(name);
+    for (const bool rising : {true, false}) {
+      const TimingTable& t = rising ? c.rise : c.fall;
+      const double wr = rising ? c.wp : c.wn;
+      const RepeaterEdgeFit& f = fit_->edge_fit(CellKind::Inverter, rising);
+      for (size_t i = 0; i < t.slew_axis.size(); ++i) {
+        for (size_t j = 0; j < t.load_axis.size(); ++j) {
+          const double model = f.eval_delay(t.slew_axis[i], t.load_axis[j], wr);
+          const double golden = t.delay(i, j);
+          EXPECT_NEAR(model, golden, 0.25 * golden + 2 * ps)
+              << name << " rising=" << rising << " i=" << i << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CharacterizedFixture, FittedSlewModelTracksTables) {
+  for (const char* name : {"INVD2", "INVD32"}) {
+    const RepeaterCell& c = library_->cell(name);
+    const TimingTable& t = c.fall;
+    const RepeaterEdgeFit& f = fit_->edge_fit(CellKind::Inverter, false);
+    for (size_t i = 0; i < t.slew_axis.size(); ++i) {
+      for (size_t j = 0; j < t.load_axis.size(); ++j) {
+        const double model = f.eval_out_slew(t.slew_axis[i], t.load_axis[j], c.wn);
+        const double golden = t.out_slew(i, j);
+        EXPECT_NEAR(model, golden, 0.35 * golden + 3 * ps) << name;
+      }
+    }
+  }
+}
+
+TEST_F(CharacterizedFixture, BufferFitsExistAndDiffer) {
+  EXPECT_GT(fit_->buf_rise.a0, fit_->inv_rise.a0);  // extra first-stage delay
+  EXPECT_GT(fit_->buf_fall.rho0, 0.0);
+}
+
+TEST_F(CharacterizedFixture, CoefficientsMatchCheckedInReference) {
+  // Regression guard: these reference values were produced by this same
+  // trimmed characterization at 65 nm. A drift beyond a few percent means
+  // the device model, the extraction, the measurement conventions, or the
+  // regression changed behavior — which must be a deliberate decision.
+  EXPECT_NEAR(fit_->gamma, 0.9e-9, 0.03e-9);                 // 0.90 fF/um
+  EXPECT_NEAR(fit_->inv_fall.rho0, 678e-6, 0.05 * 678e-6);   // ohm*m
+  EXPECT_NEAR(fit_->inv_fall.rho1, 2.29e6, 0.08 * 2.29e6);   // ohm*m/s
+  EXPECT_NEAR(fit_->inv_fall.a0, 2.23e-12, 0.4e-12);
+  EXPECT_NEAR(fit_->leakage.n1, 0.0427, 0.15 * 0.0427);      // W/m (42.7 nW/um)
+}
+
+TEST(FitValidation, RequiresEnoughCells) {
+  const Technology& t = technology(TechNode::N90);
+  CellLibrary lib("x", t.node, t.vdd);
+  EXPECT_THROW(fit_technology(t, lib), Error);
+}
+
+}  // namespace
+}  // namespace pim

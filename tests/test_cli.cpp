@@ -1,0 +1,60 @@
+// Tests for the CLI argument parser (tools/cli_args).
+#include <gtest/gtest.h>
+
+#include "../tools/cli_args.hpp"
+#include "util/error.hpp"
+
+namespace pim::cli {
+namespace {
+
+Args make(std::vector<std::string> tokens) {
+  static std::vector<std::string> storage;
+  storage = std::move(tokens);
+  static std::vector<char*> argv;
+  argv.clear();
+  argv.push_back(const_cast<char*>("pim"));
+  for (auto& t : storage) argv.push_back(t.data());
+  return Args(static_cast<int>(argv.size()), argv.data(), 1);
+}
+
+TEST(CliArgs, PositionalsAndFlags) {
+  const Args args = make({"evaluate", "65nm", "--length", "5", "--golden"});
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positional(0), "evaluate");
+  EXPECT_EQ(args.positional(1), "65nm");
+  EXPECT_EQ(args.positional(9, "dflt"), "dflt");
+  EXPECT_TRUE(args.has("length"));
+  EXPECT_TRUE(args.has("golden"));
+  EXPECT_FALSE(args.has("style"));
+  EXPECT_DOUBLE_EQ(args.get_double("length", 0.0), 5.0);
+  EXPECT_EQ(args.get("golden"), "");  // switch: no value
+}
+
+TEST(CliArgs, TypedGettersWithFallbacks) {
+  const Args args = make({"--n", "7", "--x", "2.5"});
+  EXPECT_EQ(args.get_long("n", 0), 7);
+  EXPECT_EQ(args.get_long("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_THROW(args.get_long("x", 0), Error);  // "2.5" is not an integer
+}
+
+TEST(CliArgs, SwitchFollowedByFlag) {
+  const Args args = make({"--golden", "--length", "3"});
+  EXPECT_TRUE(args.has("golden"));
+  EXPECT_EQ(args.get("golden"), "");
+  EXPECT_DOUBLE_EQ(args.get_double("length", 0.0), 3.0);
+}
+
+TEST(CliArgs, UnknownFlagCheck) {
+  const Args args = make({"--length", "3", "--bogus"});
+  EXPECT_THROW(args.check_known({"length"}), Error);
+  EXPECT_NO_THROW(args.check_known({"length", "bogus"}));
+}
+
+TEST(CliArgs, BareDoubleDashRejected) {
+  EXPECT_THROW(make({"--"}), Error);
+}
+
+}  // namespace
+}  // namespace pim::cli

@@ -1,0 +1,174 @@
+// Tests for pim::liberty — cell containers, NLDM evaluation, and the
+// Liberty-lite writer/parser round trip.
+#include <gtest/gtest.h>
+
+#include "liberty/libertyfile.hpp"
+#include "liberty/library.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace pim {
+namespace {
+
+using namespace pim::unit;
+
+TimingTable make_table(double scale) {
+  TimingTable t;
+  t.slew_axis = {10 * ps, 100 * ps};
+  t.load_axis = {1 * fF, 10 * fF, 100 * fF};
+  t.delay = Matrix(2, 3);
+  t.out_slew = Matrix(2, 3);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      t.delay(i, j) = scale * (10 * ps + t.slew_axis[i] * 0.2 + t.load_axis[j] * 1e9);
+      t.out_slew(i, j) = scale * (5 * ps + t.load_axis[j] * 2e9);
+    }
+  }
+  return t;
+}
+
+RepeaterCell make_cell(CellKind kind, int drive) {
+  RepeaterCell c;
+  c.name = repeater_cell_name(kind, drive);
+  c.kind = kind;
+  c.drive = drive;
+  c.wn = drive * 0.26 * um;
+  c.wp = 2.0 * c.wn;
+  c.input_cap = drive * 0.7 * fF;
+  c.leakage_nmos = drive * 10 * nW;
+  c.leakage_pmos = drive * 8 * nW;
+  c.area = drive * 1.0 * um2;
+  c.rise = make_table(1.0);
+  c.fall = make_table(0.9);
+  return c;
+}
+
+TEST(Cell, Names) {
+  EXPECT_EQ(repeater_cell_name(CellKind::Inverter, 4), "INVD4");
+  EXPECT_EQ(repeater_cell_name(CellKind::Buffer, 16), "BUFD16");
+  EXPECT_EQ(cell_kind_name(CellKind::Inverter), "INV");
+}
+
+TEST(Cell, LeakageAverage) {
+  const RepeaterCell c = make_cell(CellKind::Inverter, 4);
+  EXPECT_DOUBLE_EQ(c.leakage_avg(), 0.5 * (c.leakage_nmos + c.leakage_pmos));
+}
+
+TEST(TimingTableTest, BilinearEvalAtGridPointsExact) {
+  const TimingTable t = make_table(1.0);
+  EXPECT_DOUBLE_EQ(t.eval_delay(10 * ps, 1 * fF), t.delay(0, 0));
+  EXPECT_DOUBLE_EQ(t.eval_delay(100 * ps, 100 * fF), t.delay(1, 2));
+  EXPECT_DOUBLE_EQ(t.eval_out_slew(10 * ps, 10 * fF), t.out_slew(0, 1));
+}
+
+TEST(TimingTableTest, InvalidTableRejected) {
+  TimingTable t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_THROW(t.eval_delay(0, 0), Error);
+}
+
+TEST(TimingTableTest, WorstDelayIsMaxOfEdges) {
+  const RepeaterCell c = make_cell(CellKind::Inverter, 4);
+  const double rise = c.rise.eval_delay(50 * ps, 20 * fF);
+  const double fall = c.fall.eval_delay(50 * ps, 20 * fF);
+  EXPECT_DOUBLE_EQ(c.worst_delay(50 * ps, 20 * fF), std::max(rise, fall));
+}
+
+TEST(Library, AddLookupAndDuplicates) {
+  CellLibrary lib("pim_test", TechNode::N65, 1.0);
+  lib.add_cell(make_cell(CellKind::Inverter, 4));
+  lib.add_cell(make_cell(CellKind::Inverter, 8));
+  lib.add_cell(make_cell(CellKind::Buffer, 4));
+  EXPECT_TRUE(lib.has_cell("INVD4"));
+  EXPECT_FALSE(lib.has_cell("INVD2"));
+  EXPECT_EQ(lib.cell("INVD8").drive, 8);
+  EXPECT_EQ(lib.cell(CellKind::Buffer, 4).name, "BUFD4");
+  EXPECT_THROW(lib.cell("NAND2"), Error);
+  EXPECT_THROW(lib.add_cell(make_cell(CellKind::Inverter, 4)), Error);
+}
+
+TEST(Library, CellsOfKindSortedByDrive) {
+  CellLibrary lib("pim_test", TechNode::N65, 1.0);
+  lib.add_cell(make_cell(CellKind::Inverter, 16));
+  lib.add_cell(make_cell(CellKind::Inverter, 2));
+  lib.add_cell(make_cell(CellKind::Buffer, 8));
+  lib.add_cell(make_cell(CellKind::Inverter, 8));
+  const auto inv = lib.cells_of_kind(CellKind::Inverter);
+  ASSERT_EQ(inv.size(), 3u);
+  EXPECT_EQ(inv[0]->drive, 2);
+  EXPECT_EQ(inv[1]->drive, 8);
+  EXPECT_EQ(inv[2]->drive, 16);
+}
+
+TEST(Library, StandardDrivesCoverPaperRange) {
+  const auto& drives = standard_drive_strengths();
+  // The paper's experiments use INVD4..INVD20; the buffering search needs
+  // larger sizes too.
+  for (int d : {4, 6, 8, 12, 16, 20}) {
+    EXPECT_NE(std::find(drives.begin(), drives.end(), d), drives.end()) << d;
+  }
+  EXPECT_GE(drives.back(), 32);
+}
+
+TEST(LibertyFile, RoundTripPreservesLibrary) {
+  CellLibrary lib("pim_45nm", TechNode::N45, 1.1);
+  lib.add_cell(make_cell(CellKind::Inverter, 4));
+  lib.add_cell(make_cell(CellKind::Buffer, 12));
+  const CellLibrary r = parse_liberty(write_liberty(lib));
+
+  EXPECT_EQ(r.name(), "pim_45nm");
+  EXPECT_EQ(r.node(), TechNode::N45);
+  EXPECT_DOUBLE_EQ(r.vdd(), 1.1);
+  ASSERT_EQ(r.cells().size(), 2u);
+  const RepeaterCell& a = lib.cell("INVD4");
+  const RepeaterCell& b = r.cell("INVD4");
+  EXPECT_EQ(b.kind, a.kind);
+  EXPECT_EQ(b.drive, a.drive);
+  EXPECT_NEAR(b.wn, a.wn, 1e-15);
+  EXPECT_NEAR(b.input_cap, a.input_cap, 1e-21);
+  EXPECT_NEAR(b.leakage_pmos, a.leakage_pmos, 1e-15);
+  ASSERT_TRUE(b.rise.valid());
+  for (size_t i = 0; i < 2; ++i)
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(b.rise.delay(i, j), a.rise.delay(i, j), 1e-18);
+      EXPECT_NEAR(b.fall.out_slew(i, j), a.fall.out_slew(i, j), 1e-18);
+    }
+  const RepeaterCell& buf = r.cell("BUFD12");
+  EXPECT_EQ(buf.kind, CellKind::Buffer);
+}
+
+TEST(LibertyFile, WriterRejectsUnpopulatedTables) {
+  CellLibrary lib("x", TechNode::N90, 1.2);
+  RepeaterCell c = make_cell(CellKind::Inverter, 4);
+  c.rise = TimingTable{};
+  lib.add_cell(std::move(c));
+  EXPECT_THROW(write_liberty(lib), Error);
+}
+
+TEST(LibertyFile, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_liberty(""), Error);
+  EXPECT_THROW(parse_liberty("library (x) {\n voltage 1;\n"), Error);  // unterminated
+  EXPECT_THROW(parse_liberty("library (x) {\n bogus 1;\n}\n"), Error);
+  EXPECT_THROW(parse_liberty("library (x) { voltage 1; cell (A) { kind INV; } }"),
+               Error);  // missing timing
+  // Ragged table rows.
+  CellLibrary lib("pim_90nm", TechNode::N90, 1.2);
+  lib.add_cell(make_cell(CellKind::Inverter, 4));
+  std::string text = write_liberty(lib);
+  const size_t pos = text.find("row");
+  text.insert(text.find(';', pos), " 1e-12");
+  EXPECT_THROW(parse_liberty(text), Error);
+}
+
+TEST(LibertyFile, FileRoundTrip) {
+  CellLibrary lib("pim_16nm", TechNode::N16, 0.7);
+  lib.add_cell(make_cell(CellKind::Inverter, 2));
+  const std::string path = testing::TempDir() + "/pim_liberty_test.lib";
+  save_liberty(lib, path);
+  const CellLibrary r = load_liberty(path);
+  EXPECT_EQ(r.node(), TechNode::N16);
+  EXPECT_TRUE(r.has_cell("INVD2"));
+}
+
+}  // namespace
+}  // namespace pim

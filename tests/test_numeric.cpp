@@ -1,0 +1,357 @@
+// Unit + property tests for pim::numeric — matrices, LU, banded LU,
+// least squares, regression, optimization, interpolation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/banded.hpp"
+#include "numeric/interp.hpp"
+#include "numeric/leastsq.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+#include "numeric/optimize.hpp"
+#include "numeric/regression.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pim {
+namespace {
+
+TEST(Matrix, MultiplyVector) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Vector y = a.multiply({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, MultiplyMatrixMatchesIdentity) {
+  Matrix a(3, 3);
+  Rng rng(5);
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 3; ++c) a(r, c) = rng.uniform(-1, 1);
+  const Matrix prod = a.multiply(Matrix::identity(3));
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+}
+
+TEST(Matrix, TransposedSwapsShape) {
+  Matrix a(2, 3);
+  a(0, 2) = 7.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+}
+
+TEST(VectorOps, Norms) {
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf({-3.0, 2.0}), 3.0);
+  EXPECT_DOUBLE_EQ(dot({1, 2}, {3, 4}), 11.0);
+}
+
+// Property: LU solve recovers x from b = A x for random well-conditioned A.
+class LuRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomTest, SolveRecoversKnownSolution) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 7919);
+  Matrix a(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += n;  // diagonal dominance keeps it well-conditioned
+  }
+  Vector x_true(n);
+  for (int i = 0; i < n; ++i) x_true[i] = rng.uniform(-10.0, 10.0);
+  const Vector b = a.multiply(x_true);
+  const Vector x = solve_dense(a, b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomTest, ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const Vector x = solve_dense(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(solve_dense(a, {1.0, 1.0}), Error);
+}
+
+// Property: banded solve agrees with dense solve on random banded systems.
+class BandedTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BandedTest, MatchesDense) {
+  const auto [n, band] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 31 + band));
+  BandedMatrix bm(n, band, band);
+  for (int r = 0; r < n; ++r) {
+    for (int c = std::max(0, r - band); c <= std::min(n - 1, r + band); ++c)
+      bm.add(r, c, rng.uniform(-1.0, 1.0));
+    bm.add(r, r, 2.0 * band + 3.0);  // diagonal dominance: safe without pivoting
+  }
+  Vector b(n);
+  for (int i = 0; i < n; ++i) b[i] = rng.uniform(-5.0, 5.0);
+  const Vector x_band = BandedLu(bm).solve(b);
+  const Vector x_dense = solve_dense(bm.to_dense(), b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x_band[i], x_dense[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BandedTest,
+                         ::testing::Values(std::make_tuple(1, 0), std::make_tuple(5, 1),
+                                           std::make_tuple(20, 2), std::make_tuple(50, 4),
+                                           std::make_tuple(120, 7), std::make_tuple(300, 3)));
+
+TEST(Banded, RejectsOutOfBandEntry) {
+  BandedMatrix bm(5, 1, 1);
+  EXPECT_THROW(bm.add(0, 3, 1.0), Error);
+  EXPECT_DOUBLE_EQ(bm.at(0, 3), 0.0);
+}
+
+TEST(Banded, MultiplyMatchesDense) {
+  BandedMatrix bm(4, 1, 1);
+  bm.add(0, 0, 2.0);
+  bm.add(0, 1, -1.0);
+  bm.add(1, 0, -1.0);
+  bm.add(1, 1, 2.0);
+  bm.add(2, 2, 1.5);
+  bm.add(3, 3, 1.0);
+  const Vector x = {1.0, 2.0, 3.0, 4.0};
+  const Vector y_band = bm.multiply(x);
+  const Vector y_dense = bm.to_dense().multiply(x);
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y_band[i], y_dense[i]);
+}
+
+TEST(LeastSquares, ExactSystemSolvedExactly) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 0.0;
+  a(1, 0) = 0.0;
+  a(1, 1) = 4.0;
+  const Vector x = least_squares(a, {2.0, 8.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedMinimizesResidual) {
+  // y = 3 + 2x with symmetric noise; LS must recover the exact line
+  // because the noise is orthogonal to the design by construction.
+  Matrix a(4, 2);
+  Vector b(4);
+  const double xs[4] = {0, 1, 2, 3};
+  const double noise[4] = {0.1, -0.1, -0.1, 0.1};
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = xs[i];
+    b[i] = 3.0 + 2.0 * xs[i] + noise[i];
+  }
+  const Vector c = least_squares(a, b);
+  EXPECT_NEAR(c[0], 3.0, 0.11);
+  EXPECT_NEAR(c[1], 2.0, 0.11);
+  // Residual must not exceed the noise norm.
+  EXPECT_LE(residual_norm(a, c, b), norm2({0.1, 0.1, 0.1, 0.1}) + 1e-12);
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+  Matrix a(3, 2);
+  for (int i = 0; i < 3; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = 2.0;  // column 2 = 2 * column 1
+    a(i, 1) = 2.0 * a(i, 0);
+  }
+  EXPECT_THROW(least_squares(a, {1.0, 2.0, 3.0}), Error);
+}
+
+TEST(Regression, LinearRecoversLine) {
+  const Vector x = {1, 2, 3, 4, 5};
+  Vector y(5);
+  for (size_t i = 0; i < 5; ++i) y[i] = -2.0 + 0.5 * x[i];
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-10);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Regression, ZeroInterceptForcedThroughOrigin) {
+  const Vector x = {1, 2, 4};
+  const Vector y = {3.1, 5.9, 12.1};  // roughly 3x
+  const LinearFit fit = fit_linear_zero_intercept(x, y);
+  EXPECT_DOUBLE_EQ(fit.intercept, 0.0);
+  EXPECT_NEAR(fit.slope, 3.0, 0.05);
+}
+
+TEST(Regression, QuadraticRecoversParabola) {
+  Vector x, y;
+  for (int i = -5; i <= 5; ++i) {
+    x.push_back(i);
+    y.push_back(1.0 + 2.0 * i + 0.5 * i * i);
+  }
+  const PolynomialFit fit = fit_polynomial(x, y, 2);
+  ASSERT_EQ(fit.coeff.size(), 3u);
+  EXPECT_NEAR(fit.coeff[0], 1.0, 1e-9);
+  EXPECT_NEAR(fit.coeff[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coeff[2], 0.5, 1e-9);
+}
+
+TEST(Regression, MultilinearRecoversPlane) {
+  // y = 1 + 2 x1 - 3 x2 over a grid.
+  std::vector<Vector> xs(2);
+  Vector y;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      xs[0].push_back(i);
+      xs[1].push_back(j);
+      y.push_back(1.0 + 2.0 * i - 3.0 * j);
+    }
+  }
+  const MultiLinearFit fit = fit_multilinear(xs, y);
+  ASSERT_EQ(fit.coeff.size(), 3u);
+  EXPECT_NEAR(fit.coeff[0], 1.0, 1e-9);
+  EXPECT_NEAR(fit.coeff[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coeff[2], -3.0, 1e-9);
+  EXPECT_NEAR(fit.eval({2.0, 1.0}), 2.0, 1e-9);
+}
+
+TEST(Regression, Stats) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_NEAR(max_relative_error({1.1, 2.0}, {1.0, 2.0}), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(r_squared({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(Optimize, GoldenSectionFindsParabolaMinimum) {
+  const auto res = golden_section_minimize([](double x) { return (x - 1.7) * (x - 1.7); },
+                                           -10.0, 10.0, 1e-8);
+  EXPECT_NEAR(res.x, 1.7, 1e-6);
+  EXPECT_NEAR(res.value, 0.0, 1e-10);
+}
+
+TEST(Optimize, TernarySearchExactOnUnimodal) {
+  const auto res = ternary_search_min([](long x) { return static_cast<double>((x - 37) * (x - 37)); },
+                                      0, 1000);
+  EXPECT_EQ(res.x, 37);
+  EXPECT_DOUBLE_EQ(res.value, 0.0);
+}
+
+TEST(Optimize, ScanMinIsExact) {
+  const auto res = scan_min([](long x) { return std::fabs(static_cast<double>(x) - 5.0); }, -3, 20);
+  EXPECT_EQ(res.x, 5);
+}
+
+TEST(Interp, LinearInterpolatesAndExtrapolates) {
+  const Vector xs = {0.0, 1.0, 2.0};
+  const Vector ys = {0.0, 10.0, 40.0};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 1.5), 25.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 3.0), 70.0);   // extrapolation
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, -1.0), -10.0); // extrapolation
+}
+
+TEST(Interp, Grid2DBilinear) {
+  Matrix v(2, 2);
+  v(0, 0) = 0.0;
+  v(0, 1) = 1.0;
+  v(1, 0) = 2.0;
+  v(1, 1) = 3.0;
+  Grid2D g({0.0, 1.0}, {0.0, 1.0}, v);
+  EXPECT_DOUBLE_EQ(g.eval(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.eval(1.0, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(g.eval(0.5, 0.5), 1.5);
+  // Bilinear surface is exact for the plane z = 2r + c.
+  EXPECT_DOUBLE_EQ(g.eval(0.25, 0.75), 2 * 0.25 + 0.75);
+}
+
+// Property: polynomial fitting recovers random polynomials exactly when
+// the sample count exceeds the degree.
+class PolyRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolyRecovery, RecoversRandomPolynomial) {
+  const int degree = GetParam();
+  Rng rng(static_cast<uint64_t>(degree) * 1337 + 7);
+  Vector coeff(static_cast<size_t>(degree) + 1);
+  for (double& c : coeff) c = rng.uniform(-3.0, 3.0);
+  Vector x, y;
+  for (int i = 0; i <= degree + 5; ++i) {
+    const double xi = -1.0 + 2.0 * i / (degree + 5);
+    double p = 0.0;
+    for (size_t k = coeff.size(); k-- > 0;) p = p * xi + coeff[k];
+    x.push_back(xi);
+    y.push_back(p);
+  }
+  const PolynomialFit fit = fit_polynomial(x, y, degree);
+  ASSERT_EQ(fit.coeff.size(), coeff.size());
+  for (size_t k = 0; k < coeff.size(); ++k)
+    EXPECT_NEAR(fit.coeff[k], coeff[k], 1e-7 * (1.0 + std::fabs(coeff[k]))) << k;
+  EXPECT_GT(fit.r_squared, 1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyRecovery, ::testing::Values(0, 1, 2, 3, 4, 6));
+
+// Property: least squares on noisy data has residual no larger than any
+// candidate solution we can construct.
+TEST(LeastSquares, ResidualIsMinimalAgainstPerturbations) {
+  Rng rng(99);
+  Matrix a(12, 3);
+  Vector b(12);
+  for (size_t r = 0; r < 12; ++r) {
+    for (size_t c = 0; c < 3; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+    b[r] = rng.uniform(-5.0, 5.0);
+  }
+  const Vector x = least_squares(a, b);
+  const double best = residual_norm(a, x, b);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vector y = x;
+    for (double& v : y) v += rng.uniform(-0.1, 0.1);
+    EXPECT_GE(residual_norm(a, y, b), best - 1e-12);
+  }
+}
+
+// Property: asymmetric banded systems (kl != ku) agree with dense.
+class BandedAsymmetric
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BandedAsymmetric, MatchesDense) {
+  const auto [n, kl, ku] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 7 + kl * 3 + ku));
+  BandedMatrix bm(n, kl, ku);
+  for (int r = 0; r < n; ++r) {
+    for (int c = std::max(0, r - kl); c <= std::min(n - 1, r + ku); ++c)
+      bm.add(r, c, rng.uniform(-1.0, 1.0));
+    bm.add(r, r, kl + ku + 3.0);
+  }
+  Vector b(n);
+  for (int i = 0; i < n; ++i) b[i] = rng.uniform(-5.0, 5.0);
+  const Vector xb = BandedLu(bm).solve(b);
+  const Vector xd = solve_dense(bm.to_dense(), b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(xb[i], xd[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BandedAsymmetric,
+                         ::testing::Values(std::make_tuple(10, 0, 2),
+                                           std::make_tuple(30, 3, 1),
+                                           std::make_tuple(50, 1, 5),
+                                           std::make_tuple(80, 6, 0)));
+
+TEST(Interp, BadAxisRejected) {
+  EXPECT_THROW(interp_linear({1.0, 1.0}, {0.0, 0.0}, 0.5), Error);
+  EXPECT_THROW(interp_linear({1.0}, {0.0}, 0.5), Error);
+}
+
+}  // namespace
+}  // namespace pim

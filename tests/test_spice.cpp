@@ -1,0 +1,449 @@
+// Tests for pim::spice — device model consistency, transient accuracy on
+// circuits with closed-form solutions, charge/energy accounting, banded
+// vs. dense solver agreement, and inverter behavior the paper's models
+// rely on (load-dependent delay/slew, size-dependent drive).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "spice/circuit.hpp"
+#include "spice/measure.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/transient.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace pim {
+namespace {
+
+using namespace pim::unit;
+
+MosfetParams test_nmos() {
+  MosfetParams p;
+  p.vth = 0.30;
+  p.k_sat = 1000.0;
+  p.alpha = 1.3;
+  p.k_vdsat = 0.6;
+  p.lambda = 0.08;
+  p.n_sub = 1.45;
+  p.c_gate = 1.0e-9;   // 1 fF/um
+  p.c_drain = 0.6e-9;
+  return p;
+}
+
+MosfetParams test_pmos() {
+  MosfetParams p = test_nmos();
+  p.k_sat = 500.0;  // weaker holes
+  return p;
+}
+
+InverterDevices test_devices() { return {test_nmos(), test_pmos()}; }
+
+constexpr double kVdd = 1.0;
+
+// ---------------------------------------------------------------- mosfet
+
+TEST(Mosfet, SaturationCurrentScalesWithWidth) {
+  const MosfetParams p = test_nmos();
+  const double i1 = eval_alpha_power(p, 1.0 * um, kVdd, kVdd).ids;
+  const double i2 = eval_alpha_power(p, 2.0 * um, kVdd, kVdd).ids;
+  EXPECT_NEAR(i2 / i1, 2.0, 1e-9);
+  EXPECT_GT(i1, 0.0);
+}
+
+TEST(Mosfet, CurrentMonotonicInVgs) {
+  const MosfetParams p = test_nmos();
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 1.2; vgs += 0.05) {
+    const double i = eval_alpha_power(p, 1.0 * um, vgs, 0.8).ids;
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Mosfet, ZeroVdsGivesZeroCurrent) {
+  const MosfetParams p = test_nmos();
+  EXPECT_NEAR(eval_alpha_power(p, 1.0 * um, kVdd, 0.0).ids, 0.0, 1e-15);
+}
+
+TEST(Mosfet, ReverseConductionAntisymmetric) {
+  const MosfetParams p = test_nmos();
+  // With vgs measured from the *source-side* terminal, forward(vg, vd=x)
+  // and reverse conduction obey I(vgs, -x) = -I(vgs + x evaluated at
+  // swapped terminals); spot-check the sign and continuity at vds = 0.
+  const double i_neg = eval_alpha_power(p, 1.0 * um, 0.8, -0.3).ids;
+  EXPECT_LT(i_neg, 0.0);
+  const double i_eps_pos = eval_alpha_power(p, 1.0 * um, 0.8, 1e-6).ids;
+  const double i_eps_neg = eval_alpha_power(p, 1.0 * um, 0.8, -1e-6).ids;
+  EXPECT_NEAR(i_eps_pos, -i_eps_neg, 1e-8);
+}
+
+TEST(Mosfet, SubthresholdSlopeIsExponential) {
+  const MosfetParams p = test_nmos();
+  // One decade of current per ~ln(10)*n*vT/alpha volts of vgs below vth.
+  const double i1 = eval_alpha_power(p, 1.0 * um, 0.10, kVdd).ids;
+  const double i2 = eval_alpha_power(p, 1.0 * um, 0.20, kVdd).ids;
+  const double swing = 0.1 / std::log10(i2 / i1);  // V per decade
+  const double expected = std::log(10.0) * p.n_sub * constant::v_thermal_300k / p.alpha;
+  EXPECT_NEAR(swing, expected, 0.2 * expected);
+}
+
+TEST(Mosfet, OffCurrentLinearInWidth) {
+  const MosfetParams p = test_nmos();
+  const double i1 = off_current(p, 1.0 * um, kVdd);
+  const double i3 = off_current(p, 3.0 * um, kVdd);
+  EXPECT_GT(i1, 0.0);
+  EXPECT_NEAR(i3 / i1, 3.0, 1e-9);
+}
+
+// Property: analytic derivatives match central finite differences over a
+// bias grid spanning subthreshold, triode, saturation, and reverse biases.
+class MosfetDerivativeTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MosfetDerivativeTest, AnalyticMatchesFiniteDifference) {
+  const auto [vgs, vds] = GetParam();
+  const MosfetParams p = test_nmos();
+  const double w = 1.0 * um;
+  const double h = 1e-6;
+  const MosEval e = eval_alpha_power(p, w, vgs, vds);
+  const double gm_fd = (eval_alpha_power(p, w, vgs + h, vds).ids -
+                        eval_alpha_power(p, w, vgs - h, vds).ids) /
+                       (2 * h);
+  const double gds_fd = (eval_alpha_power(p, w, vgs, vds + h).ids -
+                         eval_alpha_power(p, w, vgs, vds - h).ids) /
+                        (2 * h);
+  const double scale = std::max({std::fabs(e.g_m), std::fabs(e.g_ds), 1e-9});
+  EXPECT_NEAR(e.g_m, gm_fd, 2e-3 * scale) << "vgs=" << vgs << " vds=" << vds;
+  EXPECT_NEAR(e.g_ds, gds_fd, 2e-3 * scale) << "vgs=" << vgs << " vds=" << vds;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, MosfetDerivativeTest,
+    ::testing::Combine(::testing::Values(0.0, 0.2, 0.4, 0.7, 1.0, 1.2),
+                       ::testing::Values(-0.8, -0.2, 0.05, 0.3, 0.7, 1.2)));
+
+// ---------------------------------------------------------------- circuit
+
+TEST(Circuit, ValidatesElements) {
+  Circuit c;
+  const NodeId a = c.add_node("a");
+  EXPECT_THROW(c.add_resistor(a, a, 100.0), Error);
+  EXPECT_THROW(c.add_resistor(a, 99, 100.0), Error);
+  EXPECT_THROW(c.add_resistor(a, c.ground(), -5.0), Error);
+  EXPECT_THROW(c.add_capacitor(a, c.ground(), -1e-15), Error);
+  EXPECT_THROW(c.add_vsource(c.ground(), Waveform::dc(1.0)), Error);
+  c.add_vsource(a, Waveform::dc(1.0));
+  EXPECT_THROW(c.add_vsource(a, Waveform::dc(2.0)), Error);
+  EXPECT_TRUE(c.is_source_node(a));
+  EXPECT_FALSE(c.is_source_node(c.ground()));
+}
+
+TEST(Circuit, ZeroCapacitorIsDropped) {
+  Circuit c;
+  const NodeId a = c.add_node();
+  c.add_capacitor(a, c.ground(), 0.0);
+  EXPECT_TRUE(c.capacitors().empty());
+}
+
+TEST(Waveform, RampShape) {
+  const Waveform w = Waveform::ramp(0.0, 1.0, 1.0 * ns, 100.0 * ps);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(1.0 * ns), 0.0);
+  EXPECT_NEAR(w.value(1.05 * ns), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(w.value(2.0 * ns), 1.0);
+}
+
+TEST(Waveform, PwlValidation) {
+  EXPECT_THROW(Waveform::pwl({1.0, 1.0}, {0.0, 1.0}), Error);
+  EXPECT_THROW(Waveform::pwl({}, {}), Error);
+}
+
+// -------------------------------------------------------------- transient
+
+// RC charge: v(t) = Vdd (1 - exp(-t/RC)), t50 = RC ln 2, and the source
+// delivers exactly C*Vdd of charge.
+TEST(Transient, SingleRcMatchesClosedForm) {
+  Circuit c;
+  const NodeId in = c.add_node("in");
+  const NodeId out = c.add_node("out");
+  const double R = 1.0 * kohm;
+  const double C = 1.0 * pF;
+  c.add_vsource(in, Waveform::ramp(0.0, 1.0, 0.0, 1.0 * ps));
+  c.add_resistor(in, out, R);
+  c.add_capacitor(out, c.ground(), C);
+
+  TransientOptions opt;
+  opt.t_stop = 6.0 * ns;
+  opt.dt = 1.0 * ps;
+  const TransientResult res = run_transient(c, opt, {in, out});
+
+  const double tau = R * C;
+  // Sample a few points along the curve (offset by the ramp midpoint).
+  for (double frac : {0.5, 1.0, 2.0, 3.0}) {
+    const double t = frac * tau;
+    // Find nearest sample.
+    size_t k = static_cast<size_t>(t / opt.dt);
+    const double expected = 1.0 - std::exp(-(res.time[k] - 0.5 * ps) / tau);
+    EXPECT_NEAR(res.trace(out)[k], expected, 0.01);
+  }
+  const double t50 = crossing_time(res.time, res.trace(out), 0.5, EdgeKind::Rising);
+  EXPECT_NEAR(t50, tau * std::log(2.0), 0.02 * tau);
+  // Charge conservation.
+  EXPECT_NEAR(res.sources[0].charge, C * 1.0, 0.02 * C);
+  // Energy: source delivers C*V^2, half stored, half burned in R.
+  EXPECT_NEAR(res.sources[0].energy, C * 1.0 * 1.0, 0.05 * C);
+}
+
+TEST(Transient, BackwardEulerAlsoAccurate) {
+  Circuit c;
+  const NodeId in = c.add_node();
+  const NodeId out = c.add_node();
+  c.add_vsource(in, Waveform::ramp(0.0, 1.0, 0.0, 1.0 * ps));
+  c.add_resistor(in, out, 1.0 * kohm);
+  c.add_capacitor(out, c.ground(), 1.0 * pF);
+  TransientOptions opt;
+  opt.t_stop = 4.0 * ns;
+  opt.dt = 0.5 * ps;
+  opt.integrator = Integrator::BackwardEuler;
+  const TransientResult res = run_transient(c, opt, {out});
+  const double t50 = crossing_time(res.time, res.trace(out), 0.5, EdgeKind::Rising);
+  EXPECT_NEAR(t50, 1.0 * ns * std::log(2.0), 0.03 * ns);
+}
+
+// A uniform RC ladder's 50 % step delay should be near 0.69 * Elmore for
+// the lumped single segment and grow ~quadratically with segment count.
+TEST(Transient, RcLadderDelayGrowsQuadratically) {
+  auto ladder_delay = [](int n) {
+    Circuit c;
+    const NodeId in = c.add_node();
+    c.add_vsource(in, Waveform::ramp(0.0, 1.0, 0.0, 1.0 * ps));
+    NodeId prev = in;
+    for (int i = 0; i < n; ++i) {
+      const NodeId next = c.add_node();
+      c.add_resistor(prev, next, 100.0);
+      c.add_capacitor(next, c.ground(), 100.0 * fF);
+      prev = next;
+    }
+    TransientOptions opt;
+    opt.t_stop = 10.0 * ns;
+    opt.dt = 1.0 * ps;
+    const TransientResult res = run_transient(c, opt, {prev});
+    return crossing_time(res.time, res.trace(prev), 0.5, EdgeKind::Rising);
+  };
+  const double d5 = ladder_delay(5);
+  const double d10 = ladder_delay(10);
+  // Elmore of the N-ladder is R*C*N(N+1)/2: ratio (10*11)/(5*6) = 3.67.
+  EXPECT_NEAR(d10 / d5, 110.0 / 30.0, 0.5);
+}
+
+TEST(Transient, BandedAndDensePathsAgree) {
+  auto build = [] {
+    Circuit c;
+    const NodeId in = c.add_node();
+    c.add_vsource(in, Waveform::ramp(0.0, 1.0, 0.0, 50.0 * ps));
+    NodeId prev = in;
+    for (int i = 0; i < 12; ++i) {
+      const NodeId next = c.add_node();
+      c.add_resistor(prev, next, 250.0);
+      c.add_capacitor(next, c.ground(), 20.0 * fF);
+      prev = next;
+    }
+    return std::pair{std::move(c), prev};
+  };
+  auto [c1, out1] = build();
+  TransientOptions banded;
+  banded.t_stop = 1.0 * ns;
+  banded.dt = 1.0 * ps;
+  const TransientResult r_band = run_transient(c1, banded, {out1});
+
+  auto [c2, out2] = build();
+  TransientOptions dense = banded;
+  dense.band_threshold = 0;  // force dense
+  const TransientResult r_dense = run_transient(c2, dense, {out2});
+
+  ASSERT_EQ(r_band.time.size(), r_dense.time.size());
+  for (size_t i = 0; i < r_band.time.size(); ++i)
+    EXPECT_NEAR(r_band.trace(out1)[i], r_dense.trace(out2)[i], 1e-7);
+}
+
+// ------------------------------------------------------------- inverter
+
+struct InverterRun {
+  double delay;
+  double out_slew;
+  double vdd_charge;
+};
+
+InverterRun run_inverter(double wn_um, double load_ff, double in_slew_ps,
+                         EdgeKind in_edge) {
+  Circuit c;
+  const NodeId vdd = c.add_node("vdd");
+  const NodeId in = c.add_node("in");
+  const NodeId out = c.add_node("out");
+  c.add_vsource(vdd, Waveform::dc(kVdd));
+  const double v0 = in_edge == EdgeKind::Rising ? 0.0 : kVdd;
+  const double v1 = kVdd - v0;
+  c.add_vsource(in, Waveform::ramp(v0, v1, 20.0 * ps, in_slew_ps * ps));
+  c.add_inverter(test_devices(), wn_um * um, 2.0 * wn_um * um, in, out, vdd);
+  c.add_capacitor(out, c.ground(), load_ff * fF);
+
+  TransientOptions opt;
+  opt.t_stop = 3.0 * ns;
+  opt.dt = 0.5 * ps;
+  const TransientResult res = run_transient(c, opt, {in, out});
+  const EdgeKind out_edge = in_edge == EdgeKind::Rising ? EdgeKind::Falling : EdgeKind::Rising;
+  InverterRun r;
+  r.delay = delay_50(res.time, res.trace(in), in_edge, res.trace(out), out_edge, kVdd);
+  r.out_slew = measure_slew(res.time, res.trace(out), out_edge, kVdd);
+  r.vdd_charge = res.sources[0].charge;
+  return r;
+}
+
+TEST(Inverter, DcLevelsCorrectAfterSettle) {
+  Circuit c;
+  const NodeId vdd = c.add_node();
+  const NodeId in = c.add_node();
+  const NodeId out = c.add_node();
+  c.add_vsource(vdd, Waveform::dc(kVdd));
+  c.add_vsource(in, Waveform::dc(0.0));
+  c.add_inverter(test_devices(), 1.0 * um, 2.0 * um, in, out, vdd);
+  c.add_capacitor(out, c.ground(), 5.0 * fF);
+  TransientOptions opt;
+  opt.t_stop = 0.1 * ns;
+  opt.dt = 1.0 * ps;
+  const TransientResult res = run_transient(c, opt, {out});
+  // Input low -> output pulled to vdd (minus negligible leakage droop).
+  EXPECT_NEAR(res.trace(out).front(), kVdd, 0.02);
+}
+
+TEST(Inverter, DelayIncreasesWithLoad) {
+  const double d1 = run_inverter(2.0, 5.0, 50.0, EdgeKind::Rising).delay;
+  const double d2 = run_inverter(2.0, 20.0, 50.0, EdgeKind::Rising).delay;
+  const double d3 = run_inverter(2.0, 80.0, 50.0, EdgeKind::Rising).delay;
+  EXPECT_GT(d2, d1);
+  EXPECT_GT(d3, d2);
+  // Load-dependent part should be roughly linear in c_l: the increments
+  // scale by roughly 4x when the load increment scales by 4x (the real
+  // device bends this somewhat — that residual is exactly what the
+  // paper's slew-dependent drive-resistance term absorbs).
+  const double inc1 = d2 - d1;
+  const double inc2 = d3 - d2;
+  EXPECT_GT(inc2 / inc1, 1.5);
+  EXPECT_LT(inc2 / inc1, 6.5);
+}
+
+TEST(Inverter, DelayDecreasesWithSize) {
+  const double small = run_inverter(1.0, 40.0, 50.0, EdgeKind::Rising).delay;
+  const double big = run_inverter(4.0, 40.0, 50.0, EdgeKind::Rising).delay;
+  EXPECT_LT(big, small);
+}
+
+TEST(Inverter, OutputSlewIncreasesWithLoad) {
+  const double s1 = run_inverter(2.0, 5.0, 50.0, EdgeKind::Rising).out_slew;
+  const double s2 = run_inverter(2.0, 40.0, 50.0, EdgeKind::Rising).out_slew;
+  EXPECT_GT(s2, s1);
+}
+
+TEST(Inverter, DelayIncreasesWithInputSlew) {
+  const double fast = run_inverter(2.0, 20.0, 20.0, EdgeKind::Rising).delay;
+  const double slow = run_inverter(2.0, 20.0, 300.0, EdgeKind::Rising).delay;
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Inverter, RisingOutputDrawsSupplyCharge) {
+  // Input falls -> output rises -> PMOS charges the load: the supply must
+  // deliver roughly (C_load + C_drain) * Vdd.
+  const double load = 40.0;
+  const InverterRun r = run_inverter(2.0, load, 50.0, EdgeKind::Falling);
+  const double c_drain =
+      (2.0 * um) * test_nmos().c_drain + (4.0 * um) * test_pmos().c_drain;
+  const double expected = (load * fF + c_drain) * kVdd;
+  EXPECT_NEAR(r.vdd_charge, expected, 0.25 * expected);
+}
+
+// Property: single-RC step response crossing matches the closed form
+// across a grid of (R, C) and both integrators.
+class RcClosedForm
+    : public ::testing::TestWithParam<std::tuple<double, double, Integrator>> {};
+
+TEST_P(RcClosedForm, FiftyPercentDelayIsRcLn2) {
+  const auto [r_kohm, c_ff, integ] = GetParam();
+  const double R = r_kohm * kohm;
+  const double C = c_ff * fF;
+  Circuit c;
+  const NodeId in = c.add_node();
+  const NodeId out = c.add_node();
+  c.add_vsource(in, Waveform::ramp(0.0, 1.0, 0.0, 0.5 * ps));
+  c.add_resistor(in, out, R);
+  c.add_capacitor(out, c.ground(), C);
+  const double tau = R * C;
+  TransientOptions opt;
+  opt.integrator = integ;
+  opt.dt = std::max(0.05 * ps, tau / 400.0);
+  opt.t_stop = 6.0 * tau + 2.0 * ps;
+  const TransientResult res = run_transient(c, opt, {out});
+  const double t50 = crossing_time(res.time, res.trace(out), 0.5, EdgeKind::Rising);
+  EXPECT_NEAR(t50, tau * std::log(2.0) + 0.25 * ps, 0.02 * tau + 0.2 * ps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RcClosedForm,
+    ::testing::Combine(::testing::Values(0.1, 1.0, 10.0),     // kohm
+                       ::testing::Values(10.0, 100.0, 1000.0), // fF
+                       ::testing::Values(Integrator::Trapezoidal,
+                                         Integrator::BackwardEuler)));
+
+// Pass-gate-flavored configuration: an NMOS whose source is NOT a rail,
+// exercising the reverse-conduction branch inside a real solve.
+TEST(Transient, NmosPassGateTransfersCharge) {
+  const MosfetParams n = test_nmos();
+  Circuit c;
+  const NodeId gate = c.add_node();
+  const NodeId src = c.add_node();
+  const NodeId out = c.add_node();
+  c.add_vsource(gate, Waveform::dc(1.0));
+  c.add_vsource(src, Waveform::ramp(0.0, 1.0, 10 * ps, 50 * ps));
+  c.add_mosfet(MosType::Nmos, n, 2 * um, gate, out, src);
+  c.add_capacitor(out, c.ground(), 20 * fF);
+  TransientOptions opt;
+  opt.t_stop = 3 * ns;
+  opt.dt = 1 * ps;
+  const TransientResult res = run_transient(c, opt, {out});
+  // The pass gate charges the output toward vdd - vth (body-effect-free
+  // alpha-power device: conduction dies as vgs approaches vth).
+  const double final_v = res.trace(out).back();
+  EXPECT_GT(final_v, 0.45);
+  EXPECT_LT(final_v, 0.85);
+  // Monotone rise, no spurious dips below -1 mV.
+  for (double v : res.trace(out)) EXPECT_GT(v, -1e-3);
+}
+
+// --------------------------------------------------------------- measure
+
+TEST(Measure, CrossingAndSlewOfIdealRamp) {
+  std::vector<double> t, v;
+  for (int i = 0; i <= 100; ++i) {
+    t.push_back(i * 1.0 * ps);
+    v.push_back(std::min(1.0, i / 50.0));  // 0 -> 1 over 50 ps
+  }
+  EXPECT_NEAR(crossing_time(t, v, 0.5, EdgeKind::Rising), 25.0 * ps, 0.01 * ps);
+  // 20-80 % of a linear ramp spans 0.6 of it; scaled back by 1/0.6 the
+  // measured slew equals the full ramp time.
+  EXPECT_NEAR(measure_slew(t, v, EdgeKind::Rising, 1.0), 50.0 * ps, 0.5 * ps);
+  EXPECT_THROW(crossing_time(t, v, 2.0, EdgeKind::Rising), Error);
+}
+
+TEST(Measure, FallingEdge) {
+  std::vector<double> t, v;
+  for (int i = 0; i <= 100; ++i) {
+    t.push_back(i * 1.0 * ps);
+    v.push_back(std::max(0.0, 1.0 - i / 40.0));
+  }
+  EXPECT_NEAR(crossing_time(t, v, 0.5, EdgeKind::Falling), 20.0 * ps, 0.01 * ps);
+  EXPECT_NEAR(measure_slew(t, v, EdgeKind::Falling, 1.0), 40.0 * ps, 0.5 * ps);
+}
+
+}  // namespace
+}  // namespace pim

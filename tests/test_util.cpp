@@ -1,0 +1,167 @@
+// Unit tests for pim::util — units, errors, strings, tables, CSV, RNG.
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace pim {
+namespace {
+
+TEST(Units, RoundTripConversions) {
+  EXPECT_DOUBLE_EQ(unit::to_ps(5.0 * unit::ps), 5.0);
+  EXPECT_DOUBLE_EQ(unit::to_fF(2.5 * unit::fF), 2.5);
+  EXPECT_DOUBLE_EQ(unit::to_mm(15.0 * unit::mm), 15.0);
+  EXPECT_DOUBLE_EQ(unit::to_mW(3.0 * unit::mW), 3.0);
+  EXPECT_DOUBLE_EQ(unit::to_GHz(2.25 * unit::GHz), 2.25);
+  EXPECT_DOUBLE_EQ(unit::to_um2(7.0 * unit::um2), 7.0);
+}
+
+TEST(Units, RelativeMagnitudes) {
+  EXPECT_LT(unit::ps, unit::ns);
+  EXPECT_LT(unit::fF, unit::pF);
+  EXPECT_LT(unit::nm, unit::um);
+  EXPECT_GT(unit::GHz, unit::MHz);
+}
+
+TEST(Error, RequireThrowsOnlyWhenFalse) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "boom"), Error);
+  try {
+    require(false, "specific message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+TEST(Error, FailAlwaysThrows) { EXPECT_THROW(fail("x"), Error); }
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t x \n"), "x");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a, b , c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(split("a,,b", ',')[1], "");
+}
+
+TEST(Strings, SplitWhitespace) {
+  const auto parts = split_whitespace("  one\ttwo \n three ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[2], "three");
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("liberty", "lib"));
+  EXPECT_FALSE(starts_with("lib", "liberty"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("  -2e-3 "), -2e-3);
+  EXPECT_THROW(parse_double("abc"), Error);
+  EXPECT_THROW(parse_double("1.5x"), Error);
+  EXPECT_THROW(parse_double(""), Error);
+}
+
+TEST(Strings, ParseLong) {
+  EXPECT_EQ(parse_long("42"), 42);
+  EXPECT_EQ(parse_long(" -7 "), -7);
+  EXPECT_THROW(parse_long("4.2"), Error);
+  EXPECT_THROW(parse_long(""), Error);
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(format_sig(0.00123456, 3), "0.00123");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, SeparatorRendered) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  // Two separators total: one under the header, one explicit.
+  const std::string s = t.to_string();
+  size_t count = 0;
+  for (size_t pos = 0; (pos = s.find("-\n", pos)) != std::string::npos; ++pos) ++count;
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Csv, QuotesSpecialCells) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"x,y", "plain"});
+  w.add_row({"with \"quote\"", "nl\nin"});
+  const std::string s = w.to_string();
+  EXPECT_NE(s.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(s.find("\"with \"\"quote\"\"\""), std::string::npos);
+  EXPECT_EQ(w.row_count(), 2u);
+}
+
+TEST(Csv, ArityChecked) {
+  CsvWriter w({"a"});
+  EXPECT_THROW(w.add_row({"1", "2"}), Error);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, RoughlyUniformMean) {
+  Rng r(42);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += r.next_double();
+  EXPECT_NEAR(acc / n, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace pim

@@ -1,0 +1,60 @@
+#include "cli_args.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pim::cli {
+
+Args::Args(int argc, char** argv, int from) {
+  for (int i = from; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (starts_with(token, "--")) {
+      const std::string name = token.substr(2);
+      require(!name.empty(), "cli: bare '--' is not a flag");
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        flags_[name] = argv[++i];
+      } else {
+        flags_[name] = "";
+      }
+    } else {
+      positionals_.push_back(token);
+    }
+  }
+}
+
+std::string Args::positional(size_t index, const std::string& fallback) const {
+  return index < positionals_.size() ? positionals_[index] : fallback;
+}
+
+bool Args::has(const std::string& flag) const { return flags_.count(flag) > 0; }
+
+std::string Args::get(const std::string& flag, const std::string& fallback) const {
+  const auto it = flags_.find(flag);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double Args::get_double(const std::string& flag, double fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  require(!it->second.empty(), "cli: --" + flag + " needs a value");
+  return parse_double(it->second);
+}
+
+long Args::get_long(const std::string& flag, long fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  require(!it->second.empty(), "cli: --" + flag + " needs a value");
+  return parse_long(it->second);
+}
+
+void Args::check_known(const std::vector<std::string>& known) const {
+  for (const auto& [flag, value] : flags_) {
+    (void)value;
+    require(std::find(known.begin(), known.end(), flag) != known.end(),
+            "cli: unknown flag '--" + flag + "'");
+  }
+}
+
+}  // namespace pim::cli

@@ -1,0 +1,36 @@
+// Minimal command-line argument parser for the pim CLI: positionals plus
+// `--flag value` / `--switch` options, with typed accessors and an
+// unknown-flag check.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pim::cli {
+
+class Args {
+ public:
+  /// Parses argv[from..); flags start with "--". A flag followed by a
+  /// non-flag token consumes it as its value; otherwise it is a switch.
+  Args(int argc, char** argv, int from);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// Positional at index or `fallback` when absent.
+  std::string positional(size_t index, const std::string& fallback = "") const;
+
+  bool has(const std::string& flag) const;
+  std::string get(const std::string& flag, const std::string& fallback = "") const;
+  double get_double(const std::string& flag, double fallback) const;
+  long get_long(const std::string& flag, long fallback) const;
+
+  /// Throws pim::Error if any parsed flag is not in `known`.
+  void check_known(const std::vector<std::string>& known) const;
+
+ private:
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> flags_;  // switch -> ""
+};
+
+}  // namespace pim::cli

@@ -1,0 +1,404 @@
+// pim — command-line front end to the library.
+//
+//   pim techfile <tech>                         dump a technology file
+//   pim characterize <tech> [--drives 2,8,32] [--lib out.lib] [--coeffs out.pimfit]
+//   pim fit <tech> [--coeffs out.pimfit]        characterize + fit + calibrate
+//   pim evaluate <tech> --length <mm> [--style SS|DS|SH] [--drive k]
+//                [--repeaters n] [--coeffs file] [--golden]
+//   pim buffer <tech> --length <mm> [--budget <ps>] [--weight w] [--coeffs file]
+//   pim noc <dvopd|vproc|spec.soc> <tech> [--model proposed|bakoglu|pamunuwa]
+//           [--dot out.dot] [--coeffs file]
+//   pim yield <tech> --length <mm> [--samples n] [--coeffs file]
+//   pim noise <tech> --length <mm> [--drive k] [--coeffs file]
+//   pim timer <tech> --length <mm> [--drive k] [--repeaters n]
+//   pim mesh <dvopd|vproc|spec.soc> <tech> [--rows r] [--cols c] [--coeffs file]
+//   pim export <tech> --length <mm> [--deck out.sp] [--spef out.spef]
+//
+// <tech> is one of 90nm 65nm 45nm 32nm 22nm 16nm. When --coeffs names an
+// existing file it is loaded; otherwise the flow characterizes (slow) and
+// saves there.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "buffering/optimize.hpp"
+#include "charlib/coeffs_io.hpp"
+#include "cosi/specfile.hpp"
+#include "liberty/libertyfile.hpp"
+#include "cosi/mesh.hpp"
+#include "cosi/synthesis.hpp"
+#include "cosi/testcases.hpp"
+#include "models/baseline.hpp"
+#include "models/proposed.hpp"
+#include "spice/deck.hpp"
+#include "sta/calibrated.hpp"
+#include "sta/nldm_timer.hpp"
+#include "sta/noise.hpp"
+#include "sta/signoff.hpp"
+#include "sta/spef.hpp"
+#include "tech/techfile.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "variation/variation.hpp"
+
+#include "cli_args.hpp"
+
+namespace pim::cli {
+namespace {
+
+using namespace pim::unit;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pim <command> [args]\n"
+               "  techfile <tech>\n"
+               "  characterize <tech> [--drives 2,8,32] [--lib out.lib] [--coeffs out]\n"
+               "  fit <tech> [--coeffs out.pimfit]\n"
+               "  evaluate <tech> --length <mm> [--style SS|DS|SH] [--drive k]\n"
+               "           [--repeaters n] [--coeffs file] [--golden]\n"
+               "  buffer <tech> --length <mm> [--budget ps] [--weight w] [--coeffs file]\n"
+               "  noc <dvopd|vproc|spec.soc> <tech> [--model m] [--dot out] [--coeffs file]\n"
+               "  yield <tech> --length <mm> [--samples n] [--coeffs file]\n"
+               "  noise <tech> --length <mm> [--drive k] [--coeffs file]\n"
+               "  timer <tech> --length <mm> [--drive k] [--repeaters n]\n"
+               "  mesh <dvopd|vproc|spec.soc> <tech> [--rows r] [--cols c]\n"
+               "  export <tech> --length <mm> [--deck out.sp] [--spef out.spef]\n");
+  return 2;
+}
+
+TechNode tech_arg(const Args& args, size_t index) {
+  const std::string name = args.positional(index);
+  require(!name.empty(), "cli: missing <tech> argument");
+  return tech_node_from_name(name);
+}
+
+DesignStyle style_arg(const Args& args) {
+  const std::string s = args.get("style", "SS");
+  if (s == "SS") return DesignStyle::SingleSpacing;
+  if (s == "DS") return DesignStyle::DoubleSpacing;
+  if (s == "SH") return DesignStyle::Shielded;
+  fail("cli: --style must be SS, DS, or SH");
+}
+
+TechnologyFit fit_arg(TechNode node, const Args& args) {
+  return calibrated_fit(node, args.get("coeffs", ""));
+}
+
+LinkContext context_arg(TechNode node, const Args& args) {
+  LinkContext ctx;
+  ctx.length = args.get_double("length", 0.0) * mm;
+  require(ctx.length > 0.0, "cli: --length <mm> is required and must be positive");
+  ctx.style = style_arg(args);
+  ctx.input_slew = args.get_double("slew", 100.0) * ps;
+  ctx.frequency = technology(node).clock_frequency;
+  return ctx;
+}
+
+int cmd_techfile(const Args& args) {
+  args.check_known({});
+  std::fputs(write_techfile(technology(tech_arg(args, 0))).c_str(), stdout);
+  return 0;
+}
+
+int cmd_characterize(const Args& args) {
+  args.check_known({"drives", "lib", "coeffs"});
+  const TechNode node = tech_arg(args, 0);
+  const Technology& tech = technology(node);
+  CharacterizationOptions opt;
+  if (args.has("drives")) {
+    opt.drives.clear();
+    for (const std::string& d : split(args.get("drives"), ','))
+      opt.drives.push_back(static_cast<int>(parse_long(d)));
+  }
+  std::fprintf(stderr, "characterizing %s (transistor-level simulations)...\n",
+               tech.name.c_str());
+  const CellLibrary lib = characterize_library(tech, opt);
+  if (args.has("lib")) {
+    save_liberty(lib, args.get("lib"));
+    std::fprintf(stderr, "wrote %s\n", args.get("lib").c_str());
+  } else {
+    std::fputs(write_liberty(lib).c_str(), stdout);
+  }
+  if (args.has("coeffs")) {
+    const TechnologyFit fit = calibrate_composition(tech, fit_technology(tech, lib));
+    save_fit(fit, args.get("coeffs"));
+    std::fprintf(stderr, "wrote %s\n", args.get("coeffs").c_str());
+  }
+  return 0;
+}
+
+int cmd_fit(const Args& args) {
+  args.check_known({"coeffs"});
+  const TechNode node = tech_arg(args, 0);
+  const TechnologyFit fit = fit_arg(node, args);
+  std::fputs(write_fit(fit).c_str(), stdout);
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  args.check_known({"length", "style", "slew", "drive", "repeaters", "coeffs", "golden"});
+  const TechNode node = tech_arg(args, 0);
+  const Technology& tech = technology(node);
+  const LinkContext ctx = context_arg(node, args);
+  LinkDesign design;
+  design.drive = static_cast<int>(args.get_long("drive", 12));
+  design.num_repeaters = static_cast<int>(
+      args.get_long("repeaters", std::max(1L, std::lround(ctx.length / (1.0 * mm)))));
+
+  const ProposedModel model(tech, fit_arg(node, args));
+  const LinkEstimate est = model.evaluate(ctx, design);
+  std::printf("link: %.2f mm %s at %s, %d x INVD%d (miller %.2f)\n",
+              ctx.length / mm, design_style_name(ctx.style).c_str(), tech.name.c_str(),
+              design.num_repeaters, design.drive, design.miller_factor);
+  std::printf("model:  delay %.1f ps | slew %.1f ps | power %.4f mW/bit | area %.1f um2\n",
+              est.delay / ps, est.output_slew / ps, est.total_power() / mW,
+              est.repeater_area / um2);
+  if (args.has("golden")) {
+    const SignoffResult golden = signoff_link(tech, ctx, design);
+    std::printf("golden: delay %.1f ps | slew %.1f ps (%zu nodes) | model err %+.1f %%\n",
+                golden.delay / ps, golden.output_slew / ps, golden.node_count,
+                100.0 * (est.delay - golden.delay) / golden.delay);
+  }
+  return 0;
+}
+
+int cmd_buffer(const Args& args) {
+  args.check_known({"length", "style", "slew", "budget", "weight", "coeffs"});
+  const TechNode node = tech_arg(args, 0);
+  const Technology& tech = technology(node);
+  const LinkContext ctx = context_arg(node, args);
+  BufferingOptions opt;
+  opt.weight = args.get_double("weight", 0.6);
+  if (args.has("budget")) opt.max_delay = args.get_double("budget", 0.0) * ps;
+  const ProposedModel model(tech, fit_arg(node, args));
+  const BufferingResult best = optimize_buffering(model, ctx, opt);
+  if (!best.feasible) {
+    std::printf("infeasible: no buffering meets the constraints (%ld candidates)\n",
+                best.evaluations);
+    return 1;
+  }
+  std::printf("best: %d x %sD%d (miller %.2f) after %ld candidates\n",
+              best.design.num_repeaters, cell_kind_name(best.design.kind).c_str(),
+              best.design.drive, best.design.miller_factor, best.evaluations);
+  std::printf("estimate: delay %.1f ps | power %.4f mW/bit | area %.1f um2\n",
+              best.estimate.delay / ps, best.estimate.total_power() / mW,
+              best.estimate.repeater_area / um2);
+  return 0;
+}
+
+int cmd_noc(const Args& args) {
+  args.check_known({"model", "dot", "coeffs"});
+  const std::string which = args.positional(0);
+  require(!which.empty(), "cli: noc needs a spec (dvopd, vproc, or a .soc file)");
+  const TechNode node = tech_arg(args, 1);
+  const Technology& tech = technology(node);
+
+  SocSpec spec;
+  if (which == "dvopd") {
+    spec = dvopd_spec();
+  } else if (which == "vproc") {
+    spec = vproc_spec();
+  } else if (which == "mpeg4") {
+    spec = mpeg4_spec();
+  } else if (which == "mwd") {
+    spec = mwd_spec();
+  } else {
+    spec = load_soc_spec(which);
+  }
+
+  const std::string model_name = args.get("model", "proposed");
+  std::unique_ptr<InterconnectModel> model;
+  if (model_name == "proposed") {
+    model = std::make_unique<ProposedModel>(tech, fit_arg(node, args));
+  } else if (model_name == "bakoglu") {
+    model = std::make_unique<BakogluModel>(tech);
+  } else if (model_name == "pamunuwa") {
+    model = std::make_unique<PamunuwaModel>(tech);
+  } else {
+    fail("cli: --model must be proposed, bakoglu, or pamunuwa");
+  }
+
+  const NocSynthesisResult r = synthesize_noc(spec, *model);
+  const NocMetrics& m = r.metrics;
+  std::printf("%s at %s under the %s model:\n", spec.name.c_str(), tech.name.c_str(),
+              model->name().c_str());
+  std::printf("  power: %.2f mW dynamic + %.2f mW leakage\n", m.dynamic_power() / mW,
+              m.leakage_power() / mW);
+  std::printf("  worst link delay %.0f ps (budget %.0f ps) | area %.3f mm2\n",
+              m.worst_link_delay / ps, r.delay_budget / ps, m.total_area() / mm2);
+  std::printf("  %d links, %d routers, hops avg %.2f max %d, %d merges\n", m.num_links,
+              m.num_routers, m.avg_hops, m.max_hops, r.merges_applied);
+  if (args.has("dot")) {
+    std::ofstream out(args.get("dot"));
+    require(out.good(), "cli: cannot open '" + args.get("dot") + "'");
+    out << to_dot(r.architecture);
+    std::fprintf(stderr, "wrote %s\n", args.get("dot").c_str());
+  }
+  return 0;
+}
+
+int cmd_yield(const Args& args) {
+  args.check_known({"length", "style", "slew", "samples", "drive", "repeaters", "coeffs"});
+  const TechNode node = tech_arg(args, 0);
+  const Technology& tech = technology(node);
+  const LinkContext ctx = context_arg(node, args);
+  LinkDesign design;
+  design.drive = static_cast<int>(args.get_long("drive", 12));
+  design.num_repeaters = static_cast<int>(
+      args.get_long("repeaters", std::max(1L, std::lround(ctx.length / (1.0 * mm)))));
+  const int samples = static_cast<int>(args.get_long("samples", 1000));
+
+  const ProposedModel model(tech, fit_arg(node, args));
+  const MonteCarloResult mc = monte_carlo_link(model, ctx, design, samples, 2026);
+  std::printf("%d corners: nominal %.1f ps, mean %.1f ps, sigma %.2f ps\n", samples,
+              mc.nominal_delay / ps, mc.mean_delay / ps, mc.sigma_delay / ps);
+  std::printf("p90 %.1f ps | p99 %.1f ps | yield at nominal %.1f %%\n",
+              mc.delay_quantile(0.9) / ps, mc.delay_quantile(0.99) / ps,
+              100.0 * mc.yield_at(mc.nominal_delay));
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  args.check_known({"length", "style", "slew", "drive", "repeaters", "deck", "spef"});
+  const TechNode node = tech_arg(args, 0);
+  const Technology& tech = technology(node);
+  const LinkContext ctx = context_arg(node, args);
+  LinkDesign design;
+  design.drive = static_cast<int>(args.get_long("drive", 12));
+  design.num_repeaters = static_cast<int>(
+      args.get_long("repeaters", std::max(1L, std::lround(ctx.length / (1.0 * mm)))));
+  bool wrote = false;
+  if (args.has("deck")) {
+    const LinkNetlist net = build_link_netlist(tech, ctx, design);
+    save_deck(net.circuit, args.get("deck"));
+    std::fprintf(stderr, "wrote %s (%zu nodes)\n", args.get("deck").c_str(),
+                 net.circuit.node_count());
+    wrote = true;
+  }
+  if (args.has("spef")) {
+    std::ofstream out(args.get("spef"));
+    require(out.good(), "cli: cannot open '" + args.get("spef") + "'");
+    out << write_spef(tech, ctx, design);
+    std::fprintf(stderr, "wrote %s\n", args.get("spef").c_str());
+    wrote = true;
+  }
+  if (!wrote) std::fputs(write_spef(tech, ctx, design).c_str(), stdout);
+  return 0;
+}
+
+int cmd_noise(const Args& args) {
+  args.check_known({"length", "style", "slew", "drive", "coeffs"});
+  const TechNode node = tech_arg(args, 0);
+  const Technology& tech = technology(node);
+  LinkContext ctx = context_arg(node, args);
+  LinkDesign design;
+  design.drive = static_cast<int>(args.get_long("drive", 12));
+  design.num_repeaters = 1;  // noise is per wire segment
+  const TechnologyFit fit = fit_arg(node, args);
+  std::fprintf(stderr, "calibrating noise model against golden glitch sims...\n");
+  const NoiseCalibration cal = calibrate_noise(tech, fit);
+  const double golden = golden_noise_peak(tech, ctx, design);
+  const double model = noise_peak_model(tech, fit, ctx, design, cal.kappa_n);
+  std::printf("%.2f mm %s segment, INVD%d holder at %s:\n", ctx.length / mm,
+              design_style_name(ctx.style).c_str(), design.drive, tech.name.c_str());
+  std::printf("  golden glitch %.1f mV (%.1f %% of vdd), model %.1f mV (%+.1f %%)\n",
+              golden * 1e3, 100 * golden / tech.vdd, model * 1e3,
+              100 * (model - golden) / std::max(golden, 1e-9));
+  return 0;
+}
+
+int cmd_timer(const Args& args) {
+  args.check_known({"length", "style", "slew", "drive", "repeaters"});
+  const TechNode node = tech_arg(args, 0);
+  const Technology& tech = technology(node);
+  const LinkContext ctx = context_arg(node, args);
+  LinkDesign design;
+  design.drive = static_cast<int>(args.get_long("drive", 12));
+  design.num_repeaters = static_cast<int>(
+      args.get_long("repeaters", std::max(1L, std::lround(ctx.length / (1.0 * mm)))));
+  CharacterizationOptions copt;
+  copt.drives = {design.drive};
+  copt.buffers = design.kind == CellKind::Buffer;
+  copt.inverters = design.kind == CellKind::Inverter;
+  std::fprintf(stderr, "characterizing %sD%d tables...\n",
+               cell_kind_name(design.kind).c_str(), design.drive);
+  const CellLibrary lib = characterize_library(tech, copt);
+  const NldmTimerResult awe = nldm_link_delay(lib, tech, ctx, design);
+  NldmTimerOptions elm;
+  elm.wire = WireDelayMethod::Elmore;
+  const NldmTimerResult elmore = nldm_link_delay(lib, tech, ctx, design, elm);
+  std::printf("NLDM timer, %.2f mm x %d INVD%d at %s:\n", ctx.length / mm,
+              design.num_repeaters, design.drive, tech.name.c_str());
+  std::printf("  awe-wire delay %.1f ps (slew %.1f ps) | elmore-wire delay %.1f ps\n",
+              awe.delay / ps, awe.output_slew / ps, elmore.delay / ps);
+  return 0;
+}
+
+int cmd_mesh(const Args& args) {
+  args.check_known({"rows", "cols", "coeffs"});
+  const std::string which = args.positional(0);
+  require(!which.empty(), "cli: mesh needs a spec (dvopd, vproc, or a .soc file)");
+  const TechNode node = tech_arg(args, 1);
+  const Technology& tech = technology(node);
+  SocSpec spec;
+  if (which == "dvopd") {
+    spec = dvopd_spec();
+  } else if (which == "vproc") {
+    spec = vproc_spec();
+  } else if (which == "mpeg4") {
+    spec = mpeg4_spec();
+  } else if (which == "mwd") {
+    spec = mwd_spec();
+  } else {
+    spec = load_soc_spec(which);
+  }
+  const ProposedModel model(tech, fit_arg(node, args));
+  MeshOptions shape;
+  shape.rows = static_cast<int>(args.get_long("rows", 0));
+  shape.cols = static_cast<int>(args.get_long("cols", 0));
+  const NocSynthesisResult r = build_mesh_noc(spec, model, {}, shape);
+  const NocMetrics& m = r.metrics;
+  std::printf("%s mesh at %s: %d routers, %d links\n", spec.name.c_str(),
+              tech.name.c_str(), m.num_routers, m.num_links);
+  std::printf("  power %.2f mW dyn + %.2f mW leak | area %.3f mm2 | hops %.2f avg %d max\n",
+              m.dynamic_power() / mW, m.leakage_power() / mW, m.total_area() / mm2,
+              m.avg_hops, m.max_hops);
+  return 0;
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (command == "techfile") return cmd_techfile(args);
+  if (command == "characterize") return cmd_characterize(args);
+  if (command == "fit") return cmd_fit(args);
+  if (command == "evaluate") return cmd_evaluate(args);
+  if (command == "buffer") return cmd_buffer(args);
+  if (command == "noc") return cmd_noc(args);
+  if (command == "yield") return cmd_yield(args);
+  if (command == "noise") return cmd_noise(args);
+  if (command == "timer") return cmd_timer(args);
+  if (command == "mesh") return cmd_mesh(args);
+  if (command == "export") return cmd_export(args);
+  std::fprintf(stderr, "pim: unknown command '%s'\n", command.c_str());
+  return usage();
+}
+
+}  // namespace
+}  // namespace pim::cli
+
+int main(int argc, char** argv) {
+  pim::set_log_level(pim::LogLevel::Info);
+  try {
+    return pim::cli::dispatch(argc, argv);
+  } catch (const pim::Error& e) {
+    std::fprintf(stderr, "pim: %s\n", e.what());
+    return 1;
+  }
+}
