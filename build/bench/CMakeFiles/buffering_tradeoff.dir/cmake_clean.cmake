@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffering_tradeoff.dir/buffering_tradeoff.cpp.o"
+  "CMakeFiles/buffering_tradeoff.dir/buffering_tradeoff.cpp.o.d"
+  "buffering_tradeoff"
+  "buffering_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffering_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

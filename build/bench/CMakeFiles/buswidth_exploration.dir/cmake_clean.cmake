@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buswidth_exploration.dir/buswidth_exploration.cpp.o"
+  "CMakeFiles/buswidth_exploration.dir/buswidth_exploration.cpp.o.d"
+  "buswidth_exploration"
+  "buswidth_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buswidth_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_intrinsic_delay.dir/fig1_intrinsic_delay.cpp.o"
+  "CMakeFiles/fig1_intrinsic_delay.dir/fig1_intrinsic_delay.cpp.o.d"
+  "fig1_intrinsic_delay"
+  "fig1_intrinsic_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_intrinsic_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_area_accuracy.dir/leakage_area_accuracy.cpp.o"
+  "CMakeFiles/leakage_area_accuracy.dir/leakage_area_accuracy.cpp.o.d"
+  "leakage_area_accuracy"
+  "leakage_area_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_area_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

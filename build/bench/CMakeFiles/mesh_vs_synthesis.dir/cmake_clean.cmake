@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_vs_synthesis.dir/mesh_vs_synthesis.cpp.o"
+  "CMakeFiles/mesh_vs_synthesis.dir/mesh_vs_synthesis.cpp.o.d"
+  "mesh_vs_synthesis"
+  "mesh_vs_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_vs_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_runtime.dir/model_runtime.cpp.o"
+  "CMakeFiles/model_runtime.dir/model_runtime.cpp.o.d"
+  "model_runtime"
+  "model_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

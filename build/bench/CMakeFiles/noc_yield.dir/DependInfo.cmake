@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/noc_yield.cpp" "bench/CMakeFiles/noc_yield.dir/noc_yield.cpp.o" "gcc" "bench/CMakeFiles/noc_yield.dir/noc_yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cosi/CMakeFiles/pim_cosi.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/pim_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/pim_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffering/CMakeFiles/pim_buffering.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlib/CMakeFiles/pim_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/pim_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/pim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pim_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/pim_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

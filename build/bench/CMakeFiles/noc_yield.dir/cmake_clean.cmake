@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_yield.dir/noc_yield.cpp.o"
+  "CMakeFiles/noc_yield.dir/noc_yield.cpp.o.d"
+  "noc_yield"
+  "noc_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_analysis.dir/noise_analysis.cpp.o"
+  "CMakeFiles/noise_analysis.dir/noise_analysis.cpp.o.d"
+  "noise_analysis"
+  "noise_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sizing_for_yield.dir/sizing_for_yield.cpp.o"
+  "CMakeFiles/sizing_for_yield.dir/sizing_for_yield.cpp.o.d"
+  "sizing_for_yield"
+  "sizing_for_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sizing_for_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_coefficients.cpp" "bench/CMakeFiles/table1_coefficients.dir/table1_coefficients.cpp.o" "gcc" "bench/CMakeFiles/table1_coefficients.dir/table1_coefficients.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/pim_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlib/CMakeFiles/pim_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/pim_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/pim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pim_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/pim_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_coefficients.dir/table1_coefficients.cpp.o"
+  "CMakeFiles/table1_coefficients.dir/table1_coefficients.cpp.o.d"
+  "table1_coefficients"
+  "table1_coefficients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_coefficients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_noc_synthesis.dir/table3_noc_synthesis.cpp.o"
+  "CMakeFiles/table3_noc_synthesis.dir/table3_noc_synthesis.cpp.o.d"
+  "table3_noc_synthesis"
+  "table3_noc_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_noc_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapered_buffering.dir/tapered_buffering.cpp.o"
+  "CMakeFiles/tapered_buffering.dir/tapered_buffering.cpp.o.d"
+  "tapered_buffering"
+  "tapered_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapered_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timer_comparison.dir/timer_comparison.cpp.o"
+  "CMakeFiles/timer_comparison.dir/timer_comparison.cpp.o.d"
+  "timer_comparison"
+  "timer_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timer_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variation_yield.dir/variation_yield.cpp.o"
+  "CMakeFiles/variation_yield.dir/variation_yield.cpp.o.d"
+  "variation_yield"
+  "variation_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variation_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_explorer.dir/link_explorer.cpp.o"
+  "CMakeFiles/link_explorer.dir/link_explorer.cpp.o.d"
+  "link_explorer"
+  "link_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_synthesis.dir/noc_synthesis.cpp.o"
+  "CMakeFiles/noc_synthesis.dir/noc_synthesis.cpp.o.d"
+  "noc_synthesis"
+  "noc_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

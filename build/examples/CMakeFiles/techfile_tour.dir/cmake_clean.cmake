@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/techfile_tour.dir/techfile_tour.cpp.o"
+  "CMakeFiles/techfile_tour.dir/techfile_tour.cpp.o.d"
+  "techfile_tour"
+  "techfile_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/techfile_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("numeric")
+subdirs("spice")
+subdirs("tech")
+subdirs("liberty")
+subdirs("charlib")
+subdirs("models")
+subdirs("sta")
+subdirs("buffering")
+subdirs("cosi")
+subdirs("variation")

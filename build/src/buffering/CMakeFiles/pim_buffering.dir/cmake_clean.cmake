@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_buffering.dir/optimize.cpp.o"
+  "CMakeFiles/pim_buffering.dir/optimize.cpp.o.d"
+  "CMakeFiles/pim_buffering.dir/vanginneken.cpp.o"
+  "CMakeFiles/pim_buffering.dir/vanginneken.cpp.o.d"
+  "libpim_buffering.a"
+  "libpim_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

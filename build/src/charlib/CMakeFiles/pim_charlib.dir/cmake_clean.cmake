@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_charlib.dir/characterize.cpp.o"
+  "CMakeFiles/pim_charlib.dir/characterize.cpp.o.d"
+  "CMakeFiles/pim_charlib.dir/coeffs_io.cpp.o"
+  "CMakeFiles/pim_charlib.dir/coeffs_io.cpp.o.d"
+  "CMakeFiles/pim_charlib.dir/fit.cpp.o"
+  "CMakeFiles/pim_charlib.dir/fit.cpp.o.d"
+  "libpim_charlib.a"
+  "libpim_charlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_charlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

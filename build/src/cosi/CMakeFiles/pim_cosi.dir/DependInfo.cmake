@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cosi/architecture.cpp" "src/cosi/CMakeFiles/pim_cosi.dir/architecture.cpp.o" "gcc" "src/cosi/CMakeFiles/pim_cosi.dir/architecture.cpp.o.d"
+  "/root/repo/src/cosi/linkimpl.cpp" "src/cosi/CMakeFiles/pim_cosi.dir/linkimpl.cpp.o" "gcc" "src/cosi/CMakeFiles/pim_cosi.dir/linkimpl.cpp.o.d"
+  "/root/repo/src/cosi/mesh.cpp" "src/cosi/CMakeFiles/pim_cosi.dir/mesh.cpp.o" "gcc" "src/cosi/CMakeFiles/pim_cosi.dir/mesh.cpp.o.d"
+  "/root/repo/src/cosi/router.cpp" "src/cosi/CMakeFiles/pim_cosi.dir/router.cpp.o" "gcc" "src/cosi/CMakeFiles/pim_cosi.dir/router.cpp.o.d"
+  "/root/repo/src/cosi/spec.cpp" "src/cosi/CMakeFiles/pim_cosi.dir/spec.cpp.o" "gcc" "src/cosi/CMakeFiles/pim_cosi.dir/spec.cpp.o.d"
+  "/root/repo/src/cosi/specfile.cpp" "src/cosi/CMakeFiles/pim_cosi.dir/specfile.cpp.o" "gcc" "src/cosi/CMakeFiles/pim_cosi.dir/specfile.cpp.o.d"
+  "/root/repo/src/cosi/synthesis.cpp" "src/cosi/CMakeFiles/pim_cosi.dir/synthesis.cpp.o" "gcc" "src/cosi/CMakeFiles/pim_cosi.dir/synthesis.cpp.o.d"
+  "/root/repo/src/cosi/testcases.cpp" "src/cosi/CMakeFiles/pim_cosi.dir/testcases.cpp.o" "gcc" "src/cosi/CMakeFiles/pim_cosi.dir/testcases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/buffering/CMakeFiles/pim_buffering.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/pim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlib/CMakeFiles/pim_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/pim_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pim_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/pim_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_cosi.dir/architecture.cpp.o"
+  "CMakeFiles/pim_cosi.dir/architecture.cpp.o.d"
+  "CMakeFiles/pim_cosi.dir/linkimpl.cpp.o"
+  "CMakeFiles/pim_cosi.dir/linkimpl.cpp.o.d"
+  "CMakeFiles/pim_cosi.dir/mesh.cpp.o"
+  "CMakeFiles/pim_cosi.dir/mesh.cpp.o.d"
+  "CMakeFiles/pim_cosi.dir/router.cpp.o"
+  "CMakeFiles/pim_cosi.dir/router.cpp.o.d"
+  "CMakeFiles/pim_cosi.dir/spec.cpp.o"
+  "CMakeFiles/pim_cosi.dir/spec.cpp.o.d"
+  "CMakeFiles/pim_cosi.dir/specfile.cpp.o"
+  "CMakeFiles/pim_cosi.dir/specfile.cpp.o.d"
+  "CMakeFiles/pim_cosi.dir/synthesis.cpp.o"
+  "CMakeFiles/pim_cosi.dir/synthesis.cpp.o.d"
+  "CMakeFiles/pim_cosi.dir/testcases.cpp.o"
+  "CMakeFiles/pim_cosi.dir/testcases.cpp.o.d"
+  "libpim_cosi.a"
+  "libpim_cosi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_cosi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liberty/cell.cpp" "src/liberty/CMakeFiles/pim_liberty.dir/cell.cpp.o" "gcc" "src/liberty/CMakeFiles/pim_liberty.dir/cell.cpp.o.d"
+  "/root/repo/src/liberty/libertyfile.cpp" "src/liberty/CMakeFiles/pim_liberty.dir/libertyfile.cpp.o" "gcc" "src/liberty/CMakeFiles/pim_liberty.dir/libertyfile.cpp.o.d"
+  "/root/repo/src/liberty/library.cpp" "src/liberty/CMakeFiles/pim_liberty.dir/library.cpp.o" "gcc" "src/liberty/CMakeFiles/pim_liberty.dir/library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/pim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/pim_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pim_spice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

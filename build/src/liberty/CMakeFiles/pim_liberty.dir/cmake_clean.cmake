@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_liberty.dir/cell.cpp.o"
+  "CMakeFiles/pim_liberty.dir/cell.cpp.o.d"
+  "CMakeFiles/pim_liberty.dir/libertyfile.cpp.o"
+  "CMakeFiles/pim_liberty.dir/libertyfile.cpp.o.d"
+  "CMakeFiles/pim_liberty.dir/library.cpp.o"
+  "CMakeFiles/pim_liberty.dir/library.cpp.o.d"
+  "libpim_liberty.a"
+  "libpim_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_models.dir/area.cpp.o"
+  "CMakeFiles/pim_models.dir/area.cpp.o.d"
+  "CMakeFiles/pim_models.dir/baseline.cpp.o"
+  "CMakeFiles/pim_models.dir/baseline.cpp.o.d"
+  "CMakeFiles/pim_models.dir/link.cpp.o"
+  "CMakeFiles/pim_models.dir/link.cpp.o.d"
+  "CMakeFiles/pim_models.dir/proposed.cpp.o"
+  "CMakeFiles/pim_models.dir/proposed.cpp.o.d"
+  "libpim_models.a"
+  "libpim_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

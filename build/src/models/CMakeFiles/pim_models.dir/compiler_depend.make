@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pim_models.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/banded.cpp" "src/numeric/CMakeFiles/pim_numeric.dir/banded.cpp.o" "gcc" "src/numeric/CMakeFiles/pim_numeric.dir/banded.cpp.o.d"
+  "/root/repo/src/numeric/interp.cpp" "src/numeric/CMakeFiles/pim_numeric.dir/interp.cpp.o" "gcc" "src/numeric/CMakeFiles/pim_numeric.dir/interp.cpp.o.d"
+  "/root/repo/src/numeric/leastsq.cpp" "src/numeric/CMakeFiles/pim_numeric.dir/leastsq.cpp.o" "gcc" "src/numeric/CMakeFiles/pim_numeric.dir/leastsq.cpp.o.d"
+  "/root/repo/src/numeric/lu.cpp" "src/numeric/CMakeFiles/pim_numeric.dir/lu.cpp.o" "gcc" "src/numeric/CMakeFiles/pim_numeric.dir/lu.cpp.o.d"
+  "/root/repo/src/numeric/matrix.cpp" "src/numeric/CMakeFiles/pim_numeric.dir/matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/pim_numeric.dir/matrix.cpp.o.d"
+  "/root/repo/src/numeric/optimize.cpp" "src/numeric/CMakeFiles/pim_numeric.dir/optimize.cpp.o" "gcc" "src/numeric/CMakeFiles/pim_numeric.dir/optimize.cpp.o.d"
+  "/root/repo/src/numeric/regression.cpp" "src/numeric/CMakeFiles/pim_numeric.dir/regression.cpp.o" "gcc" "src/numeric/CMakeFiles/pim_numeric.dir/regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_numeric.dir/banded.cpp.o"
+  "CMakeFiles/pim_numeric.dir/banded.cpp.o.d"
+  "CMakeFiles/pim_numeric.dir/interp.cpp.o"
+  "CMakeFiles/pim_numeric.dir/interp.cpp.o.d"
+  "CMakeFiles/pim_numeric.dir/leastsq.cpp.o"
+  "CMakeFiles/pim_numeric.dir/leastsq.cpp.o.d"
+  "CMakeFiles/pim_numeric.dir/lu.cpp.o"
+  "CMakeFiles/pim_numeric.dir/lu.cpp.o.d"
+  "CMakeFiles/pim_numeric.dir/matrix.cpp.o"
+  "CMakeFiles/pim_numeric.dir/matrix.cpp.o.d"
+  "CMakeFiles/pim_numeric.dir/optimize.cpp.o"
+  "CMakeFiles/pim_numeric.dir/optimize.cpp.o.d"
+  "CMakeFiles/pim_numeric.dir/regression.cpp.o"
+  "CMakeFiles/pim_numeric.dir/regression.cpp.o.d"
+  "libpim_numeric.a"
+  "libpim_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/pim_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/pim_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/deck.cpp" "src/spice/CMakeFiles/pim_spice.dir/deck.cpp.o" "gcc" "src/spice/CMakeFiles/pim_spice.dir/deck.cpp.o.d"
+  "/root/repo/src/spice/measure.cpp" "src/spice/CMakeFiles/pim_spice.dir/measure.cpp.o" "gcc" "src/spice/CMakeFiles/pim_spice.dir/measure.cpp.o.d"
+  "/root/repo/src/spice/mosfet.cpp" "src/spice/CMakeFiles/pim_spice.dir/mosfet.cpp.o" "gcc" "src/spice/CMakeFiles/pim_spice.dir/mosfet.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/spice/CMakeFiles/pim_spice.dir/transient.cpp.o" "gcc" "src/spice/CMakeFiles/pim_spice.dir/transient.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/spice/CMakeFiles/pim_spice.dir/waveform.cpp.o" "gcc" "src/spice/CMakeFiles/pim_spice.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/pim_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_spice.dir/circuit.cpp.o"
+  "CMakeFiles/pim_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/pim_spice.dir/deck.cpp.o"
+  "CMakeFiles/pim_spice.dir/deck.cpp.o.d"
+  "CMakeFiles/pim_spice.dir/measure.cpp.o"
+  "CMakeFiles/pim_spice.dir/measure.cpp.o.d"
+  "CMakeFiles/pim_spice.dir/mosfet.cpp.o"
+  "CMakeFiles/pim_spice.dir/mosfet.cpp.o.d"
+  "CMakeFiles/pim_spice.dir/transient.cpp.o"
+  "CMakeFiles/pim_spice.dir/transient.cpp.o.d"
+  "CMakeFiles/pim_spice.dir/waveform.cpp.o"
+  "CMakeFiles/pim_spice.dir/waveform.cpp.o.d"
+  "libpim_spice.a"
+  "libpim_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

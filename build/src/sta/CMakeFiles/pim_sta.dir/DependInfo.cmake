@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/awe.cpp" "src/sta/CMakeFiles/pim_sta.dir/awe.cpp.o" "gcc" "src/sta/CMakeFiles/pim_sta.dir/awe.cpp.o.d"
+  "/root/repo/src/sta/calibrated.cpp" "src/sta/CMakeFiles/pim_sta.dir/calibrated.cpp.o" "gcc" "src/sta/CMakeFiles/pim_sta.dir/calibrated.cpp.o.d"
+  "/root/repo/src/sta/composition.cpp" "src/sta/CMakeFiles/pim_sta.dir/composition.cpp.o" "gcc" "src/sta/CMakeFiles/pim_sta.dir/composition.cpp.o.d"
+  "/root/repo/src/sta/elmore.cpp" "src/sta/CMakeFiles/pim_sta.dir/elmore.cpp.o" "gcc" "src/sta/CMakeFiles/pim_sta.dir/elmore.cpp.o.d"
+  "/root/repo/src/sta/nldm_timer.cpp" "src/sta/CMakeFiles/pim_sta.dir/nldm_timer.cpp.o" "gcc" "src/sta/CMakeFiles/pim_sta.dir/nldm_timer.cpp.o.d"
+  "/root/repo/src/sta/noise.cpp" "src/sta/CMakeFiles/pim_sta.dir/noise.cpp.o" "gcc" "src/sta/CMakeFiles/pim_sta.dir/noise.cpp.o.d"
+  "/root/repo/src/sta/signoff.cpp" "src/sta/CMakeFiles/pim_sta.dir/signoff.cpp.o" "gcc" "src/sta/CMakeFiles/pim_sta.dir/signoff.cpp.o.d"
+  "/root/repo/src/sta/spef.cpp" "src/sta/CMakeFiles/pim_sta.dir/spef.cpp.o" "gcc" "src/sta/CMakeFiles/pim_sta.dir/spef.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/pim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlib/CMakeFiles/pim_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/pim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pim_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/pim_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/pim_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_sta.dir/awe.cpp.o"
+  "CMakeFiles/pim_sta.dir/awe.cpp.o.d"
+  "CMakeFiles/pim_sta.dir/calibrated.cpp.o"
+  "CMakeFiles/pim_sta.dir/calibrated.cpp.o.d"
+  "CMakeFiles/pim_sta.dir/composition.cpp.o"
+  "CMakeFiles/pim_sta.dir/composition.cpp.o.d"
+  "CMakeFiles/pim_sta.dir/elmore.cpp.o"
+  "CMakeFiles/pim_sta.dir/elmore.cpp.o.d"
+  "CMakeFiles/pim_sta.dir/nldm_timer.cpp.o"
+  "CMakeFiles/pim_sta.dir/nldm_timer.cpp.o.d"
+  "CMakeFiles/pim_sta.dir/noise.cpp.o"
+  "CMakeFiles/pim_sta.dir/noise.cpp.o.d"
+  "CMakeFiles/pim_sta.dir/signoff.cpp.o"
+  "CMakeFiles/pim_sta.dir/signoff.cpp.o.d"
+  "CMakeFiles/pim_sta.dir/spef.cpp.o"
+  "CMakeFiles/pim_sta.dir/spef.cpp.o.d"
+  "libpim_sta.a"
+  "libpim_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/techfile.cpp" "src/tech/CMakeFiles/pim_tech.dir/techfile.cpp.o" "gcc" "src/tech/CMakeFiles/pim_tech.dir/techfile.cpp.o.d"
+  "/root/repo/src/tech/technology.cpp" "src/tech/CMakeFiles/pim_tech.dir/technology.cpp.o" "gcc" "src/tech/CMakeFiles/pim_tech.dir/technology.cpp.o.d"
+  "/root/repo/src/tech/wire.cpp" "src/tech/CMakeFiles/pim_tech.dir/wire.cpp.o" "gcc" "src/tech/CMakeFiles/pim_tech.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/pim_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/pim_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_tech.dir/techfile.cpp.o"
+  "CMakeFiles/pim_tech.dir/techfile.cpp.o.d"
+  "CMakeFiles/pim_tech.dir/technology.cpp.o"
+  "CMakeFiles/pim_tech.dir/technology.cpp.o.d"
+  "CMakeFiles/pim_tech.dir/wire.cpp.o"
+  "CMakeFiles/pim_tech.dir/wire.cpp.o.d"
+  "libpim_tech.a"
+  "libpim_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_util.dir/csv.cpp.o"
+  "CMakeFiles/pim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/pim_util.dir/error.cpp.o"
+  "CMakeFiles/pim_util.dir/error.cpp.o.d"
+  "CMakeFiles/pim_util.dir/log.cpp.o"
+  "CMakeFiles/pim_util.dir/log.cpp.o.d"
+  "CMakeFiles/pim_util.dir/strings.cpp.o"
+  "CMakeFiles/pim_util.dir/strings.cpp.o.d"
+  "CMakeFiles/pim_util.dir/table.cpp.o"
+  "CMakeFiles/pim_util.dir/table.cpp.o.d"
+  "libpim_util.a"
+  "libpim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_variation.dir/variation.cpp.o"
+  "CMakeFiles/pim_variation.dir/variation.cpp.o.d"
+  "libpim_variation.a"
+  "libpim_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

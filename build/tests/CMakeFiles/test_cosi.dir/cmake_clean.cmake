@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cosi.dir/test_cosi.cpp.o"
+  "CMakeFiles/test_cosi.dir/test_cosi.cpp.o.d"
+  "test_cosi"
+  "test_cosi.pdb"
+  "test_cosi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cosi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

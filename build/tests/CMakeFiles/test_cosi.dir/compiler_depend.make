@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_cosi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_cli.dir/cli_args.cpp.o"
+  "CMakeFiles/pim_cli.dir/cli_args.cpp.o.d"
+  "CMakeFiles/pim_cli.dir/pim_cli.cpp.o"
+  "CMakeFiles/pim_cli.dir/pim_cli.cpp.o.d"
+  "pim"
+  "pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
