@@ -81,6 +81,7 @@ double max_abs_error(const ProposedModel& model, const Technology& tech,
 }  // namespace
 
 int main() {
+  pim::bench::MetricsArtifact metrics("ablation_ingredients");
   const Technology& tech = technology(TechNode::N65);
   const TechnologyFit fit = pim::bench::cached_fit(TechNode::N65);
   const ProposedModel model(tech, fit);

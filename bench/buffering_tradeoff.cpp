@@ -19,6 +19,7 @@ using namespace pim;
 using namespace pim::unit;
 
 int main() {
+  pim::bench::MetricsArtifact metrics("buffering_tradeoff");
   const Technology& tech = technology(TechNode::N65);
   const TechnologyFit fit = pim::bench::cached_fit(TechNode::N65);
   const ProposedModel model(tech, fit);

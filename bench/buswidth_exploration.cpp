@@ -19,6 +19,7 @@ using namespace pim;
 using namespace pim::unit;
 
 int main() {
+  pim::bench::MetricsArtifact metrics("buswidth_exploration");
   const TechNode node = TechNode::N65;
   const Technology& tech = technology(node);
   const TechnologyFit fit = pim::bench::cached_fit(node);

@@ -4,9 +4,12 @@
 // CSV exports land in ./bench_out of the invoking directory.
 #pragma once
 
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "sta/calibrated.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
@@ -33,5 +36,30 @@ inline void export_csv(const CsvWriter& csv, const std::string& name) {
   csv.write_file(path);
   log_line(LogLevel::Warn, "wrote " + path);
 }
+
+/// RAII metrics collection for one bench binary: enables the registry on
+/// construction and writes bench_out/<name>.metrics.json on destruction.
+/// Pass collect=false (e.g. for overhead-sensitive timing benches) to keep
+/// collection off unless the PIM_METRICS environment variable forces it on.
+class MetricsArtifact {
+ public:
+  explicit MetricsArtifact(std::string name, bool collect = true)
+      : name_(std::move(name)),
+        collect_(collect || std::getenv("PIM_METRICS") != nullptr) {
+    if (collect_) obs::set_enabled(true);
+  }
+  ~MetricsArtifact() {
+    if (!collect_) return;
+    const std::string path = out_dir() + "/" + name_ + ".metrics.json";
+    obs::save_metrics_json(path);
+    log_line(LogLevel::Warn, "wrote " + path);
+  }
+  MetricsArtifact(const MetricsArtifact&) = delete;
+  MetricsArtifact& operator=(const MetricsArtifact&) = delete;
+
+ private:
+  std::string name_;
+  bool collect_;
+};
 
 }  // namespace pim::bench

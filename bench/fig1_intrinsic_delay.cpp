@@ -20,6 +20,7 @@ using namespace pim;
 using namespace pim::unit;
 
 int main() {
+  pim::bench::MetricsArtifact metrics("fig1_intrinsic_delay");
   const Technology& tech = technology(TechNode::N65);
   const std::vector<int> drives = {8, 16, 32, 64};
   CharacterizationOptions opt;

@@ -21,6 +21,7 @@ using namespace pim;
 using namespace pim::unit;
 
 int main() {
+  pim::bench::MetricsArtifact metrics("leakage_area_accuracy");
   printf("Leakage & area model accuracy vs. library cells (paper §IV)\n\n");
 
   Table table({"tech", "cell", "leak lib (nW)", "leak model (nW)", "err %",

@@ -20,6 +20,7 @@ using namespace pim;
 using namespace pim::unit;
 
 int main() {
+  pim::bench::MetricsArtifact metrics("mesh_vs_synthesis");
   const TechNode node = TechNode::N65;
   const Technology& tech = technology(node);
   const TechnologyFit fit = pim::bench::cached_fit(node);

@@ -83,4 +83,13 @@ BENCHMARK(BM_GoldenSignoff)->Arg(1)->Arg(5)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Metrics collection stays off unless PIM_METRICS is set, so the
+  // reported ns/op reflect the uninstrumented hot path.
+  pim::bench::MetricsArtifact metrics("model_runtime", /*collect=*/false);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,6 +23,7 @@ using namespace pim;
 using namespace pim::unit;
 
 int main() {
+  pim::bench::MetricsArtifact metrics("noc_yield");
   const TechNode node = TechNode::N45;
   const Technology& tech = technology(node);
   const TechnologyFit fit = pim::bench::cached_fit(node);

@@ -17,6 +17,7 @@ using namespace pim;
 using namespace pim::unit;
 
 int main() {
+  pim::bench::MetricsArtifact metrics("noise_analysis");
   const Technology& tech = technology(TechNode::N65);
   const TechnologyFit fit = pim::bench::cached_fit(TechNode::N65);
 

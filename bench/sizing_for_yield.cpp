@@ -25,6 +25,7 @@ using namespace pim;
 using namespace pim::unit;
 
 int main() {
+  pim::bench::MetricsArtifact metrics("sizing_for_yield");
   const Technology& tech = technology(TechNode::N65);
   const TechnologyFit fit = pim::bench::cached_fit(TechNode::N65);
   const ProposedModel model(tech, fit);

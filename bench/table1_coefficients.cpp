@@ -18,6 +18,7 @@ using namespace pim;
 using namespace pim::unit;
 
 int main() {
+  pim::bench::MetricsArtifact metrics("table1_coefficients");
   printf("Table I — fitting coefficients for the predictive models across six technologies\n");
   printf("(inverter repeaters, fall edge; SI units; b2 carries the 1/w_r factor —\n"
          " see DESIGN.md for the documented deviation)\n\n");

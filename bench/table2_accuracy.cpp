@@ -35,6 +35,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 int main() {
+  pim::bench::MetricsArtifact metrics("table2_accuracy");
   printf("Table II — evaluation of model accuracy vs. golden sign-off\n");
   printf("(input transition time = 300 ps, worst-case switching aggressors)\n\n");
 

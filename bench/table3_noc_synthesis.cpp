@@ -27,6 +27,7 @@ using namespace pim;
 using namespace pim::unit;
 
 int main() {
+  pim::bench::MetricsArtifact metrics("table3_noc_synthesis");
   printf("Table III — model impact on NoC synthesis (clocks: 1.5/2.25/3.0 GHz)\n\n");
 
   const std::vector<TechNode> nodes = {TechNode::N90, TechNode::N65, TechNode::N45};

@@ -57,6 +57,7 @@ double best_uniform(const Technology& tech, const TechnologyFit& fit,
 }  // namespace
 
 int main() {
+  pim::bench::MetricsArtifact metrics("tapered_buffering");
   const Technology& tech = technology(TechNode::N65);
   const TechnologyFit fit = pim::bench::cached_fit(TechNode::N65);
 

@@ -20,3 +20,6 @@ for b in fig1_intrinsic_delay table1_coefficients table2_accuracy \
   ./bench/"$b"
 done
 ./bench/model_runtime --benchmark_min_time=0.1
+
+cd ..
+scripts/check_metrics.sh

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "liberty/library.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -73,6 +74,8 @@ BufferingResult optimize_buffering(const InterconnectModel& model,
       }
     }
   }
+  PIM_COUNT("buffering.search.runs");
+  PIM_COUNT_N("buffering.search.evaluations", best.evaluations);
   return best;
 }
 

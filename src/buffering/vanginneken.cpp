@@ -6,6 +6,8 @@
 
 #include "charlib/characterize.hpp"
 #include "liberty/library.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace pim {
@@ -116,6 +118,7 @@ double default_sink_cap(const std::vector<BufferChoice>& menu,
 
 TaperedBuffering van_ginneken(const Technology& tech, const TechnologyFit& fit,
                               const LinkContext& ctx, const VanGinnekenOptions& opt) {
+  PIM_OBS_SPAN("buffering.vanginneken.run");
   require(ctx.length > 0.0, "van_ginneken: length must be positive");
   require(opt.slots >= 1, "van_ginneken: need at least one slot");
 
@@ -147,7 +150,11 @@ TaperedBuffering van_ginneken(const Technology& tech, const TechnologyFit& fit,
       }
     }
     result.states_explored += static_cast<long>(next.size());
+    const size_t before_prune = next.size();
     prune(next);
+    PIM_COUNT_N("buffering.candidate.count", static_cast<int64_t>(before_prune));
+    PIM_COUNT_N("buffering.prune.count",
+                static_cast<int64_t>(before_prune - next.size()));
     states = std::move(next);
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spice/measure.hpp"
 #include "spice/transient.hpp"
 #include "util/error.hpp"
@@ -60,6 +62,7 @@ TimingPoint measure_timing(const Technology& tech, CellKind kind,
                            double slew, double load, double dt_max) {
   // Output polarity follows the input for buffers and inverts for
   // inverters.
+  PIM_COUNT("charlib.deck.simulated");
   const bool input_rises = (kind == CellKind::Inverter) == (out_edge == EdgeKind::Falling);
   const double v0 = input_rises ? 0.0 : tech.vdd;
   const Waveform input = Waveform::ramp(v0, tech.vdd - v0, kEdgeStart, slew);
@@ -80,6 +83,7 @@ TimingPoint measure_timing(const Technology& tech, CellKind kind,
 // Input capacitance: charge the input source delivers over a full swing.
 double measure_input_cap(const Technology& tech, CellKind kind,
                          const RepeaterSizing& sz) {
+  PIM_COUNT("charlib.deck.simulated");
   const double slew = 100e-12;
   const Waveform input = Waveform::ramp(0.0, tech.vdd, kEdgeStart, slew);
   CellUnderTest cut = build_cell(tech, kind, sz, input);
@@ -95,6 +99,7 @@ TimingTable characterize_table(const Technology& tech, CellKind kind,
                                const RepeaterSizing& sz, EdgeKind out_edge,
                                const Vector& slew_axis, const Vector& load_axis,
                                double dt_max) {
+  PIM_OBS_SPAN("charlib.sweep.characterize");
   TimingTable t;
   t.slew_axis = slew_axis;
   t.load_axis = load_axis;
@@ -140,6 +145,8 @@ double golden_cell_area(const Technology& tech, double wn, double wp) {
 
 RepeaterCell characterize_cell(const Technology& tech, CellKind kind, int drive,
                                const CharacterizationOptions& options) {
+  PIM_OBS_SPAN("charlib.cell.characterize");
+  PIM_COUNT("charlib.cell.count");
   require(options.slew_axis.size() >= 2, "characterize_cell: need >= 2 slew samples");
   require(options.fanout_axis.size() >= 2, "characterize_cell: need >= 2 load samples");
 
@@ -195,6 +202,7 @@ RepeaterCell characterize_cell(const Technology& tech, CellKind kind, int drive,
 
 CellLibrary characterize_library(const Technology& tech,
                                  const CharacterizationOptions& options) {
+  PIM_OBS_SPAN("charlib.library.characterize");
   const std::vector<int>& drives =
       options.drives.empty() ? standard_drive_strengths() : options.drives;
   CellLibrary lib("pim_" + tech.name, tech.node, tech.vdd);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace pim {
@@ -21,7 +22,11 @@ const ImplementedLink& LinkImplementer::implement(double length) const {
   require(length > 0.0, "LinkImplementer::implement: length must be positive");
   const long key = std::max(1L, std::lround(length / kQuantum));
   const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    PIM_COUNT("cosi.linkcache.hits");
+    return it->second;
+  }
+  PIM_COUNT("cosi.link.implemented");
 
   LinkContext ctx = base_;
   ctx.length = static_cast<double>(key) * kQuantum;
@@ -65,6 +70,7 @@ double LinkImplementer::max_feasible_length() const {
 
 LinkEstimate LinkImplementer::evaluate(double length, const ImplementedLink& link,
                                        double activity) const {
+  PIM_COUNT("cosi.link.evaluated");
   LinkContext ctx = base_;
   ctx.length = length;
   ctx.layer = link.layer;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace pim {
@@ -17,6 +18,7 @@ int auto_dim(double extent, double other_extent, int router_target) {
 NocSynthesisResult build_mesh_noc(const SocSpec& spec, const InterconnectModel& model,
                                   const NocSynthesisOptions& options,
                                   const MeshOptions& mesh) {
+  PIM_OBS_SPAN("cosi.mesh.run");
   spec.validate();
   const Technology& tech = model.tech();
   const double clock = tech.clock_frequency;

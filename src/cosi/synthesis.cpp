@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -53,6 +55,7 @@ struct TrialOutcome {
 
 TrialOutcome assess(const NocArchitecture& arch, const LinkImplementer& impl,
                     const RouterModel& router_model, double clock, int max_ports) {
+  PIM_COUNT("cosi.trial.assessed");
   const NocMetrics m = evaluate_noc(arch, impl, router_model, clock);
   TrialOutcome out;
   if (m.infeasible_links > 0) return out;
@@ -67,6 +70,7 @@ TrialOutcome assess(const NocArchitecture& arch, const LinkImplementer& impl,
 
 NocSynthesisResult synthesize_noc(const SocSpec& spec, const InterconnectModel& model,
                                   const NocSynthesisOptions& options) {
+  PIM_OBS_SPAN("cosi.synthesis.run");
   spec.validate();
   const Technology& tech = model.tech();
   const double clock = tech.clock_frequency;
@@ -136,6 +140,7 @@ NocSynthesisResult synthesize_noc(const SocSpec& spec, const InterconnectModel& 
     arch = std::move(best_arch);
     current.cost = best_cost;
     ++result.merges_applied;
+    PIM_COUNT("cosi.merge.applied");
     log_debug("synthesize_noc: merged routers ", best_i, " and ", best_j,
               ", cost now ", best_cost);
   }

@@ -4,6 +4,7 @@
 
 #include "charlib/characterize.hpp"
 #include "models/area.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace pim {
@@ -15,6 +16,7 @@ ProposedModel::ProposedModel(const Technology& tech, TechnologyFit fit)
 
 LinkEstimate ProposedModel::evaluate(const LinkContext& ctx,
                                      const LinkDesign& design) const {
+  PIM_COUNT("model.link.evaluations");
   const Technology& tech = *tech_;
   const LinkGeometry g(tech, ctx, design);
   const RepeaterSizing sz = repeater_sizing(tech, design.kind, design.drive);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace pim {
@@ -50,6 +51,7 @@ Matrix BandedMatrix::to_dense() const {
 }
 
 BandedLu::BandedLu(BandedMatrix a) : lu_(std::move(a)) {
+  PIM_COUNT("numeric.banded.factorizations");
   const size_t n = lu_.n_;
   const size_t kl = lu_.lower_;
   const size_t ku = lu_.upper_;

@@ -2,11 +2,13 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace pim {
 
 Vector least_squares(const Matrix& a, const Vector& b) {
+  PIM_COUNT("numeric.leastsq.solves");
   const size_t m = a.rows();
   const size_t n = a.cols();
   require(m >= n && n > 0, "least_squares: need rows >= cols >= 1");

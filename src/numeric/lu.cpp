@@ -3,12 +3,14 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace pim {
 
 LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
   require(lu_.rows() == lu_.cols(), "LuDecomposition: matrix must be square");
+  PIM_COUNT("numeric.lu.factorizations");
   const size_t n = lu_.rows();
   perm_.resize(n);
   for (size_t i = 0; i < n; ++i) perm_[i] = i;

@@ -1,0 +1,75 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace pim::obs {
+
+void set_enabled(bool on) { enabled_flag().store(on, std::memory_order_relaxed); }
+
+double TimerSnapshot::quantile_ns(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double seen = 0.0;
+  for (const auto& [upper, n] : buckets) {
+    seen += static_cast<double>(n);
+    if (seen >= target) return static_cast<double>(std::min(upper, max_ns));
+  }
+  return static_cast<double>(max_ns);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Timer& MetricsRegistry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  for (const auto& [name, t] : timers_) {
+    TimerSnapshot ts;
+    ts.name = name;
+    ts.count = t->count();
+    ts.total_ns = t->total_ns();
+    ts.min_ns = t->min_ns();
+    ts.max_ns = t->max_ns();
+    for (int k = 0; k < Timer::kBuckets; ++k) {
+      const int64_t n = t->bucket(k);
+      if (n > 0) ts.buckets.emplace_back(int64_t{1} << (k + 1), n);
+    }
+    snap.timers.push_back(std::move(ts));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, t] : timers_) t->reset();
+}
+
+}  // namespace pim::obs

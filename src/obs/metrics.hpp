@@ -1,0 +1,195 @@
+// Process-global metrics registry: named counters, gauges, and
+// histogram-backed timers.
+//
+// Design constraints (see docs/observability.md):
+//  - Hot-path updates are a relaxed atomic plus an enabled check; when
+//    collection is disabled (the default) every update degenerates to a
+//    single relaxed load and branch, so instrumented code paths run at
+//    their uninstrumented speed.
+//  - Metric handles returned by the registry are valid for the life of
+//    the process, so call sites cache them in function-local statics
+//    (the PIM_COUNT / PIM_OBS_SPAN macros do this).
+//  - Everything is thread-safe: the library is single-threaded today,
+//    but the instrumentation must survive later parallelism PRs as-is.
+//
+// Names follow the `subsystem.noun.verb` scheme, e.g.
+// "spice.newton.iterations" or "buffering.candidate.count".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pim::obs {
+
+/// Globally enables/disables metric collection. Off by default.
+void set_enabled(bool on);
+
+inline std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+inline bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+/// Monotonically increasing event tally.
+class Counter {
+ public:
+  void add(int64_t delta = 1) {
+    if (!enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-value-wins measurement (also supports accumulation).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    if (!enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Wall-time accumulator with count/total/min/max plus a power-of-two
+/// duration histogram (bucket k counts durations in [2^k, 2^(k+1)) ns),
+/// from which quantiles are estimated at reporting time.
+class Timer {
+ public:
+  static constexpr int kBuckets = 48;  // 2^48 ns ~ 3.3 days; plenty
+
+  void record_ns(int64_t ns) {
+    if (!enabled()) return;
+    if (ns < 0) ns = 0;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    atomic_min(min_ns_, ns);
+    atomic_max(max_ns_, ns);
+    buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t total_ns() const { return total_ns_.load(std::memory_order_relaxed); }
+  int64_t min_ns() const {
+    const int64_t v = min_ns_.load(std::memory_order_relaxed);
+    return count() == 0 ? 0 : v;
+  }
+  int64_t max_ns() const { return max_ns_.load(std::memory_order_relaxed); }
+  int64_t bucket(int k) const { return buckets_[k].load(std::memory_order_relaxed); }
+
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+    min_ns_.store(INT64_MAX, std::memory_order_relaxed);
+    max_ns_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  static int bucket_of(int64_t ns) {
+    int k = 0;
+    while (ns > 1 && k < kBuckets - 1) {
+      ns >>= 1;
+      ++k;
+    }
+    return k;
+  }
+
+ private:
+  static void atomic_min(std::atomic<int64_t>& slot, int64_t v) {
+    int64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_max(std::atomic<int64_t>& slot, int64_t v) {
+    int64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> total_ns_{0};
+  std::atomic<int64_t> min_ns_{INT64_MAX};
+  std::atomic<int64_t> max_ns_{0};
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+};
+
+/// Point-in-time copy of one timer, taken for reporting.
+struct TimerSnapshot {
+  std::string name;
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t min_ns = 0;
+  int64_t max_ns = 0;
+  /// (bucket upper bound [ns], count) for the nonzero buckets only.
+  std::vector<std::pair<int64_t, int64_t>> buckets;
+
+  double mean_ns() const {
+    return count == 0 ? 0.0 : static_cast<double>(total_ns) / static_cast<double>(count);
+  }
+  /// Quantile estimate from the log-2 histogram (bucket upper bounds).
+  double quantile_ns(double q) const;
+};
+
+/// Point-in-time copy of the whole registry.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<TimerSnapshot> timers;
+};
+
+/// Owns every metric for the process. Registration takes a mutex; the
+/// returned references never move or expire.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Timer& timer(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (registrations survive). For tests and repeated
+  /// bench phases.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+inline MetricsRegistry& registry() { return MetricsRegistry::global(); }
+
+}  // namespace pim::obs
+
+/// Hot-path counter increment: resolves the counter once per call site,
+/// then performs one relaxed atomic add (or a plain branch when
+/// collection is disabled).
+#define PIM_COUNT(name) PIM_COUNT_N(name, 1)
+#define PIM_COUNT_N(name, n)                                                  \
+  do {                                                                        \
+    static ::pim::obs::Counter& pim_obs_counter_ =                            \
+        ::pim::obs::registry().counter(name);                                 \
+    pim_obs_counter_.add(n);                                                  \
+  } while (0)

@@ -1,0 +1,318 @@
+#include "obs/report.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pim::obs {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Shortest-ish double formatting that stays valid JSON (no inf/nan).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Round-trippable but ugly; prefer %g when it reparses exactly.
+  char shorter[32];
+  std::snprintf(shorter, sizeof shorter, "%g", v);
+  double back = 0.0;
+  std::sscanf(shorter, "%lf", &back);
+  return back == v ? shorter : buf;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  require(out.good(), "obs: cannot open '" + path + "' for writing");
+  out << content;
+  require(out.good(), "obs: failed writing '" + path + "'");
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"pim.metrics.v1\",\n  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << '"' << json_escape(snapshot.counters[i].first)
+       << "\": " << snapshot.counters[i].second;
+  }
+  os << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << '"' << json_escape(snapshot.gauges[i].first)
+       << "\": " << json_number(snapshot.gauges[i].second);
+  }
+  os << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"timers\": {";
+  for (size_t i = 0; i < snapshot.timers.size(); ++i) {
+    const TimerSnapshot& t = snapshot.timers[i];
+    os << (i ? ",\n    " : "\n    ") << '"' << json_escape(t.name) << "\": {"
+       << "\"count\": " << t.count << ", \"total_ns\": " << t.total_ns
+       << ", \"mean_ns\": " << json_number(t.mean_ns()) << ", \"min_ns\": " << t.min_ns
+       << ", \"max_ns\": " << t.max_ns
+       << ", \"p50_ns\": " << json_number(t.quantile_ns(0.5))
+       << ", \"p99_ns\": " << json_number(t.quantile_ns(0.99)) << "}";
+  }
+  os << (snapshot.timers.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string metrics_to_csv(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "kind,name,value,count,total_ns,mean_ns,min_ns,max_ns\n";
+  for (const auto& [name, v] : snapshot.counters)
+    os << "counter," << name << ',' << v << ",,,,,\n";
+  for (const auto& [name, v] : snapshot.gauges)
+    os << "gauge," << name << ',' << json_number(v) << ",,,,,\n";
+  for (const TimerSnapshot& t : snapshot.timers)
+    os << "timer," << t.name << ",," << t.count << ',' << t.total_ns << ','
+       << json_number(t.mean_ns()) << ',' << t.min_ns << ',' << t.max_ns << '\n';
+  return os.str();
+}
+
+std::string trace_to_chrome_json(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    os << (i ? ",\n" : "\n") << "{\"ph\": \"X\", \"name\": \"" << json_escape(e.name)
+       << "\", \"cat\": \"pim\", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"ts\": " << json_number(static_cast<double>(e.start_ns) / 1e3)
+       << ", \"dur\": " << json_number(static_cast<double>(e.dur_ns) / 1e3)
+       << ", \"args\": {\"depth\": " << e.depth << "}}";
+  }
+  os << (events.empty() ? "" : "\n") << "],\n\"displayTimeUnit\": \"ns\"}\n";
+  return os.str();
+}
+
+void save_metrics_json(const std::string& path) {
+  write_file(path, metrics_to_json(registry().snapshot()));
+}
+
+void save_metrics_csv(const std::string& path) {
+  write_file(path, metrics_to_csv(registry().snapshot()));
+}
+
+void save_trace(const std::string& path) {
+  write_file(path, trace_to_chrome_json(trace_events()));
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader.
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    require(pos_ == text_.size(), "json: trailing content at offset " + std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  char peek() {
+    skip_ws();
+    require(pos_ < text_.size(), "json: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  void expect(char c) {
+    require(peek() == c, std::string("json: expected '") + c + "' at offset " +
+                             std::to_string(pos_));
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::String;
+      v.text = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return parse_keyword(c == 't' ? "true" : "false", c == 't');
+    if (c == 'n') {
+      match_keyword("null");
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_keyword(const char* word, bool value) {
+    match_keyword(word);
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    v.boolean = value;
+    return v;
+  }
+
+  void match_keyword(const std::string& word) {
+    require(text_.compare(pos_, word.size(), word) == 0, "json: bad literal at offset " +
+                                                             std::to_string(pos_));
+    pos_ += word.size();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    if (consume('}')) return v;
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    if (consume(']')) return v;
+    while (true) {
+      v.items.push_back(parse_value());
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      require(pos_ < text_.size(), "json: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      require(pos_ < text_.size(), "json: unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          require(pos_ + 4 <= text_.size(), "json: truncated \\u escape");
+          const unsigned code = static_cast<unsigned>(
+              std::stoul(text_.substr(pos_, 4), nullptr, 16));
+          pos_ += 4;
+          // Reports only emit control characters this way; keep it simple
+          // and store the low byte (valid for code points < 0x80).
+          out += static_cast<char>(code & 0x7f);
+          break;
+        }
+        default:
+          fail("json: bad escape '\\" + std::string(1, esc) + "'");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E'))
+      ++pos_;
+    require(pos_ > start, "json: expected a value at offset " + std::to_string(start));
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("json: bad number '" + text_.substr(start, pos_ - start) + "'");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+JsonValue parse_json(const std::string& text) { return JsonParser(text).parse_document(); }
+
+}  // namespace pim::obs

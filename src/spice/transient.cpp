@@ -7,6 +7,8 @@
 #include "numeric/banded.hpp"
 #include "numeric/lu.hpp"
 #include "numeric/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace pim {
@@ -100,6 +102,7 @@ class TransientSolver {
   }
 
   TransientResult run() {
+    PIM_OBS_SPAN("spice.transient.run");
     TransientResult result;
     result.sources.resize(ckt_.vsources().size());
     for (NodeId p : probes_) result.traces.push_back({p, {}});
@@ -120,6 +123,12 @@ class TransientSolver {
       step(t, opt_.dt, opt_.integrator, &result);
       record(t, result);
     }
+    // Tallies are accumulated in plain locals and flushed once per run so
+    // the stepping loop carries no atomics.
+    PIM_COUNT("spice.transient.runs");
+    PIM_COUNT_N("spice.timestep.count", n_timesteps_);
+    PIM_COUNT_N("spice.newton.iterations", n_newton_);
+    PIM_COUNT_N("spice.lu.solves", n_solves_);
     return result;
   }
 
@@ -184,6 +193,7 @@ class TransientSolver {
   // One converged timestep ending at absolute time t. When `result` is
   // non-null, per-source charge/energy are accumulated (main window only).
   void step(double t, double dt, Integrator integrator, TransientResult* result) {
+    ++n_timesteps_;
     const auto& caps = ckt_.capacitors();
     // Capacitor companion constants for this step, from the *previous*
     // timestep's converged state.
@@ -205,6 +215,8 @@ class TransientSolver {
 
     bool converged = false;
     for (int iter = 0; iter < opt_.max_newton; ++iter) {
+      ++n_newton_;
+      ++n_solves_;
       assemble();
       const Vector v_new = system_->solve();
       double worst = 0.0;
@@ -323,6 +335,9 @@ class TransientSolver {
   std::vector<double> cap_current_;  // converged branch current per capacitor
   std::vector<double> cap_geq_;
   std::vector<double> cap_ieq_;
+  long n_timesteps_ = 0;  // settle + main window steps
+  long n_newton_ = 0;
+  long n_solves_ = 0;
 };
 
 }  // namespace

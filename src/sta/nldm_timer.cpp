@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sta/awe.hpp"
 #include "util/error.hpp"
 
@@ -11,6 +13,8 @@ namespace pim {
 NldmTimerResult nldm_link_delay(const CellLibrary& library, const Technology& tech,
                                 const LinkContext& ctx, const LinkDesign& design,
                                 const NldmTimerOptions& opt) {
+  PIM_OBS_SPAN("sta.nldm.link_delay");
+  PIM_COUNT("sta.nldm.evaluations");
   require(opt.sections >= 1, "nldm_link_delay: need at least one wire section");
   const RepeaterCell& cell = library.cell(design.kind, design.drive);
   const LinkGeometry g(tech, ctx, design);

@@ -1,10 +1,41 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <iostream>
+#include <mutex>
 
 namespace pim {
 namespace {
-LogLevel g_level = LogLevel::Warn;
+
+struct EnvLevel {
+  bool present = false;
+  LogLevel level = LogLevel::Warn;
+};
+
+const EnvLevel& env_level() {
+  static const EnvLevel parsed = [] {
+    EnvLevel e;
+    const char* raw = std::getenv("PIM_LOG_LEVEL");
+    if (raw != nullptr) e.present = log_level_from_name(raw, e.level);
+    return e;
+  }();
+  return parsed;
+}
+
+std::atomic<int>& level_slot() {
+  static std::atomic<int> level{
+      static_cast<int>(env_level().present ? env_level().level : LogLevel::Warn)};
+  return level;
+}
+
+std::mutex& emit_mutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* prefix(LogLevel level) {
   switch (level) {
@@ -21,14 +52,57 @@ const char* prefix(LogLevel level) {
   }
   return "";
 }
+
+// ISO-8601 UTC with millisecond resolution: 2026-08-05T12:34:56.789Z
+std::string timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[40];
+  const size_t n = std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  std::snprintf(buf + n, sizeof buf - n, ".%03dZ", static_cast<int>(ms));
+  return buf;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  level_slot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_slot().load(std::memory_order_relaxed));
+}
+
+bool log_level_from_name(const std::string& name, LogLevel& out) {
+  if (name == "debug") {
+    out = LogLevel::Debug;
+  } else if (name == "info") {
+    out = LogLevel::Info;
+  } else if (name == "warn") {
+    out = LogLevel::Warn;
+  } else if (name == "error") {
+    out = LogLevel::ErrorLevel;
+  } else if (name == "off") {
+    out = LogLevel::Off;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool log_level_env_override() { return env_level().present; }
 
 void log_line(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
-  std::cerr << prefix(level) << message << '\n';
+  if (level < log_level() || level == LogLevel::Off) return;
+  const std::string stamp = timestamp();
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::cerr << stamp << ' ' << prefix(level) << message << '\n';
 }
 
 }  // namespace pim

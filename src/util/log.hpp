@@ -1,8 +1,17 @@
 // Minimal leveled logger for command-line tools.
 //
 // The library itself never logs at Info level from hot paths; benches and
-// examples use it to narrate progress. Thread safety is not required: all
-// pim tools are single-threaded.
+// examples use it to narrate progress. Thread-safe: the level is an
+// atomic and emission serializes line writes, so concurrent callers never
+// interleave characters (needed now that instrumented flows may run under
+// threaded harnesses).
+//
+// Each line carries an ISO-8601 UTC timestamp:
+//   2026-08-05T12:34:56.789Z [warn ] message
+//
+// The default threshold is Warn; the PIM_LOG_LEVEL environment variable
+// (debug|info|warn|error|off) overrides it at startup, and
+// set_log_level() overrides both at runtime.
 #pragma once
 
 #include <sstream>
@@ -16,8 +25,16 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line to stderr with a level prefix if `level` passes the
-/// threshold.
+/// Parses "debug|info|warn|error|off" (case-sensitive); returns false and
+/// leaves `out` untouched on anything else.
+bool log_level_from_name(const std::string& name, LogLevel& out);
+
+/// True when PIM_LOG_LEVEL held a valid level name at startup (tools use
+/// this to let the environment beat their built-in default).
+bool log_level_env_override();
+
+/// Emits one timestamped line to stderr with a level prefix if `level`
+/// passes the threshold.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {
@@ -52,6 +69,14 @@ void log_warn(const Args&... args) {
   std::ostringstream os;
   detail::append_all(os, args...);
   log_line(LogLevel::Warn, os.str());
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() > LogLevel::ErrorLevel) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(LogLevel::ErrorLevel, os.str());
 }
 
 }  // namespace pim

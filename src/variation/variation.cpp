@@ -5,12 +5,26 @@
 
 #include "numeric/regression.hpp"
 #include "charlib/characterize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace pim {
 namespace {
 
 double clamp_scale(double v) { return std::clamp(v, 0.5, 2.0); }
+
+// Pass/fail tallies at the nominal-delay cutoff — the yield split the
+// Choi/Paul/Roy-style sizing loop consumes. Delays are already sorted.
+void tally_yield(const MonteCarloResult& result) {
+  const auto cut = std::upper_bound(result.delays.begin(), result.delays.end(),
+                                    result.nominal_delay);
+  const int64_t pass = cut - result.delays.begin();
+  PIM_COUNT_N("variation.sample.count", static_cast<int64_t>(result.delays.size()));
+  PIM_COUNT_N("variation.sample.pass", pass);
+  PIM_COUNT_N("variation.sample.fail",
+              static_cast<int64_t>(result.delays.size()) - pass);
+}
 
 // A perturbed copy of the fit: drive resistance scales inversely with
 // device strength; input capacitance and leakage scale directly.
@@ -122,6 +136,7 @@ MonteCarloResult monte_carlo_link_within_die(const ProposedModel& model,
                                              const LinkDesign& design, int samples,
                                              uint64_t seed,
                                              const VariationSigmas& sigmas) {
+  PIM_OBS_SPAN("variation.montecarlo.within_die");
   require(samples >= 1, "monte_carlo_link_within_die: need at least one sample");
   Rng rng(seed);
   MonteCarloResult result;
@@ -138,12 +153,14 @@ MonteCarloResult monte_carlo_link_within_die(const ProposedModel& model,
   }
   result.sigma_delay = std::sqrt(var / static_cast<double>(result.delays.size()));
   result.mean_power = model.evaluate(ctx, design).total_power();
+  tally_yield(result);
   return result;
 }
 
 MonteCarloResult monte_carlo_link(const ProposedModel& model, const LinkContext& context,
                                   const LinkDesign& design, int samples, uint64_t seed,
                                   const VariationSigmas& sigmas) {
+  PIM_OBS_SPAN("variation.montecarlo.run");
   require(samples >= 1, "monte_carlo_link: need at least one sample");
   Rng rng(seed);
   MonteCarloResult result;
@@ -165,6 +182,7 @@ MonteCarloResult monte_carlo_link(const ProposedModel& model, const LinkContext&
   }
   result.sigma_delay = std::sqrt(var / static_cast<double>(result.delays.size()));
   result.mean_power = power_acc / samples;
+  tally_yield(result);
   return result;
 }
 

@@ -1,7 +1,18 @@
-// Tests for the CLI argument parser (tools/cli_args).
+// Tests for the CLI argument parser and global observability flags
+// (tools/cli_args), plus an end-to-end check that the pim binary's
+// --profile flag emits valid metrics JSON.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "../tools/cli_args.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace pim::cli {
@@ -54,6 +65,76 @@ TEST(CliArgs, UnknownFlagCheck) {
 
 TEST(CliArgs, BareDoubleDashRejected) {
   EXPECT_THROW(make({"--"}), Error);
+}
+
+TEST(CliArgs, GlobalFlagsPassUnknownCheck) {
+  const Args args = make({"evaluate", "--length", "3", "--profile", "out.json",
+                          "--trace", "out.trace.json", "--log-level", "debug"});
+  EXPECT_THROW(args.check_known({"length"}), Error);
+  EXPECT_NO_THROW(check_known_with_globals(args, {"length"}));
+}
+
+TEST(CliArgs, ApplyGlobalFlagsRejectsBadLogLevel) {
+  EXPECT_THROW(apply_global_flags(make({"--log-level", "loud"})), Error);
+  EXPECT_THROW(apply_global_flags(make({"--trace"})), Error);  // needs a path
+}
+
+TEST(CliArgs, ProfileFlagEnablesCollection) {
+  obs::set_enabled(false);
+  apply_global_flags(make({"--profile", "out.json"}));
+  EXPECT_TRUE(obs::enabled());
+  obs::set_enabled(false);
+}
+
+TEST(CliArgs, WriteReportsProducesParsableJsonFile) {
+  obs::registry().reset();
+  obs::set_enabled(true);
+  obs::registry().counter("cli.test.count").add(3);
+  const std::string path = ::testing::TempDir() + "pim_cli_profile.json";
+  write_observability_reports(make({"--profile", path}));
+  obs::set_enabled(false);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const obs::JsonValue root = obs::parse_json(buf.str());
+  ASSERT_NE(root.find("schema"), nullptr);
+  EXPECT_EQ(root.find("schema")->text, "pim.metrics.v1");
+  const obs::JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("cli.test.count"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("cli.test.count")->number, 3.0);
+  std::remove(path.c_str());
+  obs::registry().reset();
+}
+
+// End-to-end: run the actual pim binary with --profile and check the
+// emitted JSON carries the command's metrics. `techfile` is the cheapest
+// subcommand (no characterization).
+TEST(CliProfile, BinaryWritesValidMetricsJson) {
+  const std::string out = ::testing::TempDir() + "pim_techfile_profile.json";
+  const std::string cmd = std::string(PIM_CLI_PATH) + " techfile 45nm --profile " +
+                          out + " --log-level off > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  std::ifstream in(out);
+  ASSERT_TRUE(in.good()) << "profile file not written: " << out;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const obs::JsonValue root = obs::parse_json(buf.str());
+  ASSERT_EQ(root.kind, obs::JsonValue::Kind::Object);
+  ASSERT_NE(root.find("schema"), nullptr);
+  EXPECT_EQ(root.find("schema")->text, "pim.metrics.v1");
+  ASSERT_NE(root.find("counters"), nullptr);
+  ASSERT_NE(root.find("timers"), nullptr);
+  // The command's own span must be present with one recorded run.
+  const obs::JsonValue* timer = root.find("timers")->find("cli.techfile");
+  ASSERT_NE(timer, nullptr);
+  ASSERT_NE(timer->find("count"), nullptr);
+  EXPECT_DOUBLE_EQ(timer->find("count")->number, 1.0);
+  EXPECT_GT(timer->find("total_ns")->number, 0.0);
+  std::remove(out.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,278 @@
+// Tests for the observability subsystem: metrics registry, scoped timers,
+// trace buffer bounding, and the JSON/CSV reporters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace pim::obs {
+namespace {
+
+// reset() zeroes values but keeps registrations alive (call sites cache
+// handles), so tests locate their own metrics by name rather than
+// asserting on registry-wide sizes.
+const TimerSnapshot* find_timer(const MetricsSnapshot& snap, const std::string& name) {
+  for (const TimerSnapshot& t : snap.timers)
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+const int64_t* find_counter(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.counters)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+// Every test starts from a zeroed, enabled registry and empty trace buffer;
+// collection is switched back off on exit so other suites see the default.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry().reset();
+    clear_trace();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    set_enabled(false);
+    registry().reset();
+    clear_trace();
+  }
+};
+
+TEST_F(ObsTest, CounterRegistrationAndIncrement) {
+  Counter& c = registry().counter("test.counter.hits");
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name returns the same counter.
+  EXPECT_EQ(&registry().counter("test.counter.hits"), &c);
+  EXPECT_EQ(registry().counter("test.counter.hits").value(), 42);
+}
+
+TEST_F(ObsTest, CounterIgnoredWhenDisabled) {
+  Counter& c = registry().counter("test.counter.gated");
+  set_enabled(false);
+  c.add(100);
+  EXPECT_EQ(c.value(), 0);
+  set_enabled(true);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1);
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  Gauge& g = registry().gauge("test.gauge.level");
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST_F(ObsTest, TimerRecordsDurations) {
+  Timer& t = registry().timer("test.timer.span");
+  t.record_ns(1000);
+  t.record_ns(3000);
+  const MetricsSnapshot snap = registry().snapshot();
+  const TimerSnapshot* found = find_timer(snap, "test.timer.span");
+  ASSERT_NE(found, nullptr);
+  const TimerSnapshot& ts = *found;
+  EXPECT_EQ(ts.count, 2);
+  EXPECT_EQ(ts.total_ns, 4000);
+  EXPECT_EQ(ts.min_ns, 1000);
+  EXPECT_EQ(ts.max_ns, 3000);
+  EXPECT_DOUBLE_EQ(ts.mean_ns(), 2000.0);
+  EXPECT_GE(ts.quantile_ns(0.99), ts.quantile_ns(0.5));
+  EXPECT_LE(ts.quantile_ns(1.0), ts.max_ns);
+}
+
+TEST_F(ObsTest, ScopedTimerMeasuresSomething) {
+  Timer& t = registry().timer("test.timer.scoped");
+  {
+    ScopedTimer st(t);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const TimerSnapshot* ts = find_timer(registry().snapshot(), "test.timer.scoped");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->count, 1);
+  EXPECT_GE(ts->total_ns, 1'000'000);  // at least the 1 ms sleep
+}
+
+TEST_F(ObsTest, ConcurrentIncrementsAreLossless) {
+  Counter& c = registry().counter("test.counter.concurrent");
+  Timer& t = registry().timer("test.timer.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&] {
+      for (int k = 0; k < kIters; ++k) {
+        c.add();
+        t.record_ns(100 + k % 7);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<int64_t>(kThreads) * kIters);
+  const TimerSnapshot* ts = find_timer(registry().snapshot(), "test.timer.concurrent");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->count, static_cast<int64_t>(kThreads) * kIters);
+}
+
+TEST_F(ObsTest, ConcurrentRegistrationReturnsStableHandles) {
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&, i] {
+      Counter& c = registry().counter("test.counter.race");
+      c.add();
+      seen[static_cast<size_t>(i)] = &c;
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(seen[size_t(i)], seen[0]);
+  EXPECT_EQ(registry().counter("test.counter.race").value(), kThreads);
+}
+
+TEST_F(ObsTest, JsonReportRoundTrips) {
+  registry().counter("alpha.beta.count").add(7);
+  registry().gauge("alpha.beta.level").set(1.5);
+  registry().timer("alpha.beta.time").record_ns(2500);
+  const std::string json = metrics_to_json(registry().snapshot());
+
+  const JsonValue root = parse_json(json);
+  ASSERT_EQ(root.kind, JsonValue::Kind::Object);
+  const JsonValue* schema = root.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->text, "pim.metrics.v1");
+
+  const JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* beta = counters->find("alpha.beta.count");
+  ASSERT_NE(beta, nullptr);
+  EXPECT_DOUBLE_EQ(beta->number, 7.0);
+
+  const JsonValue* gauges = root.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->find("alpha.beta.level"), nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("alpha.beta.level")->number, 1.5);
+
+  const JsonValue* timers = root.find("timers");
+  ASSERT_NE(timers, nullptr);
+  const JsonValue* t = timers->find("alpha.beta.time");
+  ASSERT_NE(t, nullptr);
+  ASSERT_NE(t->find("count"), nullptr);
+  EXPECT_DOUBLE_EQ(t->find("count")->number, 1.0);
+  EXPECT_DOUBLE_EQ(t->find("total_ns")->number, 2500.0);
+  ASSERT_NE(t->find("p50_ns"), nullptr);
+  ASSERT_NE(t->find("p99_ns"), nullptr);
+}
+
+TEST_F(ObsTest, JsonEscapesAwkwardNames) {
+  registry().counter("weird.\"name\"\\with\nstuff").add(1);
+  const std::string json = metrics_to_json(registry().snapshot());
+  const JsonValue root = parse_json(json);  // must not throw
+  const JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("weird.\"name\"\\with\nstuff"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("weird.\"name\"\\with\nstuff")->number, 1.0);
+}
+
+TEST_F(ObsTest, CsvReportListsEveryMetric) {
+  registry().counter("c.one.count").add(3);
+  registry().gauge("g.two.level").set(0.25);
+  registry().timer("t.three.time").record_ns(10);
+  const std::string csv = metrics_to_csv(registry().snapshot());
+  EXPECT_NE(csv.find("kind,name,value,count,total_ns,mean_ns,min_ns,max_ns"),
+            std::string::npos);
+  EXPECT_NE(csv.find("counter,c.one.count,3"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g.two.level,0.25"), std::string::npos);
+  EXPECT_NE(csv.find("timer,t.three.time"), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceBufferRecordsNestedSpans) {
+  set_trace_enabled(true, 64);
+  {
+    TraceSpan outer("outer");
+    TraceSpan inner("inner");
+  }
+  const std::vector<TraceEvent> events = trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans complete innermost-first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_EQ(trace_dropped(), 0u);
+}
+
+TEST_F(ObsTest, TraceBufferIsBounded) {
+  set_trace_enabled(true, 8);
+  for (int i = 0; i < 20; ++i) TraceSpan span("bounded");
+  EXPECT_EQ(trace_events().size(), 8u);
+  EXPECT_EQ(trace_dropped(), 12u);
+  clear_trace();
+  EXPECT_TRUE(trace_events().empty());
+  EXPECT_EQ(trace_dropped(), 0u);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonParses) {
+  set_trace_enabled(true, 64);
+  {
+    TraceSpan span("chrome.export");
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  const std::string json = trace_to_chrome_json(trace_events());
+  const JsonValue root = parse_json(json);
+  ASSERT_EQ(root.kind, JsonValue::Kind::Object);
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::Array);
+  ASSERT_EQ(events->items.size(), 1u);
+  const JsonValue& ev = events->items[0];
+  EXPECT_EQ(ev.find("name")->text, "chrome.export");
+  EXPECT_EQ(ev.find("ph")->text, "X");
+  EXPECT_GT(ev.find("dur")->number, 0.0);
+}
+
+TEST_F(ObsTest, ResetZeroesButKeepsRegistrations) {
+  // reset() must keep the registered objects alive (call sites cache
+  // references in function-local statics) and only zero their values.
+  Counter& c = registry().counter("kept.after.reset");
+  Timer& t = registry().timer("kept.after.timer");
+  c.add(5);
+  t.record_ns(1);
+  registry().reset();
+  EXPECT_EQ(c.value(), 0);
+  const MetricsSnapshot snap = registry().snapshot();
+  const int64_t* cv = find_counter(snap, "kept.after.reset");
+  ASSERT_NE(cv, nullptr);
+  EXPECT_EQ(*cv, 0);
+  const TimerSnapshot* ts = find_timer(snap, "kept.after.timer");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->count, 0);
+  EXPECT_EQ(ts->total_ns, 0);
+  (void)t;
+  // The handle is still the registered object.
+  c.add(2);
+  EXPECT_EQ(registry().counter("kept.after.reset").value(), 2);
+}
+
+TEST_F(ObsTest, MacroCachesHandleAndCounts) {
+  for (int i = 0; i < 5; ++i) PIM_COUNT("macro.cached.count");
+  PIM_COUNT_N("macro.cached.count", 10);
+  EXPECT_EQ(registry().counter("macro.cached.count").value(), 15);
+}
+
+}  // namespace
+}  // namespace pim::obs

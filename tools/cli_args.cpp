@@ -1,8 +1,13 @@
 #include "cli_args.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace pim::cli {
@@ -54,6 +59,48 @@ void Args::check_known(const std::vector<std::string>& known) const {
     (void)value;
     require(std::find(known.begin(), known.end(), flag) != known.end(),
             "cli: unknown flag '--" + flag + "'");
+  }
+}
+
+const std::vector<std::string>& global_flags() {
+  static const std::vector<std::string> flags = {"log-level", "profile", "trace"};
+  return flags;
+}
+
+void check_known_with_globals(const Args& args, std::vector<std::string> known) {
+  known.insert(known.end(), global_flags().begin(), global_flags().end());
+  args.check_known(known);
+}
+
+void apply_global_flags(const Args& args) {
+  if (args.has("log-level")) {
+    LogLevel level;
+    require(log_level_from_name(args.get("log-level"), level),
+            "cli: --log-level must be debug|info|warn|error|off");
+    set_log_level(level);
+  }
+  if (args.has("profile")) obs::set_enabled(true);
+  if (args.has("trace")) {
+    require(!args.get("trace").empty(), "cli: --trace needs an output path");
+    obs::set_enabled(true);
+    obs::set_trace_enabled(true);
+  }
+}
+
+void write_observability_reports(const Args& args) {
+  if (args.has("profile")) {
+    const std::string path = args.get("profile");
+    if (path.empty()) {
+      // Bare --profile: the metrics ARE the requested output, on stdout.
+      std::fputs(obs::metrics_to_json(obs::registry().snapshot()).c_str(), stdout);
+    } else {
+      obs::save_metrics_json(path);
+      log_info("wrote ", path);
+    }
+  }
+  if (args.has("trace")) {
+    obs::save_trace(args.get("trace"));
+    log_info("wrote ", args.get("trace"));
   }
 }
 

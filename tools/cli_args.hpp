@@ -33,4 +33,22 @@ class Args {
   std::map<std::string, std::string> flags_;  // switch -> ""
 };
 
+/// Flags every pim subcommand accepts:
+///   --log-level debug|info|warn|error|off   log threshold (beats PIM_LOG_LEVEL)
+///   --profile [out.json]                    collect metrics; write JSON to the
+///                                           path, or to stdout when bare
+///   --trace out.trace.json                  collect a Chrome-trace of the run
+const std::vector<std::string>& global_flags();
+
+/// check_known with the global flags appended to `known`.
+void check_known_with_globals(const Args& args, std::vector<std::string> known);
+
+/// Applies the global flags' side effects: sets the log threshold and
+/// enables metric/trace collection. Call once before dispatching.
+void apply_global_flags(const Args& args);
+
+/// Writes the --profile / --trace artifacts. Call after the command ran
+/// (also on failure, so partial runs still leave telemetry behind).
+void write_observability_reports(const Args& args);
+
 }  // namespace pim::cli

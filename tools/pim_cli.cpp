@@ -17,6 +17,13 @@
 // <tech> is one of 90nm 65nm 45nm 32nm 22nm 16nm. When --coeffs names an
 // existing file it is loaded; otherwise the flow characterizes (slow) and
 // saves there.
+//
+// Global flags, valid on every subcommand (see docs/observability.md):
+//   --log-level debug|info|warn|error|off   stderr log threshold; beats the
+//                                           PIM_LOG_LEVEL environment variable
+//   --profile [out.json]                    collect metrics during the run and
+//                                           write them as JSON (stdout if bare)
+//   --trace out.trace.json                  record a chrome://tracing timeline
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -32,6 +39,7 @@
 #include "cosi/testcases.hpp"
 #include "models/baseline.hpp"
 #include "models/proposed.hpp"
+#include "obs/trace.hpp"
 #include "spice/deck.hpp"
 #include "sta/calibrated.hpp"
 #include "sta/nldm_timer.hpp"
@@ -67,7 +75,11 @@ int usage() {
                "  noise <tech> --length <mm> [--drive k] [--coeffs file]\n"
                "  timer <tech> --length <mm> [--drive k] [--repeaters n]\n"
                "  mesh <dvopd|vproc|spec.soc> <tech> [--rows r] [--cols c]\n"
-               "  export <tech> --length <mm> [--deck out.sp] [--spef out.spef]\n");
+               "  export <tech> --length <mm> [--deck out.sp] [--spef out.spef]\n"
+               "global flags (any command):\n"
+               "  --log-level debug|info|warn|error|off\n"
+               "  --profile [out.json]   collect metrics, write JSON (stdout if bare)\n"
+               "  --trace out.trace.json record a chrome://tracing timeline\n");
   return 2;
 }
 
@@ -86,6 +98,7 @@ DesignStyle style_arg(const Args& args) {
 }
 
 TechnologyFit fit_arg(TechNode node, const Args& args) {
+  obs::TraceSpan span("cli.calibrate");
   return calibrated_fit(node, args.get("coeffs", ""));
 }
 
@@ -100,13 +113,15 @@ LinkContext context_arg(TechNode node, const Args& args) {
 }
 
 int cmd_techfile(const Args& args) {
-  args.check_known({});
+  obs::TraceSpan span("cli.techfile");
+  check_known_with_globals(args, {});
   std::fputs(write_techfile(technology(tech_arg(args, 0))).c_str(), stdout);
   return 0;
 }
 
 int cmd_characterize(const Args& args) {
-  args.check_known({"drives", "lib", "coeffs"});
+  obs::TraceSpan span("cli.characterize");
+  check_known_with_globals(args, {"drives", "lib", "coeffs"});
   const TechNode node = tech_arg(args, 0);
   const Technology& tech = technology(node);
   CharacterizationOptions opt;
@@ -115,25 +130,25 @@ int cmd_characterize(const Args& args) {
     for (const std::string& d : split(args.get("drives"), ','))
       opt.drives.push_back(static_cast<int>(parse_long(d)));
   }
-  std::fprintf(stderr, "characterizing %s (transistor-level simulations)...\n",
-               tech.name.c_str());
+  log_info("characterizing ", tech.name, " (transistor-level simulations)...");
   const CellLibrary lib = characterize_library(tech, opt);
   if (args.has("lib")) {
     save_liberty(lib, args.get("lib"));
-    std::fprintf(stderr, "wrote %s\n", args.get("lib").c_str());
+    log_info("wrote ", args.get("lib"));
   } else {
     std::fputs(write_liberty(lib).c_str(), stdout);
   }
   if (args.has("coeffs")) {
     const TechnologyFit fit = calibrate_composition(tech, fit_technology(tech, lib));
     save_fit(fit, args.get("coeffs"));
-    std::fprintf(stderr, "wrote %s\n", args.get("coeffs").c_str());
+    log_info("wrote ", args.get("coeffs"));
   }
   return 0;
 }
 
 int cmd_fit(const Args& args) {
-  args.check_known({"coeffs"});
+  obs::TraceSpan span("cli.fit");
+  check_known_with_globals(args, {"coeffs"});
   const TechNode node = tech_arg(args, 0);
   const TechnologyFit fit = fit_arg(node, args);
   std::fputs(write_fit(fit).c_str(), stdout);
@@ -141,7 +156,8 @@ int cmd_fit(const Args& args) {
 }
 
 int cmd_evaluate(const Args& args) {
-  args.check_known({"length", "style", "slew", "drive", "repeaters", "coeffs", "golden"});
+  obs::TraceSpan span("cli.evaluate");
+  check_known_with_globals(args, {"length", "style", "slew", "drive", "repeaters", "coeffs", "golden"});
   const TechNode node = tech_arg(args, 0);
   const Technology& tech = technology(node);
   const LinkContext ctx = context_arg(node, args);
@@ -168,7 +184,8 @@ int cmd_evaluate(const Args& args) {
 }
 
 int cmd_buffer(const Args& args) {
-  args.check_known({"length", "style", "slew", "budget", "weight", "coeffs"});
+  obs::TraceSpan span("cli.buffer");
+  check_known_with_globals(args, {"length", "style", "slew", "budget", "weight", "coeffs"});
   const TechNode node = tech_arg(args, 0);
   const Technology& tech = technology(node);
   const LinkContext ctx = context_arg(node, args);
@@ -178,8 +195,8 @@ int cmd_buffer(const Args& args) {
   const ProposedModel model(tech, fit_arg(node, args));
   const BufferingResult best = optimize_buffering(model, ctx, opt);
   if (!best.feasible) {
-    std::printf("infeasible: no buffering meets the constraints (%ld candidates)\n",
-                best.evaluations);
+    log_error("buffer: no buffering meets the constraints (", best.evaluations,
+              " candidates)");
     return 1;
   }
   std::printf("best: %d x %sD%d (miller %.2f) after %ld candidates\n",
@@ -192,7 +209,8 @@ int cmd_buffer(const Args& args) {
 }
 
 int cmd_noc(const Args& args) {
-  args.check_known({"model", "dot", "coeffs"});
+  obs::TraceSpan span("cli.noc");
+  check_known_with_globals(args, {"model", "dot", "coeffs"});
   const std::string which = args.positional(0);
   require(!which.empty(), "cli: noc needs a spec (dvopd, vproc, or a .soc file)");
   const TechNode node = tech_arg(args, 1);
@@ -237,13 +255,14 @@ int cmd_noc(const Args& args) {
     std::ofstream out(args.get("dot"));
     require(out.good(), "cli: cannot open '" + args.get("dot") + "'");
     out << to_dot(r.architecture);
-    std::fprintf(stderr, "wrote %s\n", args.get("dot").c_str());
+    log_info("wrote ", args.get("dot"));
   }
   return 0;
 }
 
 int cmd_yield(const Args& args) {
-  args.check_known({"length", "style", "slew", "samples", "drive", "repeaters", "coeffs"});
+  obs::TraceSpan span("cli.yield");
+  check_known_with_globals(args, {"length", "style", "slew", "samples", "drive", "repeaters", "coeffs"});
   const TechNode node = tech_arg(args, 0);
   const Technology& tech = technology(node);
   const LinkContext ctx = context_arg(node, args);
@@ -264,7 +283,8 @@ int cmd_yield(const Args& args) {
 }
 
 int cmd_export(const Args& args) {
-  args.check_known({"length", "style", "slew", "drive", "repeaters", "deck", "spef"});
+  obs::TraceSpan span("cli.export");
+  check_known_with_globals(args, {"length", "style", "slew", "drive", "repeaters", "deck", "spef"});
   const TechNode node = tech_arg(args, 0);
   const Technology& tech = technology(node);
   const LinkContext ctx = context_arg(node, args);
@@ -276,15 +296,14 @@ int cmd_export(const Args& args) {
   if (args.has("deck")) {
     const LinkNetlist net = build_link_netlist(tech, ctx, design);
     save_deck(net.circuit, args.get("deck"));
-    std::fprintf(stderr, "wrote %s (%zu nodes)\n", args.get("deck").c_str(),
-                 net.circuit.node_count());
+    log_info("wrote ", args.get("deck"), " (", net.circuit.node_count(), " nodes)");
     wrote = true;
   }
   if (args.has("spef")) {
     std::ofstream out(args.get("spef"));
     require(out.good(), "cli: cannot open '" + args.get("spef") + "'");
     out << write_spef(tech, ctx, design);
-    std::fprintf(stderr, "wrote %s\n", args.get("spef").c_str());
+    log_info("wrote ", args.get("spef"));
     wrote = true;
   }
   if (!wrote) std::fputs(write_spef(tech, ctx, design).c_str(), stdout);
@@ -292,7 +311,8 @@ int cmd_export(const Args& args) {
 }
 
 int cmd_noise(const Args& args) {
-  args.check_known({"length", "style", "slew", "drive", "coeffs"});
+  obs::TraceSpan span("cli.noise");
+  check_known_with_globals(args, {"length", "style", "slew", "drive", "coeffs"});
   const TechNode node = tech_arg(args, 0);
   const Technology& tech = technology(node);
   LinkContext ctx = context_arg(node, args);
@@ -300,7 +320,7 @@ int cmd_noise(const Args& args) {
   design.drive = static_cast<int>(args.get_long("drive", 12));
   design.num_repeaters = 1;  // noise is per wire segment
   const TechnologyFit fit = fit_arg(node, args);
-  std::fprintf(stderr, "calibrating noise model against golden glitch sims...\n");
+  log_info("calibrating noise model against golden glitch sims...");
   const NoiseCalibration cal = calibrate_noise(tech, fit);
   const double golden = golden_noise_peak(tech, ctx, design);
   const double model = noise_peak_model(tech, fit, ctx, design, cal.kappa_n);
@@ -313,7 +333,8 @@ int cmd_noise(const Args& args) {
 }
 
 int cmd_timer(const Args& args) {
-  args.check_known({"length", "style", "slew", "drive", "repeaters"});
+  obs::TraceSpan span("cli.timer");
+  check_known_with_globals(args, {"length", "style", "slew", "drive", "repeaters"});
   const TechNode node = tech_arg(args, 0);
   const Technology& tech = technology(node);
   const LinkContext ctx = context_arg(node, args);
@@ -325,8 +346,8 @@ int cmd_timer(const Args& args) {
   copt.drives = {design.drive};
   copt.buffers = design.kind == CellKind::Buffer;
   copt.inverters = design.kind == CellKind::Inverter;
-  std::fprintf(stderr, "characterizing %sD%d tables...\n",
-               cell_kind_name(design.kind).c_str(), design.drive);
+  log_info("characterizing ", cell_kind_name(design.kind), "D", design.drive,
+           " tables...");
   const CellLibrary lib = characterize_library(tech, copt);
   const NldmTimerResult awe = nldm_link_delay(lib, tech, ctx, design);
   NldmTimerOptions elm;
@@ -340,7 +361,8 @@ int cmd_timer(const Args& args) {
 }
 
 int cmd_mesh(const Args& args) {
-  args.check_known({"rows", "cols", "coeffs"});
+  obs::TraceSpan span("cli.mesh");
+  check_known_with_globals(args, {"rows", "cols", "coeffs"});
   const std::string which = args.positional(0);
   require(!which.empty(), "cli: mesh needs a spec (dvopd, vproc, or a .soc file)");
   const TechNode node = tech_arg(args, 1);
@@ -371,10 +393,7 @@ int cmd_mesh(const Args& args) {
   return 0;
 }
 
-int dispatch(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  const Args args(argc, argv, 2);
+int run_command(const std::string& command, const Args& args) {
   if (command == "techfile") return cmd_techfile(args);
   if (command == "characterize") return cmd_characterize(args);
   if (command == "fit") return cmd_fit(args);
@@ -386,19 +405,38 @@ int dispatch(int argc, char** argv) {
   if (command == "timer") return cmd_timer(args);
   if (command == "mesh") return cmd_mesh(args);
   if (command == "export") return cmd_export(args);
-  std::fprintf(stderr, "pim: unknown command '%s'\n", command.c_str());
+  log_error("unknown command '", command, "'");
   return usage();
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  apply_global_flags(args);
+  // Reports are written even when the command throws, so an aborted run
+  // still leaves its metrics/trace behind for post-mortem.
+  try {
+    const int rc = run_command(command, args);
+    write_observability_reports(args);
+    return rc;
+  } catch (...) {
+    write_observability_reports(args);
+    throw;
+  }
 }
 
 }  // namespace
 }  // namespace pim::cli
 
 int main(int argc, char** argv) {
-  pim::set_log_level(pim::LogLevel::Info);
+  // Default to Info chatter for interactive use, unless PIM_LOG_LEVEL or
+  // --log-level (applied later) says otherwise.
+  if (!pim::log_level_env_override()) pim::set_log_level(pim::LogLevel::Info);
   try {
     return pim::cli::dispatch(argc, argv);
   } catch (const pim::Error& e) {
-    std::fprintf(stderr, "pim: %s\n", e.what());
+    pim::log_error(e.what());
     return 1;
   }
 }
