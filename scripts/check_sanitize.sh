@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds a dedicated -DPIM_SANITIZE=ON tree (ASan + UBSan) and runs the
+# robustness-sensitive test binaries under it: the fault-injection
+# matrix, the numeric kernels, and the util layer. Memory errors or UB
+# anywhere in those paths fail the script. Uses its own build directory
+# so the main build/ tree stays sanitizer-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-sanitize -G Ninja -DPIM_SANITIZE=ON >/dev/null
+cmake --build build-sanitize --target test_faults test_numeric test_util >/dev/null
+
+# halt_on_error keeps failures loud; detect_leaks stays on by default.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+for t in test_faults test_numeric test_util; do
+  echo "=== sanitize: $t ==="
+  ./build-sanitize/tests/"$t"
+done
+
+echo "check_sanitize: OK"

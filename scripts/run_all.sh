@@ -23,3 +23,4 @@ done
 
 cd ..
 scripts/check_metrics.sh
+scripts/check_sanitize.sh

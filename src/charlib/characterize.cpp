@@ -8,6 +8,8 @@
 #include "spice/measure.hpp"
 #include "spice/transient.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
 #include "util/units.hpp"
 
 namespace pim {
@@ -82,12 +84,12 @@ TimingPoint measure_timing(const Technology& tech, CellKind kind,
 
 // Input capacitance: charge the input source delivers over a full swing.
 double measure_input_cap(const Technology& tech, CellKind kind,
-                         const RepeaterSizing& sz) {
+                         const RepeaterSizing& sz, double dt_max) {
   PIM_COUNT("charlib.deck.simulated");
   const double slew = 100e-12;
   const Waveform input = Waveform::ramp(0.0, tech.vdd, kEdgeStart, slew);
   CellUnderTest cut = build_cell(tech, kind, sz, input);
-  TransientOptions opt = sim_options(slew, 1e-12);
+  TransientOptions opt = sim_options(slew, dt_max);
   opt.t_stop = kEdgeStart + slew + 0.3e-9;
   const TransientResult res = run_transient(cut.circuit, opt, {});
   // vsources were added in order: vdd first, input second.
@@ -98,20 +100,72 @@ double measure_input_cap(const Technology& tech, CellKind kind,
 TimingTable characterize_table(const Technology& tech, CellKind kind,
                                const RepeaterSizing& sz, EdgeKind out_edge,
                                const Vector& slew_axis, const Vector& load_axis,
-                               double dt_max) {
+                               double dt_max, double quorum) {
   PIM_OBS_SPAN("charlib.sweep.characterize");
   TimingTable t;
   t.slew_axis = slew_axis;
   t.load_axis = load_axis;
   t.delay = Matrix(slew_axis.size(), load_axis.size());
   t.out_slew = Matrix(slew_axis.size(), load_axis.size());
+
+  // Graceful degradation: a failed deck (Newton non-convergence, singular
+  // system, injected fault) is skipped and recorded rather than aborting
+  // the sweep; the fit only fails when survivors drop below the quorum.
+  std::vector<std::pair<size_t, size_t>> failed;
+  std::string first_failure;
   for (size_t i = 0; i < slew_axis.size(); ++i) {
     for (size_t j = 0; j < load_axis.size(); ++j) {
-      const TimingPoint pt =
-          measure_timing(tech, kind, sz, out_edge, slew_axis[i], load_axis[j], dt_max);
-      t.delay(i, j) = pt.delay;
-      t.out_slew(i, j) = pt.out_slew;
+      try {
+        const TimingPoint pt =
+            measure_timing(tech, kind, sz, out_edge, slew_axis[i], load_axis[j], dt_max);
+        t.delay(i, j) = pt.delay;
+        t.out_slew(i, j) = pt.out_slew;
+      } catch (const Error& e) {
+        PIM_COUNT("charlib.deck.error");
+        if (first_failure.empty()) first_failure = e.what();
+        log_warn("characterize: deck failed at slew ", format_sig(slew_axis[i] / 1e-12, 3),
+                 " ps, load ", format_sig(load_axis[j] / 1e-15, 3), " fF: ", e.message());
+        failed.emplace_back(i, j);
+      }
     }
+  }
+  if (failed.empty()) return t;
+
+  const size_t total = slew_axis.size() * load_axis.size();
+  const size_t surviving = total - failed.size();
+  if (static_cast<double>(surviving) < quorum * static_cast<double>(total))
+    throw Error("characterize_table: only " + std::to_string(surviving) + " of " +
+                    std::to_string(total) + " sweep points survived (quorum " +
+                    format_sig(100.0 * quorum, 3) + " %); first failure: " + first_failure,
+                ErrorCode::no_convergence);
+
+  // Patch each hole from its nearest surviving neighbor (index-space
+  // Manhattan distance) so interpolation and the downstream regressions
+  // stay well-posed. The patched values slightly bias the fit, which the
+  // quorum bounds.
+  auto is_failed = [&](size_t i, size_t j) {
+    for (const auto& [fi, fj] : failed)
+      if (fi == i && fj == j) return true;
+    return false;
+  };
+  for (const auto& [i, j] : failed) {
+    size_t best_i = 0;
+    size_t best_j = 0;
+    size_t best_d = static_cast<size_t>(-1);
+    for (size_t a = 0; a < slew_axis.size(); ++a) {
+      for (size_t b = 0; b < load_axis.size(); ++b) {
+        if (is_failed(a, b)) continue;
+        const size_t d = (a > i ? a - i : i - a) + (b > j ? b - j : j - b);
+        if (d < best_d) {
+          best_d = d;
+          best_i = a;
+          best_j = b;
+        }
+      }
+    }
+    t.delay(i, j) = t.delay(best_i, best_j);
+    t.out_slew(i, j) = t.out_slew(best_i, best_j);
+    PIM_COUNT("charlib.point.recovered");
   }
   return t;
 }
@@ -158,7 +212,21 @@ RepeaterCell characterize_cell(const Technology& tech, CellKind kind, int drive,
   cell.drive = drive;
   cell.wn = sz.wn_out;
   cell.wp = sz.wp_out;
-  cell.input_cap = measure_input_cap(tech, kind, sz);
+  // The input-cap deck sits outside the sweep's quorum umbrella (there is
+  // no neighbor to patch a scalar from), so a transient failure here gets
+  // a bounded retry of its own before it can abort the cell.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      cell.input_cap = measure_input_cap(tech, kind, sz, 1e-12 / (1 << attempt));
+      break;
+    } catch (const Error& e) {
+      PIM_COUNT("charlib.deck.error");
+      if (e.code() == ErrorCode::bad_input || attempt >= 2)
+        throw e.with_context("measuring input cap of " + cell.name);
+      log_warn("characterize_cell: input-cap deck failed (attempt ",
+               attempt + 1, "): ", e.message());
+    }
+  }
 
   // Leakage per output state. Output high: the output-stage NMOS is off
   // (and for buffers the first-stage PMOS, whose input is then high ->
@@ -193,10 +261,14 @@ RepeaterCell characterize_cell(const Technology& tech, CellKind kind, int drive,
   Vector loads(options.fanout_axis.size());
   for (size_t i = 0; i < loads.size(); ++i) loads[i] = options.fanout_axis[i] * cell.input_cap;
 
-  cell.rise = characterize_table(tech, kind, sz, EdgeKind::Rising, options.slew_axis,
-                                 loads, options.dt_max);
-  cell.fall = characterize_table(tech, kind, sz, EdgeKind::Falling, options.slew_axis,
-                                 loads, options.dt_max);
+  try {
+    cell.rise = characterize_table(tech, kind, sz, EdgeKind::Rising, options.slew_axis,
+                                   loads, options.dt_max, options.sweep_quorum);
+    cell.fall = characterize_table(tech, kind, sz, EdgeKind::Falling, options.slew_axis,
+                                   loads, options.dt_max, options.sweep_quorum);
+  } catch (const Error& e) {
+    throw e.with_context("characterizing cell " + cell.name);
+  }
   return cell;
 }
 

@@ -32,6 +32,12 @@ struct CharacterizationOptions {
   bool buffers = true;
   /// Simulation resolution: timestep ceiling [s].
   double dt_max = 1e-12;
+  /// Graceful-degradation quorum: a (slew x load) sweep whose surviving
+  /// fraction of points drops below this fails with no_convergence;
+  /// above it, failed points are skipped, recorded in the
+  /// "charlib.deck.error" counter, and patched from their nearest
+  /// surviving neighbor so the downstream fits stay well-posed.
+  double sweep_quorum = 0.7;
 };
 
 /// Widths of the devices making up one repeater cell. For inverters only

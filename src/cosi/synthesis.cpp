@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "cosi/mesh.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -92,16 +93,34 @@ NocSynthesisResult synthesize_noc(const SocSpec& spec, const InterconnectModel& 
   NocSynthesisResult result{NocArchitecture(spec), base, budget, clock, {}, 0};
   NocArchitecture& arch = result.architecture;
 
+  // Graceful degradation: when constraint-driven synthesis cannot seed a
+  // feasible point-to-point network, fall back to the regular mesh — it
+  // spends more routers but tolerates tighter per-hop budgets, so the
+  // flow still produces an implementable architecture.
+  const auto mesh_fallback = [&](const std::string& reason) {
+    PIM_COUNT("cosi.synthesis.error");
+    PIM_COUNT("cosi.synthesis.mesh_fallback");
+    log_warn("synthesize_noc: ", reason, "; falling back to mesh");
+    return build_mesh_noc(spec, model, options);
+  };
+
   // Phase 2: point-to-point with relay chains.
-  const double max_len = implementer.max_feasible_length();
-  require(max_len > 0.0, "synthesize_noc: no implementable wire length at this clock");
+  double max_len = 0.0;
+  try {
+    max_len = implementer.max_feasible_length();
+  } catch (const Error& e) {
+    return mesh_fallback(e.message());
+  }
+  if (max_len <= 0.0)
+    return mesh_fallback("no implementable wire length at this clock");
   std::map<std::pair<int, int>, std::vector<int>> relay_chains;
   for (size_t f = 0; f < spec.flows.size(); ++f)
     route_flow(arch, static_cast<int>(f), spec.flows[f], max_len, capacity, relay_chains);
   arch.implement_links(implementer);
 
   TrialOutcome current = assess(arch, implementer, router_model, clock, 1 << 20);
-  require(current.acceptable, "synthesize_noc: initial point-to-point network infeasible");
+  if (!current.acceptable)
+    return mesh_fallback("initial point-to-point network infeasible");
 
   // Phase 3: greedy merging of nearby routers.
   const size_t first_router = spec.cores.size();

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 
 namespace pim {
 
@@ -58,9 +59,21 @@ BandedLu::BandedLu(BandedMatrix a) : lu_(std::move(a)) {
   auto entry = [&](size_t r, size_t c) -> double& {
     return lu_.band_[(ku + r - c) * n + c];
   };
+  // Fault site: pretend the final pivot vanished, as a genuinely singular
+  // (or pivoting-starved) system would. Callers with a retry path — the
+  // transient solver halves its timestep, which rebuilds the companion
+  // conductances — get to exercise their recovery deterministically.
+  const bool inject = fault::should_fire(fault::kLuSingular);
   for (size_t k = 0; k < n; ++k) {
-    const double pivot = entry(k, k);
-    require(std::fabs(pivot) > 1e-300, "BandedLu: zero pivot (matrix singular or needs pivoting)");
+    double pivot = entry(k, k);
+    if (inject && k == n - 1) pivot = 0.0;
+    if (!(std::fabs(pivot) > 1e-300)) {
+      PIM_COUNT("numeric.lu.error");
+      fail("BandedLu: zero pivot at column " + std::to_string(k) + " of " +
+               std::to_string(n) + " (matrix singular or needs pivoting)" +
+               (inject ? " [injected]" : ""),
+           ErrorCode::singular_matrix);
+    }
     const double inv = 1.0 / pivot;
     const size_t r_hi = std::min(n - 1, k + kl);
     const size_t c_hi = std::min(n - 1, k + ku);

@@ -1,6 +1,7 @@
 #include "numeric/interp.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 
@@ -16,15 +17,22 @@ size_t segment_index(const Vector& axis, double x) {
 }
 
 void check_axis(const Vector& axis, const char* name) {
-  require(axis.size() >= 2, std::string(name) + ": need at least two samples");
+  require(axis.size() >= 2, std::string(name) + ": need at least two samples",
+          ErrorCode::bad_input);
   for (size_t i = 1; i < axis.size(); ++i)
-    require(axis[i] > axis[i - 1], std::string(name) + ": axis must be strictly increasing");
+    require(axis[i] > axis[i - 1], std::string(name) + ": axis must be strictly increasing",
+            ErrorCode::bad_input);
+  // Strictly-increasing also rules out NaN axis entries, so only the ends
+  // need an explicit finiteness check.
+  require(std::isfinite(axis.front()) && std::isfinite(axis.back()),
+          std::string(name) + ": axis must be finite", ErrorCode::bad_input);
 }
 }  // namespace
 
 double interp_linear(const Vector& xs, const Vector& ys, double x) {
   check_axis(xs, "interp_linear");
-  require(xs.size() == ys.size(), "interp_linear: size mismatch");
+  require(xs.size() == ys.size(), "interp_linear: size mismatch", ErrorCode::bad_input);
+  require(std::isfinite(x), "interp_linear: query must be finite", ErrorCode::bad_input);
   const size_t i = segment_index(xs, x);
   const double t = (x - xs[i]) / (xs[i + 1] - xs[i]);
   return ys[i] + t * (ys[i + 1] - ys[i]);
@@ -39,6 +47,8 @@ Grid2D::Grid2D(Vector rows, Vector cols, Matrix values)
 }
 
 double Grid2D::eval(double r, double c) const {
+  require(std::isfinite(r) && std::isfinite(c), "Grid2D::eval: query must be finite",
+          ErrorCode::bad_input);
   const size_t i = segment_index(rows_, r);
   const size_t j = segment_index(cols_, c);
   const double tr = (r - rows_[i]) / (rows_[i + 1] - rows_[i]);

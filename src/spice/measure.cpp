@@ -8,24 +8,38 @@ namespace pim {
 
 double crossing_time(const std::vector<double>& time, const std::vector<double>& values,
                      double level, EdgeKind edge) {
-  require(time.size() == values.size(), "crossing_time: size mismatch");
-  require(time.size() >= 2, "crossing_time: need at least two samples");
+  require(time.size() == values.size(), "crossing_time: size mismatch",
+          ErrorCode::bad_input);
+  require(time.size() >= 2, "crossing_time: need at least two samples",
+          ErrorCode::bad_input);
+  require(std::isfinite(level), "crossing_time: level must be finite",
+          ErrorCode::bad_input);
+  // NaN guard at the stage boundary: a non-finite sample means the solver
+  // upstream diverged; surface it as a typed error instead of letting the
+  // NaN propagate silently into downstream fits (NaN comparisons are all
+  // false, so the scan below would report "never crosses").
+  require(std::isfinite(values[0]), "crossing_time: non-finite sample at index 0",
+          ErrorCode::bad_input);
   for (size_t i = 1; i < values.size(); ++i) {
     const double a = values[i - 1];
     const double b = values[i];
+    require(std::isfinite(b),
+            "crossing_time: non-finite sample at index " + std::to_string(i),
+            ErrorCode::bad_input);
     const bool crosses = (edge == EdgeKind::Rising) ? (a < level && b >= level)
                                                     : (a > level && b <= level);
     if (!crosses) continue;
     const double f = (level - a) / (b - a);
     return time[i - 1] + f * (time[i] - time[i - 1]);
   }
-  fail("crossing_time: waveform never crosses the level");
+  fail("crossing_time: waveform never crosses the level", ErrorCode::no_convergence);
 }
 
 double delay_50(const std::vector<double>& time, const std::vector<double>& input,
                 EdgeKind input_edge, const std::vector<double>& output,
                 EdgeKind output_edge, double swing) {
-  require(swing > 0.0, "delay_50: swing must be positive");
+  require(swing > 0.0 && std::isfinite(swing), "delay_50: swing must be positive and finite",
+          ErrorCode::bad_input);
   const double t_in = crossing_time(time, input, 0.5 * swing, input_edge);
   const double t_out = crossing_time(time, output, 0.5 * swing, output_edge);
   return t_out - t_in;
@@ -33,7 +47,8 @@ double delay_50(const std::vector<double>& time, const std::vector<double>& inpu
 
 double measure_slew(const std::vector<double>& time, const std::vector<double>& values,
                     EdgeKind edge, double swing) {
-  require(swing > 0.0, "measure_slew: swing must be positive");
+  require(swing > 0.0 && std::isfinite(swing),
+          "measure_slew: swing must be positive and finite", ErrorCode::bad_input);
   const double lo = 0.2 * swing;
   const double hi = 0.8 * swing;
   double t_lo, t_hi;

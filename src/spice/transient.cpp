@@ -10,6 +10,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
+#include "util/strings.hpp"
 
 namespace pim {
 
@@ -93,7 +95,8 @@ class TransientSolver {
   TransientSolver(const Circuit& circuit, const TransientOptions& options,
                   const std::vector<NodeId>& probes)
       : ckt_(circuit), opt_(options), probes_(probes) {
-    require(opt_.dt > 0.0 && opt_.t_stop > 0.0, "run_transient: dt and t_stop must be positive");
+    require(opt_.dt > 0.0 && opt_.t_stop > 0.0, "run_transient: dt and t_stop must be positive",
+            ErrorCode::bad_input);
     index_nodes();
     system_ = std::make_unique<LinearSystem>(
         static_cast<size_t>(unknown_count_), bandwidth(), opt_.band_threshold);
@@ -112,7 +115,7 @@ class TransientSolver {
     if (opt_.t_settle > 0.0 && opt_.settle_steps > 0) {
       const double dts = opt_.t_settle / opt_.settle_steps;
       for (int k = 0; k < opt_.settle_steps; ++k)
-        step(0.0, dts, Integrator::BackwardEuler, nullptr);
+        advance(0.0, dts, Integrator::BackwardEuler, nullptr, 0);
     }
 
     // Main window.
@@ -120,7 +123,7 @@ class TransientSolver {
     const long steps = static_cast<long>(std::ceil(opt_.t_stop / opt_.dt - 1e-9));
     for (long k = 1; k <= steps; ++k) {
       const double t = std::min(opt_.t_stop, static_cast<double>(k) * opt_.dt);
-      step(t, opt_.dt, opt_.integrator, &result);
+      advance(t, opt_.dt, opt_.integrator, &result, 0);
       record(t, result);
     }
     // Tallies are accumulated in plain locals and flushed once per run so
@@ -129,6 +132,7 @@ class TransientSolver {
     PIM_COUNT_N("spice.timestep.count", n_timesteps_);
     PIM_COUNT_N("spice.newton.iterations", n_newton_);
     PIM_COUNT_N("spice.lu.solves", n_solves_);
+    if (n_retries_ > 0) PIM_COUNT_N("spice.newton.retries", n_retries_);
     return result;
   }
 
@@ -190,9 +194,39 @@ class TransientSolver {
     if (i >= 0) system_->rhs()[static_cast<size_t>(i)] += value;
   }
 
-  // One converged timestep ending at absolute time t. When `result` is
-  // non-null, per-source charge/energy are accumulated (main window only).
-  void step(double t, double dt, Integrator integrator, TransientResult* result) {
+  // Advances from t - dt to t, retrying a non-convergent Newton solve
+  // with timestep halving: the failed interval is restored to its
+  // pre-step state and re-run as two half-steps, recursively, up to
+  // opt_.max_step_halvings levels (bounded backoff). Only when the
+  // smallest step still diverges does the run surface no_convergence.
+  void advance(double t, double dt, Integrator integrator, TransientResult* result,
+               int depth) {
+    // Snapshot the dynamic state so a failed attempt can be rolled back;
+    // everything else (matrices, rhs) is rebuilt per iteration anyway.
+    const Vector v_save = v_node_;
+    const std::vector<double> cap_save = cap_current_;
+    if (step(t, dt, integrator, result)) return;
+
+    if (depth >= opt_.max_step_halvings) {
+      PIM_COUNT("spice.transient.error");
+      fail("run_transient: Newton failed to converge at t = " + format_sig(t, 6) +
+               " s (dt = " + format_sig(dt, 4) + " s, after " + std::to_string(depth) +
+               " timestep halvings)",
+           ErrorCode::no_convergence);
+    }
+    ++n_retries_;
+    v_node_ = v_save;
+    cap_current_ = cap_save;
+    const double half = 0.5 * dt;
+    advance(t - half, half, integrator, result, depth + 1);
+    advance(t, half, integrator, result, depth + 1);
+  }
+
+  // One timestep ending at absolute time t; returns whether Newton
+  // converged (leaving state mutated either way — advance() rolls back on
+  // failure). When `result` is non-null, per-source charge/energy are
+  // accumulated (main window only).
+  bool step(double t, double dt, Integrator integrator, TransientResult* result) {
     ++n_timesteps_;
     const auto& caps = ckt_.capacitors();
     // Capacitor companion constants for this step, from the *previous*
@@ -214,11 +248,24 @@ class TransientSolver {
     load_known_voltages(t);
 
     bool converged = false;
-    for (int iter = 0; iter < opt_.max_newton; ++iter) {
+    // Fault site: simulate a diverging Newton loop for this attempt only,
+    // so the halving retry path gets exercised deterministically.
+    const bool inject = fault::should_fire(fault::kNewtonDiverge);
+    for (int iter = 0; !inject && iter < opt_.max_newton; ++iter) {
       ++n_newton_;
       ++n_solves_;
       assemble();
-      const Vector v_new = system_->solve();
+      Vector v_new;
+      try {
+        v_new = system_->solve();
+      } catch (const Error& e) {
+        if (e.code() != ErrorCode::singular_matrix) throw;
+        // A singular Jacobian at this operating point is retryable: the
+        // halved timestep rebuilds the capacitor companion conductances,
+        // which re-conditions the system.
+        PIM_COUNT("spice.solver.singular");
+        break;
+      }
       double worst = 0.0;
       for (size_t node = 1; node < v_node_.size(); ++node) {
         const int ui = unknown_of_node_[node];
@@ -233,7 +280,7 @@ class TransientSolver {
         break;
       }
     }
-    require(converged, "run_transient: Newton failed to converge at t = " + std::to_string(t));
+    if (!converged) return false;
 
     // Update capacitor branch-current state from the converged solution.
     for (size_t i = 0; i < caps.size(); ++i) {
@@ -243,6 +290,7 @@ class TransientSolver {
     }
 
     if (result != nullptr) accumulate_sources(*result, dt);
+    return true;
   }
 
   // Assembles the Newton linear system around the current iterate.
@@ -338,6 +386,7 @@ class TransientSolver {
   long n_timesteps_ = 0;  // settle + main window steps
   long n_newton_ = 0;
   long n_solves_ = 0;
+  long n_retries_ = 0;  // timestep-halving retry events
 };
 
 }  // namespace
@@ -345,6 +394,16 @@ class TransientSolver {
 TransientResult run_transient(const Circuit& circuit, const TransientOptions& options,
                               const std::vector<NodeId>& probes) {
   return TransientSolver(circuit, options, probes).run();
+}
+
+Expected<TransientResult> try_run_transient(const Circuit& circuit,
+                                            const TransientOptions& options,
+                                            const std::vector<NodeId>& probes) {
+  try {
+    return run_transient(circuit, options, probes);
+  } catch (const Error& e) {
+    return e;
+  }
 }
 
 }  // namespace pim

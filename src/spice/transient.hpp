@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "util/expected.hpp"
 
 namespace pim {
 
@@ -30,10 +31,14 @@ struct TransientOptions {
   double t_settle = 2e-9;     ///< pre-roll to reach DC, inputs frozen at t=0 [s]
   int settle_steps = 400;     ///< steps across the settling pre-roll
   Integrator integrator = Integrator::Trapezoidal;
-  int max_newton = 60;        ///< Newton iterations per step before failing
+  int max_newton = 60;        ///< Newton iterations per step before retrying
   double v_tol = 1e-6;        ///< convergence: max |dV| between iterations [V]
   double v_step_limit = 0.3;  ///< per-iteration voltage damping clamp [V]
   size_t band_threshold = 48; ///< use dense LU above this half-bandwidth
+  /// Retry guardrail: a step whose Newton loop fails is re-run as two
+  /// half-steps, recursively, up to this many halvings (dt shrinks by as
+  /// much as 2^max_step_halvings) before the run surfaces no_convergence.
+  int max_step_halvings = 4;
 };
 
 /// Per-source integrated quantities over the main window (not the
@@ -60,8 +65,16 @@ struct TransientResult {
 };
 
 /// Runs a transient analysis of `circuit`, recording the `probes` nodes.
+/// Throws pim::Error(no_convergence) when a timestep still fails after
+/// the halving retries.
 TransientResult run_transient(const Circuit& circuit,
                               const TransientOptions& options,
                               const std::vector<NodeId>& probes);
+
+/// Recoverable variant: returns the result or the error without throwing,
+/// for batch flows that skip-and-record failed simulations.
+Expected<TransientResult> try_run_transient(const Circuit& circuit,
+                                            const TransientOptions& options,
+                                            const std::vector<NodeId>& probes);
 
 }  // namespace pim

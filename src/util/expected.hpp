@@ -1,0 +1,91 @@
+// Recoverable result type for solver-facing APIs.
+//
+// Expected<T> holds either a value or a pim::Error. It lets batch flows
+// (characterization sweeps, Monte-Carlo loops, NoC link implementation)
+// inspect failures and degrade gracefully instead of unwinding the whole
+// run, while value() still throws for call sites that want the old
+// fail-fast behavior. See docs/robustness.md.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace pim {
+
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Expected(Error error) : error_(std::move(error)) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The value; throws the stored Error when this holds a failure.
+  T& value() & {
+    throw_if_error();
+    return *value_;
+  }
+  const T& value() const& {
+    throw_if_error();
+    return *value_;
+  }
+
+  /// Moves the value out; throws the stored Error when this holds a failure.
+  T take() {
+    throw_if_error();
+    return std::move(*value_);
+  }
+
+  /// The value, or `fallback` when this holds a failure.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  /// The stored error. Only valid when !ok().
+  const Error& error() const { return *error_; }
+
+  /// Failure-preserving context chaining: appends `note` to the error's
+  /// context when this holds a failure; no-op on success.
+  Expected<T> with_context(const std::string& note) && {
+    if (!ok()) return Expected<T>(error_->with_context(note));
+    return std::move(*this);
+  }
+
+ private:
+  void throw_if_error() const {
+    if (!ok()) throw *error_;
+  }
+
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Expected<void>: success/failure with no payload, for operations whose
+/// only result is whether they worked (e.g. a factorization attempt).
+template <>
+class [[nodiscard]] Expected<void> {
+ public:
+  Expected() = default;
+  Expected(Error error) : error_(std::move(error)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Throws the stored Error when this holds a failure; no-op on success.
+  void value() const {
+    if (!ok()) throw *error_;
+  }
+
+  const Error& error() const { return *error_; }
+
+  Expected<void> with_context(const std::string& note) && {
+    if (!ok()) return Expected<void>(error_->with_context(note));
+    return {};
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace pim

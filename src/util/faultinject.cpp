@@ -1,0 +1,112 @@
+#include "util/faultinject.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace pim::fault {
+namespace {
+
+struct SiteState {
+  double probability = 1.0;
+  Rng rng{1};
+  int64_t fired = 0;
+  obs::Counter* counter = nullptr;  // "fault.<site>.injected"
+};
+
+std::mutex& mu() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, SiteState>& sites() {
+  static std::map<std::string, SiteState> s;
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_sites() {
+  static const std::vector<std::string> names = {
+      kLuSingular, kNewtonDiverge, kDeckParse, kIoOpen, kVariationSample};
+  return names;
+}
+
+void configure(const std::string& spec) {
+  std::map<std::string, SiteState> parsed;
+  for (const std::string& entry : split(spec, ',')) {
+    const std::string trimmed(trim(entry));
+    if (trimmed.empty()) continue;
+    const auto parts = split(trimmed, ':');
+    require(parts.size() <= 3,
+            "fault: expected site[:prob[:seed]], got '" + trimmed + "'",
+            ErrorCode::bad_input);
+    const std::string& name = parts[0];
+    bool known = false;
+    for (const std::string& s : known_sites()) known = known || s == name;
+    require(known, "fault: unknown site '" + name + "'", ErrorCode::bad_input);
+
+    SiteState state;
+    if (parts.size() >= 2) {
+      state.probability = parse_double(parts[1]);
+      require(state.probability >= 0.0 && state.probability <= 1.0,
+              "fault: probability must be in [0, 1] for site '" + name + "'",
+              ErrorCode::bad_input);
+    }
+    uint64_t seed = 1;
+    if (parts.size() == 3) seed = static_cast<uint64_t>(parse_long(parts[2]));
+    // Mix the site name into the seed so sites armed with the same seed
+    // still draw independent streams.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) h = (h ^ static_cast<uint64_t>(c)) * 0x100000001b3ULL;
+    state.rng = Rng(seed ^ h);
+    state.counter = &obs::registry().counter("fault." + name + ".injected");
+    parsed.emplace(name, state);
+  }
+  // An effectively empty spec is a caller mistake (clear() is the way to
+  // disarm), and silently arming nothing would hide it.
+  require(!parsed.empty(), "fault: empty spec", ErrorCode::bad_input);
+
+  std::lock_guard<std::mutex> lock(mu());
+  sites() = std::move(parsed);
+  armed_flag().store(!sites().empty(), std::memory_order_relaxed);
+}
+
+void configure_from_env() {
+  const char* spec = std::getenv("PIM_FAULT");
+  if (spec != nullptr && spec[0] != '\0') configure(spec);
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(mu());
+  sites().clear();
+  armed_flag().store(false, std::memory_order_relaxed);
+}
+
+bool should_fire(const char* site) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(mu());
+  const auto it = sites().find(site);
+  if (it == sites().end()) return false;
+  SiteState& state = it->second;
+  if (state.rng.next_double() >= state.probability) return false;
+  ++state.fired;
+  // Registry counter is gated on obs::set_enabled like every metric;
+  // fired_count() below is the always-on tally for tests that do not
+  // collect metrics.
+  state.counter->add(1);
+  return true;
+}
+
+int64_t fired_count(const char* site) {
+  std::lock_guard<std::mutex> lock(mu());
+  const auto it = sites().find(site);
+  return it == sites().end() ? 0 : it->second.fired;
+}
+
+}  // namespace pim::fault

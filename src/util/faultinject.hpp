@@ -1,0 +1,74 @@
+// Deterministic, seeded fault-injection harness.
+//
+// Tests (and operators chasing a robustness bug) arm named fault sites
+// with a firing probability and a seed; instrumented code paths then ask
+// should_fire(site) at the exact point where the real failure would
+// originate. Each armed site owns an independent SplitMix64 stream, so a
+// given (site, probability, seed) triple fires on exactly the same draws
+// on every run — recovery paths can be exercised and asserted on
+// deterministically.
+//
+// Activation:
+//   - CLI: any pim subcommand accepts --inject-fault SPEC
+//   - env: PIM_FAULT=SPEC (read once at process start by the CLI)
+//   - tests: pim::fault::configure(SPEC) / pim::fault::clear()
+//
+// SPEC is a comma-separated list of site[:probability[:seed]], e.g.
+// "lu.singular:0.05:7,deck.parse:0.5". Probability defaults to 1.0,
+// seed to 1. Unknown site names are rejected (bad_input) so typos fail
+// loudly instead of silently injecting nothing.
+//
+// When the harness is disarmed (the default), should_fire() is a single
+// relaxed atomic load and branch — instrumented hot paths run at their
+// uninstrumented speed. Every fire increments the metrics counter
+// "fault.<site>.injected" (PR-1 registry), so tests can assert that a
+// recovery path actually fired.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pim::fault {
+
+// Canonical site names. Keep in sync with known_sites() and
+// docs/robustness.md.
+inline constexpr const char* kLuSingular = "lu.singular";          // dense LU pivot
+inline constexpr const char* kNewtonDiverge = "newton.diverge";    // spice Newton loop
+inline constexpr const char* kDeckParse = "deck.parse";            // spice deck parser
+inline constexpr const char* kIoOpen = "io.open";                  // deck/coeffs file I/O
+inline constexpr const char* kVariationSample = "variation.sample";// per-MC-sample solve
+
+/// All site names configure() accepts.
+const std::vector<std::string>& known_sites();
+
+/// Parses and arms `spec` ("site[:prob[:seed]][,...]"). Replaces any
+/// previous configuration. Throws Error(bad_input) on malformed specs,
+/// out-of-range probabilities, or unknown sites.
+void configure(const std::string& spec);
+
+/// Arms from the PIM_FAULT environment variable when it is set and
+/// non-empty; no-op otherwise.
+void configure_from_env();
+
+/// Disarms every site (the harness returns to zero-cost mode).
+void clear();
+
+inline std::atomic<bool>& armed_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+/// True when at least one site is armed.
+inline bool armed() { return armed_flag().load(std::memory_order_relaxed); }
+
+/// Draws from `site`'s stream: true when the fault should be injected
+/// here. Always false when the harness is disarmed or the site is not
+/// part of the active configuration.
+bool should_fire(const char* site);
+
+/// Number of times `site` has fired since it was configured.
+int64_t fired_count(const char* site);
+
+}  // namespace pim::fault

@@ -50,21 +50,23 @@ bool starts_with(std::string_view text, std::string_view prefix) {
 
 double parse_double(std::string_view text) {
   const std::string buffer{trim(text)};
-  require(!buffer.empty(), "parse_double: empty input");
+  require(!buffer.empty(), "parse_double: empty input", ErrorCode::bad_input);
   char* end = nullptr;
   const double value = std::strtod(buffer.c_str(), &end);
   require(end == buffer.c_str() + buffer.size(),
-          "parse_double: trailing characters in '" + buffer + "'");
+          "parse_double: trailing characters in '" + buffer + "'",
+          ErrorCode::bad_input);
   return value;
 }
 
 long parse_long(std::string_view text) {
   const std::string buffer{trim(text)};
-  require(!buffer.empty(), "parse_long: empty input");
+  require(!buffer.empty(), "parse_long: empty input", ErrorCode::bad_input);
   char* end = nullptr;
   const long value = std::strtol(buffer.c_str(), &end, 10);
   require(end == buffer.c_str() + buffer.size(),
-          "parse_long: trailing characters in '" + buffer + "'");
+          "parse_long: trailing characters in '" + buffer + "'",
+          ErrorCode::bad_input);
   return value;
 }
 

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 
 namespace pim {
 namespace {
@@ -142,8 +143,18 @@ MonteCarloResult monte_carlo_link_within_die(const ProposedModel& model,
   MonteCarloResult result;
   result.nominal_delay = model.evaluate(ctx, design).delay;
   result.delays.reserve(static_cast<size_t>(samples));
-  for (int i = 0; i < samples; ++i)
-    result.delays.push_back(link_delay_within_die(model, ctx, design, rng, sigmas));
+  for (int i = 0; i < samples; ++i) {
+    try {
+      if (fault::should_fire(fault::kVariationSample))
+        fail("monte_carlo_link_within_die: injected sample fault", ErrorCode::internal);
+      result.delays.push_back(link_delay_within_die(model, ctx, design, rng, sigmas));
+    } catch (const Error&) {
+      ++result.failed_samples;
+      PIM_COUNT("variation.sample.error");
+    }
+  }
+  require(!result.delays.empty(), "monte_carlo_link_within_die: every sample failed",
+          ErrorCode::no_convergence);
   std::sort(result.delays.begin(), result.delays.end());
   result.mean_delay = mean(result.delays);
   double var = 0.0;
@@ -168,11 +179,23 @@ MonteCarloResult monte_carlo_link(const ProposedModel& model, const LinkContext&
   result.delays.reserve(static_cast<size_t>(samples));
   double power_acc = 0.0;
   for (int i = 0; i < samples; ++i) {
+    // Graceful degradation: a failed corner (bad model arithmetic or an
+    // injected fault) is counted and skipped; the statistics cover the
+    // surviving samples.
     const VariationSample s = sample_variation(rng, sigmas);
-    const LinkEstimate est = evaluate_with_variation(model, context, design, s);
-    result.delays.push_back(est.delay);
-    power_acc += est.total_power();
+    try {
+      if (fault::should_fire(fault::kVariationSample))
+        fail("monte_carlo_link: injected sample fault", ErrorCode::internal);
+      const LinkEstimate est = evaluate_with_variation(model, context, design, s);
+      result.delays.push_back(est.delay);
+      power_acc += est.total_power();
+    } catch (const Error&) {
+      ++result.failed_samples;
+      PIM_COUNT("variation.sample.error");
+    }
   }
+  require(!result.delays.empty(), "monte_carlo_link: every sample failed",
+          ErrorCode::no_convergence);
   std::sort(result.delays.begin(), result.delays.end());
   result.mean_delay = mean(result.delays);
   double var = 0.0;
@@ -181,7 +204,7 @@ MonteCarloResult monte_carlo_link(const ProposedModel& model, const LinkContext&
     var += r * r;
   }
   result.sigma_delay = std::sqrt(var / static_cast<double>(result.delays.size()));
-  result.mean_power = power_acc / samples;
+  result.mean_power = power_acc / static_cast<double>(result.delays.size());
   tally_yield(result);
   return result;
 }

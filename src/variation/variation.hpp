@@ -54,6 +54,10 @@ struct MonteCarloResult {
   double mean_delay = 0.0;
   double sigma_delay = 0.0;
   double mean_power = 0.0;
+  /// Samples that failed to evaluate (model error or injected fault) and
+  /// were skipped; counted in the "variation.sample.error" metric. The
+  /// statistics above cover only the surviving samples.
+  int failed_samples = 0;
 
   /// Fraction of samples meeting `max_delay`.
   double yield_at(double max_delay) const;

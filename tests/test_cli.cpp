@@ -3,6 +3,8 @@
 // --profile flag emits valid metrics JSON.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -135,6 +137,35 @@ TEST(CliProfile, BinaryWritesValidMetricsJson) {
   EXPECT_DOUBLE_EQ(timer->find("count")->number, 1.0);
   EXPECT_GT(timer->find("total_ns")->number, 0.0);
   std::remove(out.c_str());
+}
+
+// Exit-code contract: 0 ok, 2 usage, 3 runtime failure, 4 internal.
+// std::system returns a wait status, so unwrap it before comparing.
+int run_cli(const std::string& tail) {
+  const std::string cmd =
+      std::string(PIM_CLI_PATH) + " " + tail + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(CliExitCodes, NoArgumentsIsUsageError) {
+  EXPECT_EQ(run_cli(""), 2);
+}
+
+TEST(CliExitCodes, MissingRequiredFlagIsUsageError) {
+  EXPECT_EQ(run_cli("evaluate 65nm"), 2);  // --length missing
+}
+
+TEST(CliExitCodes, UnknownFaultSiteIsUsageError) {
+  EXPECT_EQ(run_cli("techfile 45nm --inject-fault bogus.site"), 2);
+}
+
+TEST(CliExitCodes, InjectedIoFaultIsRuntimeError) {
+  const std::string deck = ::testing::TempDir() + "pim_cli_fault_deck.sp";
+  EXPECT_EQ(run_cli("export 45nm --length 1 --deck " + deck +
+                    " --inject-fault io.open:1"),
+            3);
+  std::remove(deck.c_str());
 }
 
 }  // namespace

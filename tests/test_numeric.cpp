@@ -95,6 +95,41 @@ TEST(Lu, SingularThrows) {
   EXPECT_THROW(solve_dense(a, {1.0, 1.0}), Error);
 }
 
+TEST(Lu, CreateReportsSingularityWithoutThrowing) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;  // rank 1
+  const Expected<LuDecomposition> lu = LuDecomposition::create(a);
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.error().code(), ErrorCode::singular_matrix);
+  // The message names the failing pivot column and the retry context.
+  EXPECT_NE(std::string(lu.error().what()).find("pivot"), std::string::npos);
+  EXPECT_NE(std::string(lu.error().what()).find("equilibration"), std::string::npos);
+
+  const Expected<Vector> x = try_solve_dense(a, {1.0, 1.0});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.error().code(), ErrorCode::singular_matrix);
+}
+
+TEST(Lu, ConditionEstimateFlagsIllConditioning) {
+  Matrix well(2, 2);
+  well(0, 0) = 2.0;
+  well(1, 1) = 1.0;
+  Matrix ill(2, 2);
+  ill(0, 0) = 1.0;
+  ill(0, 1) = 1.0;
+  ill(1, 0) = 1.0;
+  ill(1, 1) = 1.0 + 1e-10;
+  const LuDecomposition lu_well{well};
+  const LuDecomposition lu_ill{ill};
+  EXPECT_GE(lu_well.condition_estimate(), 1.0);
+  EXPECT_LT(lu_well.condition_estimate(), 10.0);
+  EXPECT_GT(lu_ill.condition_estimate(), 1e8);
+  EXPECT_FALSE(lu_well.equilibrated());
+}
+
 // Property: banded solve agrees with dense solve on random banded systems.
 class BandedTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
@@ -169,14 +204,65 @@ TEST(LeastSquares, OverdeterminedMinimizesResidual) {
   EXPECT_LE(residual_norm(a, c, b), norm2({0.1, 0.1, 0.1, 0.1}) + 1e-12);
 }
 
-TEST(LeastSquares, RankDeficientThrows) {
+TEST(LeastSquares, RankDeficientRecoveredByRegularization) {
+  // Duplicate columns: classic rank deficiency. QR fails, the Tikhonov
+  // fallback must still return a finite solution whose residual matches
+  // the best single-column fit.
+  Matrix a(4, 2);
+  Vector b(4);
+  const double col[] = {1.0, 2.0, 3.0, 4.0};
+  for (size_t r = 0; r < 4; ++r) {
+    a(r, 0) = col[r];
+    a(r, 1) = col[r];
+    b[r] = 2.0 * col[r] + ((r % 2 == 0) ? 0.01 : -0.01);
+  }
+  const Vector x = least_squares(a, b);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_TRUE(std::isfinite(x[0]) && std::isfinite(x[1]));
+  // Combined coefficient ~2 (the direction the data determines).
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-3);
+
+  // Residual must match the well-posed one-column problem's.
+  Matrix a1(4, 1);
+  for (size_t r = 0; r < 4; ++r) a1(r, 0) = col[r];
+  const Vector x1 = least_squares(a1, b);
+  EXPECT_NEAR(residual_norm(a, x, b), residual_norm(a1, x1, b), 1e-6);
+
+  const Expected<Vector> rx = try_least_squares(a, b);
+  ASSERT_TRUE(rx.ok());
+}
+
+TEST(LeastSquares, ExplicitRidgeDampsTowardZero) {
+  Matrix a(3, 1);
+  Vector b(3);
+  for (size_t r = 0; r < 3; ++r) {
+    a(r, 0) = 1.0;
+    b[r] = 6.0;
+  }
+  const Expected<Vector> light = least_squares_regularized(a, b, 1e-8);
+  const Expected<Vector> heavy = least_squares_regularized(a, b, 10.0);
+  ASSERT_TRUE(light.ok());
+  ASSERT_TRUE(heavy.ok());
+  EXPECT_NEAR(light.value()[0], 6.0, 1e-6);
+  EXPECT_LT(heavy.value()[0], 6.0);  // damping shrinks the estimate
+}
+
+TEST(LeastSquares, DimensionMismatchRejected) {
   Matrix a(3, 2);
   for (int i = 0; i < 3; ++i) {
     a(i, 0) = 1.0;
-    a(i, 1) = 2.0;  // column 2 = 2 * column 1
-    a(i, 1) = 2.0 * a(i, 0);
+    a(i, 1) = 2.0;
   }
-  EXPECT_THROW(least_squares(a, {1.0, 2.0, 3.0}), Error);
+  // Historically a rank-deficient system threw here; the regularized
+  // fallback now handles it (see RankDeficientRecoveredByRegularization).
+  // Caller mistakes still fail fast, and typed.
+  try {
+    least_squares(a, {1.0, 2.0});  // b has the wrong length
+    FAIL() << "expected bad_input";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::bad_input);
+  }
+  EXPECT_THROW(least_squares(Matrix(2, 3), {1.0, 2.0}), Error);  // rows < cols
 }
 
 TEST(Regression, LinearRecoversLine) {

@@ -3,6 +3,7 @@
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/expected.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -34,8 +35,92 @@ TEST(Error, RequireThrowsOnlyWhenFalse) {
     require(false, "specific message");
     FAIL() << "should have thrown";
   } catch (const Error& e) {
-    EXPECT_STREQ(e.what(), "specific message");
+    EXPECT_EQ(e.message(), "specific message");
+    // what() appends the taxonomy code (internal when unspecified).
+    EXPECT_STREQ(e.what(), "specific message [internal]");
   }
+}
+
+TEST(Error, CarriesTaxonomyCode) {
+  try {
+    fail("cannot invert", ErrorCode::singular_matrix);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::singular_matrix);
+    EXPECT_STREQ(e.what(), "cannot invert [singular_matrix]");
+  }
+  EXPECT_STREQ(error_code_name(ErrorCode::bad_input), "bad_input");
+  EXPECT_STREQ(error_code_name(ErrorCode::io_parse), "io_parse");
+}
+
+TEST(Error, ContextChainRendersInnermostFirst) {
+  const Error root("pivot vanished", ErrorCode::singular_matrix);
+  const Error chained =
+      root.with_context("factoring the MNA system").with_context("characterizing INVD8");
+  EXPECT_EQ(chained.code(), ErrorCode::singular_matrix);
+  EXPECT_EQ(chained.message(), "pivot vanished");
+  ASSERT_EQ(chained.context().size(), 2u);
+  EXPECT_EQ(chained.context()[0], "factoring the MNA system");
+  const std::string what = chained.what();
+  const size_t factor_at = what.find("while factoring");
+  const size_t char_at = what.find("while characterizing");
+  ASSERT_NE(factor_at, std::string::npos);
+  ASSERT_NE(char_at, std::string::npos);
+  EXPECT_LT(factor_at, char_at);  // innermost first
+}
+
+TEST(Error, PimRequireCapturesCallSite) {
+  try {
+    PIM_REQUIRE(1 == 2, "impossible");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(e.message().find("impossible (test_util.cpp:"), std::string::npos);
+    EXPECT_EQ(e.code(), ErrorCode::internal);
+  }
+  try {
+    PIM_REQUIRE_CODE(false, "bad arg", ErrorCode::bad_input);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::bad_input);
+  }
+}
+
+TEST(Expected, ValueAndErrorStates) {
+  const Expected<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(good.value_or(7), 42);
+
+  const Expected<int> bad = Error("nope", ErrorCode::no_convergence);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.value_or(7), 7);
+  EXPECT_EQ(bad.error().code(), ErrorCode::no_convergence);
+  EXPECT_THROW(bad.value(), Error);
+
+  Expected<std::string> moved = std::string("payload");
+  EXPECT_EQ(moved.take(), "payload");
+}
+
+TEST(Expected, WithContextPreservesSuccessAndChainsFailure) {
+  Expected<int> good = 1;
+  EXPECT_TRUE(std::move(good).with_context("stage A").ok());
+
+  Expected<int> bad = Error("root", ErrorCode::io_parse);
+  const Expected<int> chained = std::move(bad).with_context("loading deck");
+  ASSERT_FALSE(chained.ok());
+  ASSERT_EQ(chained.error().context().size(), 1u);
+  EXPECT_EQ(chained.error().context()[0], "loading deck");
+}
+
+TEST(ExpectedVoid, DefaultIsSuccess) {
+  const Expected<void> ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_NO_THROW(ok.value());
+
+  const Expected<void> bad = Error("broken", ErrorCode::internal);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_THROW(bad.value(), Error);
+  EXPECT_FALSE(Expected<void>(Error("x")).with_context("ctx").ok());
 }
 
 TEST(Error, FailAlwaysThrows) { EXPECT_THROW(fail("x"), Error); }

@@ -144,6 +144,14 @@ TEST_F(VariationFixture, YieldCurveMonotonicAndCalibrated) {
   EXPECT_NEAR(mc.yield_at(q90), 0.9, 0.05);
 }
 
+TEST_F(VariationFixture, NoSamplesFailWithoutInjectedFaults) {
+  const MonteCarloResult mc = monte_carlo_link(*model_, ctx(), design(), 200, 17);
+  EXPECT_EQ(mc.failed_samples, 0);
+  const MonteCarloResult wid =
+      monte_carlo_link_within_die(*model_, ctx(), design(), 200, 17);
+  EXPECT_EQ(wid.failed_samples, 0);
+}
+
 TEST_F(VariationFixture, MonteCarloDeterministicPerSeed) {
   const MonteCarloResult a = monte_carlo_link(*model_, ctx(), design(), 100, 5);
   const MonteCarloResult b = monte_carlo_link(*model_, ctx(), design(), 100, 5);

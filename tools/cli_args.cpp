@@ -7,6 +7,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -17,7 +18,7 @@ Args::Args(int argc, char** argv, int from) {
     const std::string token = argv[i];
     if (starts_with(token, "--")) {
       const std::string name = token.substr(2);
-      require(!name.empty(), "cli: bare '--' is not a flag");
+      require(!name.empty(), "cli: bare '--' is not a flag", ErrorCode::bad_input);
       if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
         flags_[name] = argv[++i];
       } else {
@@ -43,14 +44,16 @@ std::string Args::get(const std::string& flag, const std::string& fallback) cons
 double Args::get_double(const std::string& flag, double fallback) const {
   const auto it = flags_.find(flag);
   if (it == flags_.end()) return fallback;
-  require(!it->second.empty(), "cli: --" + flag + " needs a value");
+  require(!it->second.empty(), "cli: --" + flag + " needs a value",
+          ErrorCode::bad_input);
   return parse_double(it->second);
 }
 
 long Args::get_long(const std::string& flag, long fallback) const {
   const auto it = flags_.find(flag);
   if (it == flags_.end()) return fallback;
-  require(!it->second.empty(), "cli: --" + flag + " needs a value");
+  require(!it->second.empty(), "cli: --" + flag + " needs a value",
+          ErrorCode::bad_input);
   return parse_long(it->second);
 }
 
@@ -58,12 +61,13 @@ void Args::check_known(const std::vector<std::string>& known) const {
   for (const auto& [flag, value] : flags_) {
     (void)value;
     require(std::find(known.begin(), known.end(), flag) != known.end(),
-            "cli: unknown flag '--" + flag + "'");
+            "cli: unknown flag '--" + flag + "'", ErrorCode::bad_input);
   }
 }
 
 const std::vector<std::string>& global_flags() {
-  static const std::vector<std::string> flags = {"log-level", "profile", "trace"};
+  static const std::vector<std::string> flags = {"log-level", "profile", "trace",
+                                                 "inject-fault"};
   return flags;
 }
 
@@ -76,12 +80,20 @@ void apply_global_flags(const Args& args) {
   if (args.has("log-level")) {
     LogLevel level;
     require(log_level_from_name(args.get("log-level"), level),
-            "cli: --log-level must be debug|info|warn|error|off");
+            "cli: --log-level must be debug|info|warn|error|off",
+            ErrorCode::bad_input);
     set_log_level(level);
+  }
+  if (args.has("inject-fault")) {
+    require(!args.get("inject-fault").empty(),
+            "cli: --inject-fault needs a site[:prob[:seed]] spec",
+            ErrorCode::bad_input);
+    fault::configure(args.get("inject-fault"));
   }
   if (args.has("profile")) obs::set_enabled(true);
   if (args.has("trace")) {
-    require(!args.get("trace").empty(), "cli: --trace needs an output path");
+    require(!args.get("trace").empty(), "cli: --trace needs an output path",
+            ErrorCode::bad_input);
     obs::set_enabled(true);
     obs::set_trace_enabled(true);
   }

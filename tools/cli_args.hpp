@@ -38,6 +38,9 @@ class Args {
 ///   --profile [out.json]                    collect metrics; write JSON to the
 ///                                           path, or to stdout when bare
 ///   --trace out.trace.json                  collect a Chrome-trace of the run
+///   --inject-fault site[:prob[:seed]][,...] arm the deterministic fault-
+///                                           injection harness (see
+///                                           docs/robustness.md); beats PIM_FAULT
 const std::vector<std::string>& global_flags();
 
 /// check_known with the global flags appended to `known`.

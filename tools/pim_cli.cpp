@@ -24,6 +24,11 @@
 //   --profile [out.json]                    collect metrics during the run and
 //                                           write them as JSON (stdout if bare)
 //   --trace out.trace.json                  record a chrome://tracing timeline
+//   --inject-fault site[:prob[:seed]]       arm the deterministic fault-injection
+//                                           harness (see docs/robustness.md)
+//
+// Exit codes: 0 success, 2 usage/bad input, 3 runtime failure (solver,
+// convergence, I/O), 4 internal error.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -48,6 +53,7 @@
 #include "sta/spef.hpp"
 #include "tech/techfile.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -79,13 +85,15 @@ int usage() {
                "global flags (any command):\n"
                "  --log-level debug|info|warn|error|off\n"
                "  --profile [out.json]   collect metrics, write JSON (stdout if bare)\n"
-               "  --trace out.trace.json record a chrome://tracing timeline\n");
+               "  --trace out.trace.json record a chrome://tracing timeline\n"
+               "  --inject-fault site[:prob[:seed]]  deterministic fault injection\n"
+               "exit codes: 0 ok, 2 usage, 3 runtime failure, 4 internal error\n");
   return 2;
 }
 
 TechNode tech_arg(const Args& args, size_t index) {
   const std::string name = args.positional(index);
-  require(!name.empty(), "cli: missing <tech> argument");
+  require(!name.empty(), "cli: missing <tech> argument", ErrorCode::bad_input);
   return tech_node_from_name(name);
 }
 
@@ -94,7 +102,7 @@ DesignStyle style_arg(const Args& args) {
   if (s == "SS") return DesignStyle::SingleSpacing;
   if (s == "DS") return DesignStyle::DoubleSpacing;
   if (s == "SH") return DesignStyle::Shielded;
-  fail("cli: --style must be SS, DS, or SH");
+  fail("cli: --style must be SS, DS, or SH", ErrorCode::bad_input);
 }
 
 TechnologyFit fit_arg(TechNode node, const Args& args) {
@@ -105,7 +113,8 @@ TechnologyFit fit_arg(TechNode node, const Args& args) {
 LinkContext context_arg(TechNode node, const Args& args) {
   LinkContext ctx;
   ctx.length = args.get_double("length", 0.0) * mm;
-  require(ctx.length > 0.0, "cli: --length <mm> is required and must be positive");
+  require(ctx.length > 0.0, "cli: --length <mm> is required and must be positive",
+          ErrorCode::bad_input);
   ctx.style = style_arg(args);
   ctx.input_slew = args.get_double("slew", 100.0) * ps;
   ctx.frequency = technology(node).clock_frequency;
@@ -212,7 +221,8 @@ int cmd_noc(const Args& args) {
   obs::TraceSpan span("cli.noc");
   check_known_with_globals(args, {"model", "dot", "coeffs"});
   const std::string which = args.positional(0);
-  require(!which.empty(), "cli: noc needs a spec (dvopd, vproc, or a .soc file)");
+  require(!which.empty(), "cli: noc needs a spec (dvopd, vproc, or a .soc file)",
+          ErrorCode::bad_input);
   const TechNode node = tech_arg(args, 1);
   const Technology& tech = technology(node);
 
@@ -238,7 +248,7 @@ int cmd_noc(const Args& args) {
   } else if (model_name == "pamunuwa") {
     model = std::make_unique<PamunuwaModel>(tech);
   } else {
-    fail("cli: --model must be proposed, bakoglu, or pamunuwa");
+    fail("cli: --model must be proposed, bakoglu, or pamunuwa", ErrorCode::bad_input);
   }
 
   const NocSynthesisResult r = synthesize_noc(spec, *model);
@@ -253,7 +263,8 @@ int cmd_noc(const Args& args) {
               m.num_routers, m.avg_hops, m.max_hops, r.merges_applied);
   if (args.has("dot")) {
     std::ofstream out(args.get("dot"));
-    require(out.good(), "cli: cannot open '" + args.get("dot") + "'");
+    require(out.good(), "cli: cannot open '" + args.get("dot") + "'",
+            ErrorCode::io_parse);
     out << to_dot(r.architecture);
     log_info("wrote ", args.get("dot"));
   }
@@ -301,7 +312,8 @@ int cmd_export(const Args& args) {
   }
   if (args.has("spef")) {
     std::ofstream out(args.get("spef"));
-    require(out.good(), "cli: cannot open '" + args.get("spef") + "'");
+    require(out.good(), "cli: cannot open '" + args.get("spef") + "'",
+            ErrorCode::io_parse);
     out << write_spef(tech, ctx, design);
     log_info("wrote ", args.get("spef"));
     wrote = true;
@@ -364,7 +376,8 @@ int cmd_mesh(const Args& args) {
   obs::TraceSpan span("cli.mesh");
   check_known_with_globals(args, {"rows", "cols", "coeffs"});
   const std::string which = args.positional(0);
-  require(!which.empty(), "cli: mesh needs a spec (dvopd, vproc, or a .soc file)");
+  require(!which.empty(), "cli: mesh needs a spec (dvopd, vproc, or a .soc file)",
+          ErrorCode::bad_input);
   const TechNode node = tech_arg(args, 1);
   const Technology& tech = technology(node);
   SocSpec spec;
@@ -413,6 +426,7 @@ int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
+  fault::configure_from_env();  // PIM_FAULT; --inject-fault below beats it
   apply_global_flags(args);
   // Reports are written even when the command throws, so an aborted run
   // still leaves its metrics/trace behind for post-mortem.
@@ -421,7 +435,12 @@ int dispatch(int argc, char** argv) {
     write_observability_reports(args);
     return rc;
   } catch (...) {
-    write_observability_reports(args);
+    try {
+      write_observability_reports(args);
+    } catch (const pim::Error& e) {
+      // Flushing must not mask the original failure.
+      log_error("while writing reports: ", e.what());
+    }
     throw;
   }
 }
@@ -433,10 +452,21 @@ int main(int argc, char** argv) {
   // Default to Info chatter for interactive use, unless PIM_LOG_LEVEL or
   // --log-level (applied later) says otherwise.
   if (!pim::log_level_env_override()) pim::set_log_level(pim::LogLevel::Info);
+  // Exit codes: 2 = the caller passed bad arguments (usage), 3 = the run
+  // itself failed (solver, convergence, file I/O), 4 = a bug (internal
+  // invariant or an exception that is not a pim::Error).
   try {
     return pim::cli::dispatch(argc, argv);
   } catch (const pim::Error& e) {
     pim::log_error(e.what());
-    return 1;
+    return e.code() == pim::ErrorCode::bad_input ? 2
+           : e.code() == pim::ErrorCode::internal ? 4
+                                                  : 3;
+  } catch (const std::exception& e) {
+    pim::log_error("internal error: ", e.what());
+    return 4;
+  } catch (...) {
+    pim::log_error("internal error: unknown exception");
+    return 4;
   }
 }
