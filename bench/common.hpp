@@ -4,10 +4,14 @@
 // CSV exports land in ./bench_out of the invoking directory.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "exec/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "sta/calibrated.hpp"
@@ -61,5 +65,49 @@ class MetricsArtifact {
   std::string name_;
   bool collect_;
 };
+
+/// One point of a thread-scaling sweep.
+struct ScalingPoint {
+  int threads = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;  ///< wall time at 1 thread / wall time at `threads`
+};
+
+/// Runs `work` once per thread count (1, 2, 4, ... up to `max_threads`,
+/// always including `max_threads` itself), timing each run and recording
+/// bench.scaling.<name>.t<N>.seconds / .speedup gauges so the numbers land
+/// in the bench's metrics.json artifact. The engine's parallel flows are
+/// deterministic in their results, so every run computes the same answer —
+/// only the wall time may differ. Restores the ambient thread setting
+/// before returning.
+inline std::vector<ScalingPoint> thread_scaling_sweep(
+    const std::string& name, int max_threads, const std::function<void()>& work) {
+  std::vector<int> counts;
+  for (int t = 1; t < max_threads; t *= 2) counts.push_back(t);
+  counts.push_back(max_threads);
+  std::vector<ScalingPoint> points;
+  for (int t : counts) {
+    exec::set_threads(t);
+    const auto start = std::chrono::steady_clock::now();
+    work();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    ScalingPoint p;
+    p.threads = t;
+    p.seconds = seconds;
+    p.speedup = points.empty() || seconds <= 0.0 ? 1.0
+                                                 : points.front().seconds / seconds;
+    points.push_back(p);
+    const std::string prefix = "bench.scaling." + name + ".t" + std::to_string(t);
+    obs::registry().gauge(prefix + ".seconds").set(p.seconds);
+    obs::registry().gauge(prefix + ".speedup").set(p.speedup);
+    log_line(LogLevel::Warn, name + " threads=" + std::to_string(t) + " " +
+                                 std::to_string(seconds) + " s (x" +
+                                 std::to_string(p.speedup) + ")");
+  }
+  exec::set_threads(0);
+  return points;
+}
 
 }  // namespace pim::bench

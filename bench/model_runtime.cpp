@@ -11,6 +11,7 @@
 #include "models/proposed.hpp"
 #include "sta/signoff.hpp"
 #include "util/units.hpp"
+#include "variation/variation.hpp"
 
 #include "common.hpp"
 
@@ -91,5 +92,18 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  // Thread-scaling sweep of the Monte-Carlo yield flow — the repo's most
+  // parallel workload — AFTER the timing benchmarks so their ns/op stay
+  // uninstrumented. The sweep's seconds/speedup gauges always land in
+  // bench_out/model_runtime.metrics.json.
+  obs::set_enabled(true);
+  const LinkContext ctx = context(5.0);
+  const LinkDesign d = design(5);
+  pim::bench::thread_scaling_sweep("mc_yield", 8, [&] {
+    benchmark::DoNotOptimize(
+        monte_carlo_link(proposed(), ctx, d, 4000, 2026).mean_delay);
+  });
+  obs::save_metrics_json(pim::bench::out_dir() + "/model_runtime.metrics.json");
   return 0;
 }

@@ -107,7 +107,27 @@ int main() {
          "  ~sqrt(N) stage averaging — repeatered wires are naturally WID-robust)\n",
          d2d.sigma_delay / ps, wid.sigma_delay / ps, d2d.sigma_delay / wid.sigma_delay);
 
+  // Thread-scaling of the Monte-Carlo yield flow. The result is
+  // bit-identical at every thread count (per-sample RNG streams), so
+  // only the wall time varies; seconds/speedup also land as
+  // bench.scaling.* gauges in this bench's metrics.json artifact.
+  printf("\nMonte-Carlo thread scaling (%d samples, identical results at any N):\n",
+         4 * samples);
+  Table scaling_table({"threads", "seconds", "speedup"});
+  CsvWriter scaling_csv({"threads", "seconds", "speedup"});
+  const auto points = pim::bench::thread_scaling_sweep("mc_yield", 8, [&] {
+    (void)monte_carlo_link(model, ctx, d0, 4 * samples, 2026);
+  });
+  for (const auto& p : points) {
+    scaling_table.add_row({format("%d", p.threads), format("%.3f", p.seconds),
+                           format("%.2fx", p.speedup)});
+    scaling_csv.add_row({format("%d", p.threads), format("%.4f", p.seconds),
+                         format("%.3f", p.speedup)});
+  }
+  printf("%s\n", scaling_table.to_string().c_str());
+
   pim::bench::export_csv(csv, "variation_guardband.csv");
   pim::bench::export_csv(yield_csv, "variation_yield.csv");
+  pim::bench::export_csv(scaling_csv, "variation_scaling.csv");
   return 0;
 }

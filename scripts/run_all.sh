@@ -24,3 +24,4 @@ done
 cd ..
 scripts/check_metrics.sh
 scripts/check_sanitize.sh
+scripts/check_tsan.sh

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "spice/measure.hpp"
@@ -108,26 +109,35 @@ TimingTable characterize_table(const Technology& tech, CellKind kind,
   t.delay = Matrix(slew_axis.size(), load_axis.size());
   t.out_slew = Matrix(slew_axis.size(), load_axis.size());
 
-  // Graceful degradation: a failed deck (Newton non-convergence, singular
-  // system, injected fault) is skipped and recorded rather than aborting
-  // the sweep; the fit only fails when survivors drop below the quorum.
+  // The decks are independent, so the (slew x load) sweep fans out over
+  // the exec engine; results land by flattened index, which keeps the
+  // table — and the failure bookkeeping below — bit-identical at any
+  // thread count. Graceful degradation: a failed deck (Newton
+  // non-convergence, singular system, injected fault) is skipped and
+  // recorded rather than aborting the sweep; the fit only fails when
+  // survivors drop below the quorum.
+  const size_t cols = load_axis.size();
+  const auto batch = exec::parallel_try_map<TimingPoint>(
+      slew_axis.size() * cols, [&](size_t idx) {
+        return measure_timing(tech, kind, sz, out_edge, slew_axis[idx / cols],
+                              load_axis[idx % cols], dt_max);
+      });
   std::vector<std::pair<size_t, size_t>> failed;
   std::string first_failure;
-  for (size_t i = 0; i < slew_axis.size(); ++i) {
-    for (size_t j = 0; j < load_axis.size(); ++j) {
-      try {
-        const TimingPoint pt =
-            measure_timing(tech, kind, sz, out_edge, slew_axis[i], load_axis[j], dt_max);
-        t.delay(i, j) = pt.delay;
-        t.out_slew(i, j) = pt.out_slew;
-      } catch (const Error& e) {
-        PIM_COUNT("charlib.deck.error");
-        if (first_failure.empty()) first_failure = e.what();
-        log_warn("characterize: deck failed at slew ", format_sig(slew_axis[i] / 1e-12, 3),
-                 " ps, load ", format_sig(load_axis[j] / 1e-15, 3), " fF: ", e.message());
-        failed.emplace_back(i, j);
-      }
-    }
+  for (size_t idx = 0; idx < batch.values.size(); ++idx) {
+    if (!batch.values[idx]) continue;
+    t.delay(idx / cols, idx % cols) = batch.values[idx]->delay;
+    t.out_slew(idx / cols, idx % cols) = batch.values[idx]->out_slew;
+  }
+  for (size_t k = 0; k < batch.failed.size(); ++k) {
+    const size_t i = batch.failed[k] / cols;
+    const size_t j = batch.failed[k] % cols;
+    PIM_COUNT("charlib.deck.error");
+    if (first_failure.empty()) first_failure = batch.errors[k].what();
+    log_warn("characterize: deck failed at slew ", format_sig(slew_axis[i] / 1e-12, 3),
+             " ps, load ", format_sig(load_axis[j] / 1e-15, 3), " fF: ",
+             batch.errors[k].message());
+    failed.emplace_back(i, j);
   }
   if (failed.empty()) return t;
 

@@ -11,6 +11,9 @@
 // the input source delivers across a full swing divided by vdd; leakage
 // comes from the device off-current at each static state; area from the
 // finger-quantized layout model (paper §III-C).
+//
+// The (slew x load) deck sweep fans out over the pim::exec engine —
+// tables are bit-identical at any --threads count (docs/parallelism.md).
 #pragma once
 
 #include "liberty/library.hpp"

@@ -1,6 +1,7 @@
 #include "cosi/linkimpl.hpp"
 
 #include <cmath>
+#include <mutex>
 
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -21,13 +22,19 @@ LinkImplementer::LinkImplementer(const InterconnectModel& model, LinkContext bas
 const ImplementedLink& LinkImplementer::implement(double length) const {
   require(length > 0.0, "LinkImplementer::implement: length must be positive");
   const long key = std::max(1L, std::lround(length / kQuantum));
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    PIM_COUNT("cosi.linkcache.hits");
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      PIM_COUNT("cosi.linkcache.hits");
+      return it->second;
+    }
   }
   PIM_COUNT("cosi.link.implemented");
 
+  // The optimizer runs outside the lock so concurrent misses on
+  // different lengths do not serialize. Map node references are stable,
+  // so handing out `it->second` across later insertions is safe.
   LinkContext ctx = base_;
   ctx.length = static_cast<double>(key) * kQuantum;
   const BufferingResult best = optimize_buffering(*model_, ctx, buffering_);
@@ -37,10 +44,12 @@ const ImplementedLink& LinkImplementer::implement(double length) const {
     link.design = best.design;
     link.layer = best.layer;
   }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   return cache_.emplace(key, link).first->second;
 }
 
 double LinkImplementer::max_feasible_length() const {
+  std::lock_guard<std::mutex> lock(length_mutex_);
   if (max_length_) return *max_length_;
   // Exponential probe up, then bisect.
   double lo = 0.0;

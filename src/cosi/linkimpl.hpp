@@ -3,9 +3,16 @@
 // weighted cost, through whichever interconnect model the synthesizer was
 // handed. Results are memoized on a quantized length so the greedy
 // merging loop can query thousands of candidates cheaply.
+//
+// The memo cache is thread-safe: synthesis trial assessment fans out
+// over pim::exec, so implement() may be called concurrently. Two threads
+// missing the same key both run the optimizer, but the first emplace
+// wins and the optimizer is deterministic per key, so the cached value
+// is thread-count-invariant (only the hit/miss counters can vary).
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 
 #include "buffering/optimize.hpp"
@@ -47,6 +54,8 @@ class LinkImplementer {
   LinkContext base_;
   double budget_;
   BufferingOptions buffering_;
+  mutable std::mutex cache_mutex_;    ///< guards cache_
+  mutable std::mutex length_mutex_;   ///< guards max_length_
   mutable std::map<long, ImplementedLink> cache_;
   mutable std::optional<double> max_length_;
 };

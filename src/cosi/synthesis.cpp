@@ -5,6 +5,7 @@
 #include <map>
 
 #include "cosi/mesh.hpp"
+#include "exec/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -122,14 +123,26 @@ NocSynthesisResult synthesize_noc(const SocSpec& spec, const InterconnectModel& 
   if (!current.acceptable)
     return mesh_fallback("initial point-to-point network infeasible");
 
-  // Phase 3: greedy merging of nearby routers.
+  // Phase 3: greedy merging of nearby routers. Candidate pairs are
+  // enumerated serially, their trial assessments fan out over the
+  // pim::exec engine (each trial builds a private architecture copy and
+  // returns only {acceptable, cost}), and the winner is chosen by an
+  // ordered scan in pair order — reproducing the serial loop's
+  // first-best-wins tie-breaking, so the synthesized topology is
+  // identical at any --threads count. The winning trial is rebuilt
+  // serially, keeping peak memory at one extra architecture copy.
   const size_t first_router = spec.cores.size();
+  const auto build_trial = [&](int i, int j) {
+    NocArchitecture trial = arch;
+    const NocNode& ni = trial.nodes()[static_cast<size_t>(i)];
+    const NocNode& nj = trial.nodes()[static_cast<size_t>(j)];
+    trial.move_node(i, 0.5 * (ni.x + nj.x), 0.5 * (ni.y + nj.y));
+    trial.redirect_node(j, i, capacity);
+    trial.implement_links(implementer);
+    return trial;
+  };
   for (int iter = 0; iter < options.max_merges; ++iter) {
-    int best_i = -1;
-    int best_j = -1;
-    NocArchitecture best_arch(spec);
-    double best_cost = current.cost;
-
+    std::vector<std::pair<int, int>> candidates;
     for (size_t i = first_router; i < arch.nodes().size(); ++i) {
       if (arch.port_count(static_cast<int>(i)) == 0) continue;
       for (size_t j = i + 1; j < arch.nodes().size(); ++j) {
@@ -137,26 +150,31 @@ NocSynthesisResult synthesize_noc(const SocSpec& spec, const InterconnectModel& 
         if (arch.node_distance(static_cast<int>(i), static_cast<int>(j)) >
             options.merge_radius)
           continue;
-
-        NocArchitecture trial = arch;
-        const NocNode& ni = trial.nodes()[i];
-        const NocNode& nj = trial.nodes()[j];
-        trial.move_node(static_cast<int>(i), 0.5 * (ni.x + nj.x), 0.5 * (ni.y + nj.y));
-        trial.redirect_node(static_cast<int>(j), static_cast<int>(i), capacity);
-        trial.implement_links(implementer);
-        const TrialOutcome outcome =
-            assess(trial, implementer, router_model, clock, router_model.max_ports);
-        if (outcome.acceptable && outcome.cost < best_cost - 1e-12) {
-          best_cost = outcome.cost;
-          best_i = static_cast<int>(i);
-          best_j = static_cast<int>(j);
-          best_arch = std::move(trial);
-        }
+        candidates.emplace_back(static_cast<int>(i), static_cast<int>(j));
       }
     }
 
-    if (best_i < 0) break;
-    arch = std::move(best_arch);
+    const auto outcomes = exec::parallel_map<TrialOutcome>(
+        candidates.size(), [&](size_t k) {
+          const NocArchitecture trial =
+              build_trial(candidates[k].first, candidates[k].second);
+          return assess(trial, implementer, router_model, clock,
+                        router_model.max_ports);
+        });
+
+    int best_k = -1;
+    double best_cost = current.cost;
+    for (size_t k = 0; k < outcomes.size(); ++k) {
+      if (outcomes[k].acceptable && outcomes[k].cost < best_cost - 1e-12) {
+        best_cost = outcomes[k].cost;
+        best_k = static_cast<int>(k);
+      }
+    }
+
+    if (best_k < 0) break;
+    const int best_i = candidates[static_cast<size_t>(best_k)].first;
+    const int best_j = candidates[static_cast<size_t>(best_k)].second;
+    arch = build_trial(best_i, best_j);
     current.cost = best_cost;
     ++result.merges_applied;
     PIM_COUNT("cosi.merge.applied");

@@ -1,0 +1,221 @@
+#include "exec/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/faultinject.hpp"
+#include "util/strings.hpp"
+
+namespace pim::exec {
+namespace {
+
+// ------------------------------------------------------------ threads
+
+std::atomic<int>& pinned_threads() {
+  static std::atomic<int> pinned{0};
+  return pinned;
+}
+
+int env_threads() {
+  const char* env = std::getenv("PIM_THREADS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  // A malformed value must not abort the process at an arbitrary point;
+  // it just falls back to the hardware default.
+  try {
+    const long n = parse_long(env);
+    return n >= 1 ? static_cast<int>(n) : 0;
+  } catch (const Error&) {
+    return 0;
+  }
+}
+
+// -------------------------------------------------------------- pool
+
+// Work-queue thread pool shared by every parallel region. Workers are
+// spawned lazily up to the largest count any region has requested and
+// parked on the queue's condition variable between regions; the
+// destructor (static destruction at process exit) drains and joins them.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  void ensure_workers(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (workers_.size() < n) workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop requested and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+// True while this thread is executing a chunk of some region; nested
+// regions then run inline instead of re-entering the pool.
+bool& in_region() {
+  thread_local bool inside = false;
+  return inside;
+}
+
+// ------------------------------------------------------------- chunks
+
+struct ChunkResult {
+  std::vector<detail::ItemFailure> failures;  // ascending within the chunk
+};
+
+// Runs one contiguous chunk of items on the current thread: per-item
+// fault stream, per-chunk metric shard (merged before returning), and
+// per-item error capture. fail_fast stops the chunk at its first failure.
+void run_chunk(size_t begin, size_t end, bool fail_fast,
+               const std::function<void(size_t)>& body, ChunkResult& result) {
+  obs::MetricShard shard;
+  obs::ShardScope scope(shard);
+  const bool was_inside = in_region();
+  in_region() = true;
+  for (size_t i = begin; i < end; ++i) {
+    fault::ScopedStream stream(i);
+    try {
+      body(i);
+    } catch (const Error& e) {
+      result.failures.push_back({i, e});
+      if (fail_fast) break;
+    } catch (const std::exception& e) {
+      result.failures.push_back(
+          {i, Error(std::string("parallel item threw a non-pim exception: ") + e.what(),
+                    ErrorCode::internal)});
+      if (fail_fast) break;
+    } catch (...) {
+      result.failures.push_back(
+          {i, Error("parallel item threw an unknown exception", ErrorCode::internal)});
+      if (fail_fast) break;
+    }
+  }
+  in_region() = was_inside;
+  shard.flush();
+}
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void set_threads(int n) { pinned_threads().store(n < 0 ? 0 : n, std::memory_order_relaxed); }
+
+int threads() {
+  const int pinned = pinned_threads().load(std::memory_order_relaxed);
+  if (pinned >= 1) return pinned;
+  const int env = env_threads();
+  if (env >= 1) return env;
+  return hardware_threads();
+}
+
+namespace detail {
+
+std::vector<ItemFailure> run_region(size_t n, const ParallelOptions& options,
+                                    bool fail_fast,
+                                    const std::function<void(size_t)>& body) {
+  if (n == 0) return {};
+  size_t want = static_cast<size_t>(options.threads >= 1 ? options.threads : threads());
+  const size_t grain = options.grain == 0 ? 1 : options.grain;
+  want = std::min(want, (n + grain - 1) / grain);
+  if (want < 1) want = 1;
+
+  // Serial (or nested) regions run the identical per-item code path on
+  // this thread, so results are bit-identical to any parallel schedule.
+  if (want == 1 || in_region()) {
+    ChunkResult result;
+    run_chunk(0, n, fail_fast, body, result);
+    return std::move(result.failures);
+  }
+
+  const size_t chunk = (n + want - 1) / want;  // ceil; last chunk clipped
+  std::vector<ChunkResult> results(want);
+
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  } join{{}, {}, want - 1};
+
+  ThreadPool& pool = ThreadPool::instance();
+  pool.ensure_workers(want - 1);
+  for (size_t c = 1; c < want; ++c) {
+    pool.submit([&, c] {
+      const size_t begin = c * chunk;
+      const size_t end = std::min(n, begin + chunk);
+      if (begin < end) run_chunk(begin, end, fail_fast, body, results[c]);
+      // Notify under the lock: the caller destroys `join` as soon as it
+      // observes remaining == 0, which it can only do after we release
+      // the mutex — so the condition variable outlives this call.
+      {
+        std::lock_guard<std::mutex> lock(join.mu);
+        --join.remaining;
+        join.cv.notify_one();
+      }
+    });
+  }
+  // The calling thread takes chunk 0, then joins.
+  run_chunk(0, std::min(n, chunk), fail_fast, body, results[0]);
+  {
+    std::unique_lock<std::mutex> lock(join.mu);
+    join.cv.wait(lock, [&] { return join.remaining == 0; });
+  }
+
+  // Chunks are contiguous ascending index ranges, so concatenating their
+  // failure lists in chunk order keeps item order ascending.
+  std::vector<ItemFailure> failures;
+  for (ChunkResult& r : results)
+    for (ItemFailure& f : r.failures) failures.push_back(std::move(f));
+  return failures;
+}
+
+void rethrow_first(const ItemFailure& failure) {
+  throw failure.error.with_context("parallel item #" + std::to_string(failure.item));
+}
+
+}  // namespace detail
+}  // namespace pim::exec

@@ -1,0 +1,180 @@
+// Shared parallel execution core: a work-queue thread pool under
+// deterministic-by-construction data-parallel primitives.
+//
+// Every hot loop in the repo (characterization deck sweeps, Monte-Carlo
+// yield sampling, NoC merge-candidate evaluation, bench repetition) is a
+// sweep over independent items, so they all run through this one engine
+// instead of growing ad-hoc threads per subsystem. Determinism contract
+// (docs/parallelism.md):
+//
+//  - Static chunking: items [0, n) are split into T contiguous chunks by
+//    index. Which thread runs a chunk is scheduler-dependent; which items
+//    form a chunk is not, and no item's computation depends on another's.
+//  - Ordered reduction: results land in a slot vector by item index and
+//    callers reduce in index order after the join, so sums, argmins, and
+//    "first failure" are identical at any thread count.
+//  - Per-item seeded RNG streams: the seeded variants hand item i an
+//    Rng(derive_stream_seed(seed, i)) — SplitMix64 substreams that are a
+//    pure function of (seed, i), never of execution order.
+//  - Fault injection stays deterministic: each item runs under a
+//    fault::ScopedStream(i), so armed sites fire on the same items at any
+//    thread count (see util/faultinject.hpp).
+//  - Metrics stay exact: each chunk buffers counter increments in a
+//    per-thread obs::MetricShard merged at join — no lock, no shared
+//    cache line on the hot path.
+//
+// Error semantics: parallel_for / parallel_map are fail-fast — the error
+// of the LOWEST failing item index is rethrown after the join (chunks
+// stop at their first failure; later items of other chunks may still have
+// run, which is fine because items are side-effect-free by contract).
+// parallel_try_map implements the PR-2 skip-and-record degradation
+// semantics: every failure is captured per item and returned alongside
+// the surviving values, ascending by item index.
+//
+// Thread count: threads() resolves set_threads() > PIM_THREADS >
+// std::thread::hardware_concurrency, and the CLI's global --threads flag
+// feeds set_threads(). Nested parallel regions run inline on the calling
+// worker (no pool re-entry), so composed code cannot deadlock the queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/expected.hpp"
+#include "util/rng.hpp"
+
+namespace pim::exec {
+
+/// std::thread::hardware_concurrency, with a floor of 1.
+int hardware_threads();
+
+/// Pins the process-wide default thread count; 0 restores the automatic
+/// resolution (PIM_THREADS env, else hardware_threads()).
+void set_threads(int n);
+
+/// The resolved default thread count for parallel regions.
+int threads();
+
+/// Per-call knobs for the parallel primitives.
+struct ParallelOptions {
+  /// Worker count for this region; 0 uses the global threads() default.
+  int threads = 0;
+  /// Minimum items per chunk: regions with fewer than 2*grain items run
+  /// on proportionally fewer threads (a 3-item sweep never spins up 8
+  /// workers). Chunking stays static either way.
+  size_t grain = 1;
+};
+
+namespace detail {
+
+/// One captured failure: the item index and the pim::Error it threw.
+struct ItemFailure {
+  size_t item;
+  Error error;
+};
+
+/// Core runner: executes body(i) for i in [0, n) over static contiguous
+/// chunks on the shared pool, with per-item fault streams and per-chunk
+/// metric shards. fail_fast stops each chunk at its first failure.
+/// Returns captured failures ascending by item index.
+std::vector<ItemFailure> run_region(size_t n, const ParallelOptions& options,
+                                    bool fail_fast,
+                                    const std::function<void(size_t)>& body);
+
+[[noreturn]] void rethrow_first(const ItemFailure& failure);
+
+}  // namespace detail
+
+/// Runs body(i) for every i in [0, n). Rethrows the lowest failing item's
+/// error (with the item index appended to its context) after the join.
+inline void parallel_for(size_t n, const std::function<void(size_t)>& body,
+                         const ParallelOptions& options = {}) {
+  const auto failures = detail::run_region(n, options, /*fail_fast=*/true, body);
+  if (!failures.empty()) detail::rethrow_first(failures.front());
+}
+
+/// parallel_for with a per-item RNG stream derived from (seed, i).
+inline void parallel_for_seeded(size_t n, uint64_t seed,
+                                const std::function<void(size_t, Rng&)>& body,
+                                const ParallelOptions& options = {}) {
+  parallel_for(
+      n,
+      [&](size_t i) {
+        Rng rng(derive_stream_seed(seed, i));
+        body(i, rng);
+      },
+      options);
+}
+
+/// Maps fn over [0, n) into a vector ordered by item index (R must be
+/// default-constructible). Fail-fast error semantics as parallel_for.
+template <typename R>
+std::vector<R> parallel_map(size_t n, const std::function<R(size_t)>& fn,
+                            const ParallelOptions& options = {}) {
+  std::vector<R> out(n);
+  parallel_for(n, [&](size_t i) { out[i] = fn(i); }, options);
+  return out;
+}
+
+/// Outcome of a skip-and-record batch: values for surviving items (by
+/// index), plus the failed indices and their errors, ascending.
+template <typename R>
+struct BatchResult {
+  std::vector<std::optional<R>> values;  ///< size n; nullopt where failed
+  std::vector<size_t> failed;            ///< ascending item indices
+  std::vector<Error> errors;             ///< errors[k] belongs to failed[k]
+
+  bool all_ok() const { return failed.empty(); }
+  size_t surviving() const { return values.size() - failed.size(); }
+  /// Lowest failing item's error. Only valid when !all_ok().
+  const Error& first_error() const { return errors.front(); }
+
+  /// All values when every item survived, else the first error — for
+  /// call sites that want Expected-style propagation instead of
+  /// degradation.
+  Expected<std::vector<R>> into_expected() && {
+    if (!all_ok()) return Expected<std::vector<R>>(errors.front());
+    std::vector<R> out;
+    out.reserve(values.size());
+    for (auto& v : values) out.push_back(std::move(*v));
+    return Expected<std::vector<R>>(std::move(out));
+  }
+};
+
+/// Maps fn over [0, n), recording per-item failures instead of aborting
+/// the batch (PR-2 degradation semantics; the caller enforces any quorum).
+template <typename R>
+BatchResult<R> parallel_try_map(size_t n, const std::function<R(size_t)>& fn,
+                                const ParallelOptions& options = {}) {
+  BatchResult<R> out;
+  out.values.resize(n);
+  auto failures = detail::run_region(
+      n, options, /*fail_fast=*/false, [&](size_t i) { out.values[i] = fn(i); });
+  out.failed.reserve(failures.size());
+  out.errors.reserve(failures.size());
+  for (auto& f : failures) {
+    out.failed.push_back(f.item);
+    out.errors.push_back(std::move(f.error));
+  }
+  return out;
+}
+
+/// parallel_try_map with a per-item RNG stream derived from (seed, i).
+template <typename R>
+BatchResult<R> parallel_try_map_seeded(size_t n, uint64_t seed,
+                                       const std::function<R(size_t, Rng&)>& fn,
+                                       const ParallelOptions& options = {}) {
+  return parallel_try_map<R>(
+      n,
+      [&](size_t i) {
+        Rng rng(derive_stream_seed(seed, i));
+        return fn(i, rng);
+      },
+      options);
+}
+
+}  // namespace pim::exec

@@ -9,8 +9,12 @@
 //  - Metric handles returned by the registry are valid for the life of
 //    the process, so call sites cache them in function-local statics
 //    (the PIM_COUNT / PIM_OBS_SPAN macros do this).
-//  - Everything is thread-safe: the library is single-threaded today,
-//    but the instrumentation must survive later parallelism PRs as-is.
+//  - Everything is thread-safe. Counters/gauges/timers update with
+//    relaxed atomics, so concurrent writers are race-free; parallel hot
+//    loops additionally install per-thread MetricShards (the exec engine
+//    does this per chunk) that buffer counter deltas locally and merge
+//    them at join, keeping even the atomic traffic off the hot path
+//    while totals stay exact.
 //
 // Names follow the `subsystem.noun.verb` scheme, e.g.
 // "spice.newton.iterations" or "buffering.candidate.count".
@@ -36,19 +40,87 @@ inline std::atomic<bool>& enabled_flag() {
 
 inline bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
 
+class Counter;
+
+/// Per-thread counter buffer for parallel hot loops. A worker thread that
+/// installs a shard (via ShardScope — the exec engine does this per
+/// chunk) turns every Counter::add on that thread into a plain non-atomic
+/// accumulation into a small local table; flush() merges the buffered
+/// deltas into the shared atomics in one fetch_add per counter. Totals
+/// stay exact; the hot path touches no lock and no shared cache line.
+class MetricShard {
+ public:
+  void add(Counter& counter, int64_t delta);
+
+  /// Applies every buffered delta to its counter and empties the shard.
+  void flush();
+
+ private:
+  // Hot loops touch a handful of distinct counters, so a linear scan over
+  // a small vector beats hashing.
+  std::vector<std::pair<Counter*, int64_t>> deltas_;
+};
+
+/// This thread's active shard slot (null when no shard is installed —
+/// the default; updates then go straight to the shared atomics).
+inline MetricShard*& shard_slot() {
+  thread_local MetricShard* shard = nullptr;
+  return shard;
+}
+
+/// Installs `shard` as this thread's active shard for the scope; restores
+/// the previous slot on exit. Does NOT flush — the owner decides when the
+/// buffered deltas merge (the exec engine flushes at chunk join).
+class ShardScope {
+ public:
+  explicit ShardScope(MetricShard& shard) : prev_(shard_slot()) {
+    shard_slot() = &shard;
+  }
+  ~ShardScope() { shard_slot() = prev_; }
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+
+ private:
+  MetricShard* prev_;
+};
+
 /// Monotonically increasing event tally.
 class Counter {
  public:
   void add(int64_t delta = 1) {
     if (!enabled()) return;
+    if (MetricShard* shard = shard_slot()) {
+      shard->add(*this, delta);
+      return;
+    }
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
 
+  /// Applies a shard-buffered delta directly to the shared atomic,
+  /// bypassing the shard path (used by MetricShard::flush).
+  void merge(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+
  private:
   std::atomic<int64_t> value_{0};
 };
+
+inline void MetricShard::add(Counter& counter, int64_t delta) {
+  for (auto& [slot, buffered] : deltas_) {
+    if (slot == &counter) {
+      buffered += delta;
+      return;
+    }
+  }
+  deltas_.emplace_back(&counter, delta);
+}
+
+inline void MetricShard::flush() {
+  for (auto& [slot, buffered] : deltas_)
+    if (buffered != 0) slot->merge(buffered);
+  deltas_.clear();
+}
 
 /// Last-value-wins measurement (also supports accumulation).
 class Gauge {

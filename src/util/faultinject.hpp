@@ -23,6 +23,15 @@
 // uninstrumented speed. Every fire increments the metrics counter
 // "fault.<site>.injected" (PR-1 registry), so tests can assert that a
 // recovery path actually fired.
+//
+// Concurrency (see docs/parallelism.md): all of the above is race-free
+// under concurrent callers, and fire counts are exact (atomic fetch_add).
+// Serial code draws from one global per-site stream, exactly as before.
+// Parallel work items additionally install a ScopedStream with their item
+// index (the exec engine does this automatically): draws then come from a
+// thread-local stream derived purely from (site seed, item index), so
+// WHICH items see an injected fault is identical at any thread count —
+// faults stay deterministic even inside parallel sweeps.
 #pragma once
 
 #include <atomic>
@@ -70,5 +79,24 @@ bool should_fire(const char* site);
 
 /// Number of times `site` has fired since it was configured.
 int64_t fired_count(const char* site);
+
+/// Installs a deterministic per-item fault stream on the current thread
+/// for the scope: every should_fire() draw comes from a stream that is a
+/// pure function of (site seed, `stream`), independent of thread count,
+/// scheduling, or draws made by other items. The exec engine installs one
+/// per work item with the item index; restores the previous context (and
+/// any outer item's stream positions are NOT preserved — streams restart
+/// per item by design).
+class ScopedStream {
+ public:
+  explicit ScopedStream(uint64_t stream);
+  ~ScopedStream();
+  ScopedStream(const ScopedStream&) = delete;
+  ScopedStream& operator=(const ScopedStream&) = delete;
+
+ private:
+  bool prev_active_;
+  uint64_t prev_stream_;
+};
 
 }  // namespace pim::fault

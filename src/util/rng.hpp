@@ -59,4 +59,19 @@ class Rng {
   bool have_spare_ = false;
 };
 
+/// SplitMix64 finalizer: full-avalanche 64-bit mix.
+inline uint64_t mix_u64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed for the `index`-th substream of `base`: decorrelated streams for
+/// per-item RNGs in parallel sweeps (exec engine, fault injection). The
+/// mapping is a pure function of (base, index), so a given item draws the
+/// same stream at any thread count or execution order.
+inline uint64_t derive_stream_seed(uint64_t base, uint64_t index) {
+  return mix_u64(base + 0x9e3779b97f4a7c15ULL * (index + 1));
+}
+
 }  // namespace pim

@@ -5,6 +5,7 @@
 
 #include "numeric/regression.hpp"
 #include "charlib/characterize.hpp"
+#include "exec/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -132,28 +133,22 @@ double link_delay_within_die(const ProposedModel& model, const LinkContext& ctx,
   return total;
 }
 
-MonteCarloResult monte_carlo_link_within_die(const ProposedModel& model,
-                                             const LinkContext& ctx,
-                                             const LinkDesign& design, int samples,
-                                             uint64_t seed,
-                                             const VariationSigmas& sigmas) {
-  PIM_OBS_SPAN("variation.montecarlo.within_die");
-  require(samples >= 1, "monte_carlo_link_within_die: need at least one sample");
-  Rng rng(seed);
+namespace {
+
+// Shared tail of both Monte-Carlo flavors: ordered reduction over the
+// batch (index order, so sums and tallies are bit-identical at any
+// thread count), failure accounting, then the summary statistics.
+template <typename P>
+MonteCarloResult reduce_batch(const exec::BatchResult<P>& batch,
+                              const std::function<double(const P&)>& delay_of,
+                              const char* who) {
   MonteCarloResult result;
-  result.nominal_delay = model.evaluate(ctx, design).delay;
-  result.delays.reserve(static_cast<size_t>(samples));
-  for (int i = 0; i < samples; ++i) {
-    try {
-      if (fault::should_fire(fault::kVariationSample))
-        fail("monte_carlo_link_within_die: injected sample fault", ErrorCode::internal);
-      result.delays.push_back(link_delay_within_die(model, ctx, design, rng, sigmas));
-    } catch (const Error&) {
-      ++result.failed_samples;
-      PIM_COUNT("variation.sample.error");
-    }
-  }
-  require(!result.delays.empty(), "monte_carlo_link_within_die: every sample failed",
+  result.delays.reserve(batch.values.size());
+  for (const auto& value : batch.values)
+    if (value) result.delays.push_back(delay_of(*value));
+  result.failed_samples = static_cast<int>(batch.failed.size());
+  PIM_COUNT_N("variation.sample.error", static_cast<int64_t>(batch.failed.size()));
+  require(!result.delays.empty(), std::string(who) + ": every sample failed",
           ErrorCode::no_convergence);
   std::sort(result.delays.begin(), result.delays.end());
   result.mean_delay = mean(result.delays);
@@ -163,6 +158,30 @@ MonteCarloResult monte_carlo_link_within_die(const ProposedModel& model,
     var += r * r;
   }
   result.sigma_delay = std::sqrt(var / static_cast<double>(result.delays.size()));
+  return result;
+}
+
+}  // namespace
+
+MonteCarloResult monte_carlo_link_within_die(const ProposedModel& model,
+                                             const LinkContext& ctx,
+                                             const LinkDesign& design, int samples,
+                                             uint64_t seed,
+                                             const VariationSigmas& sigmas) {
+  PIM_OBS_SPAN("variation.montecarlo.within_die");
+  require(samples >= 1, "monte_carlo_link_within_die: need at least one sample");
+  // Sample i draws from its own (seed, i)-derived RNG stream, so the
+  // sampled corners — and any injected faults — are a pure function of
+  // the seed and the sample index, independent of thread count.
+  const auto batch = exec::parallel_try_map_seeded<double>(
+      static_cast<size_t>(samples), seed, [&](size_t, Rng& rng) {
+        if (fault::should_fire(fault::kVariationSample))
+          fail("monte_carlo_link_within_die: injected sample fault", ErrorCode::internal);
+        return link_delay_within_die(model, ctx, design, rng, sigmas);
+      });
+  MonteCarloResult result = reduce_batch<double>(
+      batch, [](const double& d) { return d; }, "monte_carlo_link_within_die");
+  result.nominal_delay = model.evaluate(ctx, design).delay;
   result.mean_power = model.evaluate(ctx, design).total_power();
   tally_yield(result);
   return result;
@@ -173,37 +192,29 @@ MonteCarloResult monte_carlo_link(const ProposedModel& model, const LinkContext&
                                   const VariationSigmas& sigmas) {
   PIM_OBS_SPAN("variation.montecarlo.run");
   require(samples >= 1, "monte_carlo_link: need at least one sample");
-  Rng rng(seed);
-  MonteCarloResult result;
+  struct SamplePoint {
+    double delay = 0.0;
+    double power = 0.0;
+  };
+  // Graceful degradation: a failed corner (bad model arithmetic or an
+  // injected fault) is counted and skipped; the statistics cover the
+  // surviving samples. Each sample owns a (seed, i)-derived RNG stream
+  // and fault stream, so the whole result is bit-identical at any
+  // --threads count.
+  const auto batch = exec::parallel_try_map_seeded<SamplePoint>(
+      static_cast<size_t>(samples), seed, [&](size_t, Rng& rng) {
+        const VariationSample s = sample_variation(rng, sigmas);
+        if (fault::should_fire(fault::kVariationSample))
+          fail("monte_carlo_link: injected sample fault", ErrorCode::internal);
+        const LinkEstimate est = evaluate_with_variation(model, context, design, s);
+        return SamplePoint{est.delay, est.total_power()};
+      });
+  MonteCarloResult result = reduce_batch<SamplePoint>(
+      batch, [](const SamplePoint& p) { return p.delay; }, "monte_carlo_link");
   result.nominal_delay = model.evaluate(context, design).delay;
-  result.delays.reserve(static_cast<size_t>(samples));
   double power_acc = 0.0;
-  for (int i = 0; i < samples; ++i) {
-    // Graceful degradation: a failed corner (bad model arithmetic or an
-    // injected fault) is counted and skipped; the statistics cover the
-    // surviving samples.
-    const VariationSample s = sample_variation(rng, sigmas);
-    try {
-      if (fault::should_fire(fault::kVariationSample))
-        fail("monte_carlo_link: injected sample fault", ErrorCode::internal);
-      const LinkEstimate est = evaluate_with_variation(model, context, design, s);
-      result.delays.push_back(est.delay);
-      power_acc += est.total_power();
-    } catch (const Error&) {
-      ++result.failed_samples;
-      PIM_COUNT("variation.sample.error");
-    }
-  }
-  require(!result.delays.empty(), "monte_carlo_link: every sample failed",
-          ErrorCode::no_convergence);
-  std::sort(result.delays.begin(), result.delays.end());
-  result.mean_delay = mean(result.delays);
-  double var = 0.0;
-  for (double d : result.delays) {
-    const double r = d - result.mean_delay;
-    var += r * r;
-  }
-  result.sigma_delay = std::sqrt(var / static_cast<double>(result.delays.size()));
+  for (const auto& value : batch.values)
+    if (value) power_acc += value->power;
   result.mean_power = power_acc / static_cast<double>(result.delays.size());
   tally_yield(result);
   return result;

@@ -9,6 +9,11 @@
 // the proposed closed-form model. This captures die-to-die (one scale
 // per link) variation of the quantities the model is sensitive to,
 // without re-running characterization per sample.
+//
+// Monte-Carlo sampling fans out over the pim::exec engine. Sample i
+// draws from an RNG stream derived from (seed, i), so yields, failed
+// sample counts, and every statistic are bit-identical at any
+// --threads count (docs/parallelism.md).
 #pragma once
 
 #include <vector>

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "../tools/cli_args.hpp"
+#include "exec/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -79,6 +80,20 @@ TEST(CliArgs, GlobalFlagsPassUnknownCheck) {
 TEST(CliArgs, ApplyGlobalFlagsRejectsBadLogLevel) {
   EXPECT_THROW(apply_global_flags(make({"--log-level", "loud"})), Error);
   EXPECT_THROW(apply_global_flags(make({"--trace"})), Error);  // needs a path
+}
+
+TEST(CliArgs, ThreadsFlagPinsTheEngine) {
+  exec::set_threads(0);
+  apply_global_flags(make({"--threads", "3"}));
+  EXPECT_EQ(exec::threads(), 3);
+  exec::set_threads(0);
+  EXPECT_THROW(apply_global_flags(make({"--threads", "0"})), Error);
+  EXPECT_THROW(apply_global_flags(make({"--threads", "-2"})), Error);
+  EXPECT_THROW(apply_global_flags(make({"--threads"})), Error);  // needs a value
+  EXPECT_THROW(apply_global_flags(make({"--threads", "many"})), Error);
+  const Args args = make({"yield", "--threads", "4"});
+  EXPECT_NO_THROW(check_known_with_globals(args, {}));
+  exec::set_threads(0);
 }
 
 TEST(CliArgs, ProfileFlagEnablesCollection) {
@@ -154,6 +169,12 @@ TEST(CliExitCodes, NoArgumentsIsUsageError) {
 
 TEST(CliExitCodes, MissingRequiredFlagIsUsageError) {
   EXPECT_EQ(run_cli("evaluate 65nm"), 2);  // --length missing
+}
+
+TEST(CliExitCodes, ThreadsFlagAcceptedOnAnyCommand) {
+  EXPECT_EQ(run_cli("techfile 45nm --threads 2"), 0);
+  EXPECT_EQ(run_cli("techfile 45nm --threads 0"), 2);   // must be >= 1
+  EXPECT_EQ(run_cli("techfile 45nm --threads junk"), 2);
 }
 
 TEST(CliExitCodes, UnknownFaultSiteIsUsageError) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "exec/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -67,7 +68,7 @@ void Args::check_known(const std::vector<std::string>& known) const {
 
 const std::vector<std::string>& global_flags() {
   static const std::vector<std::string> flags = {"log-level", "profile", "trace",
-                                                 "inject-fault"};
+                                                 "inject-fault", "threads"};
   return flags;
 }
 
@@ -89,6 +90,12 @@ void apply_global_flags(const Args& args) {
             "cli: --inject-fault needs a site[:prob[:seed]] spec",
             ErrorCode::bad_input);
     fault::configure(args.get("inject-fault"));
+  }
+  if (args.has("threads")) {
+    const long n = args.get_long("threads", 0);
+    require(n >= 1, "cli: --threads must be a positive integer",
+            ErrorCode::bad_input);
+    exec::set_threads(static_cast<int>(n));
   }
   if (args.has("profile")) obs::set_enabled(true);
   if (args.has("trace")) {

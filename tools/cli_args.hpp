@@ -41,6 +41,10 @@ class Args {
 ///   --inject-fault site[:prob[:seed]][,...] arm the deterministic fault-
 ///                                           injection harness (see
 ///                                           docs/robustness.md); beats PIM_FAULT
+///   --threads N                             worker threads for parallel flows
+///                                           (docs/parallelism.md); beats
+///                                           PIM_THREADS; results are
+///                                           bit-identical at any N
 const std::vector<std::string>& global_flags();
 
 /// check_known with the global flags appended to `known`.

@@ -26,6 +26,9 @@
 //   --trace out.trace.json                  record a chrome://tracing timeline
 //   --inject-fault site[:prob[:seed]]       arm the deterministic fault-injection
 //                                           harness (see docs/robustness.md)
+//   --threads N                             worker threads for the parallel flows
+//                                           (see docs/parallelism.md); beats the
+//                                           PIM_THREADS environment variable
 //
 // Exit codes: 0 success, 2 usage/bad input, 3 runtime failure (solver,
 // convergence, I/O), 4 internal error.
@@ -87,6 +90,7 @@ int usage() {
                "  --profile [out.json]   collect metrics, write JSON (stdout if bare)\n"
                "  --trace out.trace.json record a chrome://tracing timeline\n"
                "  --inject-fault site[:prob[:seed]]  deterministic fault injection\n"
+               "  --threads N            worker threads (default: all cores; same results)\n"
                "exit codes: 0 ok, 2 usage, 3 runtime failure, 4 internal error\n");
   return 2;
 }
