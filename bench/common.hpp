@@ -1,12 +1,12 @@
 // Shared helpers for the bench binaries: cached calibrated fits (so a
 // re-run of a bench does not repeat the simulation-heavy
 // characterization) and output-directory handling. Coefficient caches and
-// CSV exports land in ./bench_out of the invoking directory.
+// CSV exports land in pim::out_dir() — PIM_OUT_DIR or set_out_dir()
+// when configured, else ./bench_out of the invoking directory.
 #pragma once
 
 #include <chrono>
 #include <cstdlib>
-#include <filesystem>
 #include <functional>
 #include <string>
 #include <vector>
@@ -17,14 +17,11 @@
 #include "sta/calibrated.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
+#include "util/paths.hpp"
 
 namespace pim::bench {
 
-inline std::string out_dir() {
-  const std::string dir = "bench_out";
-  std::filesystem::create_directories(dir);
-  return dir;
-}
+inline std::string out_dir() { return ensure_out_dir(); }
 
 /// Calibrated fit for `node`, cached under bench_out/.
 inline TechnologyFit cached_fit(TechNode node) {

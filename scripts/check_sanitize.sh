@@ -8,12 +8,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-sanitize -G Ninja -DPIM_SANITIZE=ON >/dev/null
-cmake --build build-sanitize --target test_faults test_numeric test_util >/dev/null
+cmake --build build-sanitize --target test_faults test_numeric test_util test_cache >/dev/null
 
 # halt_on_error keeps failures loud; detect_leaks stays on by default.
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 
-for t in test_faults test_numeric test_util; do
+for t in test_faults test_numeric test_util test_cache; do
   echo "=== sanitize: $t ==="
   ./build-sanitize/tests/"$t"
 done

@@ -15,7 +15,7 @@ for b in fig1_intrinsic_delay table1_coefficients table2_accuracy \
          table3_noc_synthesis buffering_tradeoff leakage_area_accuracy \
          ablation_ingredients timer_comparison mesh_vs_synthesis \
          noise_analysis buswidth_exploration tapered_buffering \
-         variation_yield noc_yield sizing_for_yield; do
+         variation_yield noc_yield sizing_for_yield cache_effect; do
   echo "=== bench/$b ==="
   ./bench/"$b"
 done
@@ -23,5 +23,6 @@ done
 
 cd ..
 scripts/check_metrics.sh
+scripts/check_cache.sh
 scripts/check_sanitize.sh
 scripts/check_tsan.sh

@@ -1,0 +1,340 @@
+#include "api/pim_api.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "buffering/optimize.hpp"
+#include "charlib/coeffs_io.hpp"
+#include "cosi/mesh.hpp"
+#include "cosi/specfile.hpp"
+#include "cosi/synthesis.hpp"
+#include "cosi/testcases.hpp"
+#include "liberty/libertyfile.hpp"
+#include "models/baseline.hpp"
+#include "models/proposed.hpp"
+#include "obs/trace.hpp"
+#include "spice/deck.hpp"
+#include "sta/calibrated.hpp"
+#include "sta/nldm_timer.hpp"
+#include "sta/noise.hpp"
+#include "sta/signoff.hpp"
+#include "sta/spef.hpp"
+#include "tech/techfile.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "variation/variation.hpp"
+
+namespace pim::api {
+namespace {
+
+using namespace pim::unit;
+
+void check_version(int version, const char* who) {
+  require(version == kApiVersion,
+          std::string(who) + ": request api_version " + std::to_string(version) +
+              " does not match pim::api::kApiVersion " + std::to_string(kApiVersion),
+          ErrorCode::bad_input);
+}
+
+// Uniform exception boundary: the facade never throws — every failure
+// comes back as an Expected error carrying the ErrorCode taxonomy.
+template <typename R, typename F>
+Expected<R> guarded(const char* who, F&& body) {
+  try {
+    return body();
+  } catch (const Error& e) {
+    return Expected<R>(e.with_context(std::string("in pim::api::") + who));
+  } catch (const std::exception& e) {
+    return Expected<R>(
+        Error(std::string(who) + ": " + e.what(), ErrorCode::internal));
+  }
+}
+
+TechNode node_of(const std::string& tech, const char* who) {
+  require(!tech.empty(), std::string(who) + ": tech is required", ErrorCode::bad_input);
+  return tech_node_from_name(tech);
+}
+
+DesignStyle style_of(const std::string& style) {
+  if (style == "SS") return DesignStyle::SingleSpacing;
+  if (style == "DS") return DesignStyle::DoubleSpacing;
+  if (style == "SH") return DesignStyle::Shielded;
+  fail("link style must be SS, DS, or SH", ErrorCode::bad_input);
+}
+
+int resolved_repeaters(const LinkSpec& link) {
+  if (link.repeaters > 0) return link.repeaters;
+  return static_cast<int>(std::max(1L, std::lround(link.length_mm)));
+}
+
+LinkContext context_of(TechNode node, const LinkSpec& link, const char* who) {
+  require(link.length_mm > 0.0, std::string(who) + ": link.length_mm must be positive",
+          ErrorCode::bad_input);
+  LinkContext ctx;
+  ctx.length = link.length_mm * mm;
+  ctx.style = style_of(link.style);
+  ctx.input_slew = link.input_slew_ps * ps;
+  ctx.frequency = technology(node).clock_frequency;
+  return ctx;
+}
+
+LinkDesign design_of(const LinkSpec& link) {
+  LinkDesign design;
+  design.drive = link.drive;
+  design.num_repeaters = resolved_repeaters(link);
+  return design;
+}
+
+TechnologyFit fit_of(TechNode node, const std::string& coeffs_path) {
+  obs::TraceSpan span("api.calibrate");
+  return calibrated_fit(node, coeffs_path);
+}
+
+SocSpec spec_of(const std::string& which, const char* who) {
+  require(!which.empty(),
+          std::string(who) + ": spec is required (dvopd, vproc, mpeg4, mwd, or a .soc file)",
+          ErrorCode::bad_input);
+  if (which == "dvopd") return dvopd_spec();
+  if (which == "vproc") return vproc_spec();
+  if (which == "mpeg4") return mpeg4_spec();
+  if (which == "mwd") return mwd_spec();
+  return load_soc_spec(which);
+}
+
+std::unique_ptr<InterconnectModel> model_of(const std::string& name, TechNode node,
+                                            const std::string& coeffs_path) {
+  const Technology& tech = technology(node);
+  if (name == "proposed")
+    return std::make_unique<ProposedModel>(tech, fit_of(node, coeffs_path));
+  if (name == "bakoglu") return std::make_unique<BakogluModel>(tech);
+  if (name == "pamunuwa") return std::make_unique<PamunuwaModel>(tech);
+  fail("model must be proposed, bakoglu, or pamunuwa", ErrorCode::bad_input);
+}
+
+}  // namespace
+
+Expected<TechfileResult> run_techfile(const TechfileRequest& request) {
+  return guarded<TechfileResult>("run_techfile", [&] {
+    check_version(request.api_version, "run_techfile");
+    TechfileResult result;
+    result.text = write_techfile(technology(node_of(request.tech, "run_techfile")));
+    return result;
+  });
+}
+
+Expected<CharlibResult> run_charlib(const CharlibRequest& request) {
+  return guarded<CharlibResult>("run_charlib", [&] {
+    check_version(request.api_version, "run_charlib");
+    const TechNode node = node_of(request.tech, "run_charlib");
+    const Technology& tech = technology(node);
+    CharacterizationOptions opt;
+    if (!request.drives.empty()) opt.drives = request.drives;
+    const CellLibrary lib = characterize_library(tech, opt);
+    CharlibResult result;
+    result.liberty_text = write_liberty(lib);
+    if (request.want_fit)
+      result.fit_text = write_fit(calibrate_composition(tech, fit_technology(tech, lib)));
+    return result;
+  });
+}
+
+Expected<FitResult> run_fit(const FitRequest& request) {
+  return guarded<FitResult>("run_fit", [&] {
+    check_version(request.api_version, "run_fit");
+    const TechNode node = node_of(request.tech, "run_fit");
+    FitResult result;
+    result.fit_text = write_fit(fit_of(node, request.coeffs_path));
+    return result;
+  });
+}
+
+Expected<LinkEvalResult> run_evaluate(const LinkEvalRequest& request) {
+  return guarded<LinkEvalResult>("run_evaluate", [&] {
+    check_version(request.api_version, "run_evaluate");
+    const TechNode node = node_of(request.link.tech, "run_evaluate");
+    const Technology& tech = technology(node);
+    const LinkContext ctx = context_of(node, request.link, "run_evaluate");
+    const LinkDesign design = design_of(request.link);
+    const ProposedModel model(tech, fit_of(node, request.link.coeffs_path));
+    const LinkEstimate est = model.evaluate(ctx, design);
+    LinkEvalResult result;
+    result.tech_name = tech.name;
+    result.style_name = design_style_name(ctx.style);
+    result.repeaters = design.num_repeaters;
+    result.miller_factor = design.miller_factor;
+    result.delay_ps = est.delay / ps;
+    result.output_slew_ps = est.output_slew / ps;
+    result.power_mw = est.total_power() / mW;
+    result.area_um2 = est.repeater_area / um2;
+    if (request.golden) {
+      const SignoffResult golden = signoff_link(tech, ctx, design);
+      result.has_golden = true;
+      result.golden_delay_ps = golden.delay / ps;
+      result.golden_slew_ps = golden.output_slew / ps;
+      result.golden_nodes = golden.node_count;
+      result.model_error_pct = 100.0 * (est.delay - golden.delay) / golden.delay;
+    }
+    return result;
+  });
+}
+
+Expected<BufferResult> run_buffer(const BufferRequest& request) {
+  return guarded<BufferResult>("run_buffer", [&] {
+    check_version(request.api_version, "run_buffer");
+    const TechNode node = node_of(request.link.tech, "run_buffer");
+    const Technology& tech = technology(node);
+    const LinkContext ctx = context_of(node, request.link, "run_buffer");
+    BufferingOptions opt;
+    opt.weight = request.weight;
+    if (request.budget_ps > 0.0) opt.max_delay = request.budget_ps * ps;
+    const ProposedModel model(tech, fit_of(node, request.link.coeffs_path));
+    const BufferingResult best = optimize_buffering_cached(model, ctx, opt);
+    BufferResult result;
+    result.feasible = best.feasible;
+    result.evaluations = best.evaluations;
+    if (best.feasible) {
+      result.kind = cell_kind_name(best.design.kind);
+      result.drive = best.design.drive;
+      result.repeaters = best.design.num_repeaters;
+      result.miller_factor = best.design.miller_factor;
+      result.delay_ps = best.estimate.delay / ps;
+      result.power_mw = best.estimate.total_power() / mW;
+      result.area_um2 = best.estimate.repeater_area / um2;
+    }
+    return result;
+  });
+}
+
+Expected<YieldResult> run_yield(const YieldRequest& request) {
+  return guarded<YieldResult>("run_yield", [&] {
+    check_version(request.api_version, "run_yield");
+    require(request.samples >= 1, "run_yield: samples must be at least 1",
+            ErrorCode::bad_input);
+    const TechNode node = node_of(request.link.tech, "run_yield");
+    const Technology& tech = technology(node);
+    const LinkContext ctx = context_of(node, request.link, "run_yield");
+    const LinkDesign design = design_of(request.link);
+    const ProposedModel model(tech, fit_of(node, request.link.coeffs_path));
+    const MonteCarloResult mc =
+        monte_carlo_link_cached(model, ctx, design, request.samples, request.seed);
+    YieldResult result;
+    result.samples = static_cast<int>(mc.delays.size());
+    result.failed_samples = mc.failed_samples;
+    result.nominal_delay_ps = mc.nominal_delay / ps;
+    result.mean_delay_ps = mc.mean_delay / ps;
+    result.sigma_delay_ps = mc.sigma_delay / ps;
+    result.p90_delay_ps = mc.delay_quantile(0.9) / ps;
+    result.p99_delay_ps = mc.delay_quantile(0.99) / ps;
+    result.yield_at_nominal = mc.yield_at(mc.nominal_delay);
+    return result;
+  });
+}
+
+Expected<NoiseResult> run_noise(const NoiseRequest& request) {
+  return guarded<NoiseResult>("run_noise", [&] {
+    check_version(request.api_version, "run_noise");
+    const TechNode node = node_of(request.link.tech, "run_noise");
+    const Technology& tech = technology(node);
+    const LinkContext ctx = context_of(node, request.link, "run_noise");
+    LinkDesign design = design_of(request.link);
+    design.num_repeaters = 1;  // noise is per wire segment
+    const TechnologyFit fit = fit_of(node, request.link.coeffs_path);
+    const NoiseCalibration cal = calibrate_noise(tech, fit);
+    const double golden = golden_noise_peak(tech, ctx, design);
+    const double model = noise_peak_model(tech, fit, ctx, design, cal.kappa_n);
+    NoiseResult result;
+    result.tech_name = tech.name;
+    result.style_name = design_style_name(ctx.style);
+    result.golden_peak_mv = golden * 1e3;
+    result.golden_peak_pct_vdd = 100.0 * golden / tech.vdd;
+    result.model_peak_mv = model * 1e3;
+    result.model_error_pct = 100.0 * (model - golden) / std::max(golden, 1e-9);
+    return result;
+  });
+}
+
+Expected<TimerResult> run_timer(const TimerRequest& request) {
+  return guarded<TimerResult>("run_timer", [&] {
+    check_version(request.api_version, "run_timer");
+    const TechNode node = node_of(request.link.tech, "run_timer");
+    const Technology& tech = technology(node);
+    const LinkContext ctx = context_of(node, request.link, "run_timer");
+    const LinkDesign design = design_of(request.link);
+    CharacterizationOptions copt;
+    copt.drives = {design.drive};
+    copt.buffers = design.kind == CellKind::Buffer;
+    copt.inverters = design.kind == CellKind::Inverter;
+    const CellLibrary lib = characterize_library(tech, copt);
+    const NldmTimerResult awe = nldm_link_delay(lib, tech, ctx, design);
+    NldmTimerOptions elm;
+    elm.wire = WireDelayMethod::Elmore;
+    const NldmTimerResult elmore = nldm_link_delay(lib, tech, ctx, design, elm);
+    TimerResult result;
+    result.tech_name = tech.name;
+    result.repeaters = design.num_repeaters;
+    result.awe_delay_ps = awe.delay / ps;
+    result.awe_slew_ps = awe.output_slew / ps;
+    result.elmore_delay_ps = elmore.delay / ps;
+    return result;
+  });
+}
+
+Expected<ExportResult> run_export(const ExportRequest& request) {
+  return guarded<ExportResult>("run_export", [&] {
+    check_version(request.api_version, "run_export");
+    const TechNode node = node_of(request.link.tech, "run_export");
+    const Technology& tech = technology(node);
+    const LinkContext ctx = context_of(node, request.link, "run_export");
+    const LinkDesign design = design_of(request.link);
+    ExportResult result;
+    if (request.want_deck) {
+      const LinkNetlist net = build_link_netlist(tech, ctx, design);
+      result.deck_text = write_deck(net.circuit);
+      result.deck_nodes = net.circuit.node_count();
+    }
+    if (request.want_spef || !request.want_deck)
+      result.spef_text = write_spef(tech, ctx, design);
+    return result;
+  });
+}
+
+Expected<SynthesisResult> run_synthesis(const SynthesisRequest& request) {
+  return guarded<SynthesisResult>("run_synthesis", [&] {
+    check_version(request.api_version, "run_synthesis");
+    const TechNode node = node_of(request.tech, "run_synthesis");
+    const SocSpec spec = spec_of(request.spec, "run_synthesis");
+    const std::unique_ptr<InterconnectModel> model =
+        model_of(request.model, node, request.coeffs_path);
+    const NocSynthesisResult r = [&] {
+      if (request.mesh) {
+        MeshOptions shape;
+        shape.rows = request.rows;
+        shape.cols = request.cols;
+        return build_mesh_noc(spec, *model, {}, shape);
+      }
+      require(request.rows == 0 && request.cols == 0,
+              "run_synthesis: rows/cols only apply to mesh construction",
+              ErrorCode::bad_input);
+      return synthesize_noc(spec, *model);
+    }();
+    const NocMetrics& m = r.metrics;
+    SynthesisResult result;
+    result.spec_name = spec.name;
+    result.tech_name = technology(node).name;
+    result.model_name = model->name();
+    result.dynamic_power_mw = m.dynamic_power() / mW;
+    result.leakage_power_mw = m.leakage_power() / mW;
+    result.worst_link_delay_ps = m.worst_link_delay / ps;
+    result.delay_budget_ps = r.delay_budget / ps;
+    result.area_mm2 = m.total_area() / mm2;
+    result.num_links = m.num_links;
+    result.num_routers = m.num_routers;
+    result.avg_hops = m.avg_hops;
+    result.max_hops = m.max_hops;
+    result.merges_applied = r.merges_applied;
+    if (request.want_dot) result.dot_text = to_dot(r.architecture);
+    return result;
+  });
+}
+
+}  // namespace pim::api

@@ -1,0 +1,225 @@
+// pim::api — the stable, single-include facade over the library.
+//
+// Everything a front end (the pim CLI, a notebook binding, a driver
+// script) needs is behind versioned request/result structs and functions
+// returning pim::Expected<T>:
+//
+//   pim::api::YieldRequest req;
+//   req.link.tech = "65nm";
+//   req.link.length_mm = 5.0;
+//   auto result = pim::api::run_yield(req);
+//   if (!result) { /* result.error() carries the ErrorCode taxonomy */ }
+//
+// Contract (docs/api.md):
+//  - Every request struct starts with `api_version`; a mismatch against
+//    kApiVersion is rejected as bad_input rather than misinterpreted.
+//    Additive evolution (new fields with defaults) keeps the version;
+//    any change in meaning bumps it.
+//  - Results carry plain doubles in display units (ps, mW, um2, mm2) —
+//    no pim-internal types leak through this header, so the facade is
+//    insulated from internal refactors.
+//  - Functions never throw: all failures come back as Expected errors
+//    with the pim::ErrorCode taxonomy (bad_input -> exit 2 in the CLI).
+//  - Flows behind the facade consult the content-addressed result cache
+//    (docs/caching.md); warm calls are bit-identical to cold ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace pim::api {
+
+/// Version of the request/result structs in this header.
+inline constexpr int kApiVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Shared request pieces
+// ---------------------------------------------------------------------------
+
+/// One point-to-point wire plus its repeaters — the unit the paper's
+/// models evaluate. Used by the link-level requests below.
+struct LinkSpec {
+  std::string tech;          ///< "90nm" ... "16nm"
+  double length_mm = 0.0;    ///< wire length [mm]; must be positive
+  std::string style = "SS";  ///< "SS", "DS", or "SH" (docs/cli.md)
+  double input_slew_ps = 100.0;
+  int drive = 12;            ///< repeater drive strength
+  int repeaters = 0;         ///< 0 = one per mm (at least one)
+  std::string coeffs_path;   ///< optional .pimfit file cache (load-or-save)
+};
+
+// ---------------------------------------------------------------------------
+// Technology + characterization
+// ---------------------------------------------------------------------------
+
+struct TechfileRequest {
+  int api_version = kApiVersion;
+  std::string tech;
+};
+struct TechfileResult {
+  std::string text;  ///< canonical tech-file serialization
+};
+Expected<TechfileResult> run_techfile(const TechfileRequest& request);
+
+struct CharlibRequest {
+  int api_version = kApiVersion;
+  std::string tech;
+  std::vector<int> drives;  ///< empty = characterization defaults
+  bool want_fit = false;    ///< also fit + calibrate the coefficient tables
+};
+struct CharlibResult {
+  std::string liberty_text;  ///< Liberty-lite library of the cells
+  std::string fit_text;      ///< coefficient tables (when want_fit)
+};
+Expected<CharlibResult> run_charlib(const CharlibRequest& request);
+
+struct FitRequest {
+  int api_version = kApiVersion;
+  std::string tech;
+  std::string coeffs_path;  ///< optional .pimfit file cache (load-or-save)
+};
+struct FitResult {
+  std::string fit_text;  ///< canonical coefficient-table serialization
+};
+Expected<FitResult> run_fit(const FitRequest& request);
+
+// ---------------------------------------------------------------------------
+// Link-level flows
+// ---------------------------------------------------------------------------
+
+struct LinkEvalRequest {
+  int api_version = kApiVersion;
+  LinkSpec link;
+  bool golden = false;  ///< also run the transistor-level signoff
+};
+struct LinkEvalResult {
+  std::string tech_name;   ///< display name, e.g. "65nm"
+  std::string style_name;  ///< display name of the spacing style
+  int repeaters = 0;  ///< resolved repeater count (after the 0 default)
+  double miller_factor = 0.0;
+  double delay_ps = 0.0;
+  double output_slew_ps = 0.0;
+  double power_mw = 0.0;
+  double area_um2 = 0.0;
+  bool has_golden = false;
+  double golden_delay_ps = 0.0;
+  double golden_slew_ps = 0.0;
+  uint64_t golden_nodes = 0;
+  double model_error_pct = 0.0;  ///< (model - golden) / golden * 100
+};
+Expected<LinkEvalResult> run_evaluate(const LinkEvalRequest& request);
+
+struct BufferRequest {
+  int api_version = kApiVersion;
+  LinkSpec link;         ///< drive/repeaters ignored — the search picks them
+  double weight = 0.6;   ///< cost = delay^w * power^(1-w)
+  double budget_ps = 0;  ///< hard delay constraint; 0 = unconstrained
+};
+struct BufferResult {
+  bool feasible = false;
+  std::string kind;  ///< "INV" or "BUF"
+  int drive = 0;
+  int repeaters = 0;
+  double miller_factor = 0.0;
+  long evaluations = 0;
+  double delay_ps = 0.0;
+  double power_mw = 0.0;
+  double area_um2 = 0.0;
+};
+Expected<BufferResult> run_buffer(const BufferRequest& request);
+
+struct YieldRequest {
+  int api_version = kApiVersion;
+  LinkSpec link;
+  int samples = 1000;
+  uint64_t seed = 2026;
+};
+struct YieldResult {
+  int samples = 0;        ///< surviving samples
+  int failed_samples = 0;
+  double nominal_delay_ps = 0.0;
+  double mean_delay_ps = 0.0;
+  double sigma_delay_ps = 0.0;
+  double p90_delay_ps = 0.0;
+  double p99_delay_ps = 0.0;
+  double yield_at_nominal = 0.0;  ///< fraction in [0, 1]
+};
+Expected<YieldResult> run_yield(const YieldRequest& request);
+
+struct NoiseRequest {
+  int api_version = kApiVersion;
+  LinkSpec link;  ///< repeaters ignored — noise is per wire segment
+};
+struct NoiseResult {
+  std::string tech_name;
+  std::string style_name;
+  double golden_peak_mv = 0.0;
+  double golden_peak_pct_vdd = 0.0;
+  double model_peak_mv = 0.0;
+  double model_error_pct = 0.0;
+};
+Expected<NoiseResult> run_noise(const NoiseRequest& request);
+
+struct TimerRequest {
+  int api_version = kApiVersion;
+  LinkSpec link;
+};
+struct TimerResult {
+  std::string tech_name;
+  int repeaters = 0;  ///< resolved repeater count
+  double awe_delay_ps = 0.0;
+  double awe_slew_ps = 0.0;
+  double elmore_delay_ps = 0.0;
+};
+Expected<TimerResult> run_timer(const TimerRequest& request);
+
+struct ExportRequest {
+  int api_version = kApiVersion;
+  LinkSpec link;
+  bool want_deck = false;  ///< SPICE deck of the implemented line
+  bool want_spef = false;  ///< SPEF parasitics of the wire
+};
+struct ExportResult {
+  std::string deck_text;
+  uint64_t deck_nodes = 0;
+  std::string spef_text;
+};
+Expected<ExportResult> run_export(const ExportRequest& request);
+
+// ---------------------------------------------------------------------------
+// NoC synthesis
+// ---------------------------------------------------------------------------
+
+struct SynthesisRequest {
+  int api_version = kApiVersion;
+  std::string spec;   ///< "dvopd", "vproc", "mpeg4", "mwd", or a .soc path
+  std::string tech;
+  std::string model = "proposed";  ///< or "bakoglu" / "pamunuwa"
+  bool mesh = false;  ///< regular mesh instead of application-specific
+  int rows = 0;       ///< mesh shape; 0 = automatic
+  int cols = 0;
+  bool want_dot = false;  ///< also render the topology as Graphviz
+  std::string coeffs_path;
+};
+struct SynthesisResult {
+  std::string spec_name;
+  std::string tech_name;
+  std::string model_name;
+  double dynamic_power_mw = 0.0;
+  double leakage_power_mw = 0.0;
+  double worst_link_delay_ps = 0.0;
+  double delay_budget_ps = 0.0;
+  double area_mm2 = 0.0;
+  int num_links = 0;
+  int num_routers = 0;
+  double avg_hops = 0.0;
+  int max_hops = 0;
+  int merges_applied = 0;
+  std::string dot_text;  ///< when want_dot
+};
+Expected<SynthesisResult> run_synthesis(const SynthesisRequest& request);
+
+}  // namespace pim::api

@@ -54,4 +54,16 @@ BufferingResult optimize_buffering(const InterconnectModel& model,
                                    const LinkContext& context,
                                    const BufferingOptions& options = {});
 
+/// optimize_buffering fronted by the content-addressed result cache
+/// (docs/caching.md): keyed by the model's cache_signature(), the full
+/// context, and every search option, so a hit is bit-identical to the
+/// search it replaces. Falls through to the direct search when the model
+/// opts out of caching (empty signature) or the cache mode is off; a
+/// corrupt entry recomputes (fail-open). NoC synthesis routes every
+/// per-link implementation through this, which is what lets merge trials
+/// reuse results across runs and across processes.
+BufferingResult optimize_buffering_cached(const InterconnectModel& model,
+                                          const LinkContext& context,
+                                          const BufferingOptions& options = {});
+
 }  // namespace pim

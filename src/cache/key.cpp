@@ -1,0 +1,77 @@
+#include "cache/key.hpp"
+
+#include "util/strings.hpp"
+
+namespace pim::cache {
+namespace {
+
+constexpr char kUnitSep = '\x1f';    // between field name and value
+constexpr char kRecordSep = '\x1e';  // after each field
+
+}  // namespace
+
+KeyBuilder::KeyBuilder(std::string kind) : kind_(std::move(kind)) {
+  raw("pim-cache");
+  field("format", static_cast<int64_t>(kFormatVersion));
+  field("kind", kind_);
+}
+
+void KeyBuilder::raw(std::string_view bytes) { hasher_.update(bytes); }
+
+KeyBuilder& KeyBuilder::field(std::string_view name, std::string_view value) {
+  raw(name);
+  hasher_.update(&kUnitSep, 1);
+  raw(value);
+  hasher_.update(&kRecordSep, 1);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::field(std::string_view name, double value) {
+  // 17 significant digits: the canonical exactly-round-tripping render.
+  return field(name, std::string_view(format_sig(value, 17)));
+}
+
+KeyBuilder& KeyBuilder::field(std::string_view name, int64_t value) {
+  return field(name, std::string_view(std::to_string(value)));
+}
+
+KeyBuilder& KeyBuilder::field(std::string_view name, uint64_t value) {
+  return field(name, std::string_view(std::to_string(value)));
+}
+
+KeyBuilder& KeyBuilder::field(std::string_view name, const std::vector<double>& values) {
+  std::string joined;
+  for (double v : values) {
+    if (!joined.empty()) joined.push_back(',');
+    joined += format_sig(v, 17);
+  }
+  return field(name, std::string_view(joined));
+}
+
+KeyBuilder& KeyBuilder::field(std::string_view name, const std::vector<int>& values) {
+  std::string joined;
+  for (int v : values) {
+    if (!joined.empty()) joined.push_back(',');
+    joined += std::to_string(v);
+  }
+  return field(name, std::string_view(joined));
+}
+
+KeyBuilder& KeyBuilder::blob(std::string_view name, std::string_view bytes) {
+  raw(name);
+  hasher_.update(&kUnitSep, 1);
+  raw(std::to_string(bytes.size()));
+  hasher_.update(&kUnitSep, 1);
+  raw(bytes);
+  hasher_.update(&kRecordSep, 1);
+  return *this;
+}
+
+CacheKey KeyBuilder::finish() {
+  CacheKey key;
+  key.kind = kind_;
+  key.hex = hasher_.hex_digest();
+  return key;
+}
+
+}  // namespace pim::cache

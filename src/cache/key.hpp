@@ -1,0 +1,72 @@
+// Canonical cache-key derivation: a CacheKey is the SHA-256 of a
+// deterministic serialization of every input that determines a result
+// (tech file bytes, deck parameters, coefficient tables, link specs,
+// seeds), plus a `kind` tag and the cache format version.
+//
+// Canonicalization rules (docs/caching.md):
+//  - fields are emitted in the order the call site appends them, each as
+//    `name US value RS` (ASCII unit/record separators), so reordering or
+//    renaming a field changes the key;
+//  - doubles render with 17 significant digits — the shortest form that
+//    round-trips IEEE-754 exactly — so a key never depends on printf
+//    quirks of shorter precisions;
+//  - blobs are length-prefixed, so concatenation ambiguities cannot
+//    alias two different input sets to one key;
+//  - the format version and kind are folded into the hash itself, so a
+//    layout change invalidates every old entry instead of misreading it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/sha256.hpp"
+
+namespace pim::cache {
+
+/// Bump when the canonicalization or any cached payload layout changes;
+/// folded into every key, so old entries become unreachable (not
+/// misread) after an upgrade.
+inline constexpr int kFormatVersion = 1;
+
+/// A finished key: the kind tag (directory / entry header) plus the
+/// 64-hex-character digest.
+struct CacheKey {
+  std::string kind;
+  std::string hex;
+};
+
+/// Accumulates named fields into a canonical digest.
+class KeyBuilder {
+ public:
+  /// `kind` tags what the key addresses ("fit", "buffering", "mc", ...).
+  explicit KeyBuilder(std::string kind);
+
+  KeyBuilder& field(std::string_view name, std::string_view value);
+  KeyBuilder& field(std::string_view name, double value);
+  KeyBuilder& field(std::string_view name, int64_t value);
+  KeyBuilder& field(std::string_view name, uint64_t value);
+  KeyBuilder& field(std::string_view name, int value) {
+    return field(name, static_cast<int64_t>(value));
+  }
+  KeyBuilder& field(std::string_view name, bool value) {
+    return field(name, static_cast<int64_t>(value ? 1 : 0));
+  }
+  KeyBuilder& field(std::string_view name, const std::vector<double>& values);
+  KeyBuilder& field(std::string_view name, const std::vector<int>& values);
+
+  /// Length-prefixed raw bytes (file contents, serialized tables).
+  KeyBuilder& blob(std::string_view name, std::string_view bytes);
+
+  /// Finalizes the digest. The builder is spent afterwards.
+  CacheKey finish();
+
+ private:
+  void raw(std::string_view bytes);
+
+  std::string kind_;
+  Sha256 hasher_;
+};
+
+}  // namespace pim::cache

@@ -1,0 +1,39 @@
+// Minimal SHA-256 (FIPS 180-4) for content-addressed cache keys and
+// payload integrity checks. Self-contained — no external crypto
+// dependency — and streaming, so large blobs (tech files, coefficient
+// tables) hash without an extra copy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pim::cache {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const void* data, size_t len);
+  void update(std::string_view text) { update(text.data(), text.size()); }
+
+  /// Finalizes and returns the 64-character lowercase hex digest. The
+  /// hasher must be reset() before further use.
+  std::string hex_digest();
+
+ private:
+  void process_block(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_bytes_ = 0;
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+};
+
+/// One-shot convenience: hex SHA-256 of `text`.
+std::string sha256_hex(std::string_view text);
+
+}  // namespace pim::cache

@@ -1,0 +1,291 @@
+#include "cache/store.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pim::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::mutex& config_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::optional<Mode>& mode_override() {
+  static std::optional<Mode> value;
+  return value;
+}
+
+std::string& dir_override() {
+  static std::string value;
+  return value;
+}
+
+void set_bytes_gauge(size_t bytes) {
+  obs::registry().gauge("cache.bytes").set(static_cast<double>(bytes));
+}
+
+}  // namespace
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::Off:
+      return "off";
+    case Mode::ReadOnly:
+      return "ro";
+    case Mode::ReadWrite:
+      return "rw";
+  }
+  return "off";
+}
+
+bool mode_from_name(std::string_view name, Mode& out) {
+  if (name == "off") {
+    out = Mode::Off;
+  } else if (name == "ro") {
+    out = Mode::ReadOnly;
+  } else if (name == "rw") {
+    out = Mode::ReadWrite;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Mode mode() {
+  std::lock_guard<std::mutex> lock(config_mutex());
+  if (mode_override()) return *mode_override();
+  if (const char* env = std::getenv("PIM_CACHE"); env != nullptr && *env != '\0') {
+    Mode m;
+    if (mode_from_name(env, m)) return m;
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      log_warn("cache: PIM_CACHE='", env, "' is not off|ro|rw; using rw");
+  }
+  return Mode::ReadWrite;
+}
+
+void set_mode(Mode mode) {
+  std::lock_guard<std::mutex> lock(config_mutex());
+  mode_override() = mode;
+}
+
+void reset_mode() {
+  std::lock_guard<std::mutex> lock(config_mutex());
+  mode_override().reset();
+}
+
+std::string dir() {
+  {
+    std::lock_guard<std::mutex> lock(config_mutex());
+    if (!dir_override().empty()) return dir_override();
+  }
+  if (const char* env = std::getenv("PIM_CACHE_DIR"); env != nullptr && *env != '\0')
+    return env;
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg != nullptr && *xdg != '\0')
+    return std::string(xdg) + "/pim";
+  if (const char* home = std::getenv("HOME"); home != nullptr && *home != '\0')
+    return std::string(home) + "/.cache/pim";
+  return ".pim-cache";
+}
+
+void set_dir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(config_mutex());
+  dir_override() = path;
+}
+
+Store& Store::global() {
+  static Store store;
+  return store;
+}
+
+std::string Store::entry_path(const CacheKey& key) const {
+  const std::string root = options_.disk_dir.empty() ? dir() : options_.disk_dir;
+  return root + "/" + key.kind + "/" + key.hex.substr(0, 2) + "/" + key.hex +
+         ".pimcache";
+}
+
+std::string Store::encode_entry(const CacheKey& key, std::string_view payload) {
+  std::ostringstream os;
+  os << "pim-cache v" << kFormatVersion << "\n";
+  os << "kind " << key.kind << "\n";
+  os << "key " << key.hex << "\n";
+  os << "sha256 " << sha256_hex(payload) << "\n";
+  os << "bytes " << payload.size() << "\n";
+  os << "----\n";
+  os << payload;
+  return os.str();
+}
+
+Expected<std::string> Store::decode_entry(const CacheKey& key, std::string_view file) {
+  auto bad = [](const std::string& what) {
+    return Error("cache entry: " + what, ErrorCode::io_parse);
+  };
+  auto take_line = [&file, &bad]() -> Expected<std::string> {
+    const size_t nl = file.find('\n');
+    if (nl == std::string_view::npos) return bad("truncated header");
+    std::string line(file.substr(0, nl));
+    file.remove_prefix(nl + 1);
+    return line;
+  };
+  auto expect_field = [&take_line, &bad](const std::string& name) -> Expected<std::string> {
+    Expected<std::string> line = take_line();
+    if (!line.ok()) return line;
+    if (!starts_with(line.value(), name + " "))
+      return bad("missing '" + name + "' header field");
+    return line.value().substr(name.size() + 1);
+  };
+
+  Expected<std::string> magic = take_line();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != "pim-cache v" + std::to_string(kFormatVersion))
+    return bad("unsupported format '" + magic.value() + "'");
+  Expected<std::string> kind = expect_field("kind");
+  if (!kind.ok()) return kind.error();
+  if (kind.value() != key.kind)
+    return bad("kind mismatch: entry is '" + kind.value() + "'");
+  Expected<std::string> hex = expect_field("key");
+  if (!hex.ok()) return hex.error();
+  if (hex.value() != key.hex) return bad("key mismatch");
+  Expected<std::string> digest = expect_field("sha256");
+  if (!digest.ok()) return digest.error();
+  Expected<std::string> bytes = expect_field("bytes");
+  if (!bytes.ok()) return bytes.error();
+  Expected<std::string> sep = take_line();
+  if (!sep.ok()) return sep.error();
+  if (sep.value() != "----") return bad("missing payload separator");
+
+  size_t count = 0;
+  try {
+    count = static_cast<size_t>(parse_long(bytes.value()));
+  } catch (const Error&) {
+    return bad("malformed byte count '" + bytes.value() + "'");
+  }
+  if (file.size() != count)
+    return bad("payload is " + std::to_string(file.size()) + " bytes, header says " +
+               std::to_string(count));
+  std::string payload(file);
+  if (sha256_hex(payload) != digest.value()) return bad("payload digest mismatch");
+  return payload;
+}
+
+void Store::insert_memory(const std::string& id, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = index_.find(id); it != index_.end()) {
+    bytes_ -= it->second->payload.size();
+    bytes_ += payload.size();
+    it->second->payload = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    bytes_ += payload.size();
+    lru_.push_front(MemEntry{id, std::move(payload)});
+    index_[id] = lru_.begin();
+  }
+  while (!lru_.empty() && (bytes_ > options_.max_memory_bytes ||
+                           lru_.size() > options_.max_memory_entries)) {
+    const MemEntry& victim = lru_.back();
+    bytes_ -= victim.payload.size();
+    index_.erase(victim.id);
+    lru_.pop_back();
+    PIM_COUNT("cache.evict");
+  }
+  set_bytes_gauge(bytes_);
+}
+
+std::optional<std::string> Store::get(const CacheKey& key) {
+  if (mode() == Mode::Off || fault::armed()) return std::nullopt;
+  const std::string id = key.kind + "/" + key.hex;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = index_.find(id); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      PIM_COUNT("cache.hit");
+      return it->second->payload;
+    }
+  }
+  const std::string path = entry_path(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    PIM_COUNT("cache.miss");
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Expected<std::string> payload = decode_entry(key, buffer.str());
+  if (!payload.ok()) {
+    // Fail-open: a corrupt entry is a miss, never an error. Scrub it so
+    // the recompute's put() replaces it with a good one.
+    PIM_COUNT("cache.corrupt");
+    PIM_COUNT("cache.miss");
+    log_warn("cache: ignoring corrupt entry '", path, "': ",
+             payload.error().message());
+    if (mode() == Mode::ReadWrite) {
+      std::error_code ec;
+      fs::remove(path, ec);
+    }
+    return std::nullopt;
+  }
+  PIM_COUNT("cache.hit");
+  PIM_COUNT("cache.disk.hit");
+  std::string value = payload.take();
+  insert_memory(id, value);
+  return value;
+}
+
+void Store::put(const CacheKey& key, std::string_view payload) {
+  if (mode() == Mode::Off || fault::armed()) return;
+  insert_memory(key.kind + "/" + key.hex, std::string(payload));
+  if (mode() != Mode::ReadWrite) return;
+  // Disk failures only cost future warm starts, so they demote to a
+  // warning instead of failing the computation that produced `payload`.
+  try {
+    const std::string path = entry_path(key);
+    fs::create_directories(fs::path(path).parent_path());
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      require(out.good(), "cache: cannot open '" + tmp + "'", ErrorCode::io_parse);
+      const std::string image = encode_entry(key, payload);
+      out.write(image.data(), static_cast<std::streamsize>(image.size()));
+      require(out.good(), "cache: write failed for '" + tmp + "'", ErrorCode::io_parse);
+    }
+    fs::rename(tmp, path);
+    PIM_COUNT("cache.write");
+  } catch (const std::exception& e) {
+    log_warn("cache: disk write skipped: ", e.what());
+  }
+}
+
+void Store::clear_memory() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  set_bytes_gauge(0);
+}
+
+size_t Store::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t Store::memory_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace pim::cache

@@ -1,0 +1,127 @@
+// Two-tier content-addressed result cache: an in-memory LRU in front of
+// an on-disk store under PIM_CACHE_DIR (default ~/.cache/pim).
+//
+// Payloads are opaque byte strings addressed by a CacheKey (canonical
+// SHA-256 of the determining inputs, see key.hpp). On-disk entries are
+// self-describing — format version, kind, key, payload digest, byte
+// count — and every validation failure is FAIL-OPEN: a truncated,
+// garbled, or mismatched entry is counted in `cache.corrupt`, removed
+// (in read-write mode), and reported as a miss so the caller simply
+// recomputes. A cache can therefore never turn a working flow into a
+// failing one.
+//
+// Modes (docs/caching.md): `off` bypasses both tiers, `ro` reads but
+// never writes the disk tier, `rw` (the default) does both. The process
+// mode resolves set_mode() > PIM_CACHE env > rw. While the deterministic
+// fault-injection harness is armed (util/faultinject.hpp) the store
+// bypasses itself entirely, so injected faults always exercise the real
+// compute paths instead of being papered over by yesterday's results.
+//
+// Thread safety: the memory tier is mutex-guarded and get()/put() may be
+// called from exec-engine workers; counters go through PIM_COUNT, which
+// is shard-aware, so parallel sweeps keep exact hit/miss totals. Disk
+// writes go to a temp file then rename, so concurrent processes sharing
+// one cache directory never observe half-written entries.
+//
+// Metrics: cache.hit, cache.miss, cache.disk.hit, cache.evict,
+// cache.corrupt, cache.write counters and the cache.bytes gauge
+// (memory-tier footprint).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cache/key.hpp"
+#include "util/expected.hpp"
+
+namespace pim::cache {
+
+enum class Mode { Off, ReadOnly, ReadWrite };
+
+/// "off" / "ro" / "rw".
+const char* mode_name(Mode mode);
+
+/// Parses "off" | "ro" | "rw"; returns false on anything else.
+bool mode_from_name(std::string_view name, Mode& out);
+
+/// The resolved process-wide cache mode: set_mode() override, else the
+/// PIM_CACHE environment variable, else ReadWrite. A malformed PIM_CACHE
+/// value logs one warning and falls back to the default.
+Mode mode();
+
+/// Pins the process cache mode (the CLI's --cache flag).
+void set_mode(Mode mode);
+
+/// Drops the set_mode() override (tests).
+void reset_mode();
+
+/// The resolved cache directory: set_dir() > PIM_CACHE_DIR >
+/// $XDG_CACHE_HOME/pim > $HOME/.cache/pim > ./.pim-cache.
+std::string dir();
+
+/// Pins the cache directory; "" restores the automatic resolution.
+void set_dir(const std::string& path);
+
+class Store {
+ public:
+  struct Options {
+    size_t max_memory_bytes = 64u << 20;  ///< memory-tier payload budget
+    size_t max_memory_entries = 4096;
+    /// Disk root; "" resolves dir() per operation (tracks set_dir).
+    std::string disk_dir;
+  };
+
+  Store() = default;
+  explicit Store(Options options) : options_(std::move(options)) {}
+
+  /// The process-wide store every cached flow shares.
+  static Store& global();
+
+  /// The payload for `key`, or nullopt on miss / disabled cache /
+  /// corrupt entry (fail-open).
+  std::optional<std::string> get(const CacheKey& key);
+
+  /// Records `payload` under `key` in the memory tier and (in rw mode)
+  /// the disk tier. Disk failures are swallowed after a warning — the
+  /// cache never fails a computation that already succeeded.
+  void put(const CacheKey& key, std::string_view payload);
+
+  /// Empties the memory tier (registrations on disk survive). Tests.
+  void clear_memory();
+
+  size_t memory_bytes() const;
+  size_t memory_entries() const;
+
+  /// Serialized entry-file image for `payload` under `key` (exposed for
+  /// tests and external tooling; put() writes exactly this).
+  static std::string encode_entry(const CacheKey& key, std::string_view payload);
+
+  /// Parses and validates an entry-file image against `key`. Errors use
+  /// the io_parse taxonomy and name the first failed check.
+  static Expected<std::string> decode_entry(const CacheKey& key, std::string_view file);
+
+  /// Absolute path an entry for `key` lives at under this store's root.
+  std::string entry_path(const CacheKey& key) const;
+
+ private:
+  void insert_memory(const std::string& id, std::string payload);
+
+  Options options_;
+  mutable std::mutex mu_;
+  // LRU: most recently used at the front. The map stores list iterators;
+  // list splicing keeps them valid.
+  struct MemEntry {
+    std::string id;
+    std::string payload;
+  };
+  std::list<MemEntry> lru_;
+  std::map<std::string, std::list<MemEntry>::iterator> index_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace pim::cache

@@ -37,7 +37,9 @@ const ImplementedLink& LinkImplementer::implement(double length) const {
   // so handing out `it->second` across later insertions is safe.
   LinkContext ctx = base_;
   ctx.length = static_cast<double>(key) * kQuantum;
-  const BufferingResult best = optimize_buffering(*model_, ctx, buffering_);
+  // Cached search: merge trials re-derive the same quantized lengths over
+  // and over, and separate synthesis processes share the on-disk tier.
+  const BufferingResult best = optimize_buffering_cached(*model_, ctx, buffering_);
   ImplementedLink link;
   link.feasible = best.feasible;
   if (best.feasible) {

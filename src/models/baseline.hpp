@@ -30,6 +30,9 @@ class BakogluModel final : public InterconnectModel {
   LinkEstimate evaluate(const LinkContext& context,
                         const LinkDesign& design) const override;
 
+  /// Baselines are pure functions of the built-in technology descriptor.
+  std::string cache_signature() const override { return name_ + "/" + tech_->name; }
+
  private:
   const Technology* tech_;
   std::string name_ = "bakoglu";
@@ -44,6 +47,8 @@ class PamunuwaModel final : public InterconnectModel {
 
   LinkEstimate evaluate(const LinkContext& context,
                         const LinkDesign& design) const override;
+
+  std::string cache_signature() const override { return name_ + "/" + tech_->name; }
 
  private:
   const Technology* tech_;

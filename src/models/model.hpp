@@ -27,6 +27,12 @@ class InterconnectModel {
   /// Evaluates one candidate link implementation.
   virtual LinkEstimate evaluate(const LinkContext& context,
                                 const LinkDesign& design) const = 0;
+
+  /// Stable content signature covering everything evaluate() depends on
+  /// besides (context, design) — model name, technology, and any fitted
+  /// coefficients — for the pim::cache result store. Models returning ""
+  /// (the default) opt out of result caching.
+  virtual std::string cache_signature() const { return {}; }
 };
 
 }  // namespace pim

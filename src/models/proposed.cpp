@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "cache/sha256.hpp"
 #include "charlib/characterize.hpp"
+#include "charlib/coeffs_io.hpp"
 #include "models/area.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -12,6 +14,7 @@ namespace pim {
 ProposedModel::ProposedModel(const Technology& tech, TechnologyFit fit)
     : tech_(&tech), fit_(std::move(fit)) {
   require(fit_.node == tech.node, "ProposedModel: fit/technology node mismatch");
+  signature_ = "proposed/" + tech.name + "/" + cache::sha256_hex(write_fit(fit_));
 }
 
 LinkEstimate ProposedModel::evaluate(const LinkContext& ctx,

@@ -32,10 +32,16 @@ class ProposedModel final : public InterconnectModel {
   LinkEstimate evaluate(const LinkContext& context,
                         const LinkDesign& design) const override;
 
+  /// "proposed/<tech>/<sha256 of the serialized fit>" — two instances
+  /// share cached results exactly when their coefficients are
+  /// bit-identical.
+  std::string cache_signature() const override { return signature_; }
+
  private:
   const Technology* tech_;
   TechnologyFit fit_;
   std::string name_ = "proposed";
+  std::string signature_;
 };
 
 }  // namespace pim

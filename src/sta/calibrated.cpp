@@ -2,11 +2,44 @@
 
 #include <fstream>
 
+#include "cache/store.hpp"
 #include "charlib/coeffs_io.hpp"
+#include "tech/techfile.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace pim {
+namespace {
+
+// Everything that determines a calibrated fit: the full technology
+// descriptor (as its canonical tech-file serialization — a parameter
+// tweak changes the bytes and hence the key) plus every characterization
+// and composition knob. See docs/caching.md.
+cache::CacheKey fit_cache_key(const Technology& tech,
+                              const CharacterizationOptions& copt,
+                              const CompositionOptions& compt) {
+  cache::KeyBuilder kb("fit");
+  kb.blob("techfile", write_techfile(tech));
+  kb.field("char.slew_axis", copt.slew_axis);
+  kb.field("char.fanout_axis", copt.fanout_axis);
+  kb.field("char.drives", copt.drives);
+  kb.field("char.inverters", copt.inverters);
+  kb.field("char.buffers", copt.buffers);
+  kb.field("char.dt_max", copt.dt_max);
+  kb.field("char.sweep_quorum", copt.sweep_quorum);
+  kb.field("comp.drives", compt.drives);
+  kb.field("comp.segment_lengths", compt.segment_lengths);
+  kb.field("comp.input_slews", compt.input_slews);
+  kb.field("comp.chain_lengths", compt.chain_lengths);
+  kb.field("comp.layer", static_cast<int>(compt.layer));
+  kb.field("comp.signoff.pi_per_segment", compt.signoff.pi_per_segment);
+  kb.field("comp.signoff.aggressors", static_cast<int>(compt.signoff.aggressors));
+  kb.field("comp.signoff.dt", compt.signoff.dt);
+  kb.field("comp.signoff.window_margin", compt.signoff.window_margin);
+  return kb.finish();
+}
+
+}  // namespace
 
 TechnologyFit calibrated_fit(TechNode node, const std::string& cache_path,
                              const CharacterizationOptions& characterization,
@@ -24,9 +57,26 @@ TechnologyFit calibrated_fit(TechNode node, const std::string& cache_path,
     }
   }
   const Technology& tech = technology(node);
+  // Content-addressed tier: keyed by the tech file bytes and every deck
+  // parameter, so a hit is exactly the fit this flow would recompute.
+  const cache::CacheKey key = fit_cache_key(tech, characterization, composition);
+  if (auto payload = cache::Store::global().get(key)) {
+    try {
+      TechnologyFit cached = parse_fit(*payload);
+      require(cached.node == node, "calibrated_fit: cached fit node mismatch",
+              ErrorCode::io_parse);
+      if (!cache_path.empty()) save_fit(cached, cache_path);
+      return cached;
+    } catch (const Error& e) {
+      // Fail-open (the store already verified the payload digest, so
+      // this is effectively unreachable): recompute below.
+      log_warn("calibrated_fit: ignoring unparsable cache entry: ", e.what());
+    }
+  }
   log_info("calibrated_fit: characterizing ", tech.name, " (this runs transistor-level sims)");
   const CellLibrary library = characterize_library(tech, characterization);
   TechnologyFit fit = calibrate_composition(tech, fit_technology(tech, library), composition);
+  cache::Store::global().put(key, write_fit(fit));
   if (!cache_path.empty()) save_fit(fit, cache_path);
   return fit;
 }

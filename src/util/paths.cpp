@@ -1,0 +1,59 @@
+#include "util/paths.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace pim {
+namespace {
+
+std::mutex& mu() {
+  static std::mutex m;
+  return m;
+}
+
+std::string& override_slot() {
+  static std::string dir;
+  return dir;
+}
+
+}  // namespace
+
+void set_out_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu());
+  override_slot() = dir;
+}
+
+std::string out_dir() {
+  {
+    std::lock_guard<std::mutex> lock(mu());
+    if (!override_slot().empty()) return override_slot();
+  }
+  if (const char* env = std::getenv("PIM_OUT_DIR"); env != nullptr && *env != '\0')
+    return env;
+  return "bench_out";
+}
+
+bool out_dir_configured() {
+  {
+    std::lock_guard<std::mutex> lock(mu());
+    if (!override_slot().empty()) return true;
+  }
+  const char* env = std::getenv("PIM_OUT_DIR");
+  return env != nullptr && *env != '\0';
+}
+
+std::string ensure_out_dir() {
+  const std::string dir = out_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  require(!ec && std::filesystem::is_directory(dir),
+          "out-dir: cannot create '" + dir + "'", ErrorCode::io_parse);
+  return dir;
+}
+
+std::string out_path(const std::string& name) { return ensure_out_dir() + "/" + name; }
+
+}  // namespace pim

@@ -1,0 +1,29 @@
+// Output-directory resolution shared by the bench binaries'
+// MetricsArtifact/CSV exports and the CLI's report flushing: an explicit
+// set_out_dir() (the --out-dir flag) beats the PIM_OUT_DIR environment
+// variable, which beats the historical ./bench_out default.
+#pragma once
+
+#include <string>
+
+namespace pim {
+
+/// Pins the process output directory; "" restores the automatic
+/// resolution (PIM_OUT_DIR, else "bench_out").
+void set_out_dir(const std::string& dir);
+
+/// The resolved output directory (not created; see ensure_out_dir).
+std::string out_dir();
+
+/// True when --out-dir or PIM_OUT_DIR picked the directory (relative
+/// CLI report paths then resolve under it; bare defaults do not move).
+bool out_dir_configured();
+
+/// out_dir(), created on demand. Throws Error(io_parse) when the
+/// directory cannot be created.
+std::string ensure_out_dir();
+
+/// ensure_out_dir() + "/" + name.
+std::string out_path(const std::string& name);
+
+}  // namespace pim

@@ -76,6 +76,20 @@ MonteCarloResult monte_carlo_link(const ProposedModel& model, const LinkContext&
                                   const LinkDesign& design, int samples,
                                   uint64_t seed = 1, const VariationSigmas& sigmas = {});
 
+/// monte_carlo_link fronted by the content-addressed result cache
+/// (docs/caching.md). The key folds in the model's cache_signature()
+/// (which hashes the fitted coefficients), the link context and design,
+/// and the sampling plan (samples, seed, sigmas), so a hit returns the
+/// exact sorted delay vector and statistics the direct run would
+/// produce — bit-identical at any --threads count. Corrupt entries
+/// recompute (fail-open); fault injection bypasses the cache so injected
+/// sample faults always exercise the real sampling path.
+MonteCarloResult monte_carlo_link_cached(const ProposedModel& model,
+                                         const LinkContext& context,
+                                         const LinkDesign& design, int samples,
+                                         uint64_t seed = 1,
+                                         const VariationSigmas& sigmas = {});
+
 /// WITHIN-DIE variation: each repeater of the chain draws its own
 /// device-strength/cap deviation (wire variation stays die-wide). Stage
 /// delays then average along the chain, so an N-stage link's relative

@@ -1,0 +1,374 @@
+// Tests for src/cache — the content-addressed result cache: SHA-256,
+// canonical key derivation, the two-tier store (LRU memory + on-disk
+// entries), fail-open corruption handling, mode semantics, concurrent
+// lookups, and bit-identical cached flows (fit / buffering / yield).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "buffering/optimize.hpp"
+#include "cache/key.hpp"
+#include "cache/sha256.hpp"
+#include "cache/store.hpp"
+#include "charlib/coeffs_io.hpp"
+#include "exec/engine.hpp"
+#include "models/proposed.hpp"
+#include "obs/metrics.hpp"
+#include "sta/calibrated.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
+#include "util/units.hpp"
+#include "variation/variation.hpp"
+
+namespace pim::cache {
+namespace {
+
+using namespace pim::unit;
+
+// Fresh scratch directory per test; pins the global mode/dir so tests
+// never touch the user's ~/.cache/pim, and restores them afterwards.
+class CacheDirFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "pim_cache_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    set_dir(dir_);
+    set_mode(Mode::ReadWrite);
+    Store::global().clear_memory();
+  }
+  void TearDown() override {
+    Store::global().clear_memory();
+    reset_mode();
+    set_dir("");
+    std::filesystem::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+CacheKey key_of(const std::string& tag) {
+  KeyBuilder kb("test");
+  kb.field("tag", tag);
+  return kb.finish();
+}
+
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // Two-block message from FIPS 180-4 appendix B.2.
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Sha256 h;
+  h.update("ab");
+  h.update("");
+  h.update("c");
+  EXPECT_EQ(h.hex_digest(), sha256_hex("abc"));
+  // Spans a block boundary.
+  const std::string big(130, 'x');
+  Sha256 h2;
+  h2.update(big.substr(0, 63));
+  h2.update(big.substr(63));
+  EXPECT_EQ(h2.hex_digest(), sha256_hex(big));
+}
+
+TEST(KeyBuilder, StableAcrossRebuilds) {
+  const auto build = [] {
+    KeyBuilder kb("fit");
+    kb.field("tech", "65nm");
+    kb.field("length", 5.0e-3);
+    kb.field("samples", 1000);
+    kb.field("flag", true);
+    kb.field("drives", std::vector<int>{2, 8, 32});
+    kb.blob("payload", std::string("\x00\x01raw", 5));
+    return kb.finish();
+  };
+  const CacheKey a = build();
+  const CacheKey b = build();
+  EXPECT_EQ(a.kind, "fit");
+  EXPECT_EQ(a.hex, b.hex);
+  EXPECT_EQ(a.hex.size(), 64u);
+}
+
+TEST(KeyBuilder, OrderKindAndValuesAllMatter) {
+  KeyBuilder ab("k");
+  ab.field("a", 1);
+  ab.field("b", 2);
+  KeyBuilder ba("k");
+  ba.field("b", 2);
+  ba.field("a", 1);
+  EXPECT_NE(ab.finish().hex, ba.finish().hex);
+
+  KeyBuilder k1("fit");
+  k1.field("a", 1);
+  KeyBuilder k2("buffering");
+  k2.field("a", 1);
+  EXPECT_NE(k1.finish().hex, k2.finish().hex);
+
+  // 17 significant digits: doubles that differ in the last ulp get
+  // different keys.
+  KeyBuilder d1("k");
+  d1.field("x", 0.1 + 0.2);
+  KeyBuilder d2("k");
+  d2.field("x", 0.3);
+  EXPECT_NE(d1.finish().hex, d2.finish().hex);
+}
+
+TEST(KeyBuilder, BlobsAreLengthPrefixed) {
+  KeyBuilder k1("k");
+  k1.blob("a", "bc");
+  KeyBuilder k2("k");
+  k2.blob("ab", "c");
+  EXPECT_NE(k1.finish().hex, k2.finish().hex);
+}
+
+TEST(CacheMode, NameParsing) {
+  Mode mode = Mode::Off;
+  EXPECT_TRUE(mode_from_name("rw", mode));
+  EXPECT_EQ(mode, Mode::ReadWrite);
+  EXPECT_TRUE(mode_from_name("ro", mode));
+  EXPECT_EQ(mode, Mode::ReadOnly);
+  EXPECT_TRUE(mode_from_name("off", mode));
+  EXPECT_EQ(mode, Mode::Off);
+  EXPECT_FALSE(mode_from_name("bogus", mode));
+  EXPECT_FALSE(mode_from_name("", mode));
+  EXPECT_STREQ(mode_name(Mode::ReadWrite), "rw");
+  EXPECT_STREQ(mode_name(Mode::ReadOnly), "ro");
+  EXPECT_STREQ(mode_name(Mode::Off), "off");
+}
+
+TEST_F(CacheDirFixture, MemoryAndDiskRoundTrip) {
+  Store& store = Store::global();
+  const CacheKey key = key_of("roundtrip");
+  EXPECT_FALSE(store.get(key).has_value());
+  store.put(key, "payload-bytes");
+  const auto hit = store.get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload-bytes");
+  EXPECT_TRUE(std::filesystem::exists(store.entry_path(key)));
+
+  // Disk tier: a fresh memory tier (i.e. a new process) still hits.
+  store.clear_memory();
+  EXPECT_EQ(store.memory_entries(), 0u);
+  const auto disk_hit = store.get(key);
+  ASSERT_TRUE(disk_hit.has_value());
+  EXPECT_EQ(*disk_hit, "payload-bytes");
+  // The disk hit repopulates the memory tier.
+  EXPECT_EQ(store.memory_entries(), 1u);
+}
+
+TEST_F(CacheDirFixture, EncodeDecodeEntry) {
+  const CacheKey key = key_of("codec");
+  const std::string payload = "line one\nline two\n";
+  const std::string entry = Store::encode_entry(key, payload);
+  const auto decoded = Store::decode_entry(key, entry);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), payload);
+
+  // Any tampering is a named io_parse failure, not a crash.
+  const auto truncated = Store::decode_entry(key, entry.substr(0, entry.size() / 2));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.error().code(), ErrorCode::io_parse);
+  std::string flipped = entry;
+  flipped[flipped.size() - 3] ^= 1;  // corrupt the payload
+  EXPECT_FALSE(Store::decode_entry(key, flipped).ok());
+  const auto wrong_key = Store::decode_entry(key_of("other"), entry);
+  ASSERT_FALSE(wrong_key.ok());
+}
+
+TEST_F(CacheDirFixture, CorruptDiskEntryFailsOpen) {
+  obs::set_enabled(true);
+  Store& store = Store::global();
+  const CacheKey key = key_of("corrupt");
+  store.put(key, "good payload");
+  store.clear_memory();
+
+  // Garble the on-disk entry behind the store's back.
+  {
+    std::ofstream out(store.entry_path(key), std::ios::trunc);
+    out << "pim-cache v1\ngarbage\n";
+  }
+  const int64_t corrupt_before = obs::registry().counter("cache.corrupt").value();
+  EXPECT_FALSE(store.get(key).has_value());  // miss, not an exception
+  EXPECT_EQ(obs::registry().counter("cache.corrupt").value(), corrupt_before + 1);
+  // rw mode scrubs the bad entry so the recompute can re-register it.
+  EXPECT_FALSE(std::filesystem::exists(store.entry_path(key)));
+  store.put(key, "recomputed");
+  store.clear_memory();
+  const auto hit = store.get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "recomputed");
+  obs::set_enabled(false);
+}
+
+TEST_F(CacheDirFixture, LruEvictionRespectsBudgets) {
+  Store store(Store::Options{/*max_memory_bytes=*/64, /*max_memory_entries=*/2,
+                             /*disk_dir=*/dir_});
+  const CacheKey a = key_of("a"), b = key_of("b"), c = key_of("c");
+  store.put(a, "aaaa");
+  store.put(b, "bbbb");
+  EXPECT_EQ(store.memory_entries(), 2u);
+  store.put(c, "cccc");  // evicts the least recently used (a)
+  EXPECT_LE(store.memory_entries(), 2u);
+  EXPECT_LE(store.memory_bytes(), 64u);
+  // Evicted entries are not lost — the disk tier still has them.
+  const auto hit = store.get(a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "aaaa");
+
+  // The byte budget alone also evicts: one oversized payload cannot wedge
+  // the tier above its budget.
+  store.put(key_of("big"), std::string(80, 'x'));
+  EXPECT_LE(store.memory_bytes(), 64u);
+}
+
+TEST_F(CacheDirFixture, OffModeBypassesBothTiers) {
+  set_mode(Mode::Off);
+  Store& store = Store::global();
+  const CacheKey key = key_of("off");
+  store.put(key, "never stored");
+  EXPECT_FALSE(store.get(key).has_value());
+  EXPECT_EQ(store.memory_entries(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(store.entry_path(key)));
+}
+
+TEST_F(CacheDirFixture, ReadOnlyModeReadsButNeverWrites) {
+  Store& store = Store::global();
+  const CacheKey seeded = key_of("seeded");
+  store.put(seeded, "from rw");  // seed the disk tier in rw mode
+  store.clear_memory();
+
+  set_mode(Mode::ReadOnly);
+  const CacheKey fresh = key_of("fresh");
+  store.put(fresh, "dropped");
+  EXPECT_FALSE(std::filesystem::exists(store.entry_path(fresh)));
+  const auto hit = store.get(seeded);  // disk reads still work
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "from rw");
+}
+
+TEST_F(CacheDirFixture, ArmedFaultHarnessBypassesTheCache) {
+  Store& store = Store::global();
+  const CacheKey key = key_of("faulty");
+  store.put(key, "cached before arming");
+  fault::configure("io.open:0");  // armed, even at probability 0
+  EXPECT_FALSE(store.get(key).has_value());
+  store.put(key_of("while-armed"), "dropped");
+  fault::clear();
+  EXPECT_TRUE(store.get(key).has_value());
+  EXPECT_FALSE(store.get(key_of("while-armed")).has_value());
+}
+
+// Concurrent get/put from exec workers at a pinned thread count; TSan
+// builds (scripts/check_tsan.sh) run this with race detection.
+TEST_F(CacheDirFixture, ConcurrentLookupsAreRaceFree) {
+  exec::set_threads(8);
+  Store& store = Store::global();
+  const int kItems = 64;
+  exec::parallel_for(kItems, [&](size_t i) {
+    const CacheKey key = key_of("concurrent-" + std::to_string(i % 8));
+    const std::string payload = "payload-" + std::to_string(i % 8);
+    store.put(key, payload);
+    const auto hit = store.get(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, payload);
+  });
+  exec::set_threads(0);
+  for (int g = 0; g < 8; ++g) {
+    const auto hit = store.get(key_of("concurrent-" + std::to_string(g)));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "payload-" + std::to_string(g));
+  }
+}
+
+// End-to-end bit-identity of the cached flows, on a reduced deck so the
+// cold pass stays fast. One fixture characterizes once; every case then
+// proves warm == cold byte for byte.
+class CachedFlowsFixture : public CacheDirFixture {
+ protected:
+  static CharacterizationOptions char_options() {
+    CharacterizationOptions copt;
+    copt.drives = {2, 8, 32};
+    copt.buffers = false;
+    return copt;
+  }
+  static CompositionOptions comp_options() {
+    CompositionOptions comp;
+    comp.drives = {8, 32};
+    comp.segment_lengths = {0.5e-3, 1.5e-3};
+    comp.input_slews = {50e-12, 300e-12};
+    comp.chain_lengths = {1, 3};
+    return comp;
+  }
+  static LinkContext ctx() {
+    LinkContext c;
+    c.length = 3 * mm;
+    c.input_slew = 100 * ps;
+    c.frequency = technology(TechNode::N65).clock_frequency;
+    return c;
+  }
+};
+
+TEST_F(CachedFlowsFixture, FitBufferingAndYieldHitsAreBitIdentical) {
+  const TechnologyFit cold =
+      calibrated_fit(TechNode::N65, "", char_options(), comp_options());
+  // Fresh memory tier: the warm pass must come from the disk entry.
+  Store::global().clear_memory();
+  const TechnologyFit warm =
+      calibrated_fit(TechNode::N65, "", char_options(), comp_options());
+  EXPECT_EQ(write_fit(warm), write_fit(cold));
+
+  // A different deck parameter is a different key — no false sharing.
+  CompositionOptions other = comp_options();
+  other.chain_lengths = {1, 2};
+  const TechnologyFit refit =
+      calibrated_fit(TechNode::N65, "", char_options(), other);
+  EXPECT_NE(write_fit(refit), write_fit(cold));
+
+  const ProposedModel model(technology(TechNode::N65), cold);
+  BufferingOptions opt;
+  opt.weight = 0.5;
+  const BufferingResult buf_cold = optimize_buffering_cached(model, ctx(), opt);
+  Store::global().clear_memory();
+  const BufferingResult buf_warm = optimize_buffering_cached(model, ctx(), opt);
+  EXPECT_EQ(buf_warm.feasible, buf_cold.feasible);
+  EXPECT_EQ(buf_warm.design.kind, buf_cold.design.kind);
+  EXPECT_EQ(buf_warm.design.drive, buf_cold.design.drive);
+  EXPECT_EQ(buf_warm.design.num_repeaters, buf_cold.design.num_repeaters);
+  EXPECT_EQ(buf_warm.cost, buf_cold.cost);  // EQ, not NEAR: bit-identical
+  EXPECT_EQ(buf_warm.estimate.delay, buf_cold.estimate.delay);
+  EXPECT_EQ(buf_warm.evaluations, buf_cold.evaluations);
+  // The warm search ran zero model evaluations — it was a lookup.
+  const BufferingResult direct = optimize_buffering(model, ctx(), opt);
+  EXPECT_EQ(buf_warm.cost, direct.cost);
+
+  LinkDesign design = buf_cold.design;
+  const MonteCarloResult mc_cold =
+      monte_carlo_link_cached(model, ctx(), design, 500, 2026);
+  Store::global().clear_memory();
+  const MonteCarloResult mc_warm =
+      monte_carlo_link_cached(model, ctx(), design, 500, 2026);
+  EXPECT_EQ(mc_warm.delays, mc_cold.delays);  // exact vector equality
+  EXPECT_EQ(mc_warm.nominal_delay, mc_cold.nominal_delay);
+  EXPECT_EQ(mc_warm.mean_delay, mc_cold.mean_delay);
+  EXPECT_EQ(mc_warm.sigma_delay, mc_cold.sigma_delay);
+  EXPECT_EQ(mc_warm.mean_power, mc_cold.mean_power);
+  EXPECT_EQ(mc_warm.failed_samples, mc_cold.failed_samples);
+  // And equals the uncached computation (the cache is transparent).
+  const MonteCarloResult direct_mc = monte_carlo_link(model, ctx(), design, 500, 2026);
+  EXPECT_EQ(mc_warm.delays, direct_mc.delays);
+
+  // A different seed/sample-count is a different key.
+  const MonteCarloResult other_seed =
+      monte_carlo_link_cached(model, ctx(), design, 500, 2027);
+  EXPECT_NE(other_seed.delays, mc_cold.delays);
+}
+
+}  // namespace
+}  // namespace pim::cache

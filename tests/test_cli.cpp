@@ -7,16 +7,20 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "../tools/cli_args.hpp"
+#include "api/pim_api.hpp"
+#include "cache/store.hpp"
 #include "exec/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/paths.hpp"
 
 namespace pim::cli {
 namespace {
@@ -187,6 +191,180 @@ TEST(CliExitCodes, InjectedIoFaultIsRuntimeError) {
                     " --inject-fault io.open:1"),
             3);
   std::remove(deck.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// --flag=value binding and the declarative registry
+// ---------------------------------------------------------------------------
+
+TEST(CliArgs, EqualsFormBindsValues) {
+  const Args args = make({"evaluate", "65nm", "--length=5", "--style=DS", "--golden"});
+  EXPECT_EQ(args.positionals().size(), 2u);
+  EXPECT_DOUBLE_EQ(args.get_double("length", 0.0), 5.0);
+  EXPECT_EQ(args.get("style"), "DS");
+  EXPECT_TRUE(args.has("golden"));
+  // An explicit empty value is still a value, not a switch.
+  EXPECT_EQ(make({"--style="}).get("style", "x"), "");
+  EXPECT_THROW(make({"--=value"}), Error);  // nameless flag
+}
+
+TEST(CliRegistry, UsageListsEveryCommandAndGlobalFlag) {
+  const std::string usage = usage_text();
+  for (const CommandSpec& spec : command_registry())
+    EXPECT_NE(usage.find(spec.name), std::string::npos) << spec.name;
+  for (const FlagSpec& flag : global_flag_specs())
+    EXPECT_NE(usage.find("--" + flag.name), std::string::npos) << flag.name;
+  EXPECT_NE(usage.find("exit codes"), std::string::npos);
+}
+
+TEST(CliRegistry, HelpTextCoversEveryDeclaredFlag) {
+  for (const CommandSpec& spec : command_registry()) {
+    ASSERT_EQ(find_command(spec.name), &spec);
+    const std::string help = help_text(spec);
+    EXPECT_NE(help.find(spec.name), std::string::npos);
+    for (const FlagSpec& flag : spec.flags)
+      EXPECT_NE(help.find("--" + flag.name), std::string::npos)
+          << spec.name << " is missing --" << flag.name;
+  }
+  EXPECT_EQ(find_command("frobnicate"), nullptr);
+}
+
+TEST(CliRegistry, CheckKnownForAcceptsDeclaredAndGlobalFlags) {
+  const CommandSpec* spec = find_command("evaluate");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_NO_THROW(check_known_for(
+      make({"evaluate", "65nm", "--length", "5", "--threads", "2", "--cache", "off"}),
+      *spec));
+  EXPECT_THROW(check_known_for(make({"evaluate", "65nm", "--bogus"}), *spec), Error);
+}
+
+TEST(CliArgs, CacheFlagsPinModeAndDirectory) {
+  cache::reset_mode();
+  apply_global_flags(make({"--cache", "off"}));
+  EXPECT_EQ(cache::mode(), cache::Mode::Off);
+  apply_global_flags(make({"--cache=ro"}));
+  EXPECT_EQ(cache::mode(), cache::Mode::ReadOnly);
+  EXPECT_THROW(apply_global_flags(make({"--cache", "bogus"})), Error);
+  EXPECT_THROW(apply_global_flags(make({"--cache"})), Error);  // needs a value
+  cache::reset_mode();
+
+  const std::string dir = ::testing::TempDir() + "pim_cli_cache_dir";
+  apply_global_flags(make({"--cache-dir", dir}));
+  EXPECT_EQ(cache::dir(), dir);
+  EXPECT_THROW(apply_global_flags(make({"--cache-dir"})), Error);
+  cache::set_dir("");
+}
+
+TEST(CliArgs, OutDirFlagConfiguresArtifactRoot) {
+  set_out_dir("");
+  const std::string dir = ::testing::TempDir() + "pim_cli_out_dir";
+  apply_global_flags(make({"--out-dir", dir}));
+  EXPECT_TRUE(out_dir_configured());
+  EXPECT_EQ(out_dir(), dir);
+  EXPECT_THROW(apply_global_flags(make({"--out-dir"})), Error);
+  set_out_dir("");
+}
+
+// Relative --profile paths land under --out-dir when one is configured.
+TEST(CliArgs, ReportsResolveUnderOutDir) {
+  obs::registry().reset();
+  const std::string dir = ::testing::TempDir() + "pim_cli_report_out";
+  std::filesystem::remove_all(dir);
+  apply_global_flags(make({"--out-dir", dir, "--profile", "nested_profile.json"}));
+  obs::registry().counter("cli.outdir.count").add(1);
+  write_observability_reports(make({"--profile", "nested_profile.json"}));
+  obs::set_enabled(false);
+  set_out_dir("");
+  std::ifstream in(dir + "/nested_profile.json");
+  EXPECT_TRUE(in.good());
+  std::filesystem::remove_all(dir);
+  obs::registry().reset();
+}
+
+TEST(CliExitCodes, HelpScreensExitZero) {
+  EXPECT_EQ(run_cli("--help"), 0);
+  EXPECT_EQ(run_cli("help"), 0);
+  EXPECT_EQ(run_cli("evaluate --help"), 0);
+}
+
+TEST(CliExitCodes, UnknownCommandIsUsageError) {
+  EXPECT_EQ(run_cli("frobnicate"), 2);
+}
+
+TEST(CliExitCodes, BadCacheModeIsUsageError) {
+  EXPECT_EQ(run_cli("techfile 45nm --cache bogus"), 2);
+  EXPECT_EQ(run_cli("techfile 45nm --cache=off"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// pim::api facade round trips (the CLI is a thin printer over these)
+// ---------------------------------------------------------------------------
+
+TEST(ApiFacade, VersionMismatchIsBadInputNotMisread) {
+  api::TechfileRequest req;
+  req.api_version = 99;
+  req.tech = "65nm";
+  const auto result = api::run_techfile(req);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::bad_input);
+  EXPECT_NE(std::string(result.error().what()).find("api_version"),
+            std::string::npos);
+}
+
+TEST(ApiFacade, TechfileRoundTrip) {
+  api::TechfileRequest req;
+  req.tech = "45nm";
+  const auto result = api::run_techfile(req);
+  ASSERT_TRUE(result.ok()) << result.error().what();
+  EXPECT_NE(result.value().text.find("45"), std::string::npos);
+}
+
+TEST(ApiFacade, ErrorsComeBackAsExpectedWithApiContext) {
+  api::LinkEvalRequest req;
+  req.link.tech = "65nm";
+  req.link.length_mm = 5.0;
+  req.link.style = "XX";  // checked before the expensive calibration
+  auto bad_style = api::run_evaluate(req);
+  ASSERT_FALSE(bad_style.ok());
+  EXPECT_EQ(bad_style.error().code(), ErrorCode::bad_input);
+  EXPECT_NE(std::string(bad_style.error().what()).find("pim::api::run_evaluate"),
+            std::string::npos);
+
+  req.link.style = "SS";
+  req.link.length_mm = 0.0;
+  const auto bad_length = api::run_evaluate(req);
+  ASSERT_FALSE(bad_length.ok());
+  EXPECT_EQ(bad_length.error().code(), ErrorCode::bad_input);
+
+  api::TechfileRequest unknown_tech;
+  unknown_tech.tech = "3nm";
+  EXPECT_FALSE(api::run_techfile(unknown_tech).ok());
+}
+
+TEST(ApiFacade, SynthesisRejectsMeshShapeWithoutMesh) {
+  api::SynthesisRequest req;
+  req.spec = "dvopd";
+  req.tech = "65nm";
+  req.model = "bakoglu";  // closed-form: no characterization needed
+  req.rows = 4;
+  const auto result = api::run_synthesis(req);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::bad_input);
+}
+
+TEST(ApiFacade, SynthesisWithBaselineModelRoundTrip) {
+  api::SynthesisRequest req;
+  req.spec = "dvopd";
+  req.tech = "65nm";
+  req.model = "bakoglu";
+  req.want_dot = true;
+  const auto result = api::run_synthesis(req);
+  ASSERT_TRUE(result.ok()) << result.error().what();
+  EXPECT_EQ(result.value().spec_name, "dvopd");
+  EXPECT_EQ(result.value().model_name, "bakoglu");
+  EXPECT_GT(result.value().num_links, 0);
+  EXPECT_GT(result.value().dynamic_power_mw, 0.0);
+  EXPECT_NE(result.value().dot_text.find("digraph"), std::string::npos);
 }
 
 }  // namespace

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
 
+#include "cache/store.hpp"
 #include "exec/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -10,6 +12,7 @@
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
+#include "util/paths.hpp"
 #include "util/strings.hpp"
 
 namespace pim::cli {
@@ -18,9 +21,14 @@ Args::Args(int argc, char** argv, int from) {
   for (int i = from; i < argc; ++i) {
     const std::string token = argv[i];
     if (starts_with(token, "--")) {
-      const std::string name = token.substr(2);
+      std::string name = token.substr(2);
       require(!name.empty(), "cli: bare '--' is not a flag", ErrorCode::bad_input);
-      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      const size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        // --flag=value binds directly, so values may begin with "--".
+        require(eq > 0, "cli: '--=' is not a flag", ErrorCode::bad_input);
+        flags_[name.substr(0, eq)] = name.substr(eq + 1);
+      } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
         flags_[name] = argv[++i];
       } else {
         flags_[name] = "";
@@ -66,15 +74,203 @@ void Args::check_known(const std::vector<std::string>& known) const {
   }
 }
 
-const std::vector<std::string>& global_flags() {
-  static const std::vector<std::string> flags = {"log-level", "profile", "trace",
-                                                 "inject-fault", "threads"};
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Link flags shared by the per-link subcommands. Declared once so the
+// commands cannot diverge in spelling or semantics.
+FlagSpec length_flag() {
+  return {"length", FlagType::Double, "mm", "", "wire length in mm (required)"};
+}
+FlagSpec style_flag() {
+  return {"style", FlagType::String, "SS|DS|SH", "SS",
+          "wire spacing style: single, double, shielded"};
+}
+FlagSpec slew_flag() {
+  return {"slew", FlagType::Double, "ps", "100", "input slew"};
+}
+FlagSpec drive_flag() {
+  return {"drive", FlagType::Int, "k", "12", "repeater drive strength"};
+}
+FlagSpec repeaters_flag() {
+  return {"repeaters", FlagType::Int, "n", "one per mm", "repeater count"};
+}
+FlagSpec coeffs_flag() {
+  return {"coeffs", FlagType::String, "file", "",
+          "coefficient file cache (load if present, else fit and save)"};
+}
+
+}  // namespace
+
+const std::vector<CommandSpec>& command_registry() {
+  static const std::vector<CommandSpec> commands = {
+      {"techfile", "<tech>", "dump a technology file", {}},
+      {"characterize",
+       "<tech>",
+       "characterize the repeater library (transistor-level sims)",
+       {{"drives", FlagType::String, "2,8,32", "", "drive strengths to characterize"},
+        {"lib", FlagType::String, "out.lib", "stdout", "write the Liberty library here"},
+        {"coeffs", FlagType::String, "out.pimfit", "",
+         "also fit + calibrate and save the coefficient tables"}}},
+      {"fit",
+       "<tech>",
+       "characterize + fit + calibrate the coefficient tables",
+       {coeffs_flag()}},
+      {"evaluate",
+       "<tech>",
+       "evaluate one link under the proposed closed-form model",
+       {length_flag(), style_flag(), slew_flag(), drive_flag(), repeaters_flag(),
+        coeffs_flag(),
+        {"golden", FlagType::Switch, "", "", "also run transistor-level signoff"}}},
+      {"buffer",
+       "<tech>",
+       "search repeater count/size minimizing delay^w * power^(1-w)",
+       {length_flag(), style_flag(), slew_flag(),
+        {"budget", FlagType::Double, "ps", "", "hard delay constraint"},
+        {"weight", FlagType::Double, "w", "0.6", "delay emphasis in [0, 1]"},
+        coeffs_flag()}},
+      {"noc",
+       "<dvopd|vproc|mpeg4|mwd|spec.soc> <tech>",
+       "constraint-driven NoC synthesis for an SoC spec",
+       {{"model", FlagType::String, "m", "proposed",
+         "interconnect model: proposed, bakoglu, or pamunuwa"},
+        {"dot", FlagType::String, "out.dot", "", "write the topology as Graphviz"},
+        coeffs_flag()}},
+      {"yield",
+       "<tech>",
+       "Monte-Carlo yield of one link under process variation",
+       {length_flag(), style_flag(), slew_flag(),
+        {"samples", FlagType::Int, "n", "1000", "Monte-Carlo corners"},
+        drive_flag(), repeaters_flag(), coeffs_flag()}},
+      {"noise",
+       "<tech>",
+       "crosstalk glitch peak: calibrated model vs golden sim",
+       {length_flag(), style_flag(), slew_flag(), drive_flag(), coeffs_flag()}},
+      {"timer",
+       "<tech>",
+       "NLDM table timer on the buffered link (AWE and Elmore wire)",
+       {length_flag(), style_flag(), slew_flag(), drive_flag(), repeaters_flag()}},
+      {"mesh",
+       "<dvopd|vproc|mpeg4|mwd|spec.soc> <tech>",
+       "regular 2-D mesh NoC for an SoC spec",
+       {{"rows", FlagType::Int, "r", "auto", "mesh rows"},
+        {"cols", FlagType::Int, "c", "auto", "mesh columns"},
+        coeffs_flag()}},
+      {"export",
+       "<tech>",
+       "export the implemented link as a SPICE deck and/or SPEF",
+       {length_flag(), style_flag(), slew_flag(), drive_flag(), repeaters_flag(),
+        {"deck", FlagType::String, "out.sp", "", "write the SPICE deck here"},
+        {"spef", FlagType::String, "out.spef", "stdout", "write the SPEF here"}}},
+  };
+  return commands;
+}
+
+const CommandSpec* find_command(const std::string& name) {
+  for (const CommandSpec& c : command_registry())
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const std::vector<FlagSpec>& global_flag_specs() {
+  static const std::vector<FlagSpec> flags = {
+      {"log-level", FlagType::String, "debug|info|warn|error|off", "info",
+       "stderr log threshold (beats PIM_LOG_LEVEL)"},
+      {"profile", FlagType::String, "[out.json]", "",
+       "collect metrics, write JSON (stdout if bare)"},
+      {"trace", FlagType::String, "out.trace.json", "",
+       "record a chrome://tracing timeline"},
+      {"inject-fault", FlagType::String, "site[:prob[:seed]]", "",
+       "arm deterministic fault injection (docs/robustness.md)"},
+      {"threads", FlagType::Int, "N", "all cores",
+       "worker threads; results are bit-identical at any N"},
+      {"cache", FlagType::String, "off|ro|rw", "rw",
+       "result-cache mode (docs/caching.md; beats PIM_CACHE)"},
+      {"cache-dir", FlagType::String, "dir", "~/.cache/pim",
+       "result-cache directory (beats PIM_CACHE_DIR)"},
+      {"out-dir", FlagType::String, "dir", "bench_out",
+       "directory for report artifacts (beats PIM_OUT_DIR)"},
+      {"help", FlagType::Switch, "", "", "show this help and exit"},
+  };
   return flags;
+}
+
+const std::vector<std::string>& global_flags() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const FlagSpec& f : global_flag_specs()) out.push_back(f.name);
+    return out;
+  }();
+  return names;
+}
+
+void check_known_for(const Args& args, const CommandSpec& spec) {
+  std::vector<std::string> known;
+  for (const FlagSpec& f : spec.flags) known.push_back(f.name);
+  check_known_with_globals(args, std::move(known));
 }
 
 void check_known_with_globals(const Args& args, std::vector<std::string> known) {
   known.insert(known.end(), global_flags().begin(), global_flags().end());
   args.check_known(known);
+}
+
+namespace {
+
+std::string flag_stub(const FlagSpec& flag) {
+  std::string out = "--" + flag.name;
+  if (flag.type != FlagType::Switch) out += " " + flag.value_name;
+  return out;
+}
+
+void render_flag_lines(std::ostringstream& os, const std::vector<FlagSpec>& flags) {
+  size_t width = 0;
+  for (const FlagSpec& f : flags) width = std::max(width, flag_stub(f).size());
+  for (const FlagSpec& f : flags) {
+    const std::string stub = flag_stub(f);
+    os << "  " << stub << std::string(width - stub.size() + 2, ' ') << f.help;
+    if (!f.default_text.empty()) os << " (default: " << f.default_text << ")";
+    os << "\n";
+  }
+}
+
+const char* kExitCodesLine =
+    "exit codes: 0 ok, 2 usage, 3 runtime failure, 4 internal error\n";
+
+}  // namespace
+
+std::string usage_text() {
+  std::ostringstream os;
+  os << "usage: pim <command> [args]  (pim <command> --help for details)\n";
+  for (const CommandSpec& c : command_registry()) {
+    os << "  " << c.name;
+    if (!c.positionals.empty()) os << " " << c.positionals;
+    for (const FlagSpec& f : c.flags) os << " [" << flag_stub(f) << "]";
+    os << "\n";
+  }
+  os << "global flags (any command):\n";
+  render_flag_lines(os, global_flag_specs());
+  os << kExitCodesLine;
+  return os.str();
+}
+
+std::string help_text(const CommandSpec& spec) {
+  std::ostringstream os;
+  os << "usage: pim " << spec.name;
+  if (!spec.positionals.empty()) os << " " << spec.positionals;
+  if (!spec.flags.empty()) os << " [flags]";
+  os << "\n  " << spec.summary << "\n";
+  if (!spec.flags.empty()) {
+    os << "flags:\n";
+    render_flag_lines(os, spec.flags);
+  }
+  os << "global flags:\n";
+  render_flag_lines(os, global_flag_specs());
+  os << kExitCodesLine;
+  return os.str();
 }
 
 void apply_global_flags(const Args& args) {
@@ -97,6 +293,22 @@ void apply_global_flags(const Args& args) {
             ErrorCode::bad_input);
     exec::set_threads(static_cast<int>(n));
   }
+  if (args.has("cache")) {
+    cache::Mode mode;
+    require(cache::mode_from_name(args.get("cache"), mode),
+            "cli: --cache must be off, ro, or rw", ErrorCode::bad_input);
+    cache::set_mode(mode);
+  }
+  if (args.has("cache-dir")) {
+    require(!args.get("cache-dir").empty(), "cli: --cache-dir needs a path",
+            ErrorCode::bad_input);
+    cache::set_dir(args.get("cache-dir"));
+  }
+  if (args.has("out-dir")) {
+    require(!args.get("out-dir").empty(), "cli: --out-dir needs a path",
+            ErrorCode::bad_input);
+    set_out_dir(args.get("out-dir"));
+  }
   if (args.has("profile")) obs::set_enabled(true);
   if (args.has("trace")) {
     require(!args.get("trace").empty(), "cli: --trace needs an output path",
@@ -106,9 +318,20 @@ void apply_global_flags(const Args& args) {
   }
 }
 
+namespace {
+
+// Relative report paths land under --out-dir / PIM_OUT_DIR when one was
+// configured; explicit absolute paths and the bare default never move.
+std::string report_path(const std::string& path) {
+  if (path.empty() || path.front() == '/' || !out_dir_configured()) return path;
+  return out_path(path);
+}
+
+}  // namespace
+
 void write_observability_reports(const Args& args) {
   if (args.has("profile")) {
-    const std::string path = args.get("profile");
+    const std::string path = report_path(args.get("profile"));
     if (path.empty()) {
       // Bare --profile: the metrics ARE the requested output, on stdout.
       std::fputs(obs::metrics_to_json(obs::registry().snapshot()).c_str(), stdout);
@@ -118,8 +341,9 @@ void write_observability_reports(const Args& args) {
     }
   }
   if (args.has("trace")) {
-    obs::save_trace(args.get("trace"));
-    log_info("wrote ", args.get("trace"));
+    const std::string path = report_path(args.get("trace"));
+    obs::save_trace(path);
+    log_info("wrote ", path);
   }
 }
 

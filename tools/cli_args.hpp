@@ -1,6 +1,8 @@
-// Minimal command-line argument parser for the pim CLI: positionals plus
-// `--flag value` / `--switch` options, with typed accessors and an
-// unknown-flag check.
+// Command-line argument handling for the pim CLI: a small parser for
+// positionals plus `--flag value` / `--flag=value` / `--switch` options,
+// and a declarative registry of every subcommand and flag the binary
+// accepts. usage() and the per-subcommand --help screens are generated
+// from the registry, so the documentation cannot drift from the parser.
 #pragma once
 
 #include <map>
@@ -11,8 +13,9 @@ namespace pim::cli {
 
 class Args {
  public:
-  /// Parses argv[from..); flags start with "--". A flag followed by a
-  /// non-flag token consumes it as its value; otherwise it is a switch.
+  /// Parses argv[from..); flags start with "--". `--flag=value` binds
+  /// directly; otherwise a flag followed by a non-flag token consumes it
+  /// as its value, and a flag followed by another flag is a switch.
   Args(int argc, char** argv, int from);
 
   const std::vector<std::string>& positionals() const { return positionals_; }
@@ -33,29 +36,64 @@ class Args {
   std::map<std::string, std::string> flags_;  // switch -> ""
 };
 
-/// Flags every pim subcommand accepts:
-///   --log-level debug|info|warn|error|off   log threshold (beats PIM_LOG_LEVEL)
-///   --profile [out.json]                    collect metrics; write JSON to the
-///                                           path, or to stdout when bare
-///   --trace out.trace.json                  collect a Chrome-trace of the run
-///   --inject-fault site[:prob[:seed]][,...] arm the deterministic fault-
-///                                           injection harness (see
-///                                           docs/robustness.md); beats PIM_FAULT
-///   --threads N                             worker threads for parallel flows
-///                                           (docs/parallelism.md); beats
-///                                           PIM_THREADS; results are
-///                                           bit-identical at any N
+// ---------------------------------------------------------------------------
+// Declarative flag / command registry
+// ---------------------------------------------------------------------------
+
+/// How a flag's value is parsed (drives help rendering only; commands
+/// read values through the typed Args getters).
+enum class FlagType { Switch, String, Int, Double };
+
+/// One `--flag` a subcommand (or every subcommand) accepts.
+struct FlagSpec {
+  std::string name;        ///< without the leading "--"
+  FlagType type = FlagType::String;
+  std::string value_name;  ///< e.g. "mm", "n", "out.json"; "" for switches
+  std::string default_text;  ///< rendered in help; "" = no default shown
+  std::string help;        ///< one-line description
+};
+
+/// One pim subcommand: its positional signature, summary, and flags.
+struct CommandSpec {
+  std::string name;
+  std::string positionals;  ///< e.g. "<tech>" or "<spec> <tech>"
+  std::string summary;
+  std::vector<FlagSpec> flags;
+};
+
+/// Every subcommand the binary accepts, in help order.
+const std::vector<CommandSpec>& command_registry();
+
+/// The spec for `name`, or nullptr for an unknown command.
+const CommandSpec* find_command(const std::string& name);
+
+/// Flags valid on every subcommand (observability, cache, output dir).
+const std::vector<FlagSpec>& global_flag_specs();
+
+/// Names of the global flags (see global_flag_specs).
 const std::vector<std::string>& global_flags();
+
+/// check_known against a command's registered flags plus the globals.
+void check_known_for(const Args& args, const CommandSpec& spec);
 
 /// check_known with the global flags appended to `known`.
 void check_known_with_globals(const Args& args, std::vector<std::string> known);
 
-/// Applies the global flags' side effects: sets the log threshold and
-/// enables metric/trace collection. Call once before dispatching.
+/// The one-screen usage text, generated from the registry.
+std::string usage_text();
+
+/// The per-subcommand help screen (`pim <command> --help`).
+std::string help_text(const CommandSpec& spec);
+
+/// Applies the global flags' side effects: log threshold, fault
+/// injection, thread count, metric/trace collection, cache mode and
+/// directory, output directory. Call once before dispatching.
 void apply_global_flags(const Args& args);
 
 /// Writes the --profile / --trace artifacts. Call after the command ran
 /// (also on failure, so partial runs still leave telemetry behind).
+/// Relative report paths resolve under pim::out_dir() when --out-dir or
+/// PIM_OUT_DIR configured one.
 void write_observability_reports(const Args& args);
 
 }  // namespace pim::cli

@@ -1,159 +1,89 @@
 // pim — command-line front end to the library.
 //
-//   pim techfile <tech>                         dump a technology file
-//   pim characterize <tech> [--drives 2,8,32] [--lib out.lib] [--coeffs out.pimfit]
-//   pim fit <tech> [--coeffs out.pimfit]        characterize + fit + calibrate
-//   pim evaluate <tech> --length <mm> [--style SS|DS|SH] [--drive k]
-//                [--repeaters n] [--coeffs file] [--golden]
-//   pim buffer <tech> --length <mm> [--budget <ps>] [--weight w] [--coeffs file]
-//   pim noc <dvopd|vproc|spec.soc> <tech> [--model proposed|bakoglu|pamunuwa]
-//           [--dot out.dot] [--coeffs file]
-//   pim yield <tech> --length <mm> [--samples n] [--coeffs file]
-//   pim noise <tech> --length <mm> [--drive k] [--coeffs file]
-//   pim timer <tech> --length <mm> [--drive k] [--repeaters n]
-//   pim mesh <dvopd|vproc|spec.soc> <tech> [--rows r] [--cols c] [--coeffs file]
-//   pim export <tech> --length <mm> [--deck out.sp] [--spef out.spef]
-//
-// <tech> is one of 90nm 65nm 45nm 32nm 22nm 16nm. When --coeffs names an
-// existing file it is loaded; otherwise the flow characterizes (slow) and
-// saves there.
-//
-// Global flags, valid on every subcommand (see docs/observability.md):
-//   --log-level debug|info|warn|error|off   stderr log threshold; beats the
-//                                           PIM_LOG_LEVEL environment variable
-//   --profile [out.json]                    collect metrics during the run and
-//                                           write them as JSON (stdout if bare)
-//   --trace out.trace.json                  record a chrome://tracing timeline
-//   --inject-fault site[:prob[:seed]]       arm the deterministic fault-injection
-//                                           harness (see docs/robustness.md)
-//   --threads N                             worker threads for the parallel flows
-//                                           (see docs/parallelism.md); beats the
-//                                           PIM_THREADS environment variable
+// Thin by design: every subcommand parses flags via the declarative
+// registry in cli_args.cpp, builds a pim::api request, runs it through
+// the stable facade (src/api/pim_api.hpp), and prints the result. The
+// CLI touches no internal headers, so it only breaks when the facade's
+// versioned contract does. `pim --help` / `pim <command> --help` render
+// the registry; see docs/cli.md for a tour.
 //
 // Exit codes: 0 success, 2 usage/bad input, 3 runtime failure (solver,
 // convergence, I/O), 4 internal error.
-#include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <memory>
 #include <string>
 
-#include "buffering/optimize.hpp"
-#include "charlib/coeffs_io.hpp"
-#include "cosi/specfile.hpp"
-#include "liberty/libertyfile.hpp"
-#include "cosi/mesh.hpp"
-#include "cosi/synthesis.hpp"
-#include "cosi/testcases.hpp"
-#include "models/baseline.hpp"
-#include "models/proposed.hpp"
+#include "api/pim_api.hpp"
 #include "obs/trace.hpp"
-#include "spice/deck.hpp"
-#include "sta/calibrated.hpp"
-#include "sta/nldm_timer.hpp"
-#include "sta/noise.hpp"
-#include "sta/signoff.hpp"
-#include "sta/spef.hpp"
-#include "tech/techfile.hpp"
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
-#include "variation/variation.hpp"
 
 #include "cli_args.hpp"
 
 namespace pim::cli {
 namespace {
 
-using namespace pim::unit;
-
 int usage() {
-  std::fprintf(stderr,
-               "usage: pim <command> [args]\n"
-               "  techfile <tech>\n"
-               "  characterize <tech> [--drives 2,8,32] [--lib out.lib] [--coeffs out]\n"
-               "  fit <tech> [--coeffs out.pimfit]\n"
-               "  evaluate <tech> --length <mm> [--style SS|DS|SH] [--drive k]\n"
-               "           [--repeaters n] [--coeffs file] [--golden]\n"
-               "  buffer <tech> --length <mm> [--budget ps] [--weight w] [--coeffs file]\n"
-               "  noc <dvopd|vproc|spec.soc> <tech> [--model m] [--dot out] [--coeffs file]\n"
-               "  yield <tech> --length <mm> [--samples n] [--coeffs file]\n"
-               "  noise <tech> --length <mm> [--drive k] [--coeffs file]\n"
-               "  timer <tech> --length <mm> [--drive k] [--repeaters n]\n"
-               "  mesh <dvopd|vproc|spec.soc> <tech> [--rows r] [--cols c]\n"
-               "  export <tech> --length <mm> [--deck out.sp] [--spef out.spef]\n"
-               "global flags (any command):\n"
-               "  --log-level debug|info|warn|error|off\n"
-               "  --profile [out.json]   collect metrics, write JSON (stdout if bare)\n"
-               "  --trace out.trace.json record a chrome://tracing timeline\n"
-               "  --inject-fault site[:prob[:seed]]  deterministic fault injection\n"
-               "  --threads N            worker threads (default: all cores; same results)\n"
-               "exit codes: 0 ok, 2 usage, 3 runtime failure, 4 internal error\n");
+  std::fputs(usage_text().c_str(), stderr);
   return 2;
 }
 
-TechNode tech_arg(const Args& args, size_t index) {
+std::string tech_arg(const Args& args, size_t index) {
   const std::string name = args.positional(index);
   require(!name.empty(), "cli: missing <tech> argument", ErrorCode::bad_input);
-  return tech_node_from_name(name);
+  return name;
 }
 
-DesignStyle style_arg(const Args& args) {
-  const std::string s = args.get("style", "SS");
-  if (s == "SS") return DesignStyle::SingleSpacing;
-  if (s == "DS") return DesignStyle::DoubleSpacing;
-  if (s == "SH") return DesignStyle::Shielded;
-  fail("cli: --style must be SS, DS, or SH", ErrorCode::bad_input);
-}
-
-TechnologyFit fit_arg(TechNode node, const Args& args) {
-  obs::TraceSpan span("cli.calibrate");
-  return calibrated_fit(node, args.get("coeffs", ""));
-}
-
-LinkContext context_arg(TechNode node, const Args& args) {
-  LinkContext ctx;
-  ctx.length = args.get_double("length", 0.0) * mm;
-  require(ctx.length > 0.0, "cli: --length <mm> is required and must be positive",
+api::LinkSpec link_arg(const Args& args) {
+  api::LinkSpec link;
+  link.tech = tech_arg(args, 0);
+  link.length_mm = args.get_double("length", 0.0);
+  require(link.length_mm > 0.0, "cli: --length <mm> is required and must be positive",
           ErrorCode::bad_input);
-  ctx.style = style_arg(args);
-  ctx.input_slew = args.get_double("slew", 100.0) * ps;
-  ctx.frequency = technology(node).clock_frequency;
-  return ctx;
+  link.style = args.get("style", "SS");
+  link.input_slew_ps = args.get_double("slew", 100.0);
+  link.drive = static_cast<int>(args.get_long("drive", 12));
+  link.repeaters = static_cast<int>(args.get_long("repeaters", 0));
+  link.coeffs_path = args.get("coeffs", "");
+  return link;
+}
+
+void save_text(const std::string& text, const std::string& path) {
+  std::ofstream out(path);
+  require(out.good() && !fault::should_fire(fault::kIoOpen),
+          "cli: cannot open '" + path + "'", ErrorCode::io_parse);
+  out << text;
+  require(out.good(), "cli: failed writing '" + path + "'", ErrorCode::io_parse);
 }
 
 int cmd_techfile(const Args& args) {
   obs::TraceSpan span("cli.techfile");
-  check_known_with_globals(args, {});
-  std::fputs(write_techfile(technology(tech_arg(args, 0))).c_str(), stdout);
+  api::TechfileRequest req;
+  req.tech = tech_arg(args, 0);
+  std::fputs(api::run_techfile(req).take().text.c_str(), stdout);
   return 0;
 }
 
 int cmd_characterize(const Args& args) {
   obs::TraceSpan span("cli.characterize");
-  check_known_with_globals(args, {"drives", "lib", "coeffs"});
-  const TechNode node = tech_arg(args, 0);
-  const Technology& tech = technology(node);
-  CharacterizationOptions opt;
-  if (args.has("drives")) {
-    opt.drives.clear();
+  api::CharlibRequest req;
+  req.tech = tech_arg(args, 0);
+  if (args.has("drives"))
     for (const std::string& d : split(args.get("drives"), ','))
-      opt.drives.push_back(static_cast<int>(parse_long(d)));
-  }
-  log_info("characterizing ", tech.name, " (transistor-level simulations)...");
-  const CellLibrary lib = characterize_library(tech, opt);
+      req.drives.push_back(static_cast<int>(parse_long(d)));
+  req.want_fit = args.has("coeffs");
+  log_info("characterizing ", req.tech, " (transistor-level simulations)...");
+  const api::CharlibResult r = api::run_charlib(req).take();
   if (args.has("lib")) {
-    save_liberty(lib, args.get("lib"));
+    save_text(r.liberty_text, args.get("lib"));
     log_info("wrote ", args.get("lib"));
   } else {
-    std::fputs(write_liberty(lib).c_str(), stdout);
+    std::fputs(r.liberty_text.c_str(), stdout);
   }
   if (args.has("coeffs")) {
-    const TechnologyFit fit = calibrate_composition(tech, fit_technology(tech, lib));
-    save_fit(fit, args.get("coeffs"));
+    save_text(r.fit_text, args.get("coeffs"));
     log_info("wrote ", args.get("coeffs"));
   }
   return 0;
@@ -161,115 +91,72 @@ int cmd_characterize(const Args& args) {
 
 int cmd_fit(const Args& args) {
   obs::TraceSpan span("cli.fit");
-  check_known_with_globals(args, {"coeffs"});
-  const TechNode node = tech_arg(args, 0);
-  const TechnologyFit fit = fit_arg(node, args);
-  std::fputs(write_fit(fit).c_str(), stdout);
+  api::FitRequest req;
+  req.tech = tech_arg(args, 0);
+  req.coeffs_path = args.get("coeffs", "");
+  std::fputs(api::run_fit(req).take().fit_text.c_str(), stdout);
   return 0;
 }
 
 int cmd_evaluate(const Args& args) {
   obs::TraceSpan span("cli.evaluate");
-  check_known_with_globals(args, {"length", "style", "slew", "drive", "repeaters", "coeffs", "golden"});
-  const TechNode node = tech_arg(args, 0);
-  const Technology& tech = technology(node);
-  const LinkContext ctx = context_arg(node, args);
-  LinkDesign design;
-  design.drive = static_cast<int>(args.get_long("drive", 12));
-  design.num_repeaters = static_cast<int>(
-      args.get_long("repeaters", std::max(1L, std::lround(ctx.length / (1.0 * mm)))));
-
-  const ProposedModel model(tech, fit_arg(node, args));
-  const LinkEstimate est = model.evaluate(ctx, design);
+  api::LinkEvalRequest req;
+  req.link = link_arg(args);
+  req.golden = args.has("golden");
+  const api::LinkEvalResult r = api::run_evaluate(req).take();
   std::printf("link: %.2f mm %s at %s, %d x INVD%d (miller %.2f)\n",
-              ctx.length / mm, design_style_name(ctx.style).c_str(), tech.name.c_str(),
-              design.num_repeaters, design.drive, design.miller_factor);
+              req.link.length_mm, r.style_name.c_str(), r.tech_name.c_str(),
+              r.repeaters, req.link.drive, r.miller_factor);
   std::printf("model:  delay %.1f ps | slew %.1f ps | power %.4f mW/bit | area %.1f um2\n",
-              est.delay / ps, est.output_slew / ps, est.total_power() / mW,
-              est.repeater_area / um2);
-  if (args.has("golden")) {
-    const SignoffResult golden = signoff_link(tech, ctx, design);
+              r.delay_ps, r.output_slew_ps, r.power_mw, r.area_um2);
+  if (r.has_golden) {
     std::printf("golden: delay %.1f ps | slew %.1f ps (%zu nodes) | model err %+.1f %%\n",
-                golden.delay / ps, golden.output_slew / ps, golden.node_count,
-                100.0 * (est.delay - golden.delay) / golden.delay);
+                r.golden_delay_ps, r.golden_slew_ps,
+                static_cast<size_t>(r.golden_nodes), r.model_error_pct);
   }
   return 0;
 }
 
 int cmd_buffer(const Args& args) {
   obs::TraceSpan span("cli.buffer");
-  check_known_with_globals(args, {"length", "style", "slew", "budget", "weight", "coeffs"});
-  const TechNode node = tech_arg(args, 0);
-  const Technology& tech = technology(node);
-  const LinkContext ctx = context_arg(node, args);
-  BufferingOptions opt;
-  opt.weight = args.get_double("weight", 0.6);
-  if (args.has("budget")) opt.max_delay = args.get_double("budget", 0.0) * ps;
-  const ProposedModel model(tech, fit_arg(node, args));
-  const BufferingResult best = optimize_buffering(model, ctx, opt);
-  if (!best.feasible) {
-    log_error("buffer: no buffering meets the constraints (", best.evaluations,
+  api::BufferRequest req;
+  req.link = link_arg(args);
+  req.weight = args.get_double("weight", 0.6);
+  req.budget_ps = args.get_double("budget", 0.0);
+  const api::BufferResult r = api::run_buffer(req).take();
+  if (!r.feasible) {
+    log_error("buffer: no buffering meets the constraints (", r.evaluations,
               " candidates)");
     return 1;
   }
-  std::printf("best: %d x %sD%d (miller %.2f) after %ld candidates\n",
-              best.design.num_repeaters, cell_kind_name(best.design.kind).c_str(),
-              best.design.drive, best.design.miller_factor, best.evaluations);
+  std::printf("best: %d x %sD%d (miller %.2f) after %ld candidates\n", r.repeaters,
+              r.kind.c_str(), r.drive, r.miller_factor, r.evaluations);
   std::printf("estimate: delay %.1f ps | power %.4f mW/bit | area %.1f um2\n",
-              best.estimate.delay / ps, best.estimate.total_power() / mW,
-              best.estimate.repeater_area / um2);
+              r.delay_ps, r.power_mw, r.area_um2);
   return 0;
 }
 
 int cmd_noc(const Args& args) {
   obs::TraceSpan span("cli.noc");
-  check_known_with_globals(args, {"model", "dot", "coeffs"});
-  const std::string which = args.positional(0);
-  require(!which.empty(), "cli: noc needs a spec (dvopd, vproc, or a .soc file)",
+  api::SynthesisRequest req;
+  req.spec = args.positional(0);
+  require(!req.spec.empty(), "cli: noc needs a spec (dvopd, vproc, or a .soc file)",
           ErrorCode::bad_input);
-  const TechNode node = tech_arg(args, 1);
-  const Technology& tech = technology(node);
-
-  SocSpec spec;
-  if (which == "dvopd") {
-    spec = dvopd_spec();
-  } else if (which == "vproc") {
-    spec = vproc_spec();
-  } else if (which == "mpeg4") {
-    spec = mpeg4_spec();
-  } else if (which == "mwd") {
-    spec = mwd_spec();
-  } else {
-    spec = load_soc_spec(which);
-  }
-
-  const std::string model_name = args.get("model", "proposed");
-  std::unique_ptr<InterconnectModel> model;
-  if (model_name == "proposed") {
-    model = std::make_unique<ProposedModel>(tech, fit_arg(node, args));
-  } else if (model_name == "bakoglu") {
-    model = std::make_unique<BakogluModel>(tech);
-  } else if (model_name == "pamunuwa") {
-    model = std::make_unique<PamunuwaModel>(tech);
-  } else {
-    fail("cli: --model must be proposed, bakoglu, or pamunuwa", ErrorCode::bad_input);
-  }
-
-  const NocSynthesisResult r = synthesize_noc(spec, *model);
-  const NocMetrics& m = r.metrics;
-  std::printf("%s at %s under the %s model:\n", spec.name.c_str(), tech.name.c_str(),
-              model->name().c_str());
-  std::printf("  power: %.2f mW dynamic + %.2f mW leakage\n", m.dynamic_power() / mW,
-              m.leakage_power() / mW);
+  req.tech = tech_arg(args, 1);
+  req.model = args.get("model", "proposed");
+  req.want_dot = args.has("dot");
+  req.coeffs_path = args.get("coeffs", "");
+  const api::SynthesisResult r = api::run_synthesis(req).take();
+  std::printf("%s at %s under the %s model:\n", r.spec_name.c_str(),
+              r.tech_name.c_str(), r.model_name.c_str());
+  std::printf("  power: %.2f mW dynamic + %.2f mW leakage\n", r.dynamic_power_mw,
+              r.leakage_power_mw);
   std::printf("  worst link delay %.0f ps (budget %.0f ps) | area %.3f mm2\n",
-              m.worst_link_delay / ps, r.delay_budget / ps, m.total_area() / mm2);
-  std::printf("  %d links, %d routers, hops avg %.2f max %d, %d merges\n", m.num_links,
-              m.num_routers, m.avg_hops, m.max_hops, r.merges_applied);
+              r.worst_link_delay_ps, r.delay_budget_ps, r.area_mm2);
+  std::printf("  %d links, %d routers, hops avg %.2f max %d, %d merges\n", r.num_links,
+              r.num_routers, r.avg_hops, r.max_hops, r.merges_applied);
   if (args.has("dot")) {
-    std::ofstream out(args.get("dot"));
-    require(out.good(), "cli: cannot open '" + args.get("dot") + "'",
-            ErrorCode::io_parse);
-    out << to_dot(r.architecture);
+    save_text(r.dot_text, args.get("dot"));
     log_info("wrote ", args.get("dot"));
   }
   return 0;
@@ -277,165 +164,125 @@ int cmd_noc(const Args& args) {
 
 int cmd_yield(const Args& args) {
   obs::TraceSpan span("cli.yield");
-  check_known_with_globals(args, {"length", "style", "slew", "samples", "drive", "repeaters", "coeffs"});
-  const TechNode node = tech_arg(args, 0);
-  const Technology& tech = technology(node);
-  const LinkContext ctx = context_arg(node, args);
-  LinkDesign design;
-  design.drive = static_cast<int>(args.get_long("drive", 12));
-  design.num_repeaters = static_cast<int>(
-      args.get_long("repeaters", std::max(1L, std::lround(ctx.length / (1.0 * mm)))));
-  const int samples = static_cast<int>(args.get_long("samples", 1000));
-
-  const ProposedModel model(tech, fit_arg(node, args));
-  const MonteCarloResult mc = monte_carlo_link(model, ctx, design, samples, 2026);
-  std::printf("%d corners: nominal %.1f ps, mean %.1f ps, sigma %.2f ps\n", samples,
-              mc.nominal_delay / ps, mc.mean_delay / ps, mc.sigma_delay / ps);
+  api::YieldRequest req;
+  req.link = link_arg(args);
+  req.samples = static_cast<int>(args.get_long("samples", 1000));
+  const api::YieldResult r = api::run_yield(req).take();
+  std::printf("%d corners: nominal %.1f ps, mean %.1f ps, sigma %.2f ps\n",
+              req.samples, r.nominal_delay_ps, r.mean_delay_ps, r.sigma_delay_ps);
   std::printf("p90 %.1f ps | p99 %.1f ps | yield at nominal %.1f %%\n",
-              mc.delay_quantile(0.9) / ps, mc.delay_quantile(0.99) / ps,
-              100.0 * mc.yield_at(mc.nominal_delay));
+              r.p90_delay_ps, r.p99_delay_ps, 100.0 * r.yield_at_nominal);
   return 0;
 }
 
 int cmd_export(const Args& args) {
   obs::TraceSpan span("cli.export");
-  check_known_with_globals(args, {"length", "style", "slew", "drive", "repeaters", "deck", "spef"});
-  const TechNode node = tech_arg(args, 0);
-  const Technology& tech = technology(node);
-  const LinkContext ctx = context_arg(node, args);
-  LinkDesign design;
-  design.drive = static_cast<int>(args.get_long("drive", 12));
-  design.num_repeaters = static_cast<int>(
-      args.get_long("repeaters", std::max(1L, std::lround(ctx.length / (1.0 * mm)))));
+  api::ExportRequest req;
+  req.link = link_arg(args);
+  req.want_deck = args.has("deck");
+  req.want_spef = args.has("spef");
+  const api::ExportResult r = api::run_export(req).take();
   bool wrote = false;
   if (args.has("deck")) {
-    const LinkNetlist net = build_link_netlist(tech, ctx, design);
-    save_deck(net.circuit, args.get("deck"));
-    log_info("wrote ", args.get("deck"), " (", net.circuit.node_count(), " nodes)");
+    save_text(r.deck_text, args.get("deck"));
+    log_info("wrote ", args.get("deck"), " (", r.deck_nodes, " nodes)");
     wrote = true;
   }
   if (args.has("spef")) {
-    std::ofstream out(args.get("spef"));
-    require(out.good(), "cli: cannot open '" + args.get("spef") + "'",
-            ErrorCode::io_parse);
-    out << write_spef(tech, ctx, design);
+    save_text(r.spef_text, args.get("spef"));
     log_info("wrote ", args.get("spef"));
     wrote = true;
   }
-  if (!wrote) std::fputs(write_spef(tech, ctx, design).c_str(), stdout);
+  if (!wrote) std::fputs(r.spef_text.c_str(), stdout);
   return 0;
 }
 
 int cmd_noise(const Args& args) {
   obs::TraceSpan span("cli.noise");
-  check_known_with_globals(args, {"length", "style", "slew", "drive", "coeffs"});
-  const TechNode node = tech_arg(args, 0);
-  const Technology& tech = technology(node);
-  LinkContext ctx = context_arg(node, args);
-  LinkDesign design;
-  design.drive = static_cast<int>(args.get_long("drive", 12));
-  design.num_repeaters = 1;  // noise is per wire segment
-  const TechnologyFit fit = fit_arg(node, args);
+  api::NoiseRequest req;
+  req.link = link_arg(args);
   log_info("calibrating noise model against golden glitch sims...");
-  const NoiseCalibration cal = calibrate_noise(tech, fit);
-  const double golden = golden_noise_peak(tech, ctx, design);
-  const double model = noise_peak_model(tech, fit, ctx, design, cal.kappa_n);
-  std::printf("%.2f mm %s segment, INVD%d holder at %s:\n", ctx.length / mm,
-              design_style_name(ctx.style).c_str(), design.drive, tech.name.c_str());
+  const api::NoiseResult r = api::run_noise(req).take();
+  std::printf("%.2f mm %s segment, INVD%d holder at %s:\n", req.link.length_mm,
+              r.style_name.c_str(), req.link.drive, r.tech_name.c_str());
   std::printf("  golden glitch %.1f mV (%.1f %% of vdd), model %.1f mV (%+.1f %%)\n",
-              golden * 1e3, 100 * golden / tech.vdd, model * 1e3,
-              100 * (model - golden) / std::max(golden, 1e-9));
+              r.golden_peak_mv, r.golden_peak_pct_vdd, r.model_peak_mv,
+              r.model_error_pct);
   return 0;
 }
 
 int cmd_timer(const Args& args) {
   obs::TraceSpan span("cli.timer");
-  check_known_with_globals(args, {"length", "style", "slew", "drive", "repeaters"});
-  const TechNode node = tech_arg(args, 0);
-  const Technology& tech = technology(node);
-  const LinkContext ctx = context_arg(node, args);
-  LinkDesign design;
-  design.drive = static_cast<int>(args.get_long("drive", 12));
-  design.num_repeaters = static_cast<int>(
-      args.get_long("repeaters", std::max(1L, std::lround(ctx.length / (1.0 * mm)))));
-  CharacterizationOptions copt;
-  copt.drives = {design.drive};
-  copt.buffers = design.kind == CellKind::Buffer;
-  copt.inverters = design.kind == CellKind::Inverter;
-  log_info("characterizing ", cell_kind_name(design.kind), "D", design.drive,
-           " tables...");
-  const CellLibrary lib = characterize_library(tech, copt);
-  const NldmTimerResult awe = nldm_link_delay(lib, tech, ctx, design);
-  NldmTimerOptions elm;
-  elm.wire = WireDelayMethod::Elmore;
-  const NldmTimerResult elmore = nldm_link_delay(lib, tech, ctx, design, elm);
-  std::printf("NLDM timer, %.2f mm x %d INVD%d at %s:\n", ctx.length / mm,
-              design.num_repeaters, design.drive, tech.name.c_str());
+  api::TimerRequest req;
+  req.link = link_arg(args);
+  log_info("characterizing INVD", req.link.drive, " tables...");
+  const api::TimerResult r = api::run_timer(req).take();
+  std::printf("NLDM timer, %.2f mm x %d INVD%d at %s:\n", req.link.length_mm,
+              r.repeaters, req.link.drive, r.tech_name.c_str());
   std::printf("  awe-wire delay %.1f ps (slew %.1f ps) | elmore-wire delay %.1f ps\n",
-              awe.delay / ps, awe.output_slew / ps, elmore.delay / ps);
+              r.awe_delay_ps, r.awe_slew_ps, r.elmore_delay_ps);
   return 0;
 }
 
 int cmd_mesh(const Args& args) {
   obs::TraceSpan span("cli.mesh");
-  check_known_with_globals(args, {"rows", "cols", "coeffs"});
-  const std::string which = args.positional(0);
-  require(!which.empty(), "cli: mesh needs a spec (dvopd, vproc, or a .soc file)",
+  api::SynthesisRequest req;
+  req.spec = args.positional(0);
+  require(!req.spec.empty(), "cli: mesh needs a spec (dvopd, vproc, or a .soc file)",
           ErrorCode::bad_input);
-  const TechNode node = tech_arg(args, 1);
-  const Technology& tech = technology(node);
-  SocSpec spec;
-  if (which == "dvopd") {
-    spec = dvopd_spec();
-  } else if (which == "vproc") {
-    spec = vproc_spec();
-  } else if (which == "mpeg4") {
-    spec = mpeg4_spec();
-  } else if (which == "mwd") {
-    spec = mwd_spec();
-  } else {
-    spec = load_soc_spec(which);
-  }
-  const ProposedModel model(tech, fit_arg(node, args));
-  MeshOptions shape;
-  shape.rows = static_cast<int>(args.get_long("rows", 0));
-  shape.cols = static_cast<int>(args.get_long("cols", 0));
-  const NocSynthesisResult r = build_mesh_noc(spec, model, {}, shape);
-  const NocMetrics& m = r.metrics;
-  std::printf("%s mesh at %s: %d routers, %d links\n", spec.name.c_str(),
-              tech.name.c_str(), m.num_routers, m.num_links);
+  req.tech = tech_arg(args, 1);
+  req.mesh = true;
+  req.rows = static_cast<int>(args.get_long("rows", 0));
+  req.cols = static_cast<int>(args.get_long("cols", 0));
+  req.coeffs_path = args.get("coeffs", "");
+  const api::SynthesisResult r = api::run_synthesis(req).take();
+  std::printf("%s mesh at %s: %d routers, %d links\n", r.spec_name.c_str(),
+              r.tech_name.c_str(), r.num_routers, r.num_links);
   std::printf("  power %.2f mW dyn + %.2f mW leak | area %.3f mm2 | hops %.2f avg %d max\n",
-              m.dynamic_power() / mW, m.leakage_power() / mW, m.total_area() / mm2,
-              m.avg_hops, m.max_hops);
+              r.dynamic_power_mw, r.leakage_power_mw, r.area_mm2, r.avg_hops,
+              r.max_hops);
   return 0;
 }
 
-int run_command(const std::string& command, const Args& args) {
-  if (command == "techfile") return cmd_techfile(args);
-  if (command == "characterize") return cmd_characterize(args);
-  if (command == "fit") return cmd_fit(args);
-  if (command == "evaluate") return cmd_evaluate(args);
-  if (command == "buffer") return cmd_buffer(args);
-  if (command == "noc") return cmd_noc(args);
-  if (command == "yield") return cmd_yield(args);
-  if (command == "noise") return cmd_noise(args);
-  if (command == "timer") return cmd_timer(args);
-  if (command == "mesh") return cmd_mesh(args);
-  if (command == "export") return cmd_export(args);
-  log_error("unknown command '", command, "'");
-  return usage();
+int run_command(const CommandSpec& spec, const Args& args) {
+  if (spec.name == "techfile") return cmd_techfile(args);
+  if (spec.name == "characterize") return cmd_characterize(args);
+  if (spec.name == "fit") return cmd_fit(args);
+  if (spec.name == "evaluate") return cmd_evaluate(args);
+  if (spec.name == "buffer") return cmd_buffer(args);
+  if (spec.name == "noc") return cmd_noc(args);
+  if (spec.name == "yield") return cmd_yield(args);
+  if (spec.name == "noise") return cmd_noise(args);
+  if (spec.name == "timer") return cmd_timer(args);
+  if (spec.name == "mesh") return cmd_mesh(args);
+  if (spec.name == "export") return cmd_export(args);
+  fail("cli: command '" + spec.name + "' is registered but not dispatched");
 }
 
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--help" || command == "help") {
+    std::fputs(usage_text().c_str(), stdout);
+    return 0;
+  }
+  const CommandSpec* spec = find_command(command);
+  if (spec == nullptr) {
+    log_error("unknown command '", command, "'");
+    return usage();
+  }
   const Args args(argc, argv, 2);
+  if (args.has("help")) {
+    std::fputs(help_text(*spec).c_str(), stdout);
+    return 0;
+  }
+  check_known_for(args, *spec);
   fault::configure_from_env();  // PIM_FAULT; --inject-fault below beats it
   apply_global_flags(args);
   // Reports are written even when the command throws, so an aborted run
   // still leaves its metrics/trace behind for post-mortem.
   try {
-    const int rc = run_command(command, args);
+    const int rc = run_command(*spec, args);
     write_observability_reports(args);
     return rc;
   } catch (...) {
