@@ -82,9 +82,7 @@ double max_abs_error(const ProposedModel& model, const Technology& tech,
 
 int main() {
   pim::bench::MetricsArtifact metrics("ablation_ingredients");
-  const Technology& tech = technology(TechNode::N65);
-  const TechnologyFit fit = pim::bench::cached_fit(TechNode::N65);
-  const ProposedModel model(tech, fit);
+  const auto& [tech, fit, model] = pim::bench::cached_model(TechNode::N65);
 
   printf("Ablation — contribution of each modeling ingredient (65 nm)\n");
   printf("max |delay error| vs. golden sign-off over %zu line configurations\n\n",

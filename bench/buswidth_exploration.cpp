@@ -21,9 +21,7 @@ using namespace pim::unit;
 int main() {
   pim::bench::MetricsArtifact metrics("buswidth_exploration");
   const TechNode node = TechNode::N65;
-  const Technology& tech = technology(node);
-  const TechnologyFit fit = pim::bench::cached_fit(node);
-  const ProposedModel model(tech, fit);
+  const auto& [tech, fit, model] = pim::bench::cached_model(node);
 
   printf("Bus-width exploration — DVOPD at %s @ %.2f GHz, proposed model\n\n",
          tech.name.c_str(), unit::to_GHz(tech.clock_frequency));

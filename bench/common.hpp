@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "exec/engine.hpp"
+#include "models/proposed.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "sta/calibrated.hpp"
@@ -29,6 +30,34 @@ inline TechnologyFit cached_fit(TechNode node) {
   copt.drives = {2, 4, 8, 16, 32, 64};
   const std::string path = out_dir() + "/coeffs_" + tech_node_name(node) + ".pimfit";
   return calibrated_fit(node, path, copt);
+}
+
+/// The trio nearly every bench binary opens with: the built-in
+/// technology, its cached calibrated fit, and the proposed model bound to
+/// both. The model copies the fit, so the struct is freely movable.
+struct BenchModel {
+  const Technology& tech;
+  TechnologyFit fit;
+  ProposedModel model;
+};
+
+/// Loads technology(node) + cached_fit(node) and binds the model.
+inline BenchModel cached_model(TechNode node) {
+  const Technology& tech = technology(node);
+  TechnologyFit fit = cached_fit(node);
+  ProposedModel model(tech, fit);
+  return {tech, std::move(fit), std::move(model)};
+}
+
+/// The standard bench link context: length in mm, 100 ps input slew, and
+/// the technology's default clock.
+inline LinkContext link_context(const Technology& tech, double length_mm,
+                                double input_slew_ps = 100.0) {
+  LinkContext ctx;
+  ctx.length = length_mm * 1e-3;
+  ctx.input_slew = input_slew_ps * 1e-12;
+  ctx.frequency = tech.clock_frequency;
+  return ctx;
 }
 
 /// Writes a CSV into bench_out and notes it on stderr.

@@ -34,8 +34,7 @@ int main() {
   double worst_area = 0.0;
 
   for (TechNode node : {TechNode::N90, TechNode::N65, TechNode::N45}) {
-    const Technology& tech = technology(node);
-    const TechnologyFit fit = pim::bench::cached_fit(node);
+    const auto& [tech, fit, model] = pim::bench::cached_model(node);
 
     CharacterizationOptions copt;
     copt.slew_axis = {50 * ps, 200 * ps};

@@ -22,9 +22,7 @@ using namespace pim::unit;
 int main() {
   pim::bench::MetricsArtifact metrics("mesh_vs_synthesis");
   const TechNode node = TechNode::N65;
-  const Technology& tech = technology(node);
-  const TechnologyFit fit = pim::bench::cached_fit(node);
-  const ProposedModel model(tech, fit);
+  const auto& [tech, fit, model] = pim::bench::cached_model(node);
 
   printf("Mesh vs. synthesized NoC — %s @ %.2f GHz, proposed link model\n\n",
          tech.name.c_str(), unit::to_GHz(tech.clock_frequency));

@@ -25,9 +25,7 @@ using namespace pim::unit;
 int main() {
   pim::bench::MetricsArtifact metrics("noc_yield");
   const TechNode node = TechNode::N45;
-  const Technology& tech = technology(node);
-  const TechnologyFit fit = pim::bench::cached_fit(node);
-  const ProposedModel model(tech, fit);
+  const auto& [tech, fit, model] = pim::bench::cached_model(node);
 
   const SocSpec spec = vproc_spec();
   printf("NoC timing yield under die-to-die variation — %s at %s @ %.2f GHz\n\n",

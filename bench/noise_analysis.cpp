@@ -18,8 +18,7 @@ using namespace pim::unit;
 
 int main() {
   pim::bench::MetricsArtifact metrics("noise_analysis");
-  const Technology& tech = technology(TechNode::N65);
-  const TechnologyFit fit = pim::bench::cached_fit(TechNode::N65);
+  const auto& [tech, fit, model] = pim::bench::cached_model(TechNode::N65);
 
   std::fprintf(stderr, "calibrating noise model against golden glitch sims...\n");
   const NoiseCalibration cal = calibrate_noise(tech, fit);

@@ -26,14 +26,8 @@ using namespace pim::unit;
 
 int main() {
   pim::bench::MetricsArtifact metrics("sizing_for_yield");
-  const Technology& tech = technology(TechNode::N65);
-  const TechnologyFit fit = pim::bench::cached_fit(TechNode::N65);
-  const ProposedModel model(tech, fit);
-
-  LinkContext ctx;
-  ctx.length = 5 * mm;
-  ctx.input_slew = 100 * ps;
-  ctx.frequency = tech.clock_frequency;
+  const auto& [tech, fit, model] = pim::bench::cached_model(TechNode::N65);
+  LinkContext ctx = pim::bench::link_context(tech, 5.0);
 
   const std::vector<int> drives = {6, 8, 12, 16, 24, 32, 48, 64};
   const int repeaters = 5;

@@ -58,8 +58,7 @@ double best_uniform(const Technology& tech, const TechnologyFit& fit,
 
 int main() {
   pim::bench::MetricsArtifact metrics("tapered_buffering");
-  const Technology& tech = technology(TechNode::N65);
-  const TechnologyFit fit = pim::bench::cached_fit(TechNode::N65);
+  const auto& [tech, fit, model] = pim::bench::cached_model(TechNode::N65);
 
   printf("Tapered (van Ginneken) vs. uniform buffering — %s\n\n", tech.name.c_str());
   Table table({"L (mm)", "sink (fF)", "uniform best", "tapered", "gain %", "taper sizes"});

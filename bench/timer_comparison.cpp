@@ -32,9 +32,7 @@ using namespace pim::unit;
 
 int main() {
   pim::bench::MetricsArtifact metrics("timer_comparison");
-  const Technology& tech = technology(TechNode::N65);
-  const TechnologyFit fit = pim::bench::cached_fit(TechNode::N65);
-  const ProposedModel model(tech, fit);
+  const auto& [tech, fit, model] = pim::bench::cached_model(TechNode::N65);
 
   // NLDM tables for the drive the configurations use.
   CharacterizationOptions copt;

@@ -23,14 +23,8 @@ using namespace pim::unit;
 
 int main() {
   pim::bench::MetricsArtifact metrics("variation_yield");
-  const Technology& tech = technology(TechNode::N65);
-  const TechnologyFit fit = pim::bench::cached_fit(TechNode::N65);
-  const ProposedModel model(tech, fit);
-
-  LinkContext ctx;
-  ctx.length = 5 * mm;
-  ctx.input_slew = 100 * ps;
-  ctx.frequency = tech.clock_frequency;
+  const auto& [tech, fit, model] = pim::bench::cached_model(TechNode::N65);
+  LinkContext ctx = pim::bench::link_context(tech, 5.0);
 
   printf("Variation extension — 5 mm link at %s, 2000 Monte-Carlo corners\n\n",
          tech.name.c_str());

@@ -24,5 +24,6 @@ done
 cd ..
 scripts/check_metrics.sh
 scripts/check_cache.sh
+scripts/check_corners.sh
 scripts/check_sanitize.sh
 scripts/check_tsan.sh

@@ -11,10 +11,12 @@
 #include "cosi/testcases.hpp"
 #include "liberty/libertyfile.hpp"
 #include "models/baseline.hpp"
+#include "models/corners.hpp"
 #include "models/proposed.hpp"
 #include "obs/trace.hpp"
 #include "spice/deck.hpp"
 #include "sta/calibrated.hpp"
+#include "sta/corners.hpp"
 #include "sta/nldm_timer.hpp"
 #include "sta/noise.hpp"
 #include "sta/signoff.hpp"
@@ -67,6 +69,14 @@ int resolved_repeaters(const LinkSpec& link) {
   return static_cast<int>(std::max(1L, std::lround(link.length_mm)));
 }
 
+// Resolves a corner name against the node's scenario set. The empty spec
+// is the nominal corner, so requests that never mention corners run the
+// exact flow they always did (all derating factors are 1.0).
+Corner corner_of(TechNode node, const std::string& spec) {
+  if (spec.empty()) return Corner{};
+  return technology(node).scenario_set().corner(spec);
+}
+
 LinkContext context_of(TechNode node, const LinkSpec& link, const char* who) {
   require(link.length_mm > 0.0, std::string(who) + ": link.length_mm must be positive",
           ErrorCode::bad_input);
@@ -85,9 +95,10 @@ LinkDesign design_of(const LinkSpec& link) {
   return design;
 }
 
-TechnologyFit fit_of(TechNode node, const std::string& coeffs_path) {
+TechnologyFit fit_of(TechNode node, const Corner& corner,
+                     const std::string& coeffs_path) {
   obs::TraceSpan span("api.calibrate");
-  return calibrated_fit(node, coeffs_path);
+  return corner_calibrated_fit(node, corner, coeffs_path);
 }
 
 SocSpec spec_of(const std::string& which, const char* who) {
@@ -105,7 +116,7 @@ std::unique_ptr<InterconnectModel> model_of(const std::string& name, TechNode no
                                             const std::string& coeffs_path) {
   const Technology& tech = technology(node);
   if (name == "proposed")
-    return std::make_unique<ProposedModel>(tech, fit_of(node, coeffs_path));
+    return std::make_unique<ProposedModel>(tech, fit_of(node, Corner{}, coeffs_path));
   if (name == "bakoglu") return std::make_unique<BakogluModel>(tech);
   if (name == "pamunuwa") return std::make_unique<PamunuwaModel>(tech);
   fail("model must be proposed, bakoglu, or pamunuwa", ErrorCode::bad_input);
@@ -126,7 +137,7 @@ Expected<CharlibResult> run_charlib(const CharlibRequest& request) {
   return guarded<CharlibResult>("run_charlib", [&] {
     check_version(request.api_version, "run_charlib");
     const TechNode node = node_of(request.tech, "run_charlib");
-    const Technology& tech = technology(node);
+    const Technology& tech = corner_technology(node, corner_of(node, request.corner));
     CharacterizationOptions opt;
     if (!request.drives.empty()) opt.drives = request.drives;
     const CellLibrary lib = characterize_library(tech, opt);
@@ -143,7 +154,8 @@ Expected<FitResult> run_fit(const FitRequest& request) {
     check_version(request.api_version, "run_fit");
     const TechNode node = node_of(request.tech, "run_fit");
     FitResult result;
-    result.fit_text = write_fit(fit_of(node, request.coeffs_path));
+    result.fit_text =
+        write_fit(fit_of(node, corner_of(node, request.corner), request.coeffs_path));
     return result;
   });
 }
@@ -152,10 +164,11 @@ Expected<LinkEvalResult> run_evaluate(const LinkEvalRequest& request) {
   return guarded<LinkEvalResult>("run_evaluate", [&] {
     check_version(request.api_version, "run_evaluate");
     const TechNode node = node_of(request.link.tech, "run_evaluate");
-    const Technology& tech = technology(node);
+    const Corner corner = corner_of(node, request.link.corner);
+    const Technology& tech = corner_technology(node, corner);
     const LinkContext ctx = context_of(node, request.link, "run_evaluate");
     const LinkDesign design = design_of(request.link);
-    const ProposedModel model(tech, fit_of(node, request.link.coeffs_path));
+    const ProposedModel model(tech, fit_of(node, corner, request.link.coeffs_path));
     const LinkEstimate est = model.evaluate(ctx, design);
     LinkEvalResult result;
     result.tech_name = tech.name;
@@ -182,12 +195,13 @@ Expected<BufferResult> run_buffer(const BufferRequest& request) {
   return guarded<BufferResult>("run_buffer", [&] {
     check_version(request.api_version, "run_buffer");
     const TechNode node = node_of(request.link.tech, "run_buffer");
-    const Technology& tech = technology(node);
+    const Corner corner = corner_of(node, request.link.corner);
+    const Technology& tech = corner_technology(node, corner);
     const LinkContext ctx = context_of(node, request.link, "run_buffer");
     BufferingOptions opt;
     opt.weight = request.weight;
     if (request.budget_ps > 0.0) opt.max_delay = request.budget_ps * ps;
-    const ProposedModel model(tech, fit_of(node, request.link.coeffs_path));
+    const ProposedModel model(tech, fit_of(node, corner, request.link.coeffs_path));
     const BufferingResult best = optimize_buffering_cached(model, ctx, opt);
     BufferResult result;
     result.feasible = best.feasible;
@@ -211,12 +225,13 @@ Expected<YieldResult> run_yield(const YieldRequest& request) {
     require(request.samples >= 1, "run_yield: samples must be at least 1",
             ErrorCode::bad_input);
     const TechNode node = node_of(request.link.tech, "run_yield");
-    const Technology& tech = technology(node);
+    const Corner corner = corner_of(node, request.link.corner);
+    const Technology& tech = corner_technology(node, corner);
     const LinkContext ctx = context_of(node, request.link, "run_yield");
     const LinkDesign design = design_of(request.link);
-    const ProposedModel model(tech, fit_of(node, request.link.coeffs_path));
-    const MonteCarloResult mc =
-        monte_carlo_link_cached(model, ctx, design, request.samples, request.seed);
+    const ProposedModel model(tech, fit_of(node, corner, request.link.coeffs_path));
+    const MonteCarloResult mc = monte_carlo_link_at_corner(
+        model, corner, ctx, design, request.samples, request.seed);
     YieldResult result;
     result.samples = static_cast<int>(mc.delays.size());
     result.failed_samples = mc.failed_samples;
@@ -234,11 +249,12 @@ Expected<NoiseResult> run_noise(const NoiseRequest& request) {
   return guarded<NoiseResult>("run_noise", [&] {
     check_version(request.api_version, "run_noise");
     const TechNode node = node_of(request.link.tech, "run_noise");
-    const Technology& tech = technology(node);
+    const Corner corner = corner_of(node, request.link.corner);
+    const Technology& tech = corner_technology(node, corner);
     const LinkContext ctx = context_of(node, request.link, "run_noise");
     LinkDesign design = design_of(request.link);
     design.num_repeaters = 1;  // noise is per wire segment
-    const TechnologyFit fit = fit_of(node, request.link.coeffs_path);
+    const TechnologyFit fit = fit_of(node, corner, request.link.coeffs_path);
     const NoiseCalibration cal = calibrate_noise(tech, fit);
     const double golden = golden_noise_peak(tech, ctx, design);
     const double model = noise_peak_model(tech, fit, ctx, design, cal.kappa_n);
@@ -257,7 +273,7 @@ Expected<TimerResult> run_timer(const TimerRequest& request) {
   return guarded<TimerResult>("run_timer", [&] {
     check_version(request.api_version, "run_timer");
     const TechNode node = node_of(request.link.tech, "run_timer");
-    const Technology& tech = technology(node);
+    const Technology& tech = corner_technology(node, corner_of(node, request.link.corner));
     const LinkContext ctx = context_of(node, request.link, "run_timer");
     const LinkDesign design = design_of(request.link);
     CharacterizationOptions copt;
@@ -279,11 +295,44 @@ Expected<TimerResult> run_timer(const TimerRequest& request) {
   });
 }
 
+Expected<CornersResult> run_corners(const CornersRequest& request) {
+  return guarded<CornersResult>("run_corners", [&] {
+    check_version(request.api_version, "run_corners");
+    const TechNode node = node_of(request.link.tech, "run_corners");
+    const Technology& tech = technology(node);
+    const LinkContext ctx = context_of(node, request.link, "run_corners");
+    const LinkDesign design = design_of(request.link);
+    const std::vector<Corner> corners = tech.scenario_set().resolve(request.corners);
+    const CornerModelSet set =
+        corner_model_set(node, corners, request.link.coeffs_path);
+    CornerSignoffOptions opt;
+    opt.target_period = request.target_period_ps * ps;
+    const CornerSignoffResult signoff = signoff_corners(set, ctx, design, opt);
+    CornersResult result;
+    result.tech_name = tech.name;
+    result.style_name = design_style_name(ctx.style);
+    result.repeaters = design.num_repeaters;
+    result.target_period_ps = signoff.target_period / ps;
+    for (const CornerTiming& row : signoff.corners) {
+      CornerTimingRow out;
+      out.corner = row.corner.name;
+      out.delay_ps = row.delay / ps;
+      out.output_slew_ps = row.output_slew / ps;
+      out.slack_ps = row.slack / ps;
+      out.noise_peak_mv = row.noise_peak * 1e3;
+      result.corners.push_back(out);
+    }
+    result.worst_corner = signoff.worst().corner.name;
+    result.worst_slack_ps = signoff.worst_slack() / ps;
+    return result;
+  });
+}
+
 Expected<ExportResult> run_export(const ExportRequest& request) {
   return guarded<ExportResult>("run_export", [&] {
     check_version(request.api_version, "run_export");
     const TechNode node = node_of(request.link.tech, "run_export");
-    const Technology& tech = technology(node);
+    const Technology& tech = corner_technology(node, corner_of(node, request.link.corner));
     const LinkContext ctx = context_of(node, request.link, "run_export");
     const LinkDesign design = design_of(request.link);
     ExportResult result;
@@ -303,8 +352,20 @@ Expected<SynthesisResult> run_synthesis(const SynthesisRequest& request) {
     check_version(request.api_version, "run_synthesis");
     const TechNode node = node_of(request.tech, "run_synthesis");
     const SocSpec spec = spec_of(request.spec, "run_synthesis");
-    const std::unique_ptr<InterconnectModel> model =
-        model_of(request.model, node, request.coeffs_path);
+    const std::unique_ptr<InterconnectModel> model = [&]() -> std::unique_ptr<InterconnectModel> {
+      if (request.corners.empty()) return model_of(request.model, node, request.coeffs_path);
+      // Worst-corner synthesis: every link the optimizer sizes is
+      // evaluated at the per-metric worst case over the corner set, so
+      // the synthesized NoC closes at every corner of it.
+      require(request.model == "proposed",
+              "run_synthesis: --corners requires the proposed model (baselines carry "
+              "no per-corner calibration)",
+              ErrorCode::bad_input);
+      const std::vector<Corner> corners =
+          technology(node).scenario_set().resolve(request.corners);
+      return std::make_unique<WorstCornerModel>(
+          corner_model_set(node, corners, request.coeffs_path));
+    }();
     const NocSynthesisResult r = [&] {
       if (request.mesh) {
         MeshOptions shape;

@@ -49,6 +49,7 @@ struct LinkSpec {
   int drive = 12;            ///< repeater drive strength
   int repeaters = 0;         ///< 0 = one per mm (at least one)
   std::string coeffs_path;   ///< optional .pimfit file cache (load-or-save)
+  std::string corner;        ///< process corner name; "" = nominal (docs/corners.md)
 };
 
 // ---------------------------------------------------------------------------
@@ -69,6 +70,7 @@ struct CharlibRequest {
   std::string tech;
   std::vector<int> drives;  ///< empty = characterization defaults
   bool want_fit = false;    ///< also fit + calibrate the coefficient tables
+  std::string corner;       ///< process corner to characterize at; "" = nominal
 };
 struct CharlibResult {
   std::string liberty_text;  ///< Liberty-lite library of the cells
@@ -80,6 +82,7 @@ struct FitRequest {
   int api_version = kApiVersion;
   std::string tech;
   std::string coeffs_path;  ///< optional .pimfit file cache (load-or-save)
+  std::string corner;       ///< process corner to calibrate at; "" = nominal
 };
 struct FitResult {
   std::string fit_text;  ///< canonical coefficient-table serialization
@@ -176,6 +179,33 @@ struct TimerResult {
 };
 Expected<TimerResult> run_timer(const TimerRequest& request);
 
+/// Multi-corner signoff of one link: per-corner delay/slack/noise plus
+/// the dominating (minimum-slack) corner. The models are calibrated per
+/// corner (cached independently; see docs/corners.md).
+struct CornersRequest {
+  int api_version = kApiVersion;
+  LinkSpec link;                ///< link.corner is ignored — `corners` decides
+  std::string corners = "all";  ///< "all" or a comma list of corner names
+  double target_period_ps = 0.0;  ///< slack target; 0 = one clock period
+};
+struct CornerTimingRow {
+  std::string corner;
+  double delay_ps = 0.0;
+  double output_slew_ps = 0.0;
+  double slack_ps = 0.0;
+  double noise_peak_mv = 0.0;
+};
+struct CornersResult {
+  std::string tech_name;
+  std::string style_name;
+  int repeaters = 0;
+  double target_period_ps = 0.0;
+  std::vector<CornerTimingRow> corners;  ///< in resolution order
+  std::string worst_corner;              ///< dominating (minimum-slack) corner
+  double worst_slack_ps = 0.0;
+};
+Expected<CornersResult> run_corners(const CornersRequest& request);
+
 struct ExportRequest {
   int api_version = kApiVersion;
   LinkSpec link;
@@ -203,6 +233,10 @@ struct SynthesisRequest {
   int cols = 0;
   bool want_dot = false;  ///< also render the topology as Graphviz
   std::string coeffs_path;
+  /// Corner spec ("all" or a comma list) to size/buffer links against the
+  /// worst corner of; "" keeps the single-corner (nominal) flow. Only the
+  /// proposed model carries per-corner calibration.
+  std::string corners;
 };
 struct SynthesisResult {
   std::string spec_name;

@@ -28,7 +28,7 @@ namespace pim::cache {
 /// Bump when the canonicalization or any cached payload layout changes;
 /// folded into every key, so old entries become unreachable (not
 /// misread) after an upgrade.
-inline constexpr int kFormatVersion = 1;
+inline constexpr int kFormatVersion = 2;
 
 /// A finished key: the kind tag (directory / entry header) plus the
 /// 64-hex-character digest.

@@ -206,7 +206,15 @@ void Store::insert_memory(const std::string& id, std::string payload) {
 }
 
 std::optional<std::string> Store::get(const CacheKey& key) {
-  if (mode() == Mode::Off || fault::armed()) return std::nullopt;
+  // Fault-armed bypass is neither a hit nor a miss: the caller recomputes
+  // under injection without touching (or mis-counting) cache state, so it
+  // gets its own counter and the hit/miss/corrupt tallies stay a pure
+  // function of actual cache traffic.
+  if (fault::armed()) {
+    PIM_COUNT("cache.bypass");
+    return std::nullopt;
+  }
+  if (mode() == Mode::Off) return std::nullopt;
   const std::string id = key.kind + "/" + key.hex;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -246,7 +254,11 @@ std::optional<std::string> Store::get(const CacheKey& key) {
 }
 
 void Store::put(const CacheKey& key, std::string_view payload) {
-  if (mode() == Mode::Off || fault::armed()) return;
+  if (fault::armed()) {
+    PIM_COUNT("cache.bypass");
+    return;
+  }
+  if (mode() == Mode::Off) return;
   insert_memory(key.kind + "/" + key.hex, std::string(payload));
   if (mode() != Mode::ReadWrite) return;
   // Disk failures only cost future warm starts, so they demote to a

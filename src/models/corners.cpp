@@ -1,0 +1,68 @@
+#include "models/corners.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pim {
+
+CornerModelSet::CornerModelSet(
+    TechNode node, const std::vector<std::pair<Corner, TechnologyFit>>& fits) {
+  require(!fits.empty(), "CornerModelSet: needs at least one corner",
+          ErrorCode::bad_input);
+  models_.reserve(fits.size());
+  for (const auto& [corner, fit] : fits)
+    models_.push_back({corner, ProposedModel(corner_technology(node, corner), fit)});
+}
+
+const CornerModel& CornerModelSet::at(const std::string& name) const {
+  for (const CornerModel& m : models_)
+    if (m.corner.name == name) return m;
+  fail("CornerModelSet: unknown corner '" + name + "'", ErrorCode::bad_input);
+}
+
+WorstCornerModel::WorstCornerModel(CornerModelSet set) : set_(std::move(set)) {
+  signature_ = "worst(";
+  for (const CornerModel& m : set_.models()) {
+    if (signature_.back() != '(') signature_ += ',';
+    signature_ += m.corner.name + "=" + m.model.cache_signature();
+  }
+  signature_ += ')';
+}
+
+LinkEstimate WorstCornerModel::evaluate(const LinkContext& context,
+                                        const LinkDesign& design) const {
+  LinkEstimate worst;
+  bool first = true;
+  for (const CornerModel& m : set_.models()) {
+    const LinkEstimate e = m.model.evaluate(context, design);
+    if (first) {
+      worst = e;
+      first = false;
+      continue;
+    }
+    worst.delay = std::max(worst.delay, e.delay);
+    worst.output_slew = std::max(worst.output_slew, e.output_slew);
+    worst.switched_cap = std::max(worst.switched_cap, e.switched_cap);
+    worst.dynamic_power = std::max(worst.dynamic_power, e.dynamic_power);
+    worst.leakage_power = std::max(worst.leakage_power, e.leakage_power);
+    // Area stays the reference corner's: layout does not vary with process.
+  }
+  return worst;
+}
+
+const CornerModel& WorstCornerModel::dominating(const LinkContext& context,
+                                                const LinkDesign& design) const {
+  const CornerModel* argmax = &set_.models().front();
+  double max_delay = argmax->model.evaluate(context, design).delay;
+  for (const CornerModel& m : set_.models()) {
+    const double d = m.model.evaluate(context, design).delay;
+    if (d > max_delay) {
+      max_delay = d;
+      argmax = &m;
+    }
+  }
+  return *argmax;
+}
+
+}  // namespace pim

@@ -1,0 +1,76 @@
+// Corner-indexed models: the scenario layer's face inside pim::models.
+//
+// A CornerModelSet binds one ProposedModel per corner, each against the
+// registry-stable derated technology (tech::corner_technology), so every
+// downstream consumer written for the InterconnectModel interface can be
+// pointed at a specific corner. WorstCornerModel folds a whole set back
+// into that same interface by reporting the per-metric worst case, which
+// is what predictable synthesis sizes against: a link that closes under
+// WorstCornerModel closes at every corner of the set.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "charlib/fit.hpp"
+#include "models/proposed.hpp"
+
+namespace pim {
+
+/// One corner's calibrated model.
+struct CornerModel {
+  Corner corner;
+  ProposedModel model;
+};
+
+/// A corner-indexed coefficient set: each (corner, fit) pair becomes a
+/// ProposedModel bound to corner_technology(node, corner). Order follows
+/// the input pairs; by convention the first entry is the reference
+/// (nominal) corner.
+class CornerModelSet {
+ public:
+  CornerModelSet(TechNode node, const std::vector<std::pair<Corner, TechnologyFit>>& fits);
+
+  const std::vector<CornerModel>& models() const { return models_; }
+  size_t size() const { return models_.size(); }
+
+  /// The entry for `name`; throws pim::Error (bad_input) when absent.
+  const CornerModel& at(const std::string& name) const;
+
+ private:
+  std::vector<CornerModel> models_;
+};
+
+/// Per-metric worst case over a corner set, presented as a plain
+/// InterconnectModel. Delay, slew, and the power/capacitance terms each
+/// take their maximum over the corners (deliberately pessimistic — the
+/// slow corner dominates delay while the fast corner dominates leakage);
+/// area comes from the reference corner, since layout does not vary with
+/// process. tech() reports the reference corner's descriptor.
+class WorstCornerModel final : public InterconnectModel {
+ public:
+  explicit WorstCornerModel(CornerModelSet set);
+
+  const std::string& name() const override { return name_; }
+  const Technology& tech() const override { return set_.models().front().model.tech(); }
+  const CornerModelSet& corners() const { return set_; }
+
+  LinkEstimate evaluate(const LinkContext& context,
+                        const LinkDesign& design) const override;
+
+  /// The corner whose delay dominates (context, design).
+  const CornerModel& dominating(const LinkContext& context,
+                                const LinkDesign& design) const;
+
+  /// "worst(<corner>=<sig>,...)" over the member signatures, so two sets
+  /// share cached results exactly when every per-corner model does.
+  std::string cache_signature() const override { return signature_; }
+
+ private:
+  CornerModelSet set_;
+  std::string name_ = "proposed@worst";
+  std::string signature_;
+};
+
+}  // namespace pim

@@ -4,6 +4,7 @@
 
 #include "cache/store.hpp"
 #include "charlib/coeffs_io.hpp"
+#include "obs/metrics.hpp"
 #include "tech/techfile.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -13,13 +14,16 @@ namespace {
 
 // Everything that determines a calibrated fit: the full technology
 // descriptor (as its canonical tech-file serialization — a parameter
-// tweak changes the bytes and hence the key) plus every characterization
-// and composition knob. See docs/caching.md.
-cache::CacheKey fit_cache_key(const Technology& tech,
+// tweak changes the bytes and hence the key), the corner identity, plus
+// every characterization and composition knob. The corner id covers its
+// factors at full precision, so retuning a corner re-keys its fits even
+// though the derated techfile bytes already differ. See docs/caching.md.
+cache::CacheKey fit_cache_key(const Technology& tech, const Corner& corner,
                               const CharacterizationOptions& copt,
                               const CompositionOptions& compt) {
   cache::KeyBuilder kb("fit");
   kb.blob("techfile", write_techfile(tech));
+  kb.field("corner", corner.cache_id());
   kb.field("char.slew_axis", copt.slew_axis);
   kb.field("char.fanout_axis", copt.fanout_axis);
   kb.field("char.drives", copt.drives);
@@ -39,12 +43,26 @@ cache::CacheKey fit_cache_key(const Technology& tech,
   return kb.finish();
 }
 
+void count_corner(const Corner& corner, const char* event) {
+  obs::registry().counter("corner." + corner.name + ".fit." + event).add(1);
+}
+
 }  // namespace
 
 TechnologyFit calibrated_fit(TechNode node, const std::string& cache_path,
                              const CharacterizationOptions& characterization,
                              const CompositionOptions& composition) {
-  if (!cache_path.empty()) {
+  return corner_calibrated_fit(node, Corner{}, cache_path, characterization, composition);
+}
+
+TechnologyFit corner_calibrated_fit(TechNode node, const Corner& corner,
+                                    const std::string& cache_path,
+                                    const CharacterizationOptions& characterization,
+                                    const CompositionOptions& composition) {
+  // The coefficient-file tier carries no corner identity, so it only
+  // serves (and is only refreshed by) the nominal corner.
+  const bool file_tier = !cache_path.empty() && corner.is_nominal();
+  if (file_tier) {
     std::ifstream probe(cache_path);
     if (probe.good()) {
       try {
@@ -56,28 +74,43 @@ TechnologyFit calibrated_fit(TechNode node, const std::string& cache_path,
       }
     }
   }
-  const Technology& tech = technology(node);
-  // Content-addressed tier: keyed by the tech file bytes and every deck
-  // parameter, so a hit is exactly the fit this flow would recompute.
-  const cache::CacheKey key = fit_cache_key(tech, characterization, composition);
+  const Technology& tech = corner_technology(node, corner);
+  // Content-addressed tier: keyed by the derated tech file bytes, the
+  // corner id, and every deck parameter, so a hit is exactly the fit
+  // this flow would recompute.
+  const cache::CacheKey key = fit_cache_key(tech, corner, characterization, composition);
   if (auto payload = cache::Store::global().get(key)) {
     try {
       TechnologyFit cached = parse_fit(*payload);
       require(cached.node == node, "calibrated_fit: cached fit node mismatch",
               ErrorCode::io_parse);
-      if (!cache_path.empty()) save_fit(cached, cache_path);
+      count_corner(corner, "hit");
+      if (file_tier) save_fit(cached, cache_path);
       return cached;
     } catch (const Error& e) {
       // Fail-open (the store already verified the payload digest, so
-      // this is effectively unreachable): recompute below.
+      // this is effectively unreachable): recompute below. The store
+      // counted cache.hit for the digest-valid payload but could not see
+      // this payload-level corruption, so it is counted exactly once
+      // here — never both here and in the store for one lookup.
+      PIM_COUNT("cache.corrupt");
       log_warn("calibrated_fit: ignoring unparsable cache entry: ", e.what());
     }
   }
-  log_info("calibrated_fit: characterizing ", tech.name, " (this runs transistor-level sims)");
+  log_info("calibrated_fit: characterizing ", tech.name, " at corner '", corner.name,
+           "' (this runs transistor-level sims)");
+  count_corner(corner, "compute");
   const CellLibrary library = characterize_library(tech, characterization);
   TechnologyFit fit = calibrate_composition(tech, fit_technology(tech, library), composition);
+  // Leakage is exponential in threshold voltage, so it cannot be derived
+  // from the strength/cap derates; corners carry it as an explicit factor
+  // applied to the fitted coefficients (x1.0 exactly at nominal).
+  fit.leakage.n0 *= corner.leakage;
+  fit.leakage.n1 *= corner.leakage;
+  fit.leakage.p0 *= corner.leakage;
+  fit.leakage.p1 *= corner.leakage;
   cache::Store::global().put(key, write_fit(fit));
-  if (!cache_path.empty()) save_fit(fit, cache_path);
+  if (file_tier) save_fit(fit, cache_path);
   return fit;
 }
 

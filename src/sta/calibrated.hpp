@@ -14,9 +14,22 @@ namespace pim {
 /// Returns the fully calibrated coefficient set for `node`. When
 /// `cache_path` is non-empty and holds a parseable fit for the same node,
 /// it is returned directly; otherwise the full flow runs and (when a path
-/// was given) the result is saved there.
+/// was given) the result is saved there. Equivalent to
+/// `corner_calibrated_fit` at the nominal corner.
 TechnologyFit calibrated_fit(TechNode node, const std::string& cache_path = "",
                              const CharacterizationOptions& characterization = {},
                              const CompositionOptions& composition = {});
+
+/// Per-corner calibration: runs the same characterize -> fit -> calibrate
+/// flow against the derated descriptor from corner_technology(), applies
+/// the corner's leakage derate to the fitted leakage coefficients, and
+/// folds the corner id into the content-cache key so each corner caches
+/// independently. The `cache_path` coefficient-file tier only applies to
+/// the nominal corner (.pimfit files carry no corner identity). Counts
+/// corner.<name>.fit.{hit,compute} obs metrics.
+TechnologyFit corner_calibrated_fit(TechNode node, const Corner& corner,
+                                    const std::string& cache_path = "",
+                                    const CharacterizationOptions& characterization = {},
+                                    const CompositionOptions& composition = {});
 
 }  // namespace pim

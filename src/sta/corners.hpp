@@ -1,0 +1,74 @@
+// Multi-corner calibration and signoff — the scenario layer's face inside
+// pim::sta.
+//
+// corner_fits() runs the characterize -> fit -> calibrate flow once per
+// corner (fanned out over pim::exec; each corner's own deck sweeps then
+// run inline on that worker), corner_model_set() packages the results as
+// a CornerModelSet, and signoff_corners() answers the signoff question:
+// per-corner delay/slack/noise for one link, plus which corner dominates.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "models/corners.hpp"
+#include "sta/calibrated.hpp"
+
+namespace pim {
+
+/// Calibrated fit per corner, in `corners` order. Corners are fanned out
+/// over pim::exec (deterministic ordered results at any --threads); each
+/// corner caches independently via corner_calibrated_fit. `cache_path`
+/// follows the corner_calibrated_fit contract (nominal corner only).
+std::vector<std::pair<Corner, TechnologyFit>> corner_fits(
+    TechNode node, const std::vector<Corner>& corners,
+    const std::string& cache_path = "",
+    const CharacterizationOptions& characterization = {},
+    const CompositionOptions& composition = {});
+
+/// corner_fits() packaged as a corner-indexed model set.
+CornerModelSet corner_model_set(TechNode node, const std::vector<Corner>& corners,
+                                const std::string& cache_path = "",
+                                const CharacterizationOptions& characterization = {},
+                                const CompositionOptions& composition = {});
+
+/// Knobs for signoff_corners.
+struct CornerSignoffOptions {
+  /// Timing target the slack is measured against [s]; 0 uses one clock
+  /// period at the link context's frequency.
+  double target_period = 0.0;
+  /// Noise-model calibration scalar (see calibrate_noise); 1 = raw
+  /// charge-divider model.
+  double kappa_n = 1.0;
+};
+
+/// One corner's row in a multi-corner signoff report.
+struct CornerTiming {
+  Corner corner;
+  double delay = 0.0;       ///< model delay at this corner [s]
+  double output_slew = 0.0; ///< far-end slew [s]
+  double slack = 0.0;       ///< target_period - delay [s]
+  double noise_peak = 0.0;  ///< modeled glitch peak [V]
+};
+
+/// The multi-corner verdict: every corner's timing plus the dominating
+/// (minimum-slack) one.
+struct CornerSignoffResult {
+  std::vector<CornerTiming> corners;  ///< in model-set order
+  size_t worst_index = 0;
+  double target_period = 0.0;
+
+  const CornerTiming& worst() const { return corners[worst_index]; }
+  double worst_slack() const { return worst().slack; }
+};
+
+/// Evaluates (context, design) at every corner of `set` and reports
+/// per-corner slack/noise and the dominating corner. Counts
+/// corner.<name>.signoff obs metrics per evaluated corner.
+CornerSignoffResult signoff_corners(const CornerModelSet& set,
+                                    const LinkContext& context,
+                                    const LinkDesign& design,
+                                    const CornerSignoffOptions& options = {});
+
+}  // namespace pim

@@ -58,6 +58,22 @@ std::string write_techfile(const Technology& tech) {
   os << "    contact_pitch " << format_sig(tech.area.contact_pitch, 12) << "\n";
   os << "    row_height " << format_sig(tech.area.row_height, 12) << "\n";
   os << "  }\n";
+  if (!tech.corners.empty()) {
+    os << "  corners {\n";
+    for (const Corner& c : tech.corners.corners()) {
+      os << "    " << c.name << " {\n";
+      os << "      nmos_strength " << format_sig(c.nmos_strength, 12) << "\n";
+      os << "      pmos_strength " << format_sig(c.pmos_strength, 12) << "\n";
+      os << "      device_cap " << format_sig(c.device_cap, 12) << "\n";
+      os << "      leakage " << format_sig(c.leakage, 12) << "\n";
+      os << "      wire_res " << format_sig(c.wire_res, 12) << "\n";
+      os << "      wire_cap " << format_sig(c.wire_cap, 12) << "\n";
+      os << "      temperature_c " << format_sig(c.temperature_c, 12) << "\n";
+      os << "      vdd_scale " << format_sig(c.vdd_scale, 12) << "\n";
+      os << "    }\n";
+    }
+    os << "  }\n";
+  }
   os << "}\n";
   return os.str();
 }
@@ -176,6 +192,37 @@ WireLayerGeometry parse_layer(const Block& b) {
   return g;
 }
 
+double optional(const Block& b, const std::string& key, double fallback) {
+  const auto it = b.scalars.find(key);
+  return it == b.scalars.end() ? fallback : it->second;
+}
+
+// `corners { <name> { nmos_strength 0.85 ... } ... }`. Every factor is
+// optional and defaults to nominal (1.0, 25 C), so sparse definitions
+// like `ss { nmos_strength 0.85 }` work. Blocks are keyed by corner name,
+// so parsed sets come back name-sorted; a `nominal` corner is required
+// because the CLI default spec resolves to it.
+ScenarioSet parse_corners(const Block& b) {
+  std::vector<Corner> corners;
+  for (const auto& [name, cb] : b.blocks) {
+    Corner c;
+    c.name = name;
+    c.nmos_strength = optional(cb, "nmos_strength", 1.0);
+    c.pmos_strength = optional(cb, "pmos_strength", 1.0);
+    c.device_cap = optional(cb, "device_cap", 1.0);
+    c.leakage = optional(cb, "leakage", 1.0);
+    c.wire_res = optional(cb, "wire_res", 1.0);
+    c.wire_cap = optional(cb, "wire_cap", 1.0);
+    c.temperature_c = optional(cb, "temperature_c", 25.0);
+    c.vdd_scale = optional(cb, "vdd_scale", 1.0);
+    corners.push_back(c);
+  }
+  ScenarioSet set{corners};
+  require(set.find("nominal") != nullptr,
+          "techfile: corners block must define a 'nominal' corner");
+  return set;
+}
+
 }  // namespace
 
 Technology parse_techfile(const std::string& text) {
@@ -202,6 +249,8 @@ Technology parse_techfile(const std::string& text) {
   t.area.feature_size = need(area, "feature_size");
   t.area.contact_pitch = need(area, "contact_pitch");
   t.area.row_height = need(area, "row_height");
+  const auto corners_it = root.blocks.find("corners");
+  if (corners_it != root.blocks.end()) t.corners = parse_corners(corners_it->second);
   return t;
 }
 

@@ -1,6 +1,7 @@
 #include "tech/technology.hpp"
 
 #include <map>
+#include <mutex>
 
 #include "util/error.hpp"
 #include "util/units.hpp"
@@ -148,6 +149,33 @@ const Technology& technology(TechNode node) {
     return m;
   }();
   return cache.at(node);
+}
+
+Technology Technology::derated(const Corner& corner) const {
+  Technology t = *this;
+  t.vdd *= corner.vdd_scale;
+  t.nmos.k_sat *= corner.nmos_strength;
+  t.pmos.k_sat *= corner.pmos_strength;
+  for (MosfetParams* p : {&t.nmos, &t.pmos}) {
+    p->c_gate *= corner.device_cap;
+    p->c_drain *= corner.device_cap;
+  }
+  t.interconnect.rho_bulk *= corner.wire_res;
+  t.interconnect.global.k_dielectric *= corner.wire_cap;
+  t.interconnect.intermediate.k_dielectric *= corner.wire_cap;
+  return t;
+}
+
+const Technology& corner_technology(TechNode node, const Corner& corner) {
+  static std::mutex mutex;
+  // std::map nodes never move, so returned references stay valid for the
+  // life of the process — model layers hold `const Technology*` into it.
+  static std::map<std::string, Technology> registry;
+  const std::string key = tech_node_name(node) + "@" + corner.cache_id();
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = registry.find(key);
+  if (it != registry.end()) return it->second;
+  return registry.emplace(key, technology(node).derated(corner)).first->second;
 }
 
 }  // namespace pim

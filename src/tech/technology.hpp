@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/scenario.hpp"
 #include "spice/circuit.hpp"
 #include "spice/mosfet.hpp"
 
@@ -67,6 +68,7 @@ struct Technology {
   double pn_ratio = 2.0;           ///< repeater wp / wn sizing ratio
   double unit_nmos_width = 0.0;    ///< NMOS width of a 1x (D1) repeater [m]
   double clock_frequency = 0.0;    ///< NoC synthesis default clock [Hz]
+  ScenarioSet corners;             ///< techfile-defined corners (empty = builtin)
 
   /// Device pair in the form the netlist builders take.
   InverterDevices devices() const { return {nmos, pmos}; }
@@ -78,9 +80,28 @@ struct Technology {
   double drive_nmos_width(int drive) const {
     return unit_nmos_width * static_cast<double>(drive);
   }
+
+  /// The corner set this technology is signed off against: the techfile
+  /// `corners { ... }` block when present, ScenarioSet::builtin() otherwise.
+  const ScenarioSet& scenario_set() const {
+    return corners.empty() ? ScenarioSet::builtin() : corners;
+  }
+
+  /// Copy of this descriptor derated to `corner`: device strength scales
+  /// saturation current per polarity, device_cap scales gate/junction
+  /// capacitance, wire_res the bulk resistivity, wire_cap the ILD
+  /// permittivity, vdd_scale the supply. Every factor is applied as a
+  /// plain multiplication, so the nominal corner (all 1.0) reproduces
+  /// this descriptor bit-for-bit.
+  Technology derated(const Corner& corner) const;
 };
 
 /// The built-in calibrated descriptor for `node`.
 const Technology& technology(TechNode node);
+
+/// Stable-reference registry of derated built-in descriptors: the same
+/// (node, corner) pair always returns the same Technology object, so
+/// model layers that hold `const Technology*` may point at it safely.
+const Technology& corner_technology(TechNode node, const Corner& corner);
 
 }  // namespace pim

@@ -1,0 +1,10 @@
+// Library version identity, shared by `pim --version` and anything that
+// stamps artifacts. Semver: the minor tracks the PR sequence growing the
+// library; a major stays 0 until the paper reproduction is complete.
+#pragma once
+
+namespace pim {
+
+inline constexpr const char* kVersion = "0.5.0";
+
+}  // namespace pim

@@ -226,11 +226,13 @@ MonteCarloResult monte_carlo_link(const ProposedModel& model, const LinkContext&
 
 namespace {
 
-cache::CacheKey yield_cache_key(const std::string& signature, const LinkContext& ctx,
-                                const LinkDesign& design, int samples, uint64_t seed,
+cache::CacheKey yield_cache_key(const std::string& signature, const std::string& corner_id,
+                                const LinkContext& ctx, const LinkDesign& design,
+                                int samples, uint64_t seed,
                                 const VariationSigmas& sigmas) {
   cache::KeyBuilder kb("yield");
   kb.field("model", signature);
+  kb.field("corner", corner_id);
   kb.field("ctx.layer", static_cast<int>(ctx.layer));
   kb.field("ctx.style", static_cast<int>(ctx.style));
   kb.field("ctx.length", ctx.length);
@@ -315,11 +317,23 @@ MonteCarloResult monte_carlo_link_cached(const ProposedModel& model,
                                          const LinkContext& context,
                                          const LinkDesign& design, int samples,
                                          uint64_t seed, const VariationSigmas& sigmas) {
+  return monte_carlo_link_at_corner(model, Corner{}, context, design, samples, seed,
+                                    sigmas);
+}
+
+MonteCarloResult monte_carlo_link_at_corner(const ProposedModel& model,
+                                            const Corner& corner,
+                                            const LinkContext& context,
+                                            const LinkDesign& design, int samples,
+                                            uint64_t seed, const VariationSigmas& sigmas) {
+  obs::registry()
+      .counter("corner." + corner.name + ".mc.samples")
+      .add(static_cast<int64_t>(samples));
   const std::string signature = model.cache_signature();
   if (signature.empty())
     return monte_carlo_link(model, context, design, samples, seed, sigmas);
-  const cache::CacheKey key =
-      yield_cache_key(signature, context, design, samples, seed, sigmas);
+  const cache::CacheKey key = yield_cache_key(signature, corner.cache_id(), context,
+                                              design, samples, seed, sigmas);
   if (auto payload = cache::Store::global().get(key)) {
     try {
       MonteCarloResult cached = parse_mc(*payload);
@@ -328,7 +342,11 @@ MonteCarloResult monte_carlo_link_cached(const ProposedModel& model,
       tally_yield(cached);
       return cached;
     } catch (const Error&) {
-      PIM_COUNT("cache.corrupt");  // fail-open: recompute below
+      // The store vouched for the payload digest, so this parse failure
+      // is the only corrupt signal for the lookup — counted once here,
+      // never a second time when the recompute below repopulates the
+      // entry (fail-open).
+      PIM_COUNT("cache.corrupt");
     }
   }
   const MonteCarloResult result =

@@ -90,6 +90,20 @@ MonteCarloResult monte_carlo_link_cached(const ProposedModel& model,
                                          uint64_t seed = 1,
                                          const VariationSigmas& sigmas = {});
 
+/// Monte-Carlo around a chosen process corner: `model` must be the
+/// corner-calibrated model (corner_model_set / corner_calibrated_fit), so
+/// the samples perturb that corner's fit exactly as monte_carlo_link
+/// perturbs nominal — same sampler, same RNG streams, bit-identical at
+/// any --threads. The cache key folds the corner id next to the model
+/// signature, and corner.<name>.mc.samples is counted. At the nominal
+/// corner this is exactly monte_carlo_link_cached (which forwards here).
+MonteCarloResult monte_carlo_link_at_corner(const ProposedModel& model,
+                                            const Corner& corner,
+                                            const LinkContext& context,
+                                            const LinkDesign& design, int samples,
+                                            uint64_t seed = 1,
+                                            const VariationSigmas& sigmas = {});
+
 /// WITHIN-DIE variation: each repeater of the chain draws its own
 /// device-strength/cap deviation (wire variation stays die-wide). Stage
 /// delays then average along the chain, so an N-stage link's relative

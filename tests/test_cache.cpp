@@ -265,6 +265,25 @@ TEST_F(CacheDirFixture, ArmedFaultHarnessBypassesTheCache) {
   EXPECT_FALSE(store.get(key_of("while-armed")).has_value());
 }
 
+TEST_F(CacheDirFixture, ArmedFaultBypassCountsBypassNotHitOrMiss) {
+  Store& store = Store::global();
+  const CacheKey key = key_of("bypass-metrics");
+  store.put(key, "payload");
+  obs::set_enabled(true);
+  auto& bypass = obs::registry().counter("cache.bypass");
+  auto& hit = obs::registry().counter("cache.hit");
+  auto& miss = obs::registry().counter("cache.miss");
+  const int64_t bypass0 = bypass.value(), hit0 = hit.value(), miss0 = miss.value();
+  fault::configure("io.open:0");
+  EXPECT_FALSE(store.get(key).has_value());
+  store.put(key_of("bypass-put"), "dropped");
+  fault::clear();
+  obs::set_enabled(false);
+  EXPECT_EQ(bypass.value(), bypass0 + 2);  // one get + one put
+  EXPECT_EQ(hit.value(), hit0);
+  EXPECT_EQ(miss.value(), miss0);
+}
+
 // Concurrent get/put from exec workers at a pinned thread count; TSan
 // builds (scripts/check_tsan.sh) run this with race detection.
 TEST_F(CacheDirFixture, ConcurrentLookupsAreRaceFree) {

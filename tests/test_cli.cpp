@@ -14,6 +14,7 @@
 
 #include "../tools/cli_args.hpp"
 #include "api/pim_api.hpp"
+#include "cache/key.hpp"
 #include "cache/store.hpp"
 #include "exec/engine.hpp"
 #include "obs/metrics.hpp"
@@ -294,6 +295,40 @@ TEST(CliExitCodes, UnknownCommandIsUsageError) {
 TEST(CliExitCodes, BadCacheModeIsUsageError) {
   EXPECT_EQ(run_cli("techfile 45nm --cache bogus"), 2);
   EXPECT_EQ(run_cli("techfile 45nm --cache=off"), 0);
+}
+
+TEST(CliExitCodes, UnknownCornerIsUsageError) {
+  EXPECT_EQ(run_cli("evaluate 45nm --length 1 --corner bogus"), 2);
+  EXPECT_EQ(run_cli("signoff 45nm --length 1 --corners nominal,bogus"), 2);
+}
+
+// ---------------------------------------------------------------------------
+// --version
+// ---------------------------------------------------------------------------
+
+TEST(CliVersion, TextCarriesSemverAndFormatVersions) {
+  const std::string text = version_text();
+  EXPECT_NE(text.find("pim 0.5.0"), std::string::npos);
+  EXPECT_NE(text.find("api-version " + std::to_string(api::kApiVersion)),
+            std::string::npos);
+  EXPECT_NE(text.find("cache-format " + std::to_string(cache::kFormatVersion)),
+            std::string::npos);
+  EXPECT_NE(text.find("compiler "), std::string::npos);
+}
+
+TEST(CliVersion, BinaryPrintsVersionAndExitsZero) {
+  const std::string out = ::testing::TempDir() + "pim_version.txt";
+  for (const char* invocation : {"--version", "version", "techfile 45nm --version"}) {
+    const std::string cmd = std::string(PIM_CLI_PATH) + " " + invocation + " > " +
+                            out + " 2>/dev/null";
+    const int status = std::system(cmd.c_str());
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << invocation;
+    std::ifstream in(out);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), version_text()) << invocation;
+  }
+  std::remove(out.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,480 @@
+// Tests for the pim::scenario layer — process corners threaded through
+// tech derating, per-corner characterization/fitting (with per-corner
+// content caching), corner-indexed models, multi-corner signoff, and
+// corner-aware Monte-Carlo — plus the Liberty round-trip at a derated
+// corner.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cache/store.hpp"
+#include "charlib/characterize.hpp"
+#include "liberty/libertyfile.hpp"
+#include "models/corners.hpp"
+#include "obs/metrics.hpp"
+#include "scenario/scenario.hpp"
+#include "sta/calibrated.hpp"
+#include "sta/corners.hpp"
+#include "sta/nldm_timer.hpp"
+#include "tech/techfile.hpp"
+#include "tech/technology.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "variation/variation.hpp"
+
+namespace pim {
+namespace {
+
+using namespace pim::unit;
+
+// Cheap-but-real characterization/composition settings (mirrors the
+// variation test fixture) so per-corner flows stay fast.
+CharacterizationOptions cheap_characterization() {
+  CharacterizationOptions copt;
+  copt.drives = {2, 8, 32};
+  copt.buffers = false;
+  return copt;
+}
+
+CompositionOptions cheap_composition() {
+  CompositionOptions comp;
+  comp.drives = {8, 32};
+  comp.segment_lengths = {0.5e-3, 1.5e-3};
+  comp.input_slews = {50e-12, 300e-12};
+  comp.chain_lengths = {1, 3};
+  return comp;
+}
+
+LinkContext link_ctx() {
+  LinkContext c;
+  c.length = 3 * mm;
+  c.input_slew = 100 * ps;
+  return c;
+}
+
+LinkDesign link_design() {
+  LinkDesign d;
+  d.drive = 16;
+  d.num_repeaters = 3;
+  return d;
+}
+
+// Metric collection is off by default; counter assertions turn it on for
+// their scope only.
+struct MetricsOn {
+  MetricsOn() { obs::set_enabled(true); }
+  ~MetricsOn() { obs::set_enabled(false); }
+};
+
+// ------------------------------------------------------------- corners
+
+TEST(Corner, DefaultIsNominal) {
+  const Corner c;
+  EXPECT_EQ(c.name, "nominal");
+  EXPECT_TRUE(c.is_nominal());
+  EXPECT_DOUBLE_EQ(c.nmos_strength, 1.0);
+  EXPECT_DOUBLE_EQ(c.vdd_scale, 1.0);
+}
+
+TEST(Corner, IsNominalTracksFactorsNotName) {
+  Corner renamed;
+  renamed.name = "typ";
+  EXPECT_TRUE(renamed.is_nominal());
+  Corner off;
+  off.wire_cap = 1.01;
+  EXPECT_FALSE(off.is_nominal());
+}
+
+TEST(Corner, CacheIdCoversNameAndFactors) {
+  const Corner a;
+  Corner b;
+  EXPECT_EQ(a.cache_id(), b.cache_id());
+  b.name = "renamed";
+  EXPECT_NE(a.cache_id(), b.cache_id());
+  Corner c;
+  c.leakage = 1.0000001;  // tiny re-tune must re-key
+  EXPECT_NE(a.cache_id(), c.cache_id());
+}
+
+TEST(ScenarioSet, BuiltinCarriesTheClassicCorners) {
+  const ScenarioSet& set = ScenarioSet::builtin();
+  ASSERT_EQ(set.size(), 5u);
+  EXPECT_EQ(set.corners()[0].name, "nominal");
+  EXPECT_TRUE(set.corners()[0].is_nominal());
+  for (const char* name : {"nominal", "ss", "ff", "sf", "fs"}) {
+    EXPECT_NE(set.find(name), nullptr) << name;
+  }
+  const Corner& ss = set.corner("ss");
+  EXPECT_LT(ss.nmos_strength, 1.0);
+  EXPECT_LT(ss.pmos_strength, 1.0);
+  EXPECT_GT(ss.device_cap, 1.0);
+  EXPECT_LT(ss.leakage, 1.0);
+  EXPECT_GT(ss.wire_res, 1.0);
+  EXPECT_LT(ss.vdd_scale, 1.0);
+  EXPECT_GT(ss.temperature_c, 100.0);
+  const Corner& ff = set.corner("ff");
+  EXPECT_GT(ff.nmos_strength, 1.0);
+  EXPECT_GT(ff.leakage, 1.0);
+  EXPECT_LT(ff.temperature_c, 0.0);
+  // The mixed corners skew the polarities in opposite directions.
+  const Corner& sf = set.corner("sf");
+  EXPECT_LT(sf.nmos_strength, 1.0);
+  EXPECT_GT(sf.pmos_strength, 1.0);
+  const Corner& fs = set.corner("fs");
+  EXPECT_GT(fs.nmos_strength, 1.0);
+  EXPECT_LT(fs.pmos_strength, 1.0);
+}
+
+TEST(ScenarioSet, RejectsDuplicateOrEmptyNames) {
+  Corner a;
+  Corner b;
+  b.name = "a";
+  a.name = "a";
+  EXPECT_THROW(ScenarioSet({a, b}), Error);
+  Corner unnamed;
+  unnamed.name = "";
+  EXPECT_THROW(ScenarioSet({unnamed}), Error);
+}
+
+TEST(ScenarioSet, ResolveSpecs) {
+  const ScenarioSet& set = ScenarioSet::builtin();
+  const std::vector<Corner> nominal_only = set.resolve("");
+  ASSERT_EQ(nominal_only.size(), 1u);
+  EXPECT_EQ(nominal_only[0].name, "nominal");
+
+  const std::vector<Corner> all = set.resolve("all");
+  ASSERT_EQ(all.size(), set.size());
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i].name, set.corners()[i].name);
+
+  const std::vector<Corner> pair = set.resolve("ff,ss");
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_EQ(pair[0].name, "ff");  // spec order, not set order
+  EXPECT_EQ(pair[1].name, "ss");
+
+  EXPECT_THROW(set.resolve("ss,bogus"), Error);
+  EXPECT_THROW(set.corner("bogus"), Error);
+  EXPECT_EQ(set.find("bogus"), nullptr);
+}
+
+// ------------------------------------------------------------ derating
+
+TEST(Derating, NominalCornerIsBitIdentical) {
+  const Technology& t = technology(TechNode::N65);
+  const Technology d = t.derated(Corner{});
+  EXPECT_DOUBLE_EQ(d.vdd, t.vdd);
+  EXPECT_DOUBLE_EQ(d.nmos.k_sat, t.nmos.k_sat);
+  EXPECT_DOUBLE_EQ(d.pmos.k_sat, t.pmos.k_sat);
+  EXPECT_DOUBLE_EQ(d.nmos.c_gate, t.nmos.c_gate);
+  EXPECT_DOUBLE_EQ(d.pmos.c_drain, t.pmos.c_drain);
+  EXPECT_DOUBLE_EQ(d.interconnect.rho_bulk, t.interconnect.rho_bulk);
+  EXPECT_DOUBLE_EQ(d.interconnect.global.k_dielectric, t.interconnect.global.k_dielectric);
+  EXPECT_DOUBLE_EQ(d.interconnect.intermediate.k_dielectric,
+                   t.interconnect.intermediate.k_dielectric);
+}
+
+TEST(Derating, FactorsScaleTheRightFields) {
+  const Technology& t = technology(TechNode::N65);
+  const Corner& ss = ScenarioSet::builtin().corner("ss");
+  const Technology d = t.derated(ss);
+  EXPECT_DOUBLE_EQ(d.vdd, t.vdd * ss.vdd_scale);
+  EXPECT_DOUBLE_EQ(d.nmos.k_sat, t.nmos.k_sat * ss.nmos_strength);
+  EXPECT_DOUBLE_EQ(d.pmos.k_sat, t.pmos.k_sat * ss.pmos_strength);
+  EXPECT_DOUBLE_EQ(d.nmos.c_gate, t.nmos.c_gate * ss.device_cap);
+  EXPECT_DOUBLE_EQ(d.nmos.c_drain, t.nmos.c_drain * ss.device_cap);
+  EXPECT_DOUBLE_EQ(d.interconnect.rho_bulk, t.interconnect.rho_bulk * ss.wire_res);
+  EXPECT_DOUBLE_EQ(d.interconnect.global.k_dielectric,
+                   t.interconnect.global.k_dielectric * ss.wire_cap);
+  // Geometry and layout are process-independent in this abstraction.
+  EXPECT_DOUBLE_EQ(d.interconnect.global.width, t.interconnect.global.width);
+  EXPECT_DOUBLE_EQ(d.area.feature_size, t.area.feature_size);
+}
+
+TEST(Derating, CornerTechnologyRegistryIsStable) {
+  const Corner& ss = ScenarioSet::builtin().corner("ss");
+  const Technology& a = corner_technology(TechNode::N65, ss);
+  const Technology& b = corner_technology(TechNode::N65, ss);
+  EXPECT_EQ(&a, &b);  // stable address: models may hold the pointer
+  const Technology& ff = corner_technology(TechNode::N65, ScenarioSet::builtin().corner("ff"));
+  EXPECT_NE(&a, &ff);
+  // The registry's nominal entry matches the built-in descriptor.
+  const Technology& nom = corner_technology(TechNode::N65, Corner{});
+  EXPECT_DOUBLE_EQ(nom.vdd, technology(TechNode::N65).vdd);
+  EXPECT_DOUBLE_EQ(nom.nmos.k_sat, technology(TechNode::N65).nmos.k_sat);
+}
+
+// ------------------------------------------------------------ techfile
+
+TEST(TechfileCorners, BuiltinTechfileHasNoCornersBlock) {
+  // Built-in descriptors carry no techfile corners, so their serialized
+  // form must be byte-compatible with the pre-scenario format.
+  const std::string text = write_techfile(technology(TechNode::N90));
+  EXPECT_EQ(text.find("corners"), std::string::npos);
+}
+
+TEST(TechfileCorners, RoundTripPreservesCustomCorners) {
+  Technology tech = technology(TechNode::N65);
+  Corner hot;
+  hot.name = "hot";
+  hot.nmos_strength = 0.91;
+  hot.pmos_strength = 0.93;
+  hot.device_cap = 1.02;
+  hot.leakage = 2.5;
+  hot.wire_res = 1.07;
+  hot.wire_cap = 1.01;
+  hot.temperature_c = 110.0;
+  hot.vdd_scale = 0.95;
+  tech.corners = ScenarioSet({Corner{}, hot});
+
+  const std::string text = write_techfile(tech);
+  EXPECT_NE(text.find("corners"), std::string::npos);
+  const Technology parsed = parse_techfile(text);
+  ASSERT_EQ(parsed.corners.size(), 2u);
+  ASSERT_NE(parsed.corners.find("hot"), nullptr);
+  const Corner& r = parsed.corners.corner("hot");
+  EXPECT_NEAR(r.nmos_strength, hot.nmos_strength, 1e-9);
+  EXPECT_NEAR(r.pmos_strength, hot.pmos_strength, 1e-9);
+  EXPECT_NEAR(r.device_cap, hot.device_cap, 1e-9);
+  EXPECT_NEAR(r.leakage, hot.leakage, 1e-9);
+  EXPECT_NEAR(r.wire_res, hot.wire_res, 1e-9);
+  EXPECT_NEAR(r.wire_cap, hot.wire_cap, 1e-9);
+  EXPECT_NEAR(r.temperature_c, hot.temperature_c, 1e-6);
+  EXPECT_NEAR(r.vdd_scale, hot.vdd_scale, 1e-9);
+  EXPECT_TRUE(parsed.corners.corner("nominal").is_nominal());
+  // scenario_set() prefers the techfile block over the builtin set.
+  EXPECT_EQ(parsed.scenario_set().size(), 2u);
+  EXPECT_EQ(technology(TechNode::N65).scenario_set().size(), 5u);
+}
+
+TEST(TechfileCorners, ParseRequiresANominalCorner) {
+  Technology tech = technology(TechNode::N65);
+  Corner only;
+  only.name = "hot";
+  only.leakage = 2.0;
+  tech.corners = ScenarioSet({only});
+  EXPECT_THROW(parse_techfile(write_techfile(tech)), Error);
+}
+
+// ----------------------------------------------- per-corner calibration
+
+// Calibrates nominal/ss/ff once for the whole suite (the expensive part)
+// against a private cache directory so runs never touch the user cache.
+class CornerFlowFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(::testing::TempDir() + "pim_scenario_cache");
+    std::filesystem::remove_all(*dir_);
+    cache::set_dir(*dir_);
+    cache::set_mode(cache::Mode::ReadWrite);
+    cache::Store::global().clear_memory();
+
+    const ScenarioSet& set = ScenarioSet::builtin();
+    corners_ = new std::vector<Corner>{set.corner("nominal"), set.corner("ss"),
+                                       set.corner("ff")};
+    fits_ = new std::vector<std::pair<Corner, TechnologyFit>>(corner_fits(
+        TechNode::N65, *corners_, "", cheap_characterization(), cheap_composition()));
+    set_ = new CornerModelSet(TechNode::N65, *fits_);
+  }
+  static void TearDownTestSuite() {
+    delete set_;
+    delete fits_;
+    delete corners_;
+    cache::Store::global().clear_memory();
+    cache::reset_mode();
+    cache::set_dir("");
+    std::filesystem::remove_all(*dir_);
+    delete dir_;
+  }
+
+  static std::string* dir_;
+  static std::vector<Corner>* corners_;
+  static std::vector<std::pair<Corner, TechnologyFit>>* fits_;
+  static CornerModelSet* set_;
+};
+
+std::string* CornerFlowFixture::dir_ = nullptr;
+std::vector<Corner>* CornerFlowFixture::corners_ = nullptr;
+std::vector<std::pair<Corner, TechnologyFit>>* CornerFlowFixture::fits_ = nullptr;
+CornerModelSet* CornerFlowFixture::set_ = nullptr;
+
+TEST_F(CornerFlowFixture, SlowAndFastCornersBracketNominal) {
+  const double nominal = set_->at("nominal").model.evaluate(link_ctx(), link_design()).delay;
+  const double ss = set_->at("ss").model.evaluate(link_ctx(), link_design()).delay;
+  const double ff = set_->at("ff").model.evaluate(link_ctx(), link_design()).delay;
+  EXPECT_GT(ss, nominal);
+  EXPECT_LT(ff, nominal);
+}
+
+TEST_F(CornerFlowFixture, NominalCornerFitMatchesCalibratedFit) {
+  // calibrated_fit is documented as corner_calibrated_fit at nominal;
+  // the coefficient sets must be bit-identical.
+  const TechnologyFit plain =
+      calibrated_fit(TechNode::N65, "", cheap_characterization(), cheap_composition());
+  const TechnologyFit& nominal = set_->at("nominal").model.fit();
+  EXPECT_DOUBLE_EQ(plain.vdd, nominal.vdd);
+  EXPECT_DOUBLE_EQ(plain.gamma, nominal.gamma);
+  EXPECT_DOUBLE_EQ(plain.inv_rise.a0, nominal.inv_rise.a0);
+  EXPECT_DOUBLE_EQ(plain.inv_rise.rho0, nominal.inv_rise.rho0);
+  EXPECT_DOUBLE_EQ(plain.leakage.n0, nominal.leakage.n0);
+  EXPECT_DOUBLE_EQ(plain.leakage.p1, nominal.leakage.p1);
+  EXPECT_DOUBLE_EQ(plain.area0, nominal.area0);
+  EXPECT_DOUBLE_EQ(plain.comp_coupled.kappa_c, nominal.comp_coupled.kappa_c);
+}
+
+TEST_F(CornerFlowFixture, LeakageDerateScalesTheFittedCoefficients) {
+  const TechnologyFit& nominal = set_->at("nominal").model.fit();
+  const Corner& ff = ScenarioSet::builtin().corner("ff");
+  const TechnologyFit& fast = set_->at("ff").model.fit();
+  // FF leakage blows up both through the derated devices and the final
+  // corner.leakage scale; it must land well above nominal.
+  EXPECT_GT(fast.leakage.eval_avg(1e-6, 2e-6),
+            ff.leakage * 0.5 * nominal.leakage.eval_avg(1e-6, 2e-6));
+}
+
+TEST_F(CornerFlowFixture, WarmPerCornerCacheIsBitIdenticalToCold) {
+  const MetricsOn metrics;
+  const Corner& ss = ScenarioSet::builtin().corner("ss");
+  auto& hits = obs::registry().counter("corner.ss.fit.hit");
+  const int64_t hits_before = hits.value();
+  // Force the disk tier: the fixture computed this fit already, so a
+  // fresh lookup after dropping the memory tier must replay the stored
+  // payload bit-for-bit.
+  cache::Store::global().clear_memory();
+  const TechnologyFit warm = corner_calibrated_fit(TechNode::N65, ss, "",
+                                                   cheap_characterization(),
+                                                   cheap_composition());
+  EXPECT_EQ(hits.value(), hits_before + 1);
+  const TechnologyFit& cold = set_->at("ss").model.fit();
+  EXPECT_DOUBLE_EQ(warm.vdd, cold.vdd);
+  EXPECT_DOUBLE_EQ(warm.gamma, cold.gamma);
+  EXPECT_DOUBLE_EQ(warm.inv_rise.a0, cold.inv_rise.a0);
+  EXPECT_DOUBLE_EQ(warm.inv_rise.rho0, cold.inv_rise.rho0);
+  EXPECT_DOUBLE_EQ(warm.inv_fall.b2, cold.inv_fall.b2);
+  EXPECT_DOUBLE_EQ(warm.leakage.n0, cold.leakage.n0);
+  EXPECT_DOUBLE_EQ(warm.leakage.p1, cold.leakage.p1);
+  EXPECT_DOUBLE_EQ(warm.area0, cold.area0);
+  EXPECT_DOUBLE_EQ(warm.area1, cold.area1);
+  EXPECT_DOUBLE_EQ(warm.comp_coupled.kappa_c, cold.comp_coupled.kappa_c);
+  EXPECT_DOUBLE_EQ(warm.comp_shielded.kappa_w, cold.comp_shielded.kappa_w);
+  // Same model behavior, not just same stored numbers.
+  const ProposedModel m(corner_technology(TechNode::N65, ss), warm);
+  EXPECT_DOUBLE_EQ(m.evaluate(link_ctx(), link_design()).delay,
+                   set_->at("ss").model.evaluate(link_ctx(), link_design()).delay);
+}
+
+TEST_F(CornerFlowFixture, CornerModelSetLookup) {
+  EXPECT_EQ(set_->size(), 3u);
+  EXPECT_EQ(set_->models().front().corner.name, "nominal");
+  EXPECT_EQ(set_->at("ss").corner.name, "ss");
+  EXPECT_THROW(set_->at("bogus"), Error);
+}
+
+TEST_F(CornerFlowFixture, WorstCornerModelTakesPerMetricMax) {
+  const WorstCornerModel worst(CornerModelSet(TechNode::N65, *fits_));
+  EXPECT_EQ(worst.name(), "proposed@worst");
+  EXPECT_NE(worst.cache_signature().find("worst("), std::string::npos);
+
+  const LinkEstimate w = worst.evaluate(link_ctx(), link_design());
+  double max_delay = 0.0;
+  double max_leak = 0.0;
+  for (const CornerModel& m : set_->models()) {
+    const LinkEstimate e = m.model.evaluate(link_ctx(), link_design());
+    max_delay = std::max(max_delay, e.delay);
+    max_leak = std::max(max_leak, e.leakage_power);
+  }
+  EXPECT_DOUBLE_EQ(w.delay, max_delay);
+  EXPECT_DOUBLE_EQ(w.leakage_power, max_leak);
+  // Area is layout, not process: it reports the reference corner's value.
+  EXPECT_DOUBLE_EQ(w.repeater_area,
+                   set_->models().front().model.evaluate(link_ctx(), link_design()).repeater_area);
+  EXPECT_EQ(worst.dominating(link_ctx(), link_design()).corner.name, "ss");
+}
+
+TEST_F(CornerFlowFixture, SignoffReportsWorstCornerAndBracketsNominal) {
+  const CornerSignoffResult r = signoff_corners(*set_, link_ctx(), link_design());
+  ASSERT_EQ(r.corners.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.target_period, 1.0 / link_ctx().frequency);
+  EXPECT_EQ(r.worst().corner.name, "ss");
+
+  double nominal_slack = 0.0, ss_slack = 0.0, ff_slack = 0.0;
+  for (const CornerTiming& row : r.corners) {
+    EXPECT_GT(row.delay, 0.0);
+    EXPECT_GT(row.output_slew, 0.0);
+    EXPECT_GT(row.noise_peak, 0.0);
+    EXPECT_DOUBLE_EQ(row.slack, r.target_period - row.delay);
+    if (row.corner.name == "nominal") nominal_slack = row.slack;
+    if (row.corner.name == "ss") ss_slack = row.slack;
+    if (row.corner.name == "ff") ff_slack = row.slack;
+  }
+  EXPECT_LT(ss_slack, nominal_slack);
+  EXPECT_LT(nominal_slack, ff_slack);
+  EXPECT_DOUBLE_EQ(r.worst_slack(), ss_slack);
+
+  CornerSignoffOptions tight;
+  tight.target_period = 10 * ps;  // far below any corner's delay
+  const CornerSignoffResult t = signoff_corners(*set_, link_ctx(), link_design(), tight);
+  EXPECT_LT(t.worst_slack(), 0.0);
+  EXPECT_DOUBLE_EQ(t.target_period, 10 * ps);
+}
+
+TEST_F(CornerFlowFixture, MonteCarloAtNominalCornerMatchesCachedFlow) {
+  const ProposedModel& model = set_->at("nominal").model;
+  const MonteCarloResult direct =
+      monte_carlo_link_cached(model, link_ctx(), link_design(), 200, 7);
+  const MonteCarloResult at_nominal = monte_carlo_link_at_corner(
+      model, Corner{}, link_ctx(), link_design(), 200, 7);
+  ASSERT_EQ(at_nominal.delays.size(), direct.delays.size());
+  for (size_t i = 0; i < direct.delays.size(); ++i) {
+    EXPECT_DOUBLE_EQ(at_nominal.delays[i], direct.delays[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(at_nominal.mean_delay, direct.mean_delay);
+  EXPECT_DOUBLE_EQ(at_nominal.sigma_delay, direct.sigma_delay);
+  EXPECT_DOUBLE_EQ(at_nominal.nominal_delay, direct.nominal_delay);
+}
+
+TEST_F(CornerFlowFixture, MonteCarloAtSlowCornerShiftsTheDistribution) {
+  const MetricsOn metrics;
+  const Corner& ss = ScenarioSet::builtin().corner("ss");
+  auto& samples = obs::registry().counter("corner.ss.mc.samples");
+  const int64_t before = samples.value();
+  const MonteCarloResult slow = monte_carlo_link_at_corner(
+      set_->at("ss").model, ss, link_ctx(), link_design(), 200, 7);
+  EXPECT_EQ(samples.value(), before + 200);
+  const MonteCarloResult nominal = monte_carlo_link_at_corner(
+      set_->at("nominal").model, Corner{}, link_ctx(), link_design(), 200, 7);
+  EXPECT_GT(slow.mean_delay, nominal.mean_delay);
+  EXPECT_GT(slow.nominal_delay, nominal.nominal_delay);
+}
+
+// -------------------------------------- Liberty round-trip at a corner
+
+TEST(LibertyAtCorner, ExportTimerRoundTripAtSlowCorner) {
+  const Corner& ss = ScenarioSet::builtin().corner("ss");
+  const Technology& ss_tech = corner_technology(TechNode::N65, ss);
+  CharacterizationOptions copt;
+  copt.drives = {8};
+  copt.buffers = false;
+  const CellLibrary lib = characterize_library(ss_tech, copt);
+  const CellLibrary reparsed = parse_liberty(write_liberty(lib));
+
+  LinkContext ctx;
+  ctx.length = 2 * mm;
+  ctx.input_slew = 100 * ps;
+  LinkDesign d;
+  d.drive = 8;
+  d.num_repeaters = 2;
+  const NldmTimerResult direct = nldm_link_delay(lib, ss_tech, ctx, d);
+  const NldmTimerResult round = nldm_link_delay(reparsed, ss_tech, ctx, d);
+  EXPECT_GT(direct.delay, 0.0);
+  EXPECT_NEAR(round.delay, direct.delay, 1e-6 * direct.delay);
+  EXPECT_NEAR(round.output_slew, direct.output_slew, 1e-6 * direct.output_slew);
+
+  // The derated library is genuinely slower than the nominal one.
+  const CellLibrary nominal_lib = characterize_library(technology(TechNode::N65), copt);
+  const NldmTimerResult nominal = nldm_link_delay(nominal_lib, technology(TechNode::N65), ctx, d);
+  EXPECT_GT(direct.delay, nominal.delay);
+}
+
+}  // namespace
+}  // namespace pim

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "api/pim_api.hpp"
 #include "cache/store.hpp"
 #include "exec/engine.hpp"
 #include "obs/metrics.hpp"
@@ -14,6 +15,7 @@
 #include "util/log.hpp"
 #include "util/paths.hpp"
 #include "util/strings.hpp"
+#include "util/version.hpp"
 
 namespace pim::cli {
 
@@ -102,6 +104,13 @@ FlagSpec coeffs_flag() {
   return {"coeffs", FlagType::String, "file", "",
           "coefficient file cache (load if present, else fit and save)"};
 }
+FlagSpec corner_flag() {
+  return {"corner", FlagType::String, "name", "nominal",
+          "process corner to evaluate at (docs/corners.md)"};
+}
+FlagSpec corners_flag(const char* help) {
+  return {"corners", FlagType::String, "all|a,b", "all", help};
+}
 
 }  // namespace
 
@@ -114,16 +123,17 @@ const std::vector<CommandSpec>& command_registry() {
        {{"drives", FlagType::String, "2,8,32", "", "drive strengths to characterize"},
         {"lib", FlagType::String, "out.lib", "stdout", "write the Liberty library here"},
         {"coeffs", FlagType::String, "out.pimfit", "",
-         "also fit + calibrate and save the coefficient tables"}}},
+         "also fit + calibrate and save the coefficient tables"},
+        corner_flag()}},
       {"fit",
        "<tech>",
        "characterize + fit + calibrate the coefficient tables",
-       {coeffs_flag()}},
+       {coeffs_flag(), corner_flag()}},
       {"evaluate",
        "<tech>",
        "evaluate one link under the proposed closed-form model",
        {length_flag(), style_flag(), slew_flag(), drive_flag(), repeaters_flag(),
-        coeffs_flag(),
+        coeffs_flag(), corner_flag(),
         {"golden", FlagType::Switch, "", "", "also run transistor-level signoff"}}},
       {"buffer",
        "<tech>",
@@ -131,28 +141,40 @@ const std::vector<CommandSpec>& command_registry() {
        {length_flag(), style_flag(), slew_flag(),
         {"budget", FlagType::Double, "ps", "", "hard delay constraint"},
         {"weight", FlagType::Double, "w", "0.6", "delay emphasis in [0, 1]"},
-        coeffs_flag()}},
+        coeffs_flag(), corner_flag()}},
       {"noc",
        "<dvopd|vproc|mpeg4|mwd|spec.soc> <tech>",
        "constraint-driven NoC synthesis for an SoC spec",
        {{"model", FlagType::String, "m", "proposed",
          "interconnect model: proposed, bakoglu, or pamunuwa"},
         {"dot", FlagType::String, "out.dot", "", "write the topology as Graphviz"},
+        {"corners", FlagType::String, "all|a,b", "",
+         "size links against the worst of these corners (proposed model only)"},
         coeffs_flag()}},
       {"yield",
        "<tech>",
        "Monte-Carlo yield of one link under process variation",
        {length_flag(), style_flag(), slew_flag(),
         {"samples", FlagType::Int, "n", "1000", "Monte-Carlo corners"},
-        drive_flag(), repeaters_flag(), coeffs_flag()}},
+        drive_flag(), repeaters_flag(), coeffs_flag(), corner_flag()}},
+      {"signoff",
+       "<tech>",
+       "multi-corner link signoff: per-corner slack/noise, worst corner",
+       {length_flag(), style_flag(), slew_flag(), drive_flag(), repeaters_flag(),
+        corners_flag("corners to sign off against"),
+        {"period", FlagType::Double, "ps", "one clock period",
+         "timing target the slack is measured against"},
+        coeffs_flag()}},
       {"noise",
        "<tech>",
        "crosstalk glitch peak: calibrated model vs golden sim",
-       {length_flag(), style_flag(), slew_flag(), drive_flag(), coeffs_flag()}},
+       {length_flag(), style_flag(), slew_flag(), drive_flag(), coeffs_flag(),
+        corner_flag()}},
       {"timer",
        "<tech>",
        "NLDM table timer on the buffered link (AWE and Elmore wire)",
-       {length_flag(), style_flag(), slew_flag(), drive_flag(), repeaters_flag()}},
+       {length_flag(), style_flag(), slew_flag(), drive_flag(), repeaters_flag(),
+        corner_flag()}},
       {"mesh",
        "<dvopd|vproc|mpeg4|mwd|spec.soc> <tech>",
        "regular 2-D mesh NoC for an SoC spec",
@@ -163,6 +185,7 @@ const std::vector<CommandSpec>& command_registry() {
        "<tech>",
        "export the implemented link as a SPICE deck and/or SPEF",
        {length_flag(), style_flag(), slew_flag(), drive_flag(), repeaters_flag(),
+        corner_flag(),
         {"deck", FlagType::String, "out.sp", "", "write the SPICE deck here"},
         {"spef", FlagType::String, "out.spef", "stdout", "write the SPEF here"}}},
   };
@@ -193,6 +216,7 @@ const std::vector<FlagSpec>& global_flag_specs() {
        "result-cache directory (beats PIM_CACHE_DIR)"},
       {"out-dir", FlagType::String, "dir", "bench_out",
        "directory for report artifacts (beats PIM_OUT_DIR)"},
+      {"version", FlagType::Switch, "", "", "print version and build info, exit"},
       {"help", FlagType::Switch, "", "", "show this help and exit"},
   };
   return flags;
@@ -241,6 +265,15 @@ const char* kExitCodesLine =
     "exit codes: 0 ok, 2 usage, 3 runtime failure, 4 internal error\n";
 
 }  // namespace
+
+std::string version_text() {
+  std::ostringstream os;
+  os << "pim " << kVersion << "\n";
+  os << "  api-version " << api::kApiVersion << "\n";
+  os << "  cache-format " << cache::kFormatVersion << "\n";
+  os << "  compiler " << __VERSION__ << "\n";
+  return os.str();
+}
 
 std::string usage_text() {
   std::ostringstream os;

@@ -79,6 +79,9 @@ void check_known_for(const Args& args, const CommandSpec& spec);
 /// check_known with the global flags appended to `known`.
 void check_known_with_globals(const Args& args, std::vector<std::string> known);
 
+/// The `pim --version` text: semver, api/cache format versions, compiler.
+std::string version_text();
+
 /// The one-screen usage text, generated from the registry.
 std::string usage_text();
 

@@ -47,6 +47,7 @@ api::LinkSpec link_arg(const Args& args) {
   link.drive = static_cast<int>(args.get_long("drive", 12));
   link.repeaters = static_cast<int>(args.get_long("repeaters", 0));
   link.coeffs_path = args.get("coeffs", "");
+  link.corner = args.get("corner", "");
   return link;
 }
 
@@ -74,6 +75,7 @@ int cmd_characterize(const Args& args) {
     for (const std::string& d : split(args.get("drives"), ','))
       req.drives.push_back(static_cast<int>(parse_long(d)));
   req.want_fit = args.has("coeffs");
+  req.corner = args.get("corner", "");
   log_info("characterizing ", req.tech, " (transistor-level simulations)...");
   const api::CharlibResult r = api::run_charlib(req).take();
   if (args.has("lib")) {
@@ -94,6 +96,7 @@ int cmd_fit(const Args& args) {
   api::FitRequest req;
   req.tech = tech_arg(args, 0);
   req.coeffs_path = args.get("coeffs", "");
+  req.corner = args.get("corner", "");
   std::fputs(api::run_fit(req).take().fit_text.c_str(), stdout);
   return 0;
 }
@@ -146,6 +149,7 @@ int cmd_noc(const Args& args) {
   req.model = args.get("model", "proposed");
   req.want_dot = args.has("dot");
   req.coeffs_path = args.get("coeffs", "");
+  req.corners = args.get("corners", "");
   const api::SynthesisResult r = api::run_synthesis(req).take();
   std::printf("%s at %s under the %s model:\n", r.spec_name.c_str(),
               r.tech_name.c_str(), r.model_name.c_str());
@@ -172,6 +176,28 @@ int cmd_yield(const Args& args) {
               req.samples, r.nominal_delay_ps, r.mean_delay_ps, r.sigma_delay_ps);
   std::printf("p90 %.1f ps | p99 %.1f ps | yield at nominal %.1f %%\n",
               r.p90_delay_ps, r.p99_delay_ps, 100.0 * r.yield_at_nominal);
+  return 0;
+}
+
+int cmd_signoff(const Args& args) {
+  obs::TraceSpan span("cli.signoff");
+  api::CornersRequest req;
+  req.link = link_arg(args);
+  req.corners = args.get("corners", "all");
+  req.target_period_ps = args.get_double("period", 0.0);
+  log_info("signing off across corners (per-corner characterization)...");
+  const api::CornersResult r = api::run_corners(req).take();
+  std::printf("%.2f mm %s link at %s, %d repeaters, target %.1f ps:\n",
+              req.link.length_mm, r.style_name.c_str(), r.tech_name.c_str(),
+              r.repeaters, r.target_period_ps);
+  std::printf("  %-10s %10s %10s %10s %10s\n", "corner", "delay ps", "slew ps",
+              "slack ps", "noise mV");
+  for (const api::CornerTimingRow& row : r.corners) {
+    std::printf("  %-10s %10.1f %10.1f %10.1f %10.1f\n", row.corner.c_str(),
+                row.delay_ps, row.output_slew_ps, row.slack_ps, row.noise_peak_mv);
+  }
+  std::printf("worst corner %s, slack %.1f ps\n", r.worst_corner.c_str(),
+              r.worst_slack_ps);
   return 0;
 }
 
@@ -252,6 +278,7 @@ int run_command(const CommandSpec& spec, const Args& args) {
   if (spec.name == "buffer") return cmd_buffer(args);
   if (spec.name == "noc") return cmd_noc(args);
   if (spec.name == "yield") return cmd_yield(args);
+  if (spec.name == "signoff") return cmd_signoff(args);
   if (spec.name == "noise") return cmd_noise(args);
   if (spec.name == "timer") return cmd_timer(args);
   if (spec.name == "mesh") return cmd_mesh(args);
@@ -266,6 +293,10 @@ int dispatch(int argc, char** argv) {
     std::fputs(usage_text().c_str(), stdout);
     return 0;
   }
+  if (command == "--version" || command == "version") {
+    std::fputs(version_text().c_str(), stdout);
+    return 0;
+  }
   const CommandSpec* spec = find_command(command);
   if (spec == nullptr) {
     log_error("unknown command '", command, "'");
@@ -274,6 +305,10 @@ int dispatch(int argc, char** argv) {
   const Args args(argc, argv, 2);
   if (args.has("help")) {
     std::fputs(help_text(*spec).c_str(), stdout);
+    return 0;
+  }
+  if (args.has("version")) {
+    std::fputs(version_text().c_str(), stdout);
     return 0;
   }
   check_known_for(args, *spec);
