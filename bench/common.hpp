@@ -11,8 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "cache/store.hpp"
 #include "exec/engine.hpp"
 #include "models/proposed.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "sta/calibrated.hpp"
@@ -75,10 +77,23 @@ class MetricsArtifact {
  public:
   explicit MetricsArtifact(std::string name, bool collect = true)
       : name_(std::move(name)),
-        collect_(collect || std::getenv("PIM_METRICS") != nullptr) {
+        collect_(collect || std::getenv("PIM_METRICS") != nullptr),
+        start_ns_(obs::now_ns()) {
     if (collect_) obs::set_enabled(true);
   }
   ~MetricsArtifact() {
+    // Every bench run appends to the run ledger (same record shape as the
+    // CLI), whether or not metric collection was on, so a bench_out
+    // directory reads as a complete run history. PIM_LEDGER=off opts out.
+    if (const char* env = std::getenv("PIM_LEDGER");
+        env == nullptr || std::string(env) != "off") {
+      obs::LedgerRecord record;
+      record.command = "bench." + name_;
+      record.cache_mode = cache::mode_name(cache::mode());
+      record.threads = exec::threads();
+      record.wall_ns = obs::now_ns() - start_ns_;
+      obs::append_ledger_record(out_dir() + "/ledger.jsonl", record);
+    }
     if (!collect_) return;
     const std::string path = out_dir() + "/" + name_ + ".metrics.json";
     obs::save_metrics_json(path);
@@ -90,6 +105,7 @@ class MetricsArtifact {
  private:
   std::string name_;
   bool collect_;
+  int64_t start_ns_;
 };
 
 /// One point of a thread-scaling sweep.
@@ -135,5 +151,39 @@ inline std::vector<ScalingPoint> thread_scaling_sweep(
   exec::set_threads(0);
   return points;
 }
+
+// ---------------------------------------------------------------------------
+// Bench-case registry (the pim_bench harness; docs/observability.md)
+// ---------------------------------------------------------------------------
+
+/// One measured scalar a bench case reports. `rel_tol` is the fractional
+/// headroom bench_compare grants before calling a higher value a
+/// regression; 0 marks a deterministic count that must not change at all.
+struct BenchMetric {
+  std::string name;  ///< e.g. "ns_per_eval"; reported as "<case>.<name>"
+  double value = 0.0;
+  std::string unit;     ///< "ns", "us", "count", ...
+  double rel_tol = 0.5; ///< generous by default: the gate hunts real regressions
+};
+
+/// A registered benchmark: a closure returning its metrics for one
+/// repetition. Smoke cases must be cheap (no characterization) — they run
+/// in the tier-1 ctest pass.
+struct BenchCase {
+  std::string name;
+  bool smoke = false;
+  std::function<std::vector<BenchMetric>()> fn;
+};
+
+/// All registered cases, in registration order.
+inline std::vector<BenchCase>& bench_registry() {
+  static std::vector<BenchCase> cases;
+  return cases;
+}
+
+/// File-scope registrar: `static BenchRegistrar r{{"name", true, fn}};`.
+struct BenchRegistrar {
+  explicit BenchRegistrar(BenchCase c) { bench_registry().push_back(std::move(c)); }
+};
 
 }  // namespace pim::bench

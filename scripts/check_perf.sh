@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Perf regression gate: runs the pim_bench harness and compares the fresh
+# record against the latest committed BENCH_*.json at the repo root via
+# bench_compare (per-metric tolerances; non-zero exit on regression).
+# Run from anywhere; uses the build/bench_out coefficient cache so repeat
+# runs skip characterization. See docs/observability.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Reuse the existing build tree whatever its generator; -G here would
+# conflict with a tree configured differently.
+cmake -B build >/dev/null
+cmake --build build >/dev/null
+
+baseline=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+if [[ -z "$baseline" ]]; then
+  echo "check_perf: no BENCH_*.json baseline at the repo root" >&2
+  echo "check_perf: create one with: (cd build && ./tools/pim_bench --out ../BENCH_$(date -u +%F).json)" >&2
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "=== pim_bench (fresh run) ==="
+mkdir -p build/bench_out  # shared coefficient cache location
+(cd build && ./tools/pim_bench --reps 5 --out "$workdir/fresh.json")
+
+echo "=== bench_compare against $baseline ==="
+./build/tools/bench_compare "$baseline" "$workdir/fresh.json"
+
+echo "check_perf: OK"

@@ -25,5 +25,6 @@ cd ..
 scripts/check_metrics.sh
 scripts/check_cache.sh
 scripts/check_corners.sh
+scripts/check_perf.sh
 scripts/check_sanitize.sh
 scripts/check_tsan.sh

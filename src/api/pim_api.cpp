@@ -40,9 +40,18 @@ void check_version(int version, const char* who) {
 
 // Uniform exception boundary: the facade never throws — every failure
 // comes back as an Expected error carrying the ErrorCode taxonomy.
+//
+// Each run_* call is also a metrics scope: the registry is zeroed on
+// entry so a long-lived process making successive facade calls (a
+// daemon, a notebook) gets per-request counters/timers in its ledger and
+// profile snapshots instead of an accumulation over all prior requests.
+// The trace buffer is left alone — span capture belongs to whoever
+// enabled tracing (the CLI's span around the whole command must survive
+// the call).
 template <typename R, typename F>
 Expected<R> guarded(const char* who, F&& body) {
   try {
+    obs::registry().reset();
     return body();
   } catch (const Error& e) {
     return Expected<R>(e.with_context(std::string("in pim::api::") + who));

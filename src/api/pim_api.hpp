@@ -29,11 +29,14 @@
 #include <vector>
 
 #include "util/expected.hpp"
+#include "util/version.hpp"
 
 namespace pim::api {
 
-/// Version of the request/result structs in this header.
-inline constexpr int kApiVersion = 1;
+/// Version of the request/result structs in this header. The number
+/// itself lives in util/version.hpp so artifact stamping (ledger, bench
+/// harness) can read it without pulling in the facade.
+inline constexpr int kApiVersion = kApiVersionNumber;
 
 // ---------------------------------------------------------------------------
 // Shared request pieces

@@ -22,13 +22,16 @@
 #include <vector>
 
 #include "cache/sha256.hpp"
+#include "util/version.hpp"
 
 namespace pim::cache {
 
 /// Bump when the canonicalization or any cached payload layout changes;
 /// folded into every key, so old entries become unreachable (not
-/// misread) after an upgrade.
-inline constexpr int kFormatVersion = 2;
+/// misread) after an upgrade. The number itself lives in
+/// util/version.hpp so artifact stamping (ledger, bench harness) can
+/// read it without pulling in the cache layer.
+inline constexpr int kFormatVersion = kCacheFormatVersion;
 
 /// A finished key: the kind tag (directory / entry header) plus the
 /// 64-hex-character digest.

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
@@ -37,6 +38,35 @@ std::string& dir_override() {
 void set_bytes_gauge(size_t bytes) {
   obs::registry().gauge("cache.bytes").set(static_cast<double>(bytes));
 }
+
+// cache.* deep metrics (docs/observability.md): per-tier load-latency
+// histograms, a payload-size histogram (the Timer machinery is
+// unit-agnostic — here the "ns" slots carry bytes), and a hit-rate gauge
+// derived from the hit/miss counters so it resets with the registry.
+// Handles resolve once; every record is behind obs::enabled(), keeping
+// the disabled path at one relaxed load + branch.
+struct CacheMetrics {
+  obs::Timer& mem_load = obs::registry().timer("cache.mem.load");
+  obs::Timer& disk_load = obs::registry().timer("cache.disk.load");
+  obs::Timer& entry_bytes = obs::registry().timer("cache.entry.bytes");
+  obs::Gauge& hit_rate = obs::registry().gauge("cache.hit_rate");
+  obs::Counter& hit = obs::registry().counter("cache.hit");
+  obs::Counter& miss = obs::registry().counter("cache.miss");
+
+  static CacheMetrics& get() {
+    static CacheMetrics m;
+    return m;
+  }
+
+  /// Refreshes cache.hit_rate from the counters (call after the lookup's
+  /// PIM_COUNT lands). Shard-buffered increments from in-flight parallel
+  /// chunks may lag the reading — fine for a gauge; totals stay exact.
+  void update_hit_rate() {
+    const double h = static_cast<double>(hit.value());
+    const double total = h + static_cast<double>(miss.value());
+    if (total > 0) hit_rate.set(h / total);
+  }
+};
 
 }  // namespace
 
@@ -215,19 +245,28 @@ std::optional<std::string> Store::get(const CacheKey& key) {
     return std::nullopt;
   }
   if (mode() == Mode::Off) return std::nullopt;
+  const bool timing = obs::enabled();
+  CacheMetrics* metrics = timing ? &CacheMetrics::get() : nullptr;
+  const int64_t start = timing ? obs::now_ns() : 0;
   const std::string id = key.kind + "/" + key.hex;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (auto it = index_.find(id); it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       PIM_COUNT("cache.hit");
+      if (metrics) {
+        metrics->mem_load.record_ns(obs::now_ns() - start);
+        metrics->update_hit_rate();
+      }
       return it->second->payload;
     }
   }
+  const int64_t disk_start = timing ? obs::now_ns() : 0;
   const std::string path = entry_path(key);
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     PIM_COUNT("cache.miss");
+    if (metrics) metrics->update_hit_rate();
     return std::nullopt;
   }
   std::ostringstream buffer;
@@ -238,6 +277,7 @@ std::optional<std::string> Store::get(const CacheKey& key) {
     // the recompute's put() replaces it with a good one.
     PIM_COUNT("cache.corrupt");
     PIM_COUNT("cache.miss");
+    if (metrics) metrics->update_hit_rate();
     log_warn("cache: ignoring corrupt entry '", path, "': ",
              payload.error().message());
     if (mode() == Mode::ReadWrite) {
@@ -249,6 +289,11 @@ std::optional<std::string> Store::get(const CacheKey& key) {
   PIM_COUNT("cache.hit");
   PIM_COUNT("cache.disk.hit");
   std::string value = payload.take();
+  if (metrics) {
+    metrics->disk_load.record_ns(obs::now_ns() - disk_start);
+    metrics->entry_bytes.record_ns(static_cast<int64_t>(value.size()));
+    metrics->update_hit_rate();
+  }
   insert_memory(id, value);
   return value;
 }
@@ -259,6 +304,8 @@ void Store::put(const CacheKey& key, std::string_view payload) {
     return;
   }
   if (mode() == Mode::Off) return;
+  if (obs::enabled())
+    CacheMetrics::get().entry_bytes.record_ns(static_cast<int64_t>(payload.size()));
   insert_memory(key.kind + "/" + key.hex, std::string(payload));
   if (mode() != Mode::ReadWrite) return;
   // Disk failures only cost future warm starts, so they demote to a

@@ -24,8 +24,10 @@
 // one cache directory never observe half-written entries.
 //
 // Metrics: cache.hit, cache.miss, cache.disk.hit, cache.evict,
-// cache.corrupt, cache.write counters and the cache.bytes gauge
-// (memory-tier footprint).
+// cache.corrupt, cache.write counters; cache.bytes (memory-tier
+// footprint) and cache.hit_rate gauges; cache.mem.load / cache.disk.load
+// per-tier load-latency histograms and the cache.entry.bytes
+// payload-size histogram (docs/observability.md).
 #pragma once
 
 #include <cstdint>

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/faultinject.hpp"
 #include "util/strings.hpp"
 
@@ -136,6 +137,54 @@ void run_chunk(size_t begin, size_t end, bool fail_fast,
   shard.flush();
 }
 
+// --------------------------------------------------- scheduler metrics
+
+// exec.* scheduler metrics (docs/observability.md). Handles resolve once;
+// recording happens once per chunk or region, OUTSIDE the chunk's
+// MetricShard (which run_chunk uninstalls before returning), so the
+// disabled path costs one relaxed load + branch per chunk — nothing per
+// item.
+struct ExecMetrics {
+  obs::Timer& queue_wait = obs::registry().timer("exec.queue.wait");
+  obs::Timer& chunk_run = obs::registry().timer("exec.chunk.run");
+  obs::Timer& chunk_items = obs::registry().timer("exec.chunk.items");
+  obs::Gauge& busy = obs::registry().gauge("exec.thread.busy_ns");
+  obs::Gauge& idle = obs::registry().gauge("exec.thread.idle_ns");
+  obs::Gauge& imbalance = obs::registry().gauge("exec.region.imbalance");
+
+  static ExecMetrics& get() {
+    static ExecMetrics m;
+    return m;
+  }
+};
+
+// run_chunk plus instrumentation: queue-wait latency (`queued_ns` is the
+// submit timestamp; < 0 means the chunk never sat in the pool queue —
+// serial regions and the caller-run chunk 0), chunk wall time, chunk size
+// histogram, and a chrome-trace span carrying the worker's real thread
+// id. Returns the chunk duration in ns (0 when collection is off).
+int64_t run_chunk_instr(size_t begin, size_t end, bool fail_fast,
+                        const std::function<void(size_t)>& body,
+                        ChunkResult& result, int64_t queued_ns) {
+  const bool timing = obs::enabled();
+  const bool tracing = obs::trace_enabled();
+  if (!timing && !tracing) {
+    run_chunk(begin, end, fail_fast, body, result);
+    return 0;
+  }
+  ExecMetrics& m = ExecMetrics::get();
+  const int64_t start = obs::now_ns();
+  if (timing) {
+    if (queued_ns >= 0) m.queue_wait.record_ns(start - queued_ns);
+    m.chunk_items.record_ns(static_cast<int64_t>(end - begin));
+  }
+  run_chunk(begin, end, fail_fast, body, result);
+  const int64_t dur = obs::now_ns() - start;
+  if (timing) m.chunk_run.record_ns(dur);
+  obs::record_trace_event("exec.chunk.run", start, dur);
+  return dur;
+}
+
 }  // namespace
 
 int hardware_threads() {
@@ -168,12 +217,18 @@ std::vector<ItemFailure> run_region(size_t n, const ParallelOptions& options,
   // this thread, so results are bit-identical to any parallel schedule.
   if (want == 1 || in_region()) {
     ChunkResult result;
-    run_chunk(0, n, fail_fast, body, result);
+    run_chunk_instr(0, n, fail_fast, body, result, /*queued_ns=*/-1);
     return std::move(result.failures);
   }
 
+  const bool timing = obs::enabled();
+  const int64_t region_start = timing ? obs::now_ns() : 0;
+
   const size_t chunk = (n + want - 1) / want;  // ceil; last chunk clipped
   std::vector<ChunkResult> results(want);
+  // One slot per chunk, written only by the chunk's runner; read after
+  // the join to derive the region's busy/idle/imbalance gauges.
+  std::vector<int64_t> chunk_dur(want, 0);
 
   struct Join {
     std::mutex mu;
@@ -184,10 +239,13 @@ std::vector<ItemFailure> run_region(size_t n, const ParallelOptions& options,
   ThreadPool& pool = ThreadPool::instance();
   pool.ensure_workers(want - 1);
   for (size_t c = 1; c < want; ++c) {
-    pool.submit([&, c] {
+    const int64_t submit_ns = timing ? obs::now_ns() : -1;
+    pool.submit([&, c, submit_ns] {
       const size_t begin = c * chunk;
       const size_t end = std::min(n, begin + chunk);
-      if (begin < end) run_chunk(begin, end, fail_fast, body, results[c]);
+      if (begin < end)
+        chunk_dur[c] =
+            run_chunk_instr(begin, end, fail_fast, body, results[c], submit_ns);
       // Notify under the lock: the caller destroys `join` as soon as it
       // observes remaining == 0, which it can only do after we release
       // the mutex — so the condition variable outlives this call.
@@ -199,10 +257,31 @@ std::vector<ItemFailure> run_region(size_t n, const ParallelOptions& options,
     });
   }
   // The calling thread takes chunk 0, then joins.
-  run_chunk(0, std::min(n, chunk), fail_fast, body, results[0]);
+  chunk_dur[0] = run_chunk_instr(0, std::min(n, chunk), fail_fast, body,
+                                 results[0], /*queued_ns=*/-1);
   {
     std::unique_lock<std::mutex> lock(join.mu);
     join.cv.wait(lock, [&] { return join.remaining == 0; });
+  }
+
+  if (timing) {
+    const int64_t wall = obs::now_ns() - region_start;
+    int64_t busy = 0, max_dur = 0;
+    for (int64_t d : chunk_dur) {
+      busy += d;
+      max_dur = std::max(max_dur, d);
+    }
+    ExecMetrics& m = ExecMetrics::get();
+    // busy/idle accumulate over the run; idle is the time the region's
+    // thread slots were not executing chunk bodies (queue wait, join).
+    m.busy.add(static_cast<double>(busy));
+    const int64_t idle = static_cast<int64_t>(want) * wall - busy;
+    m.idle.add(static_cast<double>(idle > 0 ? idle : 0));
+    // Imbalance = slowest chunk / mean chunk (1.0 = perfectly even); a
+    // per-region reading, last region wins.
+    if (busy > 0)
+      m.imbalance.set(static_cast<double>(max_dur) * static_cast<double>(want) /
+                      static_cast<double>(busy));
   }
 
   // Chunks are contiguous ascending index ranges, so concatenating their

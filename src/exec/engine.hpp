@@ -19,9 +19,13 @@
 //  - Fault injection stays deterministic: each item runs under a
 //    fault::ScopedStream(i), so armed sites fire on the same items at any
 //    thread count (see util/faultinject.hpp).
-//  - Metrics stay exact: each chunk buffers counter increments in a
-//    per-thread obs::MetricShard merged at join — no lock, no shared
-//    cache line on the hot path.
+//  - Metrics stay exact: each chunk buffers counter increments AND timer
+//    samples (histogram buckets included) in a per-thread
+//    obs::MetricShard merged at join — no lock, no shared cache line on
+//    the hot path, and reported totals/quantiles are bit-identical at
+//    any thread count. The engine itself exports exec.* scheduler
+//    metrics (queue-wait/chunk histograms, busy/idle/imbalance gauges)
+//    when collection is on — see docs/observability.md.
 //
 // Error semantics: parallel_for / parallel_map are fail-fast — the error
 // of the LOWEST failing item index is rethrown after the join (chunks

@@ -1,0 +1,130 @@
+#include "obs/ledger.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifdef __unix__
+#include <sys/resource.h>
+#endif
+
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/version.hpp"
+
+namespace pim::obs {
+namespace {
+
+// Wall-clock timestamp as UTC ISO-8601 ("2026-08-08T12:34:56Z"). The
+// ledger is append-only history, so unlike metric values this is real
+// (non-monotonic) time.
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#ifdef __unix__
+  gmtime_r(&now, &tm);
+#else
+  tm = *std::gmtime(&now);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+int64_t snapshot_counter(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.counters)
+    if (n == name) return v;
+  return 0;
+}
+
+}  // namespace
+
+int64_t peak_rss_bytes() {
+#ifdef __unix__
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in KiB (BSD reports bytes; this codebase
+  // targets Linux — see ROADMAP).
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
+}
+
+void update_process_gauges() {
+  static Gauge& rss = registry().gauge("proc.peak_rss_bytes");
+  static Gauge& wall = registry().gauge("proc.wall_ns");
+  rss.force_set(static_cast<double>(peak_rss_bytes()));
+  wall.force_set(static_cast<double>(now_ns()));
+}
+
+std::string ledger_record_json(const LedgerRecord& record) {
+  update_process_gauges();
+  const MetricsSnapshot snap = registry().snapshot();
+
+  std::ostringstream os;
+  os << "{\"schema\": \"pim.ledger.v1\"";
+  os << ", \"ts\": " << json_quote(utc_timestamp());
+  os << ", \"version\": {\"pim\": " << json_quote(kVersion)
+     << ", \"api\": " << kApiVersionNumber
+     << ", \"cache_format\": " << kCacheFormatVersion << "}";
+  os << ", \"command\": " << json_quote(record.command);
+  os << ", \"positionals\": [";
+  for (size_t i = 0; i < record.positionals.size(); ++i)
+    os << (i ? ", " : "") << json_quote(record.positionals[i]);
+  os << "]";
+  os << ", \"flags\": {";
+  for (size_t i = 0; i < record.flags.size(); ++i)
+    os << (i ? ", " : "") << json_quote(record.flags[i].first) << ": "
+       << json_quote(record.flags[i].second);
+  os << "}";
+  os << ", \"corners\": " << json_quote(record.corners);
+  os << ", \"threads\": " << record.threads;
+  os << ", \"cache\": {\"mode\": " << json_quote(record.cache_mode)
+     << ", \"hit\": " << snapshot_counter(snap, "cache.hit")
+     << ", \"miss\": " << snapshot_counter(snap, "cache.miss")
+     << ", \"bypass\": " << snapshot_counter(snap, "cache.bypass")
+     << ", \"disk_hit\": " << snapshot_counter(snap, "cache.disk.hit") << "}";
+  os << ", \"exit_code\": " << record.exit_code;
+  os << ", \"wall_ns\": " << record.wall_ns;
+  os << ", \"peak_rss_bytes\": " << peak_rss_bytes();
+
+  os << ", \"metrics\": {\"counters\": {";
+  for (size_t i = 0; i < snap.counters.size(); ++i)
+    os << (i ? ", " : "") << json_quote(snap.counters[i].first) << ": "
+       << snap.counters[i].second;
+  os << "}, \"gauges\": {";
+  for (size_t i = 0; i < snap.gauges.size(); ++i)
+    os << (i ? ", " : "") << json_quote(snap.gauges[i].first) << ": "
+       << json_number(snap.gauges[i].second);
+  os << "}, \"timers\": {";
+  for (size_t i = 0; i < snap.timers.size(); ++i) {
+    const TimerSnapshot& t = snap.timers[i];
+    os << (i ? ", " : "") << json_quote(t.name) << ": {\"count\": " << t.count
+       << ", \"total_ns\": " << t.total_ns << ", \"min_ns\": " << t.min_ns
+       << ", \"max_ns\": " << t.max_ns
+       << ", \"p50_ns\": " << json_number(t.quantile_ns(0.5))
+       << ", \"p99_ns\": " << json_number(t.quantile_ns(0.99)) << "}";
+  }
+  os << "}}}";
+  return os.str();
+}
+
+void append_ledger_record(const std::string& path, const LedgerRecord& record) {
+  try {
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream out(p, std::ios::app);
+    if (!out.good()) return;
+    out << ledger_record_json(record) << '\n';
+  } catch (...) {
+    // Ledger writes are best-effort: never fail the run they describe.
+  }
+}
+
+}  // namespace pim::obs

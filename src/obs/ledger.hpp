@@ -1,0 +1,59 @@
+// Run ledger: one JSON-lines record per CLI command / bench run,
+// appended to `<out-dir>/ledger.jsonl` so a directory of runs reads as a
+// perf history (docs/observability.md documents the schema).
+//
+// Each record ("pim.ledger.v1") carries the library/API/cache-format
+// versions (util/version.hpp), the command with its resolved flags, the
+// corner set, the thread count, the cache temperature (hit/miss/bypass
+// counts pulled from the metric snapshot), wall-clock, peak RSS, and the
+// full counter/gauge/timer snapshot. Records are appended through the
+// same exit-code-contract path that flushes --profile reports, so failed
+// runs (exit 2/3/4) land in the ledger too, with their exit code.
+//
+// Layering: obs sits below cache/exec/api, so the caller supplies the
+// strings those layers own (cache mode name, thread count); the cache
+// counters themselves come out of the metrics registry by name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pim::obs {
+
+/// Everything a ledger record needs beyond the metric registry itself.
+struct LedgerRecord {
+  std::string command;  ///< e.g. "yield", "bench.model_eval"
+  /// Resolved flags as (name, value) in command-line order; boolean
+  /// flags carry "" as the value.
+  std::vector<std::pair<std::string, std::string>> flags;
+  std::vector<std::string> positionals;
+  std::string corners;     ///< corner spec; "" = nominal
+  std::string cache_mode;  ///< "auto", "off", ... (caller-supplied)
+  int exit_code = 0;
+  int threads = 0;     ///< resolved worker count
+  int64_t wall_ns = 0;  ///< whole-run wall clock
+};
+
+/// Peak resident set size of this process in bytes (getrusage), or 0
+/// where unavailable.
+int64_t peak_rss_bytes();
+
+/// Refreshes the process gauges `proc.peak_rss_bytes` and `proc.wall_ns`
+/// (monotonic ns since process start). Stored unconditionally so every
+/// report/ledger carries them even when hot-path collection is off.
+void update_process_gauges();
+
+/// One ledger line (no trailing newline): versions + record + a full
+/// snapshot of the global metrics registry, taken after refreshing the
+/// process gauges.
+std::string ledger_record_json(const LedgerRecord& record);
+
+/// Appends `ledger_record_json(record)` + '\n' to `path`, creating the
+/// file (and parent directory) as needed. Best-effort by design: ledger
+/// I/O failure must never turn a successful run into a failed one, so
+/// errors are swallowed.
+void append_ledger_record(const std::string& path, const LedgerRecord& record);
+
+}  // namespace pim::obs

@@ -12,9 +12,9 @@
 //  - Everything is thread-safe. Counters/gauges/timers update with
 //    relaxed atomics, so concurrent writers are race-free; parallel hot
 //    loops additionally install per-thread MetricShards (the exec engine
-//    does this per chunk) that buffer counter deltas locally and merge
-//    them at join, keeping even the atomic traffic off the hot path
-//    while totals stay exact.
+//    does this per chunk) that buffer counter deltas AND timer samples
+//    locally and merge them exactly at join, keeping even the atomic
+//    traffic off the hot path while totals stay exact.
 //
 // Names follow the `subsystem.noun.verb` scheme, e.g.
 // "spice.newton.iterations" or "buffering.candidate.count".
@@ -41,24 +41,47 @@ inline std::atomic<bool>& enabled_flag() {
 inline bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
 
 class Counter;
+class Timer;
 
-/// Per-thread counter buffer for parallel hot loops. A worker thread that
+/// Number of log-2 histogram buckets per Timer (bucket k counts values
+/// in [2^k, 2^(k+1)) ns; 2^48 ns ~ 3.3 days, plenty). A namespace-level
+/// constant so MetricShard can size its buffered deltas before Timer is
+/// defined.
+inline constexpr int kTimerBuckets = 48;
+
+/// Exact per-thread aggregate of Timer::record_ns calls buffered by a
+/// MetricShard: the same count/total/min/max/bucket state a Timer keeps,
+/// accumulated without atomics and merged in one pass at flush.
+struct TimerDelta {
+  Timer* timer = nullptr;
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t min_ns = INT64_MAX;
+  int64_t max_ns = 0;
+  int64_t buckets[kTimerBuckets] = {};
+};
+
+/// Per-thread metric buffer for parallel hot loops. A worker thread that
 /// installs a shard (via ShardScope — the exec engine does this per
-/// chunk) turns every Counter::add on that thread into a plain non-atomic
-/// accumulation into a small local table; flush() merges the buffered
-/// deltas into the shared atomics in one fetch_add per counter. Totals
-/// stay exact; the hot path touches no lock and no shared cache line.
+/// chunk) turns every Counter::add and Timer::record_ns on that thread
+/// into a plain non-atomic accumulation into a small local table;
+/// flush() merges the buffered state into the shared atomics in one pass
+/// per metric. Totals stay exact — histogram bucket counts included, so
+/// reported quantiles are bit-identical at any thread count — and the
+/// hot path touches no lock and no shared cache line.
 class MetricShard {
  public:
   void add(Counter& counter, int64_t delta);
+  void record(Timer& timer, int64_t ns);
 
-  /// Applies every buffered delta to its counter and empties the shard.
+  /// Applies every buffered delta to its metric and empties the shard.
   void flush();
 
  private:
-  // Hot loops touch a handful of distinct counters, so a linear scan over
+  // Hot loops touch a handful of distinct metrics, so a linear scan over
   // a small vector beats hashing.
   std::vector<std::pair<Counter*, int64_t>> deltas_;
+  std::vector<TimerDelta> timers_;
 };
 
 /// This thread's active shard slot (null when no shard is installed —
@@ -116,12 +139,6 @@ inline void MetricShard::add(Counter& counter, int64_t delta) {
   deltas_.emplace_back(&counter, delta);
 }
 
-inline void MetricShard::flush() {
-  for (auto& [slot, buffered] : deltas_)
-    if (buffered != 0) slot->merge(buffered);
-  deltas_.clear();
-}
-
 /// Last-value-wins measurement (also supports accumulation).
 class Gauge {
  public:
@@ -129,6 +146,10 @@ class Gauge {
     if (!enabled()) return;
     value_.store(v, std::memory_order_relaxed);
   }
+  /// Stores regardless of the collection switch — for process-level
+  /// readings (peak RSS, wall clock) that ledger records and reports
+  /// carry even when hot-path collection is off.
+  void force_set(double v) { value_.store(v, std::memory_order_relaxed); }
   void add(double delta) {
     if (!enabled()) return;
     double cur = value_.load(std::memory_order_relaxed);
@@ -143,15 +164,22 @@ class Gauge {
 };
 
 /// Wall-time accumulator with count/total/min/max plus a power-of-two
-/// duration histogram (bucket k counts durations in [2^k, 2^(k+1)) ns),
-/// from which quantiles are estimated at reporting time.
+/// histogram (bucket k counts values in [2^k, 2^(k+1))), from which
+/// quantiles are estimated at reporting time. The unit is nanoseconds
+/// for duration timers, but the histogram is unit-agnostic — some
+/// metrics record sizes (cache.entry.bytes) or counts (exec.chunk.items)
+/// to get the same exact distribution machinery.
 class Timer {
  public:
-  static constexpr int kBuckets = 48;  // 2^48 ns ~ 3.3 days; plenty
+  static constexpr int kBuckets = kTimerBuckets;
 
   void record_ns(int64_t ns) {
     if (!enabled()) return;
     if (ns < 0) ns = 0;
+    if (MetricShard* shard = shard_slot()) {
+      shard->record(*this, ns);
+      return;
+    }
     count_.fetch_add(1, std::memory_order_relaxed);
     total_ns_.fetch_add(ns, std::memory_order_relaxed);
     atomic_min(min_ns_, ns);
@@ -185,6 +213,18 @@ class Timer {
     return k;
   }
 
+  /// Applies a shard-buffered aggregate directly to the shared atomics,
+  /// bypassing the shard path (used by MetricShard::flush).
+  void merge(const TimerDelta& delta) {
+    count_.fetch_add(delta.count, std::memory_order_relaxed);
+    total_ns_.fetch_add(delta.total_ns, std::memory_order_relaxed);
+    atomic_min(min_ns_, delta.min_ns);
+    atomic_max(max_ns_, delta.max_ns);
+    for (int k = 0; k < kBuckets; ++k)
+      if (delta.buckets[k] != 0)
+        buckets_[k].fetch_add(delta.buckets[k], std::memory_order_relaxed);
+  }
+
  private:
   static void atomic_min(std::atomic<int64_t>& slot, int64_t v) {
     int64_t cur = slot.load(std::memory_order_relaxed);
@@ -203,6 +243,35 @@ class Timer {
   std::atomic<int64_t> max_ns_{0};
   std::atomic<int64_t> buckets_[kBuckets] = {};
 };
+
+inline void MetricShard::record(Timer& timer, int64_t ns) {
+  TimerDelta* slot = nullptr;
+  for (TimerDelta& d : timers_) {
+    if (d.timer == &timer) {
+      slot = &d;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    timers_.emplace_back();
+    slot = &timers_.back();
+    slot->timer = &timer;
+  }
+  ++slot->count;
+  slot->total_ns += ns;
+  if (ns < slot->min_ns) slot->min_ns = ns;
+  if (ns > slot->max_ns) slot->max_ns = ns;
+  ++slot->buckets[Timer::bucket_of(ns)];
+}
+
+inline void MetricShard::flush() {
+  for (auto& [slot, buffered] : deltas_)
+    if (buffered != 0) slot->merge(buffered);
+  deltas_.clear();
+  for (TimerDelta& d : timers_)
+    if (d.count != 0) d.timer->merge(d);
+  timers_.clear();
+}
 
 /// Point-in-time copy of one timer, taken for reporting.
 struct TimerSnapshot {
@@ -240,8 +309,10 @@ class MetricsRegistry {
 
   MetricsSnapshot snapshot() const;
 
-  /// Zeroes every metric (registrations survive). For tests and repeated
-  /// bench phases.
+  /// Zeroes every metric (registrations survive). For tests, repeated
+  /// bench phases, and the per-run scope pim::api establishes (every
+  /// run_* entry point resets, so successive requests in one process
+  /// never bleed into each other's ledger snapshots).
   void reset();
 
  private:

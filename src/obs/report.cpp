@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/ledger.hpp"
 #include "util/error.hpp"
 
 namespace pim::obs {
@@ -44,6 +45,15 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  require(out.good(), "obs: cannot open '" + path + "' for writing");
+  out << content;
+  require(out.good(), "obs: failed writing '" + path + "'");
+}
+
+}  // namespace
+
 // Shortest-ish double formatting that stays valid JSON (no inf/nan).
 std::string json_number(double v) {
   if (!std::isfinite(v)) return "0";
@@ -57,14 +67,7 @@ std::string json_number(double v) {
   return back == v ? shorter : buf;
 }
 
-void write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path);
-  require(out.good(), "obs: cannot open '" + path + "' for writing");
-  out << content;
-  require(out.good(), "obs: failed writing '" + path + "'");
-}
-
-}  // namespace
+std::string json_quote(const std::string& s) { return '"' + json_escape(s) + '"'; }
 
 std::string metrics_to_json(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
@@ -121,10 +124,12 @@ std::string trace_to_chrome_json(const std::vector<TraceEvent>& events) {
 }
 
 void save_metrics_json(const std::string& path) {
+  update_process_gauges();
   write_file(path, metrics_to_json(registry().snapshot()));
 }
 
 void save_metrics_csv(const std::string& path) {
+  update_process_gauges();
   write_file(path, metrics_to_csv(registry().snapshot()));
 }
 

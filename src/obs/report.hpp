@@ -14,6 +14,14 @@
 
 namespace pim::obs {
 
+/// `"..."` — JSON string literal with escaping. Shared by the report
+/// writers, the run ledger, and the bench harness so every artifact
+/// escapes identically.
+std::string json_quote(const std::string& s);
+
+/// Shortest double rendering that reparses exactly (never inf/nan).
+std::string json_number(double v);
+
 /// Machine-readable registry dump. Shape:
 ///   { "schema": "pim.metrics.v1",
 ///     "counters": {"name": 123, ...},

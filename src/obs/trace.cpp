@@ -4,6 +4,11 @@
 #include <chrono>
 #include <mutex>
 
+#ifdef __linux__
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 namespace pim::obs {
 namespace {
 
@@ -20,10 +25,19 @@ TraceBuffer& buffer() {
   return b;
 }
 
+// Real OS thread id, so exec worker spans line up with what `top -H`,
+// perf, and core dumps report. Falls back to a process-local sequential
+// id where no kernel tid is available.
 uint32_t this_thread_id() {
+#ifdef __linux__
+  thread_local const uint32_t id =
+      static_cast<uint32_t>(::syscall(SYS_gettid));
+  return id;
+#else
   static std::atomic<uint32_t> next{0};
   thread_local const uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
+#endif
 }
 
 thread_local uint16_t t_depth = 0;
@@ -64,6 +78,17 @@ void clear_trace() {
   std::lock_guard<std::mutex> lock(b.mu);
   b.events.clear();
   b.dropped = 0;
+}
+
+void record_trace_event(const char* name, int64_t start_ns, int64_t dur_ns) {
+  if (!trace_enabled()) return;
+  TraceBuffer& b = buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  if (b.events.size() >= b.capacity) {
+    ++b.dropped;
+    return;
+  }
+  b.events.push_back({name, start_ns, dur_ns, this_thread_id(), t_depth});
 }
 
 TraceSpan::TraceSpan(Timer& timer, const char* name)

@@ -1,10 +1,22 @@
-// Library version identity, shared by `pim --version` and anything that
-// stamps artifacts. Semver: the minor tracks the PR sequence growing the
-// library; a major stays 0 until the paper reproduction is complete.
+// Library version identity, shared by `pim --version`, the run ledger,
+// and anything that stamps artifacts. Semver: the minor tracks the PR
+// sequence growing the library; a major stays 0 until the paper
+// reproduction is complete.
+//
+// The API and cache-format numbers are *defined* here (single source of
+// truth for artifact stamping) and re-exported under their historical
+// names by api/pim_api.hpp (pim::api::kApiVersion) and cache/key.hpp
+// (pim::cache::kFormatVersion).
 #pragma once
 
 namespace pim {
 
-inline constexpr const char* kVersion = "0.5.0";
+inline constexpr const char* kVersion = "0.6.0";
+
+/// Version of the pim::api request/result structs (api/pim_api.hpp).
+inline constexpr int kApiVersionNumber = 1;
+
+/// Cache canonicalization / payload-layout version (cache/key.hpp).
+inline constexpr int kCacheFormatVersion = 2;
 
 }  // namespace pim

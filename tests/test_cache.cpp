@@ -207,6 +207,39 @@ TEST_F(CacheDirFixture, CorruptDiskEntryFailsOpen) {
   obs::set_enabled(false);
 }
 
+TEST_F(CacheDirFixture, LookupMetricsTrackTiersAndHitRate) {
+  obs::registry().reset();
+  obs::set_enabled(true);
+  Store& store = Store::global();
+  const CacheKey key = key_of("metrics");
+
+  store.get(key);               // miss
+  store.put(key, "12 bytes....");
+  store.get(key);               // memory hit
+  store.clear_memory();
+  store.get(key);               // disk hit
+
+  // hit_rate derives from the cache.hit/cache.miss counters, so after
+  // one miss and two hits it reads 2/3 (and a registry reset clears it
+  // with everything else — no bleed across api requests).
+  EXPECT_DOUBLE_EQ(obs::registry().gauge("cache.hit_rate").value(), 2.0 / 3.0);
+
+  // One load-latency sample per tier that actually served a hit.
+  EXPECT_EQ(obs::registry().timer("cache.mem.load").count(), 1);
+  EXPECT_EQ(obs::registry().timer("cache.disk.load").count(), 1);
+
+  // Entry-size histogram: one sample from put, one from the disk hit,
+  // both the payload size (the histogram machinery is unit-agnostic).
+  obs::Timer& entry_bytes = obs::registry().timer("cache.entry.bytes");
+  EXPECT_EQ(entry_bytes.count(), 2);
+  EXPECT_EQ(entry_bytes.total_ns(), 24);  // 2 x 12-byte payload
+  EXPECT_EQ(entry_bytes.min_ns(), 12);
+  EXPECT_EQ(entry_bytes.max_ns(), 12);
+
+  obs::set_enabled(false);
+  obs::registry().reset();
+}
+
 TEST_F(CacheDirFixture, LruEvictionRespectsBudgets) {
   Store store(Store::Options{/*max_memory_bytes=*/64, /*max_memory_entries=*/2,
                              /*disk_dir=*/dir_});

@@ -20,8 +20,10 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "obs/ledger.hpp"
 #include "util/error.hpp"
 #include "util/paths.hpp"
+#include "util/version.hpp"
 
 namespace pim::cli {
 namespace {
@@ -195,6 +197,76 @@ TEST(CliExitCodes, InjectedIoFaultIsRuntimeError) {
 }
 
 // ---------------------------------------------------------------------------
+// run ledger (docs/observability.md): one JSON-lines record per run
+// ---------------------------------------------------------------------------
+
+std::vector<obs::JsonValue> read_ledger(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<obs::JsonValue> records;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) records.push_back(obs::parse_json(line));
+  return records;
+}
+
+TEST(CliLedger, BinaryAppendsOneRecordPerRunIncludingFailures) {
+  const std::string dir = ::testing::TempDir() + "pim_cli_ledger";
+  std::filesystem::remove_all(dir);
+  // A run that succeeds, then one that fails flag validation (exit 2):
+  // both must land in the same ledger, in run order, with their codes.
+  EXPECT_EQ(run_cli("techfile 45nm --out-dir " + dir + " --log-level off"), 0);
+  EXPECT_EQ(run_cli("techfile 45nm --out-dir " + dir + " --bogus-flag"), 2);
+
+  const auto records = read_ledger(dir + "/ledger.jsonl");
+  ASSERT_EQ(records.size(), 2u);
+
+  const obs::JsonValue& ok = records[0];
+  EXPECT_EQ(ok.find("schema")->text, "pim.ledger.v1");
+  EXPECT_EQ(ok.find("command")->text, "techfile");
+  EXPECT_DOUBLE_EQ(ok.find("exit_code")->number, 0.0);
+  EXPECT_GT(ok.find("wall_ns")->number, 0.0);
+  EXPECT_GT(ok.find("peak_rss_bytes")->number, 0.0);
+  ASSERT_NE(ok.find("version"), nullptr);
+  EXPECT_EQ(ok.find("version")->find("pim")->text, kVersion);
+  ASSERT_NE(ok.find("flags"), nullptr);
+  EXPECT_EQ(ok.find("flags")->find("out-dir")->text, dir);
+  // proc.* gauges ride along in every record, profile flag or not.
+  const obs::JsonValue* gauges = ok.find("metrics")->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_GT(gauges->find("proc.peak_rss_bytes")->number, 0.0);
+  EXPECT_GT(gauges->find("proc.wall_ns")->number, 0.0);
+
+  EXPECT_DOUBLE_EQ(records[1].find("exit_code")->number, 2.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliLedger, OffSwitchSuppressesTheLedger) {
+  const std::string dir = ::testing::TempDir() + "pim_cli_ledger_off";
+  std::filesystem::remove_all(dir);
+  EXPECT_EQ(run_cli("techfile 45nm --out-dir " + dir + " --ledger off"), 0);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/ledger.jsonl"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliLedger, EnvVarSuppressesButExplicitFlagWins) {
+  const std::string dir = ::testing::TempDir() + "pim_cli_ledger_env";
+  std::filesystem::remove_all(dir);
+  const std::string env = "PIM_LEDGER=off ";
+  const std::string cmd = env + std::string(PIM_CLI_PATH) +
+                          " techfile 45nm --out-dir " + dir +
+                          " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()) , 0);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/ledger.jsonl"));
+
+  const std::string forced = env + std::string(PIM_CLI_PATH) +
+                             " techfile 45nm --out-dir " + dir +
+                             " --ledger ledger.jsonl > /dev/null 2>&1";
+  ASSERT_EQ(std::system(forced.c_str()), 0);
+  EXPECT_EQ(read_ledger(dir + "/ledger.jsonl").size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
 // --flag=value binding and the declarative registry
 // ---------------------------------------------------------------------------
 
@@ -308,7 +380,7 @@ TEST(CliExitCodes, UnknownCornerIsUsageError) {
 
 TEST(CliVersion, TextCarriesSemverAndFormatVersions) {
   const std::string text = version_text();
-  EXPECT_NE(text.find("pim 0.5.0"), std::string::npos);
+  EXPECT_NE(text.find(std::string("pim ") + kVersion), std::string::npos);
   EXPECT_NE(text.find("api-version " + std::to_string(api::kApiVersion)),
             std::string::npos);
   EXPECT_NE(text.find("cache-format " + std::to_string(cache::kFormatVersion)),
@@ -400,6 +472,24 @@ TEST(ApiFacade, SynthesisWithBaselineModelRoundTrip) {
   EXPECT_GT(result.value().num_links, 0);
   EXPECT_GT(result.value().dynamic_power_mw, 0.0);
   EXPECT_NE(result.value().dot_text.find("digraph"), std::string::npos);
+}
+
+TEST(ApiFacade, SuccessiveRunsDoNotBleedMetrics) {
+  // Every run_* entry point opens a fresh metric scope: counters left
+  // over from a previous request in the same process must not leak into
+  // the next request's reports or ledger snapshot.
+  obs::set_enabled(true);
+  obs::registry().counter("stale.request.count").add(99);
+  obs::registry().timer("stale.request.time").record_ns(1234);
+
+  api::TechfileRequest req;
+  req.tech = "45nm";
+  ASSERT_TRUE(api::run_techfile(req).ok());
+
+  EXPECT_EQ(obs::registry().counter("stale.request.count").value(), 0);
+  EXPECT_EQ(obs::registry().timer("stale.request.time").count(), 0);
+  obs::set_enabled(false);
+  obs::registry().reset();
 }
 
 }  // namespace

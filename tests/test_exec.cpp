@@ -206,6 +206,64 @@ TEST_F(ExecFixture, MetricShardsLoseNoCounts) {
             static_cast<int64_t>(n));
 }
 
+TEST_F(ExecFixture, ShardMergedTimersAreBitIdenticalAtAnyThreadCount) {
+  // Timer samples recorded inside a region are buffered per chunk and
+  // merged at join; every aggregate — histogram buckets included — must
+  // equal the serial recording no matter the schedule.
+  const size_t n = 1000;
+  const auto sample_ns = [](size_t i) {
+    return static_cast<int64_t>(100 + 37 * (i % 13) * (i % 13));
+  };
+
+  obs::Timer& ref = obs::registry().timer("exec.test.ref.time");
+  for (size_t i = 0; i < n; ++i) ref.record_ns(sample_ns(i));
+  const int64_t want_count = ref.count();
+  const int64_t want_total = ref.total_ns();
+  const int64_t want_min = ref.min_ns();
+  const int64_t want_max = ref.max_ns();
+  std::vector<int64_t> want_buckets(obs::Timer::kBuckets);
+  for (int k = 0; k < obs::Timer::kBuckets; ++k) want_buckets[k] = ref.bucket(k);
+
+  obs::Timer& timer = obs::registry().timer("exec.test.span.time");
+  for (int t : {1, 2, 8}) {
+    timer.reset();
+    exec::parallel_for(
+        n, [&](size_t i) { timer.record_ns(sample_ns(i)); }, {.threads = t});
+    EXPECT_EQ(timer.count(), want_count) << "threads=" << t;
+    EXPECT_EQ(timer.total_ns(), want_total) << "threads=" << t;
+    EXPECT_EQ(timer.min_ns(), want_min) << "threads=" << t;
+    EXPECT_EQ(timer.max_ns(), want_max) << "threads=" << t;
+    for (int k = 0; k < obs::Timer::kBuckets; ++k)
+      EXPECT_EQ(timer.bucket(k), want_buckets[k]) << "threads=" << t
+                                                  << " bucket " << k;
+  }
+}
+
+TEST_F(ExecFixture, SchedulerMetricsCoverQueueWaitAndChunkShape) {
+  // An explicit thread request forces the pool even on one core, so the
+  // submitted chunks (every chunk but the caller's) record queue wait.
+  const size_t n = 1000;
+  exec::parallel_for(n, [](size_t) {}, {.threads = 4});
+
+  obs::Timer& chunk_run = obs::registry().timer("exec.chunk.run");
+  obs::Timer& chunk_items = obs::registry().timer("exec.chunk.items");
+  obs::Timer& queue_wait = obs::registry().timer("exec.queue.wait");
+  EXPECT_EQ(chunk_run.count(), 4);   // one span per chunk
+  EXPECT_EQ(chunk_items.count(), 4);
+  EXPECT_EQ(chunk_items.total_ns(), static_cast<int64_t>(n));  // items, not ns
+  EXPECT_EQ(queue_wait.count(), 3);  // caller chunk 0 never queues
+
+  // Region gauges: busy accumulates chunk time; imbalance is
+  // slowest/mean, so 1.0 is its floor.
+  EXPECT_GT(obs::registry().gauge("exec.thread.busy_ns").value(), 0.0);
+  EXPECT_GE(obs::registry().gauge("exec.region.imbalance").value(), 1.0);
+
+  // A serial region adds chunk spans but no queue wait.
+  exec::parallel_for(16, [](size_t) {}, {.threads = 1});
+  EXPECT_EQ(chunk_run.count(), 5);
+  EXPECT_EQ(queue_wait.count(), 3);
+}
+
 // -------------------------------------------------------------- faults
 
 TEST_F(ExecFixture, FaultFiresAreExactAndThreadCountInvariant) {

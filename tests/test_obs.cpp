@@ -9,6 +9,11 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -99,7 +104,8 @@ TEST_F(ObsTest, ScopedTimerMeasuresSomething) {
     ScopedTimer st(t);
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  const TimerSnapshot* ts = find_timer(registry().snapshot(), "test.timer.scoped");
+  const MetricsSnapshot snap = registry().snapshot();
+  const TimerSnapshot* ts = find_timer(snap, "test.timer.scoped");
   ASSERT_NE(ts, nullptr);
   EXPECT_EQ(ts->count, 1);
   EXPECT_GE(ts->total_ns, 1'000'000);  // at least the 1 ms sleep
@@ -122,7 +128,8 @@ TEST_F(ObsTest, ConcurrentIncrementsAreLossless) {
   }
   for (auto& w : workers) w.join();
   EXPECT_EQ(c.value(), static_cast<int64_t>(kThreads) * kIters);
-  const TimerSnapshot* ts = find_timer(registry().snapshot(), "test.timer.concurrent");
+  const MetricsSnapshot snap = registry().snapshot();
+  const TimerSnapshot* ts = find_timer(snap, "test.timer.concurrent");
   ASSERT_NE(ts, nullptr);
   EXPECT_EQ(ts->count, static_cast<int64_t>(kThreads) * kIters);
 }
@@ -272,6 +279,249 @@ TEST_F(ObsTest, MacroCachesHandleAndCounts) {
   for (int i = 0; i < 5; ++i) PIM_COUNT("macro.cached.count");
   PIM_COUNT_N("macro.cached.count", 10);
   EXPECT_EQ(registry().counter("macro.cached.count").value(), 15);
+}
+
+// --- histogram quantile math -------------------------------------------
+
+TEST_F(ObsTest, BucketOfFollowsLog2Boundaries) {
+  // Bucket k holds [2^k, 2^(k+1)); 0 and 1 both land in bucket 0.
+  EXPECT_EQ(Timer::bucket_of(0), 0);
+  EXPECT_EQ(Timer::bucket_of(1), 0);
+  EXPECT_EQ(Timer::bucket_of(2), 1);
+  EXPECT_EQ(Timer::bucket_of(3), 1);
+  EXPECT_EQ(Timer::bucket_of(4), 2);
+  EXPECT_EQ(Timer::bucket_of(7), 2);
+  EXPECT_EQ(Timer::bucket_of(8), 3);
+  EXPECT_EQ(Timer::bucket_of(1023), 9);
+  EXPECT_EQ(Timer::bucket_of(1024), 10);
+  // Everything past 2^47 saturates into the last bucket.
+  EXPECT_EQ(Timer::bucket_of(int64_t{1} << 47), Timer::kBuckets - 1);
+  EXPECT_EQ(Timer::bucket_of(INT64_MAX), Timer::kBuckets - 1);
+}
+
+TEST_F(ObsTest, QuantileOfEmptyTimerIsZero) {
+  registry().timer("quant.empty.time");
+  const MetricsSnapshot snap = registry().snapshot();
+  const TimerSnapshot* ts = find_timer(snap, "quant.empty.time");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->count, 0);
+  EXPECT_DOUBLE_EQ(ts->quantile_ns(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ts->quantile_ns(0.99), 0.0);
+}
+
+TEST_F(ObsTest, QuantileSingleSampleClampsToMax) {
+  // 1000 ns lands in bucket 9 (upper bound 1024); the quantile clamps the
+  // bucket upper bound to the observed max, so it reports 1000 exactly.
+  Timer& t = registry().timer("quant.single.time");
+  t.record_ns(1000);
+  const MetricsSnapshot snap = registry().snapshot();
+  const TimerSnapshot* ts = find_timer(snap, "quant.single.time");
+  ASSERT_NE(ts, nullptr);
+  ASSERT_EQ(ts->buckets.size(), 1u);
+  EXPECT_EQ(ts->buckets[0].first, 1024);
+  EXPECT_DOUBLE_EQ(ts->quantile_ns(0.5), 1000.0);
+  EXPECT_DOUBLE_EQ(ts->quantile_ns(1.0), 1000.0);
+}
+
+TEST_F(ObsTest, QuantileWalksBucketsInOrder) {
+  // 90 fast samples (bucket upper 16) and 10 slow ones: the median sits
+  // in the fast bucket, the p99 in the slow one.
+  Timer& t = registry().timer("quant.mixed.time");
+  for (int i = 0; i < 90; ++i) t.record_ns(10);
+  for (int i = 0; i < 10; ++i) t.record_ns(1'000'000);
+  const MetricsSnapshot snap = registry().snapshot();
+  const TimerSnapshot* ts = find_timer(snap, "quant.mixed.time");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->count, 100);
+  EXPECT_DOUBLE_EQ(ts->quantile_ns(0.5), 16.0);
+  EXPECT_DOUBLE_EQ(ts->quantile_ns(0.99), 1'000'000.0);  // clamped to max
+}
+
+TEST_F(ObsTest, SaturatedSampleStaysInLastBucket) {
+  Timer& t = registry().timer("quant.saturated.time");
+  t.record_ns(INT64_MAX);
+  EXPECT_EQ(t.bucket(Timer::kBuckets - 1), 1);
+  const MetricsSnapshot snap = registry().snapshot();
+  const TimerSnapshot* ts = find_timer(snap, "quant.saturated.time");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->max_ns, INT64_MAX);
+  // The last bucket's nominal upper bound (2^48) is below max here, so
+  // the estimate is the bound — finite, not max-clamped.
+  EXPECT_DOUBLE_EQ(ts->quantile_ns(1.0), static_cast<double>(int64_t{1} << 48));
+}
+
+TEST_F(ObsTest, NegativeDurationsClampToZero) {
+  Timer& t = registry().timer("quant.negative.time");
+  t.record_ns(-5);
+  EXPECT_EQ(t.count(), 1);
+  EXPECT_EQ(t.total_ns(), 0);
+  EXPECT_EQ(t.min_ns(), 0);
+  EXPECT_EQ(t.bucket(0), 1);
+}
+
+// --- shard-buffered timers ---------------------------------------------
+
+TEST_F(ObsTest, ShardBuffersTimerSamplesUntilFlush) {
+  Timer& t = registry().timer("shard.buffered.time");
+  MetricShard shard;
+  {
+    ShardScope scope(shard);
+    t.record_ns(100);
+    t.record_ns(200);
+    // Buffered: nothing has reached the shared timer yet.
+    EXPECT_EQ(t.count(), 0);
+  }
+  // Scope exit restores the slot but does not flush.
+  EXPECT_EQ(t.count(), 0);
+  shard.flush();
+  EXPECT_EQ(t.count(), 2);
+  EXPECT_EQ(t.total_ns(), 300);
+  EXPECT_EQ(t.min_ns(), 100);
+  EXPECT_EQ(t.max_ns(), 200);
+  EXPECT_EQ(t.bucket(Timer::bucket_of(100)), 1);
+  EXPECT_EQ(t.bucket(Timer::bucket_of(200)), 1);
+}
+
+TEST_F(ObsTest, ShardMergedTimerIsBitIdenticalToDirect) {
+  // The same sample sequence recorded directly and through a shard must
+  // produce identical count/total/min/max and identical histograms.
+  Timer& direct = registry().timer("shard.direct.time");
+  Timer& sharded = registry().timer("shard.merged.time");
+  MetricShard shard;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t ns = 100 + 37 * (i % 13) * (i % 13);
+    direct.record_ns(ns);
+    ShardScope scope(shard);
+    sharded.record_ns(ns);
+  }
+  shard.flush();
+  EXPECT_EQ(sharded.count(), direct.count());
+  EXPECT_EQ(sharded.total_ns(), direct.total_ns());
+  EXPECT_EQ(sharded.min_ns(), direct.min_ns());
+  EXPECT_EQ(sharded.max_ns(), direct.max_ns());
+  for (int k = 0; k < Timer::kBuckets; ++k)
+    EXPECT_EQ(sharded.bucket(k), direct.bucket(k)) << "bucket " << k;
+}
+
+TEST_F(ObsTest, ShardScopeRestoresPreviousSlot) {
+  MetricShard outer_shard;
+  MetricShard inner_shard;
+  EXPECT_EQ(shard_slot(), nullptr);
+  {
+    ShardScope outer(outer_shard);
+    EXPECT_EQ(shard_slot(), &outer_shard);
+    {
+      ShardScope inner(inner_shard);
+      EXPECT_EQ(shard_slot(), &inner_shard);
+    }
+    EXPECT_EQ(shard_slot(), &outer_shard);
+  }
+  EXPECT_EQ(shard_slot(), nullptr);
+}
+
+// --- process gauges and the run ledger ---------------------------------
+
+TEST_F(ObsTest, ForceSetStoresEvenWhenDisabled) {
+  Gauge& g = registry().gauge("proc.test.level");
+  set_enabled(false);
+  g.set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);  // regular set is gated
+  g.force_set(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);  // force_set is not
+}
+
+TEST_F(ObsTest, ProcessGaugesAreAlwaysAvailable) {
+  set_enabled(false);  // even with collection off
+  update_process_gauges();
+  const MetricsSnapshot snap = registry().snapshot();
+  double rss = -1.0, wall = -1.0;
+  for (const auto& [name, v] : snap.gauges) {
+    if (name == "proc.peak_rss_bytes") rss = v;
+    if (name == "proc.wall_ns") wall = v;
+  }
+  EXPECT_GT(rss, 0.0);   // a running process has resident pages
+  EXPECT_GT(wall, 0.0);  // monotonic clock has advanced since start
+}
+
+TEST_F(ObsTest, LedgerRecordJsonCarriesRunContext) {
+  registry().counter("cache.hit").add(3);
+  registry().counter("cache.miss").add(1);
+  registry().timer("ledger.span.time").record_ns(500);
+
+  LedgerRecord record;
+  record.command = "yield";
+  record.flags = {{"out-dir", "/tmp/x"}, {"profile", ""}};
+  record.positionals = {"design.json"};
+  record.corners = "tt,ff";
+  record.cache_mode = "auto";
+  record.exit_code = 2;
+  record.threads = 4;
+  record.wall_ns = 123456;
+
+  const JsonValue root = parse_json(ledger_record_json(record));
+  ASSERT_EQ(root.kind, JsonValue::Kind::Object);
+  EXPECT_EQ(root.find("schema")->text, "pim.ledger.v1");
+  EXPECT_EQ(root.find("command")->text, "yield");
+  EXPECT_EQ(root.find("corners")->text, "tt,ff");
+  EXPECT_DOUBLE_EQ(root.find("exit_code")->number, 2.0);
+  EXPECT_DOUBLE_EQ(root.find("threads")->number, 4.0);
+  EXPECT_DOUBLE_EQ(root.find("wall_ns")->number, 123456.0);
+  EXPECT_GT(root.find("peak_rss_bytes")->number, 0.0);
+  // ISO-8601 UTC timestamp.
+  ASSERT_NE(root.find("ts"), nullptr);
+  EXPECT_EQ(root.find("ts")->text.size(), 20u);
+  EXPECT_EQ(root.find("ts")->text.back(), 'Z');
+
+  const JsonValue* version = root.find("version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_FALSE(version->find("pim")->text.empty());
+
+  const JsonValue* flags = root.find("flags");
+  ASSERT_NE(flags, nullptr);
+  EXPECT_EQ(flags->find("out-dir")->text, "/tmp/x");
+
+  const JsonValue* cache = root.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->find("mode")->text, "auto");
+  EXPECT_DOUBLE_EQ(cache->find("hit")->number, 3.0);
+  EXPECT_DOUBLE_EQ(cache->find("miss")->number, 1.0);
+
+  const JsonValue* metrics = root.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* timers = metrics->find("timers");
+  ASSERT_NE(timers, nullptr);
+  const JsonValue* span = timers->find("ledger.span.time");
+  ASSERT_NE(span, nullptr);
+  EXPECT_DOUBLE_EQ(span->find("count")->number, 1.0);
+  ASSERT_NE(span->find("p50_ns"), nullptr);
+  ASSERT_NE(span->find("p99_ns"), nullptr);
+}
+
+TEST_F(ObsTest, AppendLedgerRecordAccumulatesJsonLines) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "pim_obs_ledger_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "sub" / "ledger.jsonl").string();
+
+  LedgerRecord record;
+  record.command = "first";
+  append_ledger_record(path, record);  // creates parent directories
+  record.command = "second";
+  record.exit_code = 3;
+  append_ledger_record(path, record);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  const JsonValue first = parse_json(lines[0]);
+  const JsonValue second = parse_json(lines[1]);
+  EXPECT_EQ(first.find("command")->text, "first");
+  EXPECT_EQ(second.find("command")->text, "second");
+  EXPECT_DOUBLE_EQ(second.find("exit_code")->number, 3.0);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

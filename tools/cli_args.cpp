@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "api/pim_api.hpp"
 #include "cache/store.hpp"
 #include "exec/engine.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -216,6 +218,8 @@ const std::vector<FlagSpec>& global_flag_specs() {
        "result-cache directory (beats PIM_CACHE_DIR)"},
       {"out-dir", FlagType::String, "dir", "bench_out",
        "directory for report artifacts (beats PIM_OUT_DIR)"},
+      {"ledger", FlagType::String, "file|off", "ledger.jsonl",
+       "run-ledger file under --out-dir; 'off' disables (docs/observability.md)"},
       {"version", FlagType::Switch, "", "", "print version and build info, exit"},
       {"help", FlagType::Switch, "", "", "show this help and exit"},
   };
@@ -367,6 +371,7 @@ void write_observability_reports(const Args& args) {
     const std::string path = report_path(args.get("profile"));
     if (path.empty()) {
       // Bare --profile: the metrics ARE the requested output, on stdout.
+      obs::update_process_gauges();
       std::fputs(obs::metrics_to_json(obs::registry().snapshot()).c_str(), stdout);
     } else {
       obs::save_metrics_json(path);
@@ -377,6 +382,42 @@ void write_observability_reports(const Args& args) {
     const std::string path = report_path(args.get("trace"));
     obs::save_trace(path);
     log_info("wrote ", path);
+  }
+}
+
+int exit_code_for(const Error& error) {
+  return error.code() == ErrorCode::bad_input   ? 2
+         : error.code() == ErrorCode::internal ? 4
+                                               : 3;
+}
+
+void append_run_ledger(const std::string& command, const Args& args,
+                       int exit_code, int64_t wall_ns) {
+  try {
+    std::string name = args.get("ledger", "");
+    if (name == "off") return;
+    if (name.empty()) {
+      // PIM_LEDGER=off opts a whole environment (CI stages, test
+      // harnesses) out; an explicit --ledger flag beats it.
+      if (const char* env = std::getenv("PIM_LEDGER");
+          env != nullptr && std::string(env) == "off" && !args.has("ledger"))
+        return;
+      name = "ledger.jsonl";
+    }
+    obs::LedgerRecord record;
+    record.command = command;
+    for (const auto& [flag, value] : args.flags())
+      record.flags.emplace_back(flag, value);
+    record.positionals = args.positionals();
+    record.corners = args.get("corner", args.get("corners", ""));
+    record.cache_mode = cache::mode_name(cache::mode());
+    record.exit_code = exit_code;
+    record.threads = exec::threads();
+    record.wall_ns = wall_ns;
+    const std::string path = name.front() == '/' ? name : out_path(name);
+    obs::append_ledger_record(path, record);
+  } catch (...) {
+    // The ledger is telemetry: it must never change a run's outcome.
   }
 }
 

@@ -5,9 +5,12 @@
 // from the registry, so the documentation cannot drift from the parser.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace pim::cli {
 
@@ -30,6 +33,10 @@ class Args {
 
   /// Throws pim::Error if any parsed flag is not in `known`.
   void check_known(const std::vector<std::string>& known) const;
+
+  /// Every parsed flag as name -> value (switches map to ""), in name
+  /// order. The run ledger records these as the resolved flag set.
+  const std::map<std::string, std::string>& flags() const { return flags_; }
 
  private:
   std::vector<std::string> positionals_;
@@ -98,5 +105,17 @@ void apply_global_flags(const Args& args);
 /// Relative report paths resolve under pim::out_dir() when --out-dir or
 /// PIM_OUT_DIR configured one.
 void write_observability_reports(const Args& args);
+
+/// Maps the error taxonomy to the CLI exit-code contract: bad_input -> 2,
+/// internal -> 4, everything else -> 3.
+int exit_code_for(const Error& error);
+
+/// Appends one run-ledger record (docs/observability.md) for `command`
+/// to the ledger file: `--ledger <file>` names it ("" / bare uses
+/// ledger.jsonl), relative names land under pim::out_dir(). `--ledger
+/// off` (or PIM_LEDGER=off without the flag) suppresses the record.
+/// Best-effort: never throws.
+void append_run_ledger(const std::string& command, const Args& args,
+                       int exit_code, int64_t wall_ns);
 
 }  // namespace pim::cli

@@ -1,0 +1,356 @@
+// pim_bench — the self-profiling benchmark harness behind the repo's
+// perf trajectory (docs/observability.md).
+//
+// Runs every registered bench case (bench/common.hpp registry) for N
+// repetitions, reports median + IQR per metric, stamps the record with
+// the library versions and a machine fingerprint, and writes one
+// canonical `BENCH_<UTC-date>.json`. Committed snapshots of that file at
+// the repo root ARE the perf trajectory; scripts/check_perf.sh compares
+// a fresh run against the latest one via tools/bench_compare.
+//
+//   pim_bench [--reps N] [--smoke] [--bench a,b] [--out file] [--list]
+//
+// --smoke restricts to the cheap cases (no characterization) — the
+// tier-1 ctest case runs exactly that. Medians are reported so a single
+// noisy repetition cannot fake a regression; deterministic counts carry
+// rel_tol 0 and must not move at all.
+#include <sys/utsname.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "buffering/optimize.hpp"
+#include "cache/store.hpp"
+#include "common.hpp"
+#include "models/baseline.hpp"
+#include "obs/ledger.hpp"
+#include "obs/report.hpp"
+#include "util/version.hpp"
+#include "variation/variation.hpp"
+
+namespace pim::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------- cases
+
+// Closed-form baseline model throughput: no characterization, so this is
+// the smoke-mode canary for the per-evaluation hot path.
+std::vector<BenchMetric> bench_baseline_eval() {
+  const Technology& tech = technology(TechNode::N65);
+  const BakogluModel model(tech);
+  const LinkContext ctx = link_context(tech, 5.0);
+  LinkDesign design;
+  design.num_repeaters = 5;
+  constexpr int kEvals = 20000;
+  double sink = 0.0;
+  const auto start = Clock::now();
+  for (int i = 0; i < kEvals; ++i) sink += model.evaluate(ctx, design).delay;
+  const double ns = seconds_since(start) * 1e9 / kEvals;
+  if (sink == 0.0) std::fputs("", stdout);  // keep the loop observable
+  return {{"ns_per_eval", ns, "ns", 0.6}};
+}
+
+// Calibrated proposed-model throughput — the model the paper's tables
+// rest on. Uses the cached fit (bench_out/coeffs_65nm.pimfit).
+std::vector<BenchMetric> bench_model_eval() {
+  static const BenchModel bm = cached_model(TechNode::N65);
+  const LinkContext ctx = link_context(bm.tech, 5.0);
+  LinkDesign design;
+  design.num_repeaters = 5;
+  constexpr int kEvals = 20000;
+  double sink = 0.0;
+  const auto start = Clock::now();
+  for (int i = 0; i < kEvals; ++i) sink += bm.model.evaluate(ctx, design).delay;
+  const double ns = seconds_since(start) * 1e9 / kEvals;
+  if (sink == 0.0) std::fputs("", stdout);
+  return {{"ns_per_eval", ns, "ns", 0.6}};
+}
+
+// Full buffering search (uncached path): wall time plus the candidate
+// count, which is deterministic and must never drift.
+std::vector<BenchMetric> bench_buffering_search() {
+  static const BenchModel bm = cached_model(TechNode::N65);
+  const LinkContext ctx = link_context(bm.tech, 5.0);
+  const auto start = Clock::now();
+  const BufferingResult r = optimize_buffering(bm.model, ctx);
+  const double us = seconds_since(start) * 1e6;
+  return {{"us_per_search", us, "us", 0.6},
+          {"evaluations", static_cast<double>(r.evaluations), "count", 0.0}};
+}
+
+// Monte-Carlo yield sweep: wall time plus the seeded mean delay, which
+// pins the sampler's determinism into the trajectory.
+std::vector<BenchMetric> bench_mc_yield() {
+  static const BenchModel bm = cached_model(TechNode::N65);
+  const LinkContext ctx = link_context(bm.tech, 5.0);
+  LinkDesign design;
+  design.num_repeaters = 5;
+  const auto start = Clock::now();
+  const MonteCarloResult mc = monte_carlo_link(bm.model, ctx, design, 200, 2026);
+  const double ms = seconds_since(start) * 1e3;
+  return {{"ms_per_sweep", ms, "ms", 0.6},
+          {"mean_delay_ps", mc.mean_delay * 1e12, "ps", 0.0}};
+}
+
+// Cache tiers in isolation, on a scratch store: memory-hit and disk-hit
+// (read + decode + verify) latency for a 4 KiB payload.
+std::vector<BenchMetric> bench_cache_roundtrip() {
+  namespace fs = std::filesystem;
+  const std::string root =
+      (fs::temp_directory_path() / "pim_bench_cache").string();
+  fs::remove_all(root);
+  cache::Store::Options opt;
+  opt.disk_dir = root;
+  cache::Store store(opt);
+  const std::string payload(4096, 'x');
+  constexpr int kKeys = 64;
+  std::vector<cache::CacheKey> keys;
+  for (int i = 0; i < kKeys; ++i) {
+    cache::KeyBuilder kb("bench");
+    kb.field("i", static_cast<int64_t>(i));
+    keys.push_back(kb.finish());
+    store.put(keys.back(), payload);
+  }
+  constexpr int kGets = 2000;
+  auto start = Clock::now();
+  for (int i = 0; i < kGets; ++i) (void)store.get(keys[i % kKeys]);
+  const double mem_ns = seconds_since(start) * 1e9 / kGets;
+  store.clear_memory();
+  constexpr int kDiskGets = 200;
+  start = Clock::now();
+  for (int i = 0; i < kDiskGets; ++i) {
+    (void)store.get(keys[i % kKeys]);
+    if (i % kKeys == kKeys - 1) store.clear_memory();
+  }
+  const double disk_us = seconds_since(start) * 1e6 / kDiskGets;
+  fs::remove_all(root);
+  return {{"mem_get_ns", mem_ns, "ns", 0.6}, {"disk_get_us", disk_us, "us", 0.8}};
+}
+
+// Engine dispatch overhead: many small regions through the pool path
+// (threads pinned to 2 so the pool engages even on one core).
+std::vector<BenchMetric> bench_exec_engine() {
+  constexpr int kRegions = 50;
+  constexpr size_t kItems = 1000;
+  std::vector<double> out(kItems);
+  exec::ParallelOptions opt;
+  opt.threads = 2;
+  const auto start = Clock::now();
+  for (int r = 0; r < kRegions; ++r)
+    exec::parallel_for(kItems, [&](size_t i) { out[i] = static_cast<double>(i) * 1.5; },
+                       opt);
+  const double us = seconds_since(start) * 1e6 / kRegions;
+  return {{"us_per_region", us, "us", 0.8}};
+}
+
+// The metric machinery itself: histogram-timer record cost with
+// collection on, and the disabled-path cost (the one relaxed load +
+// branch contract every instrumented hot path relies on).
+std::vector<BenchMetric> bench_hist_timer() {
+  obs::Timer& timer = obs::registry().timer("bench.hist_timer.scratch");
+  constexpr int kRecords = 1000000;
+  obs::set_enabled(true);
+  auto start = Clock::now();
+  for (int i = 0; i < kRecords; ++i) timer.record_ns(i & 1023);
+  const double on_ns = seconds_since(start) * 1e9 / kRecords;
+  obs::set_enabled(false);
+  start = Clock::now();
+  for (int i = 0; i < kRecords; ++i) timer.record_ns(i & 1023);
+  const double off_ns = seconds_since(start) * 1e9 / kRecords;
+  timer.reset();
+  return {{"record_ns", on_ns, "ns", 0.6},
+          {"record_disabled_ns", off_ns, "ns", 0.8}};
+}
+
+const BenchRegistrar kCases[] = {
+    BenchRegistrar{{"baseline_eval", /*smoke=*/true, bench_baseline_eval}},
+    BenchRegistrar{{"model_eval", /*smoke=*/false, bench_model_eval}},
+    BenchRegistrar{{"buffering_search", /*smoke=*/false, bench_buffering_search}},
+    BenchRegistrar{{"mc_yield", /*smoke=*/false, bench_mc_yield}},
+    BenchRegistrar{{"cache_roundtrip", /*smoke=*/true, bench_cache_roundtrip}},
+    BenchRegistrar{{"exec_engine", /*smoke=*/true, bench_exec_engine}},
+    BenchRegistrar{{"hist_timer", /*smoke=*/true, bench_hist_timer}},
+};
+
+// ------------------------------------------------------------- harness
+
+struct MetricSeries {
+  std::vector<double> values;  // one per repetition, in run order
+  std::string unit;
+  double rel_tol = 0.5;
+};
+
+double quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string utc_date() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[16];
+  std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm);
+  return buf;
+}
+
+std::string fingerprint_json() {
+  struct utsname un{};
+  uname(&un);
+  std::ostringstream os;
+  os << "{\"os\": " << obs::json_quote(std::string(un.sysname) + " " + un.release)
+     << ", \"machine\": " << obs::json_quote(un.machine)
+     << ", \"cores\": " << std::thread::hardware_concurrency()
+     << ", \"compiler\": " << obs::json_quote(__VERSION__) << "}";
+  return os.str();
+}
+
+int run(int argc, char** argv) {
+  int reps = 5;
+  bool smoke = false, list = false;
+  std::string only, out_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pim_bench: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--reps") {
+      reps = std::atoi(value().c_str());
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--bench") {
+      only = value();
+    } else if (arg == "--out") {
+      out_file = value();
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help") {
+      std::fputs(
+          "usage: pim_bench [--reps N] [--smoke] [--bench a,b] [--out file] "
+          "[--list]\n",
+          stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "pim_bench: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  auto selected = [&](const BenchCase& c) {
+    if (smoke && !c.smoke) return false;
+    if (only.empty()) return true;
+    return ("," + only + ",").find("," + c.name + ",") != std::string::npos;
+  };
+
+  if (list) {
+    for (const BenchCase& c : bench_registry())
+      std::printf("%-18s %s\n", c.name.c_str(), c.smoke ? "smoke" : "");
+    return 0;
+  }
+
+  const int64_t harness_start = obs::now_ns();
+
+  // Repetition-major order: every case sees every phase of the process
+  // (cold/warm caches, allocator state) rather than one case hogging one
+  // phase, which makes medians robust against drift during the run.
+  std::map<std::string, MetricSeries> series;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const BenchCase& c : bench_registry()) {
+      if (!selected(c)) continue;
+      for (const BenchMetric& m : c.fn()) {
+        MetricSeries& s = series[c.name + "." + m.name];
+        s.values.push_back(m.value);
+        s.unit = m.unit;
+        s.rel_tol = m.rel_tol;
+      }
+    }
+    std::fprintf(stderr, "pim_bench: rep %d/%d done\n", rep + 1, reps);
+  }
+  if (series.empty()) {
+    std::fprintf(stderr, "pim_bench: no cases selected\n");
+    return 2;
+  }
+
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"pim.bench.v1\",\n";
+  os << "  \"date\": " << obs::json_quote(utc_date()) << ",\n";
+  os << "  \"version\": {\"pim\": " << obs::json_quote(kVersion)
+     << ", \"api\": " << kApiVersionNumber
+     << ", \"cache_format\": " << kCacheFormatVersion << "},\n";
+  os << "  \"fingerprint\": " << fingerprint_json() << ",\n";
+  os << "  \"reps\": " << reps << ",\n";
+  os << "  \"metrics\": {";
+  bool first = true;
+  for (const auto& [name, s] : series) {
+    std::vector<double> sorted = s.values;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = quantile(sorted, 0.5);
+    const double iqr = quantile(sorted, 0.75) - quantile(sorted, 0.25);
+    os << (first ? "\n    " : ",\n    ") << obs::json_quote(name)
+       << ": {\"median\": " << obs::json_number(median)
+       << ", \"iqr\": " << obs::json_number(iqr)
+       << ", \"unit\": " << obs::json_quote(s.unit)
+       << ", \"rel_tol\": " << obs::json_number(s.rel_tol) << "}";
+    std::printf("%-34s median %12.3f %-5s iqr %10.3f\n", name.c_str(), median,
+                s.unit.c_str(), iqr);
+    first = false;
+  }
+  os << "\n  }\n}\n";
+
+  if (out_file.empty()) out_file = "BENCH_" + utc_date() + ".json";
+  {
+    std::ofstream out(out_file);
+    if (!out.good()) {
+      std::fprintf(stderr, "pim_bench: cannot write '%s'\n", out_file.c_str());
+      return 3;
+    }
+    out << os.str();
+  }
+  std::fprintf(stderr, "pim_bench: wrote %s\n", out_file.c_str());
+
+  // The harness is a run like any other: append its own ledger record.
+  if (const char* env = std::getenv("PIM_LEDGER");
+      env == nullptr || std::string(env) != "off") {
+    obs::LedgerRecord record;
+    record.command = "pim_bench";
+    record.flags.emplace_back("reps", std::to_string(reps));
+    if (smoke) record.flags.emplace_back("smoke", "");
+    if (!only.empty()) record.flags.emplace_back("bench", only);
+    record.flags.emplace_back("out", out_file);
+    record.cache_mode = cache::mode_name(cache::mode());
+    record.threads = exec::threads();
+    record.wall_ns = obs::now_ns() - harness_start;
+    obs::append_ledger_record(out_dir() + "/ledger.jsonl", record);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pim::bench
+
+int main(int argc, char** argv) { return pim::bench::run(argc, argv); }

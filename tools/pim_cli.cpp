@@ -15,6 +15,7 @@
 
 #include "api/pim_api.hpp"
 #include "obs/trace.hpp"
+#include "util/paths.hpp"
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
@@ -311,21 +312,37 @@ int dispatch(int argc, char** argv) {
     std::fputs(version_text().c_str(), stdout);
     return 0;
   }
-  check_known_for(args, *spec);
-  fault::configure_from_env();  // PIM_FAULT; --inject-fault below beats it
-  apply_global_flags(args);
-  // Reports are written even when the command throws, so an aborted run
-  // still leaves its metrics/trace behind for post-mortem.
-  try {
-    const int rc = run_command(*spec, args);
+  // Reports (--profile/--trace) and the run ledger flush on EVERY exit
+  // path — flag errors included — so an aborted run still leaves its
+  // metrics, trace, and a ledger record carrying its exit code. The
+  // output directory applies before any flag validation can throw, so
+  // even exit-2 artifacts land where the user pointed them.
+  if (!args.get("out-dir").empty()) pim::set_out_dir(args.get("out-dir"));
+  const int64_t start_ns = obs::now_ns();
+  const auto finish = [&](int exit_code) {
     write_observability_reports(args);
+    append_run_ledger(command, args, exit_code, obs::now_ns() - start_ns);
+  };
+  try {
+    check_known_for(args, *spec);
+    fault::configure_from_env();  // PIM_FAULT; --inject-fault below beats it
+    apply_global_flags(args);
+    const int rc = run_command(*spec, args);
+    finish(rc);
     return rc;
+  } catch (const pim::Error& e) {
+    try {
+      finish(exit_code_for(e));
+    } catch (const pim::Error& flush) {
+      // Flushing must not mask the original failure.
+      log_error("while writing reports: ", flush.what());
+    }
+    throw;
   } catch (...) {
     try {
-      write_observability_reports(args);
-    } catch (const pim::Error& e) {
-      // Flushing must not mask the original failure.
-      log_error("while writing reports: ", e.what());
+      finish(4);
+    } catch (const pim::Error& flush) {
+      log_error("while writing reports: ", flush.what());
     }
     throw;
   }
@@ -345,9 +362,7 @@ int main(int argc, char** argv) {
     return pim::cli::dispatch(argc, argv);
   } catch (const pim::Error& e) {
     pim::log_error(e.what());
-    return e.code() == pim::ErrorCode::bad_input ? 2
-           : e.code() == pim::ErrorCode::internal ? 4
-                                                  : 3;
+    return pim::cli::exit_code_for(e);
   } catch (const std::exception& e) {
     pim::log_error("internal error: ", e.what());
     return 4;
