@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Validates the deadline / cancellation contract end to end
+# (docs/robustness.md "Deadlines & cancellation"):
+#   1. a generous --deadline-ms budget must be a no-op: byte-identical
+#      stdout to the same run with no deadline at all;
+#   2. a tight budget must stop the run early through the documented
+#      contract — exit code 5, a partial estimate with partial=true on
+#      stdout, and a flushed ledger record carrying exit_code 5.
+# Uses a scratch cache + out dir, so the user's ~/.cache/pim is never
+# touched. The first run characterizes 45nm cold (the slow part); the
+# tight run reuses that cached fit so the clock expires inside the
+# Monte-Carlo loop, not during calibration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# No -G: reuse whatever generator build/ was configured with.
+cmake -B build >/dev/null
+cmake --build build >/dev/null
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cachedir="$workdir/cache"
+
+run_yield() {  # run_yield <out-file> [extra flags...]
+  local out="$1"; shift
+  (cd build && ./tools/pim yield 45nm --length 5 --samples 20000 \
+      --cache-dir "$cachedir" --log-level off "$@") > "$out"
+}
+
+echo "=== no-deadline baseline (cold cache) ==="
+run_yield "$workdir/nodeadline.txt"
+
+echo "=== generous budget (must be a byte-identical no-op) ==="
+run_yield "$workdir/generous.txt" --deadline-ms 3600000
+if ! cmp -s "$workdir/nodeadline.txt" "$workdir/generous.txt"; then
+  echo "check_deadline: generous budget changed the output" >&2
+  diff "$workdir/nodeadline.txt" "$workdir/generous.txt" >&2 || true
+  exit 1
+fi
+
+echo "=== tight budget (must exit 5 with a flushed partial result) ==="
+# 2M samples take far longer than 300 ms, but the budget comfortably
+# covers loading the cached fit — so the stop lands mid-Monte-Carlo and
+# some samples have completed: a partial estimate, not a zero-progress
+# error.
+set +e
+(cd build && ./tools/pim yield 45nm --length 5 --samples 2000000 \
+    --cache-dir "$cachedir" --out-dir "$workdir/out" --log-level off \
+    --deadline-ms 300) > "$workdir/tight.txt" 2>&1
+code=$?
+set -e
+if [[ "$code" -ne 5 ]]; then
+  echo "check_deadline: tight budget exited $code, want 5" >&2
+  cat "$workdir/tight.txt" >&2
+  exit 1
+fi
+if ! grep -q 'partial=true' "$workdir/tight.txt"; then
+  echo "check_deadline: tight-budget output carries no partial=true line" >&2
+  cat "$workdir/tight.txt" >&2
+  exit 1
+fi
+
+ledger="$workdir/out/ledger.jsonl"
+if [[ ! -s "$ledger" ]]; then
+  echo "check_deadline: no ledger record flushed for the stopped run" >&2
+  exit 1
+fi
+if ! grep -q '"exit_code": 5' "$ledger"; then
+  echo "check_deadline: ledger record does not carry exit_code 5" >&2
+  cat "$ledger" >&2
+  exit 1
+fi
+
+echo "check_deadline: OK"

@@ -6,6 +6,7 @@
 #include "buffering/optimize.hpp"
 #include "charlib/coeffs_io.hpp"
 #include "cosi/mesh.hpp"
+#include "deadline/deadline.hpp"
 #include "cosi/specfile.hpp"
 #include "cosi/synthesis.hpp"
 #include "cosi/testcases.hpp"
@@ -48,10 +49,16 @@ void check_version(int version, const char* who) {
 // The trace buffer is left alone — span capture belongs to whoever
 // enabled tracing (the CLI's span around the whole command must survive
 // the call).
+//
+// And a deadline scope: the request's deadline_ms budget is armed for
+// exactly the duration of the body (nested scopes keep the tighter
+// deadline); on exit the deadline.remaining_ns gauge is force-set so the
+// ledger records how much budget a truncated run had left.
 template <typename R, typename F>
-Expected<R> guarded(const char* who, F&& body) {
+Expected<R> guarded(const char* who, int64_t deadline_ms, F&& body) {
   try {
     obs::registry().reset();
+    deadline::Scope budget(deadline_ms);
     return body();
   } catch (const Error& e) {
     return Expected<R>(e.with_context(std::string("in pim::api::") + who));
@@ -134,7 +141,7 @@ std::unique_ptr<InterconnectModel> model_of(const std::string& name, TechNode no
 }  // namespace
 
 Expected<TechfileResult> run_techfile(const TechfileRequest& request) {
-  return guarded<TechfileResult>("run_techfile", [&] {
+  return guarded<TechfileResult>("run_techfile", request.deadline_ms, [&] {
     check_version(request.api_version, "run_techfile");
     TechfileResult result;
     result.text = write_techfile(technology(node_of(request.tech, "run_techfile")));
@@ -143,7 +150,7 @@ Expected<TechfileResult> run_techfile(const TechfileRequest& request) {
 }
 
 Expected<CharlibResult> run_charlib(const CharlibRequest& request) {
-  return guarded<CharlibResult>("run_charlib", [&] {
+  return guarded<CharlibResult>("run_charlib", request.deadline_ms, [&] {
     check_version(request.api_version, "run_charlib");
     const TechNode node = node_of(request.tech, "run_charlib");
     const Technology& tech = corner_technology(node, corner_of(node, request.corner));
@@ -151,6 +158,8 @@ Expected<CharlibResult> run_charlib(const CharlibRequest& request) {
     if (!request.drives.empty()) opt.drives = request.drives;
     const CellLibrary lib = characterize_library(tech, opt);
     CharlibResult result;
+    result.partial = lib.partial();
+    if (result.partial) deadline::record_stop_metrics(0);
     result.liberty_text = write_liberty(lib);
     if (request.want_fit)
       result.fit_text = write_fit(calibrate_composition(tech, fit_technology(tech, lib)));
@@ -159,7 +168,7 @@ Expected<CharlibResult> run_charlib(const CharlibRequest& request) {
 }
 
 Expected<FitResult> run_fit(const FitRequest& request) {
-  return guarded<FitResult>("run_fit", [&] {
+  return guarded<FitResult>("run_fit", request.deadline_ms, [&] {
     check_version(request.api_version, "run_fit");
     const TechNode node = node_of(request.tech, "run_fit");
     FitResult result;
@@ -170,7 +179,7 @@ Expected<FitResult> run_fit(const FitRequest& request) {
 }
 
 Expected<LinkEvalResult> run_evaluate(const LinkEvalRequest& request) {
-  return guarded<LinkEvalResult>("run_evaluate", [&] {
+  return guarded<LinkEvalResult>("run_evaluate", request.deadline_ms, [&] {
     check_version(request.api_version, "run_evaluate");
     const TechNode node = node_of(request.link.tech, "run_evaluate");
     const Corner corner = corner_of(node, request.link.corner);
@@ -201,7 +210,7 @@ Expected<LinkEvalResult> run_evaluate(const LinkEvalRequest& request) {
 }
 
 Expected<BufferResult> run_buffer(const BufferRequest& request) {
-  return guarded<BufferResult>("run_buffer", [&] {
+  return guarded<BufferResult>("run_buffer", request.deadline_ms, [&] {
     check_version(request.api_version, "run_buffer");
     const TechNode node = node_of(request.link.tech, "run_buffer");
     const Corner corner = corner_of(node, request.link.corner);
@@ -229,7 +238,7 @@ Expected<BufferResult> run_buffer(const BufferRequest& request) {
 }
 
 Expected<YieldResult> run_yield(const YieldRequest& request) {
-  return guarded<YieldResult>("run_yield", [&] {
+  return guarded<YieldResult>("run_yield", request.deadline_ms, [&] {
     check_version(request.api_version, "run_yield");
     require(request.samples >= 1, "run_yield: samples must be at least 1",
             ErrorCode::bad_input);
@@ -244,18 +253,21 @@ Expected<YieldResult> run_yield(const YieldRequest& request) {
     YieldResult result;
     result.samples = static_cast<int>(mc.delays.size());
     result.failed_samples = mc.failed_samples;
+    result.requested_samples = mc.requested_samples;
     result.nominal_delay_ps = mc.nominal_delay / ps;
     result.mean_delay_ps = mc.mean_delay / ps;
     result.sigma_delay_ps = mc.sigma_delay / ps;
     result.p90_delay_ps = mc.delay_quantile(0.9) / ps;
     result.p99_delay_ps = mc.delay_quantile(0.99) / ps;
     result.yield_at_nominal = mc.yield_at(mc.nominal_delay);
+    result.yield_ci95 = mc.yield_ci95(mc.nominal_delay);
+    result.partial = mc.partial;
     return result;
   });
 }
 
 Expected<NoiseResult> run_noise(const NoiseRequest& request) {
-  return guarded<NoiseResult>("run_noise", [&] {
+  return guarded<NoiseResult>("run_noise", request.deadline_ms, [&] {
     check_version(request.api_version, "run_noise");
     const TechNode node = node_of(request.link.tech, "run_noise");
     const Corner corner = corner_of(node, request.link.corner);
@@ -279,7 +291,7 @@ Expected<NoiseResult> run_noise(const NoiseRequest& request) {
 }
 
 Expected<TimerResult> run_timer(const TimerRequest& request) {
-  return guarded<TimerResult>("run_timer", [&] {
+  return guarded<TimerResult>("run_timer", request.deadline_ms, [&] {
     check_version(request.api_version, "run_timer");
     const TechNode node = node_of(request.link.tech, "run_timer");
     const Technology& tech = corner_technology(node, corner_of(node, request.link.corner));
@@ -300,12 +312,13 @@ Expected<TimerResult> run_timer(const TimerRequest& request) {
     result.awe_delay_ps = awe.delay / ps;
     result.awe_slew_ps = awe.output_slew / ps;
     result.elmore_delay_ps = elmore.delay / ps;
+    result.partial = lib.partial();
     return result;
   });
 }
 
 Expected<CornersResult> run_corners(const CornersRequest& request) {
-  return guarded<CornersResult>("run_corners", [&] {
+  return guarded<CornersResult>("run_corners", request.deadline_ms, [&] {
     check_version(request.api_version, "run_corners");
     const TechNode node = node_of(request.link.tech, "run_corners");
     const Technology& tech = technology(node);
@@ -338,7 +351,7 @@ Expected<CornersResult> run_corners(const CornersRequest& request) {
 }
 
 Expected<ExportResult> run_export(const ExportRequest& request) {
-  return guarded<ExportResult>("run_export", [&] {
+  return guarded<ExportResult>("run_export", request.deadline_ms, [&] {
     check_version(request.api_version, "run_export");
     const TechNode node = node_of(request.link.tech, "run_export");
     const Technology& tech = corner_technology(node, corner_of(node, request.link.corner));
@@ -357,7 +370,7 @@ Expected<ExportResult> run_export(const ExportRequest& request) {
 }
 
 Expected<SynthesisResult> run_synthesis(const SynthesisRequest& request) {
-  return guarded<SynthesisResult>("run_synthesis", [&] {
+  return guarded<SynthesisResult>("run_synthesis", request.deadline_ms, [&] {
     check_version(request.api_version, "run_synthesis");
     const TechNode node = node_of(request.tech, "run_synthesis");
     const SocSpec spec = spec_of(request.spec, "run_synthesis");
@@ -402,6 +415,7 @@ Expected<SynthesisResult> run_synthesis(const SynthesisRequest& request) {
     result.avg_hops = m.avg_hops;
     result.max_hops = m.max_hops;
     result.merges_applied = r.merges_applied;
+    result.partial = r.partial;
     if (request.want_dot) result.dot_text = to_dot(r.architecture);
     return result;
   });

@@ -20,6 +20,12 @@
 //    insulated from internal refactors.
 //  - Functions never throw: all failures come back as Expected errors
 //    with the pim::ErrorCode taxonomy (bad_input -> exit 2 in the CLI).
+//  - Every request carries a `deadline_ms` wall-clock budget (0 =
+//    unlimited) armed for exactly the duration of the call. Flows with a
+//    sound partial semantics (yield, charlib, synthesis) degrade to a
+//    `partial = true` result; the rest return a deadline_exceeded /
+//    cancelled error. Reports and ledger records still flush either way
+//    (the CLI maps both to exit code 5 — docs/robustness.md).
 //  - Flows behind the facade consult the content-addressed result cache
 //    (docs/caching.md); warm calls are bit-identical to cold ones.
 #pragma once
@@ -61,6 +67,11 @@ struct LinkSpec {
 
 struct TechfileRequest {
   int api_version = kApiVersion;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  /// On expiry (or SIGINT/SIGTERM cancellation) flows that can degrade
+  /// return a partial result with `partial = true`; others come back as
+  /// a typed deadline_exceeded/cancelled error (docs/api.md).
+  int64_t deadline_ms = 0;
   std::string tech;
 };
 struct TechfileResult {
@@ -70,6 +81,11 @@ Expected<TechfileResult> run_techfile(const TechfileRequest& request);
 
 struct CharlibRequest {
   int api_version = kApiVersion;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  /// On expiry (or SIGINT/SIGTERM cancellation) flows that can degrade
+  /// return a partial result with `partial = true`; others come back as
+  /// a typed deadline_exceeded/cancelled error (docs/api.md).
+  int64_t deadline_ms = 0;
   std::string tech;
   std::vector<int> drives;  ///< empty = characterization defaults
   bool want_fit = false;    ///< also fit + calibrate the coefficient tables
@@ -78,11 +94,20 @@ struct CharlibRequest {
 struct CharlibResult {
   std::string liberty_text;  ///< Liberty-lite library of the cells
   std::string fit_text;      ///< coefficient tables (when want_fit)
+  /// True when a deadline/cancel stop truncated a characterization
+  /// sweep: the affected tables were neighbor-patched (quorum
+  /// permitting), so values are usable but biased.
+  bool partial = false;
 };
 Expected<CharlibResult> run_charlib(const CharlibRequest& request);
 
 struct FitRequest {
   int api_version = kApiVersion;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  /// On expiry (or SIGINT/SIGTERM cancellation) flows that can degrade
+  /// return a partial result with `partial = true`; others come back as
+  /// a typed deadline_exceeded/cancelled error (docs/api.md).
+  int64_t deadline_ms = 0;
   std::string tech;
   std::string coeffs_path;  ///< optional .pimfit file cache (load-or-save)
   std::string corner;       ///< process corner to calibrate at; "" = nominal
@@ -98,6 +123,11 @@ Expected<FitResult> run_fit(const FitRequest& request);
 
 struct LinkEvalRequest {
   int api_version = kApiVersion;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  /// On expiry (or SIGINT/SIGTERM cancellation) flows that can degrade
+  /// return a partial result with `partial = true`; others come back as
+  /// a typed deadline_exceeded/cancelled error (docs/api.md).
+  int64_t deadline_ms = 0;
   LinkSpec link;
   bool golden = false;  ///< also run the transistor-level signoff
 };
@@ -120,6 +150,11 @@ Expected<LinkEvalResult> run_evaluate(const LinkEvalRequest& request);
 
 struct BufferRequest {
   int api_version = kApiVersion;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  /// On expiry (or SIGINT/SIGTERM cancellation) flows that can degrade
+  /// return a partial result with `partial = true`; others come back as
+  /// a typed deadline_exceeded/cancelled error (docs/api.md).
+  int64_t deadline_ms = 0;
   LinkSpec link;         ///< drive/repeaters ignored — the search picks them
   double weight = 0.6;   ///< cost = delay^w * power^(1-w)
   double budget_ps = 0;  ///< hard delay constraint; 0 = unconstrained
@@ -139,6 +174,11 @@ Expected<BufferResult> run_buffer(const BufferRequest& request);
 
 struct YieldRequest {
   int api_version = kApiVersion;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  /// On expiry (or SIGINT/SIGTERM cancellation) flows that can degrade
+  /// return a partial result with `partial = true`; others come back as
+  /// a typed deadline_exceeded/cancelled error (docs/api.md).
+  int64_t deadline_ms = 0;
   LinkSpec link;
   int samples = 1000;
   uint64_t seed = 2026;
@@ -146,17 +186,30 @@ struct YieldRequest {
 struct YieldResult {
   int samples = 0;        ///< surviving samples
   int failed_samples = 0;
+  int requested_samples = 0;  ///< the sampling plan the caller asked for
   double nominal_delay_ps = 0.0;
   double mean_delay_ps = 0.0;
   double sigma_delay_ps = 0.0;
   double p90_delay_ps = 0.0;
   double p99_delay_ps = 0.0;
   double yield_at_nominal = 0.0;  ///< fraction in [0, 1]
+  /// 95 % binomial confidence halfwidth of yield_at_nominal over the
+  /// surviving samples — widens when a partial run completed fewer.
+  double yield_ci95 = 0.0;
+  /// True when the run was truncated by a deadline/cancel stop: the
+  /// statistics cover the completed sample prefix only (deterministic at
+  /// any --threads) and the result was not cached.
+  bool partial = false;
 };
 Expected<YieldResult> run_yield(const YieldRequest& request);
 
 struct NoiseRequest {
   int api_version = kApiVersion;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  /// On expiry (or SIGINT/SIGTERM cancellation) flows that can degrade
+  /// return a partial result with `partial = true`; others come back as
+  /// a typed deadline_exceeded/cancelled error (docs/api.md).
+  int64_t deadline_ms = 0;
   LinkSpec link;  ///< repeaters ignored — noise is per wire segment
 };
 struct NoiseResult {
@@ -171,6 +224,11 @@ Expected<NoiseResult> run_noise(const NoiseRequest& request);
 
 struct TimerRequest {
   int api_version = kApiVersion;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  /// On expiry (or SIGINT/SIGTERM cancellation) flows that can degrade
+  /// return a partial result with `partial = true`; others come back as
+  /// a typed deadline_exceeded/cancelled error (docs/api.md).
+  int64_t deadline_ms = 0;
   LinkSpec link;
 };
 struct TimerResult {
@@ -179,6 +237,7 @@ struct TimerResult {
   double awe_delay_ps = 0.0;
   double awe_slew_ps = 0.0;
   double elmore_delay_ps = 0.0;
+  bool partial = false;  ///< library characterization was truncated/patched
 };
 Expected<TimerResult> run_timer(const TimerRequest& request);
 
@@ -187,6 +246,11 @@ Expected<TimerResult> run_timer(const TimerRequest& request);
 /// corner (cached independently; see docs/corners.md).
 struct CornersRequest {
   int api_version = kApiVersion;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  /// On expiry (or SIGINT/SIGTERM cancellation) flows that can degrade
+  /// return a partial result with `partial = true`; others come back as
+  /// a typed deadline_exceeded/cancelled error (docs/api.md).
+  int64_t deadline_ms = 0;
   LinkSpec link;                ///< link.corner is ignored — `corners` decides
   std::string corners = "all";  ///< "all" or a comma list of corner names
   double target_period_ps = 0.0;  ///< slack target; 0 = one clock period
@@ -211,6 +275,11 @@ Expected<CornersResult> run_corners(const CornersRequest& request);
 
 struct ExportRequest {
   int api_version = kApiVersion;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  /// On expiry (or SIGINT/SIGTERM cancellation) flows that can degrade
+  /// return a partial result with `partial = true`; others come back as
+  /// a typed deadline_exceeded/cancelled error (docs/api.md).
+  int64_t deadline_ms = 0;
   LinkSpec link;
   bool want_deck = false;  ///< SPICE deck of the implemented line
   bool want_spef = false;  ///< SPEF parasitics of the wire
@@ -228,6 +297,11 @@ Expected<ExportResult> run_export(const ExportRequest& request);
 
 struct SynthesisRequest {
   int api_version = kApiVersion;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  /// On expiry (or SIGINT/SIGTERM cancellation) flows that can degrade
+  /// return a partial result with `partial = true`; others come back as
+  /// a typed deadline_exceeded/cancelled error (docs/api.md).
+  int64_t deadline_ms = 0;
   std::string spec;   ///< "dvopd", "vproc", "mpeg4", "mwd", or a .soc path
   std::string tech;
   std::string model = "proposed";  ///< or "bakoglu" / "pamunuwa"
@@ -255,6 +329,9 @@ struct SynthesisResult {
   double avg_hops = 0.0;
   int max_hops = 0;
   int merges_applied = 0;
+  /// True when a deadline/cancel stop ended the optimization early: the
+  /// reported architecture is the best feasible sizing found in budget.
+  bool partial = false;
   std::string dot_text;  ///< when want_dot
 };
 Expected<SynthesisResult> run_synthesis(const SynthesisRequest& request);

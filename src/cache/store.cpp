@@ -39,6 +39,49 @@ void set_bytes_gauge(size_t bytes) {
   obs::registry().gauge("cache.bytes").set(static_cast<double>(bytes));
 }
 
+// Bounded retry for disk-cache I/O: transient failures (network
+// filesystems, scanners holding locks, tmp-dir races) get three attempts
+// with a short backoff before the operation fails open (a read becomes a
+// miss, a write is skipped). Retries never change a run's outcome — only
+// whether the warm start lands.
+constexpr int kIoAttempts = 3;
+
+void backoff_sleep(int attempt) {
+  // Attempt-scaled base with a pid-derived jitter so concurrent processes
+  // hammering one cache directory desynchronize without an RNG.
+  const long base_us = 200L << attempt;
+  const long jitter_us =
+      (static_cast<long>(::getpid()) * 31L + attempt * 17L) % (base_us / 2 + 1);
+  ::usleep(static_cast<useconds_t>(base_us + jitter_us));
+}
+
+// Reads `path` into `image`; true on success. A missing file is an
+// instant miss — misses are the common path and never retried; any other
+// failure retries with backoff and finally gives up (fail-open miss).
+bool read_entry_file(const std::string& path, std::string& image) {
+  for (int attempt = 0;; ++attempt) {
+    std::ifstream in(path, std::ios::binary);
+    if (in.good()) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      if (!in.bad()) {
+        image = buffer.str();
+        return true;
+      }
+    } else {
+      std::error_code ec;
+      if (!fs::exists(path, ec)) return false;
+    }
+    if (attempt + 1 >= kIoAttempts) {
+      log_warn("cache: giving up reading '", path, "' after ", kIoAttempts,
+               " attempts");
+      return false;
+    }
+    PIM_COUNT("cache.io.retry");
+    backoff_sleep(attempt);
+  }
+}
+
 // cache.* deep metrics (docs/observability.md): per-tier load-latency
 // histograms, a payload-size histogram (the Timer machinery is
 // unit-agnostic — here the "ns" slots carry bytes), and a hit-rate gauge
@@ -263,15 +306,13 @@ std::optional<std::string> Store::get(const CacheKey& key) {
   }
   const int64_t disk_start = timing ? obs::now_ns() : 0;
   const std::string path = entry_path(key);
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) {
+  std::string image;
+  if (!read_entry_file(path, image)) {
     PIM_COUNT("cache.miss");
     if (metrics) metrics->update_hit_rate();
     return std::nullopt;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  Expected<std::string> payload = decode_entry(key, buffer.str());
+  Expected<std::string> payload = decode_entry(key, image);
   if (!payload.ok()) {
     // Fail-open: a corrupt entry is a miss, never an error. Scrub it so
     // the recompute's put() replaces it with a good one.
@@ -308,24 +349,35 @@ void Store::put(const CacheKey& key, std::string_view payload) {
     CacheMetrics::get().entry_bytes.record_ns(static_cast<int64_t>(payload.size()));
   insert_memory(key.kind + "/" + key.hex, std::string(payload));
   if (mode() != Mode::ReadWrite) return;
-  // Disk failures only cost future warm starts, so they demote to a
-  // warning instead of failing the computation that produced `payload`.
-  try {
-    const std::string path = entry_path(key);
-    fs::create_directories(fs::path(path).parent_path());
-    const std::string tmp =
-        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      require(out.good(), "cache: cannot open '" + tmp + "'", ErrorCode::io_parse);
-      const std::string image = encode_entry(key, payload);
-      out.write(image.data(), static_cast<std::streamsize>(image.size()));
-      require(out.good(), "cache: write failed for '" + tmp + "'", ErrorCode::io_parse);
+  // Disk failures only cost future warm starts, so they retry with
+  // backoff and finally demote to a warning instead of failing the
+  // computation that produced `payload`.
+  const std::string path = entry_path(key);
+  const std::string image = encode_entry(key, payload);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      fs::create_directories(fs::path(path).parent_path());
+      const std::string tmp =
+          path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+      {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        require(out.good(), "cache: cannot open '" + tmp + "'", ErrorCode::io_parse);
+        out.write(image.data(), static_cast<std::streamsize>(image.size()));
+        require(out.good(), "cache: write failed for '" + tmp + "'",
+                ErrorCode::io_parse);
+      }
+      fs::rename(tmp, path);
+      PIM_COUNT("cache.write");
+      return;
+    } catch (const std::exception& e) {
+      if (attempt + 1 >= kIoAttempts) {
+        log_warn("cache: disk write skipped after ", kIoAttempts,
+                 " attempts: ", e.what());
+        return;
+      }
+      PIM_COUNT("cache.io.retry");
+      backoff_sleep(attempt);
     }
-    fs::rename(tmp, path);
-    PIM_COUNT("cache.write");
-  } catch (const std::exception& e) {
-    log_warn("cache: disk write skipped: ", e.what());
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "deadline/deadline.hpp"
 #include "exec/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -139,15 +140,36 @@ TimingTable characterize_table(const Technology& tech, CellKind kind,
              batch.errors[k].message());
     failed.emplace_back(i, j);
   }
+  // A deadline/cancel stop leaves the tail of the sweep un-run; those
+  // points join the failed list so the same quorum + neighbor-patching
+  // path bounds and repairs them. The batch's prefix cutoff is identical
+  // at any thread count, so the patched table is too.
+  if (batch.truncated()) {
+    t.partial = true;
+    for (size_t idx = batch.completed; idx < batch.values.size(); ++idx) {
+      if (batch.values[idx]) continue;  // defensive: engine already discarded
+      failed.emplace_back(idx / cols, idx % cols);
+    }
+    log_warn("characterize: sweep stopped after ", batch.completed, " of ",
+             batch.values.size(), " points (",
+             deadline::stop_reason_name(batch.stop), "); patching the tail");
+  }
   if (failed.empty()) return t;
 
   const size_t total = slew_axis.size() * load_axis.size();
   const size_t surviving = total - failed.size();
-  if (static_cast<double>(surviving) < quorum * static_cast<double>(total))
+  if (static_cast<double>(surviving) < quorum * static_cast<double>(total)) {
+    // Below the quorum nothing trustworthy can be patched. When the
+    // shortfall came from a stop, surface the typed deadline/cancel
+    // error (the CLI maps it to its own exit code) instead of
+    // no_convergence.
+    if (batch.truncated())
+      throw deadline::stop_error(batch.stop, batch.completed, total);
     throw Error("characterize_table: only " + std::to_string(surviving) + " of " +
                     std::to_string(total) + " sweep points survived (quorum " +
                     format_sig(100.0 * quorum, 3) + " %); first failure: " + first_failure,
                 ErrorCode::no_convergence);
+  }
 
   // Patch each hole from its nearest surviving neighbor (index-space
   // Manhattan distance) so interpolation and the downstream regressions

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "cosi/mesh.hpp"
+#include "deadline/deadline.hpp"
 #include "exec/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -94,6 +95,20 @@ NocSynthesisResult synthesize_noc(const SocSpec& spec, const InterconnectModel& 
   NocSynthesisResult result{NocArchitecture(spec), base, budget, clock, {}, 0};
   NocArchitecture& arch = result.architecture;
 
+  // Cooperative stop: the committed architecture is always a fully
+  // assessed, feasible sizing, so on expiry we keep the best one found
+  // so far and mark the result partial instead of throwing.
+  const auto stop_requested = [&result] {
+    const deadline::StopReason s = deadline::check();
+    if (s == deadline::StopReason::none) return false;
+    result.partial = true;
+    PIM_COUNT("cosi.synthesis.partial");
+    log_warn("synthesize_noc: ", deadline::stop_reason_name(s), " after ",
+             result.merges_applied, " merges; returning best sizing so far");
+    deadline::record_stop_metrics(static_cast<size_t>(result.merges_applied));
+    return true;
+  };
+
   // Graceful degradation: when constraint-driven synthesis cannot seed a
   // feasible point-to-point network, fall back to the regular mesh — it
   // spends more routers but tolerates tighter per-hop budgets, so the
@@ -142,6 +157,7 @@ NocSynthesisResult synthesize_noc(const SocSpec& spec, const InterconnectModel& 
     return trial;
   };
   for (int iter = 0; iter < options.max_merges; ++iter) {
+    if (stop_requested()) break;
     std::vector<std::pair<int, int>> candidates;
     for (size_t i = first_router; i < arch.nodes().size(); ++i) {
       if (arch.port_count(static_cast<int>(i)) == 0) continue;
@@ -154,13 +170,27 @@ NocSynthesisResult synthesize_noc(const SocSpec& spec, const InterconnectModel& 
       }
     }
 
-    const auto outcomes = exec::parallel_map<TrialOutcome>(
-        candidates.size(), [&](size_t k) {
-          const NocArchitecture trial =
-              build_trial(candidates[k].first, candidates[k].second);
-          return assess(trial, implementer, router_model, clock,
-                        router_model.max_ports);
-        });
+    std::vector<TrialOutcome> outcomes;
+    try {
+      outcomes = exec::parallel_map<TrialOutcome>(
+          candidates.size(), [&](size_t k) {
+            const NocArchitecture trial =
+                build_trial(candidates[k].first, candidates[k].second);
+            return assess(trial, implementer, router_model, clock,
+                          router_model.max_ports);
+          });
+    } catch (const Error& e) {
+      // A stop mid-assessment discards the whole round (a partially
+      // evaluated round cannot pick a deterministic winner) and keeps
+      // the architecture from the last committed merge.
+      if (e.code() != ErrorCode::deadline_exceeded && e.code() != ErrorCode::cancelled)
+        throw;
+      result.partial = true;
+      PIM_COUNT("cosi.synthesis.partial");
+      log_warn("synthesize_noc: merge round stopped (", e.message(),
+               "); returning best sizing so far");
+      break;
+    }
 
     int best_k = -1;
     double best_cost = current.cost;
@@ -185,9 +215,10 @@ NocSynthesisResult synthesize_noc(const SocSpec& spec, const InterconnectModel& 
   // Phase 4: router placement refinement — move each router to the
   // bandwidth-weighted centroid of its neighbors when that lowers cost
   // (shorter heavy links burn less wire power).
-  for (int sweep = 0; sweep < 3; ++sweep) {
+  for (int sweep = 0; sweep < 3 && !result.partial; ++sweep) {
     bool improved = false;
     for (size_t n = first_router; n < arch.nodes().size(); ++n) {
+      if (stop_requested()) break;
       const int node = static_cast<int>(n);
       if (arch.port_count(node) == 0) continue;
       double wx = 0.0;
@@ -219,6 +250,10 @@ NocSynthesisResult synthesize_noc(const SocSpec& spec, const InterconnectModel& 
     if (!improved) break;
   }
 
+  // Finalization must complete even after a stop (the committed
+  // architecture is already implemented; this re-derives its metrics),
+  // so polls are suppressed for this bounded tail.
+  deadline::GraceScope grace;
   arch.compact();
   arch.implement_links(implementer);
   result.metrics = evaluate_noc(arch, implementer, router_model, clock);

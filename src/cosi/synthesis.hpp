@@ -58,6 +58,11 @@ struct NocSynthesisResult {
   double clock_frequency = 0.0;
   NocMetrics metrics;         ///< metrics under the synthesis model
   int merges_applied = 0;
+  /// True when a deadline/cancel stop ended the optimization early: the
+  /// architecture is the best feasible sizing found before the budget
+  /// expired (every committed merge had been fully assessed), not the
+  /// converged optimum.
+  bool partial = false;
 };
 
 /// Synthesizes a NoC for `spec` using `model`'s view of link cost.

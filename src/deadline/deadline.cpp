@@ -1,0 +1,181 @@
+#include "deadline/deadline.hpp"
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/faultinject.hpp"
+
+namespace pim::deadline {
+namespace {
+
+int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Absolute steady-clock deadline in ns; 0 = no deadline armed.
+std::atomic<int64_t>& deadline_ns_slot() {
+  static std::atomic<int64_t> ns{0};
+  return ns;
+}
+
+std::atomic<bool>& cancel_slot() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+// Single fast-path flag: true iff a deadline is armed or a cancel is
+// pending. Maintained on every state change so check()'s disengaged path
+// is one relaxed load (plus the fault-armed load).
+std::atomic<bool>& engaged_slot() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+// Process-wide (not thread-local): grace must also cover pool workers
+// running parallel regions inside the graced finalization work.
+std::atomic<int>& grace_depth() {
+  static std::atomic<int> depth{0};
+  return depth;
+}
+
+void refresh_engaged() {
+  engaged_slot().store(
+      deadline_ns_slot().load(std::memory_order_relaxed) != 0 ||
+          cancel_slot().load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+void set_deadline_abs_ns(int64_t abs_ns) {
+  deadline_ns_slot().store(abs_ns, std::memory_order_relaxed);
+  refresh_engaged();
+}
+
+extern "C" void pim_deadline_signal_handler(int) {
+  // Async-signal-safe: two lock-free atomic stores, nothing else. The
+  // engaged flag must be set directly (refresh_engaged reads two slots,
+  // which is also safe, but keep the handler minimal).
+  cancel_slot().store(true, std::memory_order_relaxed);
+  engaged_slot().store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* stop_reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::none: return "none";
+    case StopReason::deadline_exceeded: return "deadline_exceeded";
+    case StopReason::cancelled: return "cancelled";
+  }
+  return "none";
+}
+
+ErrorCode error_code_for(StopReason reason) {
+  return reason == StopReason::cancelled ? ErrorCode::cancelled
+                                         : ErrorCode::deadline_exceeded;
+}
+
+void set_budget_ms(int64_t budget_ms) {
+  if (budget_ms <= 0) {
+    set_deadline_abs_ns(0);
+    return;
+  }
+  set_deadline_abs_ns(steady_now_ns() + budget_ms * 1'000'000);
+}
+
+void reset() {
+  deadline_ns_slot().store(0, std::memory_order_relaxed);
+  cancel_slot().store(false, std::memory_order_relaxed);
+  engaged_slot().store(false, std::memory_order_relaxed);
+}
+
+void request_cancel() {
+  cancel_slot().store(true, std::memory_order_relaxed);
+  engaged_slot().store(true, std::memory_order_relaxed);
+}
+
+bool cancel_requested() { return cancel_slot().load(std::memory_order_relaxed); }
+
+int64_t remaining_ns() {
+  const int64_t deadline = deadline_ns_slot().load(std::memory_order_relaxed);
+  if (deadline == 0) return INT64_MAX;
+  const int64_t left = deadline - steady_now_ns();
+  return left > 0 ? left : 0;
+}
+
+bool engaged() { return engaged_slot().load(std::memory_order_relaxed); }
+
+StopReason check() {
+  // Fast path: nothing armed anywhere — one relaxed load each for the
+  // deadline/cancel state and the fault harness.
+  const bool live = engaged();
+  if (!live && !fault::armed()) return StopReason::none;
+  if (grace_depth().load(std::memory_order_relaxed) > 0) return StopReason::none;
+
+  // Fault sites first so injected stops are index-pure under the exec
+  // engine's per-item streams (the wall clock would otherwise race them).
+  if (fault::should_fire(fault::kDeadlineExpire)) return StopReason::deadline_exceeded;
+  if (fault::should_fire(fault::kCancelMidchunk)) return StopReason::cancelled;
+  if (!live) return StopReason::none;
+
+  PIM_COUNT("cancel.checks");
+  if (cancel_slot().load(std::memory_order_relaxed)) return StopReason::cancelled;
+  const int64_t deadline = deadline_ns_slot().load(std::memory_order_relaxed);
+  if (deadline != 0 && steady_now_ns() >= deadline)
+    return StopReason::deadline_exceeded;
+  return StopReason::none;
+}
+
+void install_signal_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = pim_deadline_signal_handler;
+  sigemptyset(&action.sa_mask);
+  // One signal trips the token for a graceful partial exit; a second one
+  // falls back to the default disposition (kill) for stuck processes.
+  action.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+Error stop_error(StopReason reason, size_t completed, size_t total) {
+  const char* what = reason == StopReason::cancelled ? "cancelled" : "deadline exceeded";
+  return Error("stopped after " + std::to_string(completed) + "/" +
+                   std::to_string(total) + " items: " + std::string(what),
+               error_code_for(reason));
+}
+
+void record_stop_metrics(size_t partial_items) {
+  // force_set like the proc.* gauges: ledger records of truncated runs
+  // carry these even when --profile collection is off.
+  const int64_t left = remaining_ns();
+  obs::registry().gauge("deadline.remaining_ns")
+      .force_set(left == INT64_MAX ? 0.0 : static_cast<double>(left));
+  obs::registry().gauge("partial.items").force_set(static_cast<double>(partial_items));
+}
+
+GraceScope::GraceScope() { grace_depth().fetch_add(1, std::memory_order_relaxed); }
+GraceScope::~GraceScope() { grace_depth().fetch_sub(1, std::memory_order_relaxed); }
+
+Scope::Scope(int64_t budget_ms)
+    : prev_deadline_ns_(deadline_ns_slot().load(std::memory_order_relaxed)) {
+  if (budget_ms > 0) {
+    const int64_t mine = steady_now_ns() + budget_ms * 1'000'000;
+    // Never loosen an outer deadline: nested scopes keep the tighter one.
+    if (prev_deadline_ns_ == 0 || mine < prev_deadline_ns_)
+      set_deadline_abs_ns(mine);
+  }
+}
+
+Scope::~Scope() {
+  const int64_t left = remaining_ns();
+  obs::registry().gauge("deadline.remaining_ns")
+      .force_set(left == INT64_MAX ? 0.0 : static_cast<double>(left));
+  set_deadline_abs_ns(prev_deadline_ns_);
+}
+
+}  // namespace pim::deadline

@@ -104,11 +104,16 @@ bool& in_region() {
 
 struct ChunkResult {
   std::vector<detail::ItemFailure> failures;  // ascending within the chunk
+  // First item index at which a deadline/cancel stop triggered (the item
+  // did NOT run); SIZE_MAX when the chunk ran to its end.
+  size_t stop_index = SIZE_MAX;
+  deadline::StopReason stop = deadline::StopReason::none;
 };
 
 // Runs one contiguous chunk of items on the current thread: per-item
-// fault stream, per-chunk metric shard (merged before returning), and
-// per-item error capture. fail_fast stops the chunk at its first failure.
+// fault stream, per-item deadline/cancel poll, per-chunk metric shard
+// (merged before returning), and per-item error capture. fail_fast stops
+// the chunk at its first failure.
 void run_chunk(size_t begin, size_t end, bool fail_fast,
                const std::function<void(size_t)>& body, ChunkResult& result) {
   obs::MetricShard shard;
@@ -117,6 +122,15 @@ void run_chunk(size_t begin, size_t end, bool fail_fast,
   in_region() = true;
   for (size_t i = begin; i < end; ++i) {
     fault::ScopedStream stream(i);
+    // Poll under the item's fault stream so the injected stop sites draw
+    // index-pure streams — which items trigger a stop is then identical
+    // at any thread count (docs/robustness.md).
+    const deadline::StopReason stop = deadline::check();
+    if (stop != deadline::StopReason::none) {
+      result.stop = stop;
+      result.stop_index = i;
+      break;
+    }
     try {
       body(i);
     } catch (const Error& e) {
@@ -204,10 +218,39 @@ int threads() {
 
 namespace detail {
 
-std::vector<ItemFailure> run_region(size_t n, const ParallelOptions& options,
-                                    bool fail_fast,
-                                    const std::function<void(size_t)>& body) {
-  if (n == 0) return {};
+namespace {
+
+// Reduces chunk results into the region outcome: cutoff = the minimum
+// stop index over chunks (completed set = [0, cutoff)), stop reason from
+// that chunk, and only failures below the cutoff survive. Single-chunk
+// regions pass a span of one.
+RegionOutcome reduce_chunks(size_t n, std::vector<ChunkResult>& results) {
+  RegionOutcome out;
+  out.cutoff = n;
+  for (const ChunkResult& r : results) {
+    if (r.stop_index < out.cutoff) {
+      out.cutoff = r.stop_index;
+      out.stop = r.stop;
+    }
+  }
+  // Chunks are contiguous ascending index ranges, so concatenating their
+  // failure lists in chunk order keeps item order ascending. Failures at
+  // or above the cutoff belong to discarded items and are dropped with
+  // them.
+  for (ChunkResult& r : results)
+    for (ItemFailure& f : r.failures)
+      if (f.item < out.cutoff) out.failures.push_back(std::move(f));
+  if (out.stop != deadline::StopReason::none)
+    deadline::record_stop_metrics(out.cutoff);
+  return out;
+}
+
+}  // namespace
+
+RegionOutcome run_region(size_t n, const ParallelOptions& options,
+                         bool fail_fast,
+                         const std::function<void(size_t)>& body) {
+  if (n == 0) return {{}, deadline::StopReason::none, 0};
   size_t want = static_cast<size_t>(options.threads >= 1 ? options.threads : threads());
   const size_t grain = options.grain == 0 ? 1 : options.grain;
   want = std::min(want, (n + grain - 1) / grain);
@@ -216,9 +259,9 @@ std::vector<ItemFailure> run_region(size_t n, const ParallelOptions& options,
   // Serial (or nested) regions run the identical per-item code path on
   // this thread, so results are bit-identical to any parallel schedule.
   if (want == 1 || in_region()) {
-    ChunkResult result;
-    run_chunk_instr(0, n, fail_fast, body, result, /*queued_ns=*/-1);
-    return std::move(result.failures);
+    std::vector<ChunkResult> results(1);
+    run_chunk_instr(0, n, fail_fast, body, results[0], /*queued_ns=*/-1);
+    return reduce_chunks(n, results);
   }
 
   const bool timing = obs::enabled();
@@ -284,12 +327,7 @@ std::vector<ItemFailure> run_region(size_t n, const ParallelOptions& options,
                       static_cast<double>(busy));
   }
 
-  // Chunks are contiguous ascending index ranges, so concatenating their
-  // failure lists in chunk order keeps item order ascending.
-  std::vector<ItemFailure> failures;
-  for (ChunkResult& r : results)
-    for (ItemFailure& f : r.failures) failures.push_back(std::move(f));
-  return failures;
+  return reduce_chunks(n, results);
 }
 
 void rethrow_first(const ItemFailure& failure) {

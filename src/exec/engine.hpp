@@ -35,6 +35,20 @@
 // semantics: every failure is captured per item and returned alongside
 // the surviving values, ascending by item index.
 //
+// Deadlines & cancellation (docs/robustness.md): every item boundary
+// polls pim::deadline::check() under the item's fault stream. A stop is
+// reported with *prefix-cutoff* semantics: each chunk records the first
+// item index at which the stop triggered, the region's cutoff is the
+// minimum over chunks, the completed set is exactly [0, cutoff), and any
+// results computed at indices >= cutoff are discarded. Since per-item
+// work is index-pure, every item below the cutoff carries a bit-identical
+// result at any thread count; with the fault-injected stop sites the
+// cutoff itself is also thread-count-invariant. parallel_for/map raise a
+// typed deadline_exceeded/cancelled Error carrying the completed count
+// (a failure below the cutoff takes precedence — it would have been
+// raised without the stop too); parallel_try_map returns the truncated
+// BatchResult with stop/completed set so callers can degrade gracefully.
+//
 // Thread count: threads() resolves set_threads() > PIM_THREADS >
 // std::thread::hardware_concurrency, and the CLI's global --threads flag
 // feeds set_threads(). Nested parallel regions run inline on the calling
@@ -47,6 +61,7 @@
 #include <string>
 #include <vector>
 
+#include "deadline/deadline.hpp"
 #include "util/error.hpp"
 #include "util/expected.hpp"
 #include "util/rng.hpp"
@@ -81,13 +96,22 @@ struct ItemFailure {
   Error error;
 };
 
+/// Everything a region produced: captured failures (all below the
+/// cutoff), plus the cooperative-stop outcome. When stop == none the
+/// cutoff equals n (every item ran).
+struct RegionOutcome {
+  std::vector<ItemFailure> failures;  ///< ascending by item index, < cutoff
+  deadline::StopReason stop = deadline::StopReason::none;
+  size_t cutoff = 0;  ///< completed items are exactly [0, cutoff)
+};
+
 /// Core runner: executes body(i) for i in [0, n) over static contiguous
-/// chunks on the shared pool, with per-item fault streams and per-chunk
-/// metric shards. fail_fast stops each chunk at its first failure.
-/// Returns captured failures ascending by item index.
-std::vector<ItemFailure> run_region(size_t n, const ParallelOptions& options,
-                                    bool fail_fast,
-                                    const std::function<void(size_t)>& body);
+/// chunks on the shared pool, with per-item fault streams, per-item
+/// deadline/cancel polls, and per-chunk metric shards. fail_fast stops
+/// each chunk at its first failure.
+RegionOutcome run_region(size_t n, const ParallelOptions& options,
+                         bool fail_fast,
+                         const std::function<void(size_t)>& body);
 
 [[noreturn]] void rethrow_first(const ItemFailure& failure);
 
@@ -97,8 +121,10 @@ std::vector<ItemFailure> run_region(size_t n, const ParallelOptions& options,
 /// error (with the item index appended to its context) after the join.
 inline void parallel_for(size_t n, const std::function<void(size_t)>& body,
                          const ParallelOptions& options = {}) {
-  const auto failures = detail::run_region(n, options, /*fail_fast=*/true, body);
-  if (!failures.empty()) detail::rethrow_first(failures.front());
+  auto outcome = detail::run_region(n, options, /*fail_fast=*/true, body);
+  if (!outcome.failures.empty()) detail::rethrow_first(outcome.failures.front());
+  if (outcome.stop != deadline::StopReason::none)
+    throw deadline::stop_error(outcome.stop, outcome.cutoff, n);
 }
 
 /// parallel_for with a per-item RNG stream derived from (seed, i).
@@ -125,23 +151,33 @@ std::vector<R> parallel_map(size_t n, const std::function<R(size_t)>& fn,
 }
 
 /// Outcome of a skip-and-record batch: values for surviving items (by
-/// index), plus the failed indices and their errors, ascending.
+/// index), plus the failed indices and their errors, ascending. When a
+/// deadline/cancel stop truncated the batch, `stop` says why and
+/// `completed` is the prefix cutoff: values at indices >= completed are
+/// nullopt (discarded even if computed) and every failure index is below
+/// it.
 template <typename R>
 struct BatchResult {
-  std::vector<std::optional<R>> values;  ///< size n; nullopt where failed
+  std::vector<std::optional<R>> values;  ///< size n; nullopt where failed/cut
   std::vector<size_t> failed;            ///< ascending item indices
   std::vector<Error> errors;             ///< errors[k] belongs to failed[k]
+  deadline::StopReason stop = deadline::StopReason::none;
+  size_t completed = 0;  ///< prefix cutoff; == values.size() when stop == none
 
-  bool all_ok() const { return failed.empty(); }
-  size_t surviving() const { return values.size() - failed.size(); }
-  /// Lowest failing item's error. Only valid when !all_ok().
+  bool all_ok() const { return failed.empty() && stop == deadline::StopReason::none; }
+  size_t surviving() const { return completed - failed.size(); }
+  /// Lowest failing item's error. Only valid when !failed.empty().
   const Error& first_error() const { return errors.front(); }
+  bool truncated() const { return stop != deadline::StopReason::none; }
 
-  /// All values when every item survived, else the first error — for
-  /// call sites that want Expected-style propagation instead of
-  /// degradation.
+  /// All values when every item survived, else the first error (a real
+  /// failure outranks the stop) — for call sites that want
+  /// Expected-style propagation instead of degradation.
   Expected<std::vector<R>> into_expected() && {
-    if (!all_ok()) return Expected<std::vector<R>>(errors.front());
+    if (!failed.empty()) return Expected<std::vector<R>>(errors.front());
+    if (truncated())
+      return Expected<std::vector<R>>(
+          deadline::stop_error(stop, completed, values.size()));
     std::vector<R> out;
     out.reserve(values.size());
     for (auto& v : values) out.push_back(std::move(*v));
@@ -156,11 +192,17 @@ BatchResult<R> parallel_try_map(size_t n, const std::function<R(size_t)>& fn,
                                 const ParallelOptions& options = {}) {
   BatchResult<R> out;
   out.values.resize(n);
-  auto failures = detail::run_region(
+  auto outcome = detail::run_region(
       n, options, /*fail_fast=*/false, [&](size_t i) { out.values[i] = fn(i); });
-  out.failed.reserve(failures.size());
-  out.errors.reserve(failures.size());
-  for (auto& f : failures) {
+  out.stop = outcome.stop;
+  out.completed = outcome.cutoff;
+  // Prefix-cutoff discard: a chunk past the cutoff may have computed some
+  // values before its own stop triggered; dropping them keeps the
+  // completed set exactly [0, cutoff) at any thread count.
+  for (size_t i = out.completed; i < n; ++i) out.values[i].reset();
+  out.failed.reserve(outcome.failures.size());
+  out.errors.reserve(outcome.failures.size());
+  for (auto& f : outcome.failures) {
     out.failed.push_back(f.item);
     out.errors.push_back(std::move(f.error));
   }

@@ -23,6 +23,10 @@ struct TimingTable {
   Vector load_axis;  ///< load cap samples [F], strictly increasing
   Matrix delay;      ///< [slew][load] -> 50 % delay [s]
   Matrix out_slew;   ///< [slew][load] -> output slew [s]
+  /// True when a deadline/cancel stop truncated the characterization
+  /// sweep: the un-run tail was patched from surviving neighbors (same
+  /// path as failed decks), so values are usable but biased.
+  bool partial = false;
 
   /// True once the table has been populated with a valid grid.
   bool valid() const;
@@ -44,6 +48,9 @@ struct RepeaterCell {
   double area = 0.0;      ///< [m^2]
   TimingTable rise;       ///< output rising edge
   TimingTable fall;       ///< output falling edge
+
+  /// True when either table was truncated by a deadline/cancel stop.
+  bool partial() const { return rise.partial || fall.partial; }
 
   /// State-averaged leakage, the paper's p_s = (p_sn + p_sp) / 2.
   double leakage_avg() const { return 0.5 * (leakage_nmos + leakage_pmos); }

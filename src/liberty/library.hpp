@@ -37,6 +37,14 @@ class CellLibrary {
 
   bool has_cell(const std::string& name) const;
 
+  /// True when any cell's sweep was truncated by a deadline/cancel stop
+  /// (its tables are neighbor-patched, quorum permitting).
+  bool partial() const {
+    for (const RepeaterCell& c : cells_)
+      if (c.partial()) return true;
+    return false;
+  }
+
   /// All cells of one kind, ascending drive.
   std::vector<const RepeaterCell*> cells_of_kind(CellKind kind) const;
 

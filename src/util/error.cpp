@@ -9,6 +9,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::no_convergence: return "no_convergence";
     case ErrorCode::io_parse: return "io_parse";
     case ErrorCode::internal: return "internal";
+    case ErrorCode::deadline_exceeded: return "deadline_exceeded";
+    case ErrorCode::cancelled: return "cancelled";
   }
   return "internal";
 }

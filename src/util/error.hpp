@@ -23,6 +23,8 @@ enum class ErrorCode {
   no_convergence,   ///< iterative solve exhausted its budget
   io_parse,         ///< file missing, unreadable, or malformed
   internal,         ///< invariant violation inside the library
+  deadline_exceeded,///< wall-clock budget expired before the work finished
+  cancelled,        ///< external cancellation (SIGINT/SIGTERM or API cancel)
 };
 
 /// Stable lowercase name of a code, e.g. "singular_matrix".

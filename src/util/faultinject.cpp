@@ -75,7 +75,8 @@ void refresh_armed_flag_locked() {
 
 const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> names = {
-      kLuSingular, kNewtonDiverge, kDeckParse, kIoOpen, kVariationSample};
+      kLuSingular,      kNewtonDiverge,  kDeckParse, kIoOpen,
+      kVariationSample, kDeadlineExpire, kCancelMidchunk};
   return names;
 }
 

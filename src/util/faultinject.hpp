@@ -48,6 +48,8 @@ inline constexpr const char* kNewtonDiverge = "newton.diverge";    // spice Newt
 inline constexpr const char* kDeckParse = "deck.parse";            // spice deck parser
 inline constexpr const char* kIoOpen = "io.open";                  // deck/coeffs file I/O
 inline constexpr const char* kVariationSample = "variation.sample";// per-MC-sample solve
+inline constexpr const char* kDeadlineExpire = "deadline-expire";  // deadline::check() poll
+inline constexpr const char* kCancelMidchunk = "cancel-midchunk";  // deadline::check() poll
 
 /// All site names configure() accepts.
 const std::vector<std::string>& known_sites();

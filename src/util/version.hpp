@@ -11,10 +11,11 @@
 
 namespace pim {
 
-inline constexpr const char* kVersion = "0.6.0";
+inline constexpr const char* kVersion = "0.7.0";
 
 /// Version of the pim::api request/result structs (api/pim_api.hpp).
-inline constexpr int kApiVersionNumber = 1;
+/// v2: every request carries deadline_ms; results grew partial flags.
+inline constexpr int kApiVersionNumber = 2;
 
 /// Cache canonicalization / payload-layout version (cache/key.hpp).
 inline constexpr int kCacheFormatVersion = 2;

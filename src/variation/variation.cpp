@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "cache/store.hpp"
+#include "deadline/deadline.hpp"
 #include "numeric/regression.hpp"
 #include "charlib/characterize.hpp"
 #include "exec/engine.hpp"
@@ -85,6 +86,13 @@ double MonteCarloResult::yield_at(double max_delay) const {
   return static_cast<double>(it - delays.begin()) / static_cast<double>(delays.size());
 }
 
+double MonteCarloResult::yield_ci95(double max_delay) const {
+  if (delays.empty()) return 0.0;
+  const double n = static_cast<double>(delays.size());
+  const double p = yield_at(max_delay);
+  return 1.96 * std::sqrt(p * (1.0 - p) / n);
+}
+
 double MonteCarloResult::delay_quantile(double q) const {
   require(!delays.empty(), "delay_quantile: empty result");
   require(q >= 0.0 && q <= 1.0, "delay_quantile: q must be in [0, 1]");
@@ -151,7 +159,14 @@ MonteCarloResult reduce_batch(const exec::BatchResult<P>& batch,
   for (const auto& value : batch.values)
     if (value) result.delays.push_back(delay_of(*value));
   result.failed_samples = static_cast<int>(batch.failed.size());
+  result.requested_samples = static_cast<int>(batch.values.size());
+  result.partial = batch.truncated();
   PIM_COUNT_N("variation.sample.error", static_cast<int64_t>(batch.failed.size()));
+  // A truncated batch with zero completed samples has nothing to
+  // estimate from — that is the one stop that cannot degrade to a
+  // partial result and must surface as the typed deadline/cancel error.
+  if (result.delays.empty() && batch.truncated())
+    throw deadline::stop_error(batch.stop, batch.completed, batch.values.size());
   require(!result.delays.empty(), std::string(who) + ": every sample failed",
           ErrorCode::no_convergence);
   std::sort(result.delays.begin(), result.delays.end());
@@ -339,6 +354,7 @@ MonteCarloResult monte_carlo_link_at_corner(const ProposedModel& model,
       MonteCarloResult cached = parse_mc(*payload);
       require(!cached.delays.empty(), "yield cache: empty delay vector",
               ErrorCode::io_parse);
+      cached.requested_samples = samples;  // only complete runs are cached
       tally_yield(cached);
       return cached;
     } catch (const Error&) {
@@ -351,7 +367,9 @@ MonteCarloResult monte_carlo_link_at_corner(const ProposedModel& model,
   }
   const MonteCarloResult result =
       monte_carlo_link(model, context, design, samples, seed, sigmas);
-  cache::Store::global().put(key, serialize_mc(result));
+  // A truncated run's statistics cover a prefix of the sampling plan the
+  // key describes — caching it would poison later full-budget lookups.
+  if (!result.partial) cache::Store::global().put(key, serialize_mc(result));
   return result;
 }
 

@@ -63,9 +63,22 @@ struct MonteCarloResult {
   /// were skipped; counted in the "variation.sample.error" metric. The
   /// statistics above cover only the surviving samples.
   int failed_samples = 0;
+  /// How many samples the caller asked for. Equals
+  /// delays.size() + failed_samples unless the run was truncated.
+  int requested_samples = 0;
+  /// True when a deadline/cancel stop truncated the batch: statistics
+  /// cover the completed prefix only (exactly [0, completed) sample
+  /// indices, deterministic at any --threads), and the result is never
+  /// written to the cache. yield_ci95() widens accordingly.
+  bool partial = false;
 
   /// Fraction of samples meeting `max_delay`.
   double yield_at(double max_delay) const;
+
+  /// 95 % binomial confidence halfwidth of yield_at(max_delay):
+  /// 1.96 * sqrt(p(1-p)/n) over the n surviving samples — the interval a
+  /// partial result reports widened, since n shrank.
+  double yield_ci95(double max_delay) const;
 
   /// Delay at the given quantile in [0, 1] (e.g. 0.997 for ~3 sigma).
   double delay_quantile(double q) const;

@@ -375,6 +375,111 @@ TEST(CliExitCodes, UnknownCornerIsUsageError) {
 }
 
 // ---------------------------------------------------------------------------
+// --deadline-ms / PIM_DEADLINE_MS and the partial-result exit code (5)
+// ---------------------------------------------------------------------------
+
+TEST(CliArgs, DeadlineFlagResolvesWithEnvFallback) {
+  ::unsetenv("PIM_DEADLINE_MS");
+  EXPECT_EQ(resolved_deadline_ms(make({"techfile", "45nm"})), 0);
+  EXPECT_EQ(resolved_deadline_ms(make({"--deadline-ms", "1500"})), 1500);
+  EXPECT_THROW(apply_global_flags(make({"--deadline-ms", "-5"})), Error);
+  EXPECT_THROW(apply_global_flags(make({"--deadline-ms"})), Error);
+
+  ::setenv("PIM_DEADLINE_MS", "700", 1);
+  EXPECT_EQ(resolved_deadline_ms(make({"techfile", "45nm"})), 700);
+  // The explicit flag always beats the environment.
+  EXPECT_EQ(resolved_deadline_ms(make({"--deadline-ms", "2"})), 2);
+  ::setenv("PIM_DEADLINE_MS", "-1", 1);
+  EXPECT_THROW(resolved_deadline_ms(make({"techfile", "45nm"})), Error);
+  ::unsetenv("PIM_DEADLINE_MS");
+}
+
+TEST(CliExitCodes, DeadlineErrorsMapToExitFive) {
+  EXPECT_EQ(exit_code_for(Error("late", ErrorCode::deadline_exceeded)),
+            kExitPartial);
+  EXPECT_EQ(exit_code_for(Error("stop", ErrorCode::cancelled)), kExitPartial);
+  EXPECT_EQ(run_cli("techfile 45nm --deadline-ms 0"), 0);  // 0 = unlimited
+  EXPECT_EQ(run_cli("techfile 45nm --deadline-ms -3"), 2);
+  EXPECT_EQ(run_cli("techfile 45nm --deadline-ms soon"), 2);
+}
+
+TEST(CliExitCodes, ZeroProgressStopIsTypedExitFive) {
+  // A charlib sweep stopped before its first item cannot be patched:
+  // the run exits 5 through the typed-error path, not 3.
+  EXPECT_EQ(run_cli("characterize 65nm --cache off"
+                    " --inject-fault deadline-expire:1"),
+            kExitPartial);
+}
+
+TEST(CliLedger, PartialRunStillPrintsAndLandsInLedger) {
+  const std::string dir = ::testing::TempDir() + "pim_cli_ledger_partial";
+  std::filesystem::remove_all(dir);
+  const std::string out = dir + "/noc.txt";
+  std::filesystem::create_directories(dir);
+  // cancel-midchunk:1 trips the first stop poll in the merge loop: the
+  // pre-merge topology is still reported, then the run exits 5.
+  const std::string cmd = std::string(PIM_CLI_PATH) +
+                          " noc dvopd 65nm --model bakoglu --out-dir " + dir +
+                          " --inject-fault cancel-midchunk:1 --log-level off > " +
+                          out + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), kExitPartial);
+
+  std::ifstream in(out);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("dvopd"), std::string::npos) << buf.str();
+  EXPECT_NE(buf.str().find("links"), std::string::npos) << buf.str();
+
+  const auto records = read_ledger(dir + "/ledger.jsonl");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].find("command")->text, "noc");
+  EXPECT_DOUBLE_EQ(records[0].find("exit_code")->number,
+                   static_cast<double>(kExitPartial));
+  std::filesystem::remove_all(dir);
+}
+
+// SIGTERM mid-run trips the cooperative cancel token: the process still
+// exits through the normal finish path, so the ledger record and the
+// --profile report are flushed rather than lost.
+TEST(CliSignals, SigtermMidRunFlushesLedgerAndProfile) {
+  const std::string dir = ::testing::TempDir() + "pim_cli_sigterm";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string cmd =
+      std::string("sh -c '") + PIM_CLI_PATH + " characterize 65nm --cache off" +
+      " --out-dir " + dir + " --profile profile.json --lib " + dir +
+      "/out.lib --log-level off > /dev/null 2>&1 & pid=$!; sleep 0.3;" +
+      " kill -TERM $pid 2>/dev/null; wait $pid; echo $? > " + dir + "/rc'";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  std::ifstream rc_in(dir + "/rc");
+  int rc = -1;
+  rc_in >> rc;
+  EXPECT_EQ(rc, kExitPartial);
+
+  const auto records = read_ledger(dir + "/ledger.jsonl");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].find("schema")->text, "pim.ledger.v1");
+  EXPECT_EQ(records[0].find("command")->text, "characterize");
+  EXPECT_DOUBLE_EQ(records[0].find("exit_code")->number,
+                   static_cast<double>(kExitPartial));
+  EXPECT_GT(records[0].find("wall_ns")->number, 0.0);
+
+  std::ifstream in(dir + "/profile.json");
+  ASSERT_TRUE(in.good()) << "profile not flushed on SIGTERM";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const obs::JsonValue root = obs::parse_json(buf.str());
+  ASSERT_EQ(root.kind, obs::JsonValue::Kind::Object);
+  ASSERT_NE(root.find("schema"), nullptr);
+  EXPECT_EQ(root.find("schema")->text, "pim.metrics.v1");
+  ASSERT_NE(root.find("counters"), nullptr);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
 // --version
 // ---------------------------------------------------------------------------
 

@@ -212,6 +212,8 @@ const std::vector<FlagSpec>& global_flag_specs() {
        "arm deterministic fault injection (docs/robustness.md)"},
       {"threads", FlagType::Int, "N", "all cores",
        "worker threads; results are bit-identical at any N"},
+      {"deadline-ms", FlagType::Int, "ms", "unlimited",
+       "wall-clock budget; partial results exit 5 (beats PIM_DEADLINE_MS)"},
       {"cache", FlagType::String, "off|ro|rw", "rw",
        "result-cache mode (docs/caching.md; beats PIM_CACHE)"},
       {"cache-dir", FlagType::String, "dir", "~/.cache/pim",
@@ -266,7 +268,8 @@ void render_flag_lines(std::ostringstream& os, const std::vector<FlagSpec>& flag
 }
 
 const char* kExitCodesLine =
-    "exit codes: 0 ok, 2 usage, 3 runtime failure, 4 internal error\n";
+    "exit codes: 0 ok, 2 usage, 3 runtime failure, 4 internal error, "
+    "5 deadline/cancelled (partial results flushed)\n";
 
 }  // namespace
 
@@ -346,6 +349,11 @@ void apply_global_flags(const Args& args) {
             ErrorCode::bad_input);
     set_out_dir(args.get("out-dir"));
   }
+  if (args.has("deadline-ms")) {
+    const long n = args.get_long("deadline-ms", 0);
+    require(n >= 0, "cli: --deadline-ms must be >= 0 (0 = unlimited)",
+            ErrorCode::bad_input);
+  }
   if (args.has("profile")) obs::set_enabled(true);
   if (args.has("trace")) {
     require(!args.get("trace").empty(), "cli: --trace needs an output path",
@@ -353,6 +361,18 @@ void apply_global_flags(const Args& args) {
     obs::set_enabled(true);
     obs::set_trace_enabled(true);
   }
+}
+
+int64_t resolved_deadline_ms(const Args& args) {
+  if (args.has("deadline-ms")) return args.get_long("deadline-ms", 0);
+  if (const char* env = std::getenv("PIM_DEADLINE_MS");
+      env != nullptr && *env != '\0') {
+    const long n = parse_long(env);
+    require(n >= 0, "cli: PIM_DEADLINE_MS must be >= 0 (0 = unlimited)",
+            ErrorCode::bad_input);
+    return n;
+  }
+  return 0;
 }
 
 namespace {
@@ -386,9 +406,13 @@ void write_observability_reports(const Args& args) {
 }
 
 int exit_code_for(const Error& error) {
-  return error.code() == ErrorCode::bad_input   ? 2
-         : error.code() == ErrorCode::internal ? 4
-                                               : 3;
+  switch (error.code()) {
+    case ErrorCode::bad_input: return 2;
+    case ErrorCode::internal: return 4;
+    case ErrorCode::deadline_exceeded:
+    case ErrorCode::cancelled: return kExitPartial;
+    default: return 3;
+  }
 }
 
 void append_run_ledger(const std::string& command, const Args& args,

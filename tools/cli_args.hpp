@@ -100,6 +100,11 @@ std::string help_text(const CommandSpec& spec);
 /// directory, output directory. Call once before dispatching.
 void apply_global_flags(const Args& args);
 
+/// The wall-clock budget for this run in milliseconds: `--deadline-ms`
+/// beats PIM_DEADLINE_MS; 0 (the default) means unlimited. Commands copy
+/// this into their api request's `deadline_ms` field.
+int64_t resolved_deadline_ms(const Args& args);
+
 /// Writes the --profile / --trace artifacts. Call after the command ran
 /// (also on failure, so partial runs still leave telemetry behind).
 /// Relative report paths resolve under pim::out_dir() when --out-dir or
@@ -107,8 +112,12 @@ void apply_global_flags(const Args& args);
 void write_observability_reports(const Args& args);
 
 /// Maps the error taxonomy to the CLI exit-code contract: bad_input -> 2,
-/// internal -> 4, everything else -> 3.
+/// internal -> 4, deadline_exceeded/cancelled -> 5, everything else -> 3.
 int exit_code_for(const Error& error);
+
+/// The exit code for a run that finished with a graceful partial result
+/// (result.partial == true) instead of a typed stop error.
+inline constexpr int kExitPartial = 5;
 
 /// Appends one run-ledger record (docs/observability.md) for `command`
 /// to the ledger file: `--ledger <file>` names it ("" / bare uses

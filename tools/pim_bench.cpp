@@ -32,6 +32,7 @@
 #include "buffering/optimize.hpp"
 #include "cache/store.hpp"
 #include "common.hpp"
+#include "deadline/deadline.hpp"
 #include "models/baseline.hpp"
 #include "obs/ledger.hpp"
 #include "obs/report.hpp"
@@ -178,12 +179,54 @@ std::vector<BenchMetric> bench_hist_timer() {
           {"record_disabled_ns", off_ns, "ns", 0.8}};
 }
 
+// The cooperative-cancellation poll every exec chunk pays (src/deadline):
+// the disengaged fast path every normal run takes per item, the armed
+// path (deadline set, clock consulted), and a pooled exec region with a
+// far deadline armed — compare against exec_engine.us_per_region for the
+// relative cost of running under a budget.
+std::vector<BenchMetric> bench_deadline() {
+  constexpr int kChecks = 1000000;
+  deadline::reset();
+  int sink = 0;
+  auto start = Clock::now();
+  for (int i = 0; i < kChecks; ++i) sink += static_cast<int>(deadline::check());
+  const double off_ns = seconds_since(start) * 1e9 / kChecks;
+  {
+    deadline::Scope budget(3'600'000);  // armed, but an hour away
+    start = Clock::now();
+    for (int i = 0; i < kChecks; ++i) sink += static_cast<int>(deadline::check());
+  }
+  const double on_ns = seconds_since(start) * 1e9 / kChecks;
+  if (sink != 0) std::fputs("", stdout);  // keep the loops observable
+
+  constexpr int kRegions = 50;
+  constexpr size_t kItems = 1000;
+  std::vector<double> out(kItems);
+  exec::ParallelOptions opt;
+  opt.threads = 2;
+  double region_us = 0.0;
+  {
+    deadline::Scope budget(3'600'000);
+    start = Clock::now();
+    for (int r = 0; r < kRegions; ++r)
+      exec::parallel_for(kItems,
+                         [&](size_t i) { out[i] = static_cast<double>(i) * 1.5; },
+                         opt);
+    region_us = seconds_since(start) * 1e6 / kRegions;
+  }
+  deadline::reset();
+  return {{"check_disengaged_ns", off_ns, "ns", 0.8},
+          {"check_armed_ns", on_ns, "ns", 0.8},
+          {"armed_region_us", region_us, "us", 0.8}};
+}
+
 const BenchRegistrar kCases[] = {
     BenchRegistrar{{"baseline_eval", /*smoke=*/true, bench_baseline_eval}},
     BenchRegistrar{{"model_eval", /*smoke=*/false, bench_model_eval}},
     BenchRegistrar{{"buffering_search", /*smoke=*/false, bench_buffering_search}},
     BenchRegistrar{{"mc_yield", /*smoke=*/false, bench_mc_yield}},
     BenchRegistrar{{"cache_roundtrip", /*smoke=*/true, bench_cache_roundtrip}},
+    BenchRegistrar{{"deadline", /*smoke=*/true, bench_deadline}},
     BenchRegistrar{{"exec_engine", /*smoke=*/true, bench_exec_engine}},
     BenchRegistrar{{"hist_timer", /*smoke=*/true, bench_hist_timer}},
 };

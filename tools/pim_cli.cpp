@@ -8,12 +8,15 @@
 // the registry; see docs/cli.md for a tour.
 //
 // Exit codes: 0 success, 2 usage/bad input, 3 runtime failure (solver,
-// convergence, I/O), 4 internal error.
+// convergence, I/O), 4 internal error, 5 deadline exceeded / cancelled
+// (reports, traces, and the ledger record are still flushed; commands
+// with a sound partial semantics print the truncated result first).
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 #include "api/pim_api.hpp"
+#include "deadline/deadline.hpp"
 #include "obs/trace.hpp"
 #include "util/paths.hpp"
 #include "util/error.hpp"
@@ -29,6 +32,15 @@ namespace {
 int usage() {
   std::fputs(usage_text().c_str(), stderr);
   return 2;
+}
+
+// A command whose api call came back with partial = true already printed
+// its (truncated but valid) result; it exits 5 through the normal finish
+// path so the ledger records the deadline outcome.
+int partial_exit(const char* command) {
+  log_warn(command, ": stopped early (deadline/cancel); result covers the "
+           "completed work only");
+  return kExitPartial;
 }
 
 std::string tech_arg(const Args& args, size_t index) {
@@ -63,6 +75,7 @@ void save_text(const std::string& text, const std::string& path) {
 int cmd_techfile(const Args& args) {
   obs::TraceSpan span("cli.techfile");
   api::TechfileRequest req;
+  req.deadline_ms = resolved_deadline_ms(args);
   req.tech = tech_arg(args, 0);
   std::fputs(api::run_techfile(req).take().text.c_str(), stdout);
   return 0;
@@ -71,6 +84,7 @@ int cmd_techfile(const Args& args) {
 int cmd_characterize(const Args& args) {
   obs::TraceSpan span("cli.characterize");
   api::CharlibRequest req;
+  req.deadline_ms = resolved_deadline_ms(args);
   req.tech = tech_arg(args, 0);
   if (args.has("drives"))
     for (const std::string& d : split(args.get("drives"), ','))
@@ -89,12 +103,14 @@ int cmd_characterize(const Args& args) {
     save_text(r.fit_text, args.get("coeffs"));
     log_info("wrote ", args.get("coeffs"));
   }
+  if (r.partial) return partial_exit("characterize");
   return 0;
 }
 
 int cmd_fit(const Args& args) {
   obs::TraceSpan span("cli.fit");
   api::FitRequest req;
+  req.deadline_ms = resolved_deadline_ms(args);
   req.tech = tech_arg(args, 0);
   req.coeffs_path = args.get("coeffs", "");
   req.corner = args.get("corner", "");
@@ -105,6 +121,7 @@ int cmd_fit(const Args& args) {
 int cmd_evaluate(const Args& args) {
   obs::TraceSpan span("cli.evaluate");
   api::LinkEvalRequest req;
+  req.deadline_ms = resolved_deadline_ms(args);
   req.link = link_arg(args);
   req.golden = args.has("golden");
   const api::LinkEvalResult r = api::run_evaluate(req).take();
@@ -124,6 +141,7 @@ int cmd_evaluate(const Args& args) {
 int cmd_buffer(const Args& args) {
   obs::TraceSpan span("cli.buffer");
   api::BufferRequest req;
+  req.deadline_ms = resolved_deadline_ms(args);
   req.link = link_arg(args);
   req.weight = args.get_double("weight", 0.6);
   req.budget_ps = args.get_double("budget", 0.0);
@@ -143,6 +161,7 @@ int cmd_buffer(const Args& args) {
 int cmd_noc(const Args& args) {
   obs::TraceSpan span("cli.noc");
   api::SynthesisRequest req;
+  req.deadline_ms = resolved_deadline_ms(args);
   req.spec = args.positional(0);
   require(!req.spec.empty(), "cli: noc needs a spec (dvopd, vproc, or a .soc file)",
           ErrorCode::bad_input);
@@ -164,25 +183,34 @@ int cmd_noc(const Args& args) {
     save_text(r.dot_text, args.get("dot"));
     log_info("wrote ", args.get("dot"));
   }
+  if (r.partial) return partial_exit("noc");
   return 0;
 }
 
 int cmd_yield(const Args& args) {
   obs::TraceSpan span("cli.yield");
   api::YieldRequest req;
+  req.deadline_ms = resolved_deadline_ms(args);
   req.link = link_arg(args);
   req.samples = static_cast<int>(args.get_long("samples", 1000));
   const api::YieldResult r = api::run_yield(req).take();
   std::printf("%d corners: nominal %.1f ps, mean %.1f ps, sigma %.2f ps\n",
-              req.samples, r.nominal_delay_ps, r.mean_delay_ps, r.sigma_delay_ps);
-  std::printf("p90 %.1f ps | p99 %.1f ps | yield at nominal %.1f %%\n",
-              r.p90_delay_ps, r.p99_delay_ps, 100.0 * r.yield_at_nominal);
+              r.samples, r.nominal_delay_ps, r.mean_delay_ps, r.sigma_delay_ps);
+  std::printf("p90 %.1f ps | p99 %.1f ps | yield at nominal %.1f %% (ci95 +/- %.1f %%)\n",
+              r.p90_delay_ps, r.p99_delay_ps, 100.0 * r.yield_at_nominal,
+              100.0 * r.yield_ci95);
+  if (r.partial) {
+    std::printf("partial=true: %d of %d requested samples completed before the stop\n",
+                r.samples + r.failed_samples, r.requested_samples);
+    return partial_exit("yield");
+  }
   return 0;
 }
 
 int cmd_signoff(const Args& args) {
   obs::TraceSpan span("cli.signoff");
   api::CornersRequest req;
+  req.deadline_ms = resolved_deadline_ms(args);
   req.link = link_arg(args);
   req.corners = args.get("corners", "all");
   req.target_period_ps = args.get_double("period", 0.0);
@@ -205,6 +233,7 @@ int cmd_signoff(const Args& args) {
 int cmd_export(const Args& args) {
   obs::TraceSpan span("cli.export");
   api::ExportRequest req;
+  req.deadline_ms = resolved_deadline_ms(args);
   req.link = link_arg(args);
   req.want_deck = args.has("deck");
   req.want_spef = args.has("spef");
@@ -227,6 +256,7 @@ int cmd_export(const Args& args) {
 int cmd_noise(const Args& args) {
   obs::TraceSpan span("cli.noise");
   api::NoiseRequest req;
+  req.deadline_ms = resolved_deadline_ms(args);
   req.link = link_arg(args);
   log_info("calibrating noise model against golden glitch sims...");
   const api::NoiseResult r = api::run_noise(req).take();
@@ -241,6 +271,7 @@ int cmd_noise(const Args& args) {
 int cmd_timer(const Args& args) {
   obs::TraceSpan span("cli.timer");
   api::TimerRequest req;
+  req.deadline_ms = resolved_deadline_ms(args);
   req.link = link_arg(args);
   log_info("characterizing INVD", req.link.drive, " tables...");
   const api::TimerResult r = api::run_timer(req).take();
@@ -248,12 +279,14 @@ int cmd_timer(const Args& args) {
               r.repeaters, req.link.drive, r.tech_name.c_str());
   std::printf("  awe-wire delay %.1f ps (slew %.1f ps) | elmore-wire delay %.1f ps\n",
               r.awe_delay_ps, r.awe_slew_ps, r.elmore_delay_ps);
+  if (r.partial) return partial_exit("timer");
   return 0;
 }
 
 int cmd_mesh(const Args& args) {
   obs::TraceSpan span("cli.mesh");
   api::SynthesisRequest req;
+  req.deadline_ms = resolved_deadline_ms(args);
   req.spec = args.positional(0);
   require(!req.spec.empty(), "cli: mesh needs a spec (dvopd, vproc, or a .soc file)",
           ErrorCode::bad_input);
@@ -268,6 +301,7 @@ int cmd_mesh(const Args& args) {
   std::printf("  power %.2f mW dyn + %.2f mW leak | area %.3f mm2 | hops %.2f avg %d max\n",
               r.dynamic_power_mw, r.leakage_power_mw, r.area_mm2, r.avg_hops,
               r.max_hops);
+  if (r.partial) return partial_exit("mesh");
   return 0;
 }
 
@@ -355,6 +389,10 @@ int main(int argc, char** argv) {
   // Default to Info chatter for interactive use, unless PIM_LOG_LEVEL or
   // --log-level (applied later) says otherwise.
   if (!pim::log_level_env_override()) pim::set_log_level(pim::LogLevel::Info);
+  // SIGINT/SIGTERM trip the cooperative cancel token: the run stops at
+  // the next chunk boundary and exits through the normal finish path
+  // (reports + ledger flushed, exit 5). A second signal kills outright.
+  pim::deadline::install_signal_handlers();
   // Exit codes: 2 = the caller passed bad arguments (usage), 3 = the run
   // itself failed (solver, convergence, file I/O), 4 = a bug (internal
   // invariant or an exception that is not a pim::Error).
