@@ -159,7 +159,6 @@ Expected<CharlibResult> run_charlib(const CharlibRequest& request) {
     const CellLibrary lib = characterize_library(tech, opt);
     CharlibResult result;
     result.partial = lib.partial();
-    if (result.partial) deadline::record_stop_metrics(0);
     result.liberty_text = write_liberty(lib);
     if (request.want_fit)
       result.fit_text = write_fit(calibrate_composition(tech, fit_technology(tech, lib)));

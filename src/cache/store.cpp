@@ -354,11 +354,11 @@ void Store::put(const CacheKey& key, std::string_view payload) {
   // computation that produced `payload`.
   const std::string path = entry_path(key);
   const std::string image = encode_entry(key, payload);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   for (int attempt = 0;; ++attempt) {
     try {
       fs::create_directories(fs::path(path).parent_path());
-      const std::string tmp =
-          path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
       {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         require(out.good(), "cache: cannot open '" + tmp + "'", ErrorCode::io_parse);
@@ -370,6 +370,10 @@ void Store::put(const CacheKey& key, std::string_view payload) {
       PIM_COUNT("cache.write");
       return;
     } catch (const std::exception& e) {
+      // A failed rename (or a later attempt bailing early) must not
+      // strand the tmp file in the cache dir.
+      std::error_code ec;
+      fs::remove(tmp, ec);
       if (attempt + 1 >= kIoAttempts) {
         log_warn("cache: disk write skipped after ", kIoAttempts,
                  " attempts: ", e.what());

@@ -146,6 +146,7 @@ TimingTable characterize_table(const Technology& tech, CellKind kind,
   // at any thread count, so the patched table is too.
   if (batch.truncated()) {
     t.partial = true;
+    t.stop = batch.stop;
     for (size_t idx = batch.completed; idx < batch.values.size(); ++idx) {
       if (batch.values[idx]) continue;  // defensive: engine already discarded
       failed.emplace_back(idx / cols, idx % cols);

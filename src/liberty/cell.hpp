@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "deadline/deadline.hpp"
 #include "numeric/interp.hpp"
 #include "numeric/matrix.hpp"
 
@@ -27,6 +28,9 @@ struct TimingTable {
   /// sweep: the un-run tail was patched from surviving neighbors (same
   /// path as failed decks), so values are usable but biased.
   bool partial = false;
+  /// Why the sweep stopped when `partial` is true (none otherwise).
+  /// Flows without partial semantics surface this as the typed error.
+  deadline::StopReason stop = deadline::StopReason::none;
 
   /// True once the table has been populated with a valid grid.
   bool valid() const;

@@ -45,6 +45,16 @@ class CellLibrary {
     return false;
   }
 
+  /// The stop that truncated the first partial table; none when the
+  /// library is complete.
+  deadline::StopReason stop_reason() const {
+    for (const RepeaterCell& c : cells_) {
+      if (c.rise.stop != deadline::StopReason::none) return c.rise.stop;
+      if (c.fall.stop != deadline::StopReason::none) return c.fall.stop;
+    }
+    return deadline::StopReason::none;
+  }
+
   /// All cells of one kind, ascending drive.
   std::vector<const RepeaterCell*> cells_of_kind(CellKind kind) const;
 

@@ -4,6 +4,7 @@
 
 #include "cache/store.hpp"
 #include "charlib/coeffs_io.hpp"
+#include "deadline/deadline.hpp"
 #include "obs/metrics.hpp"
 #include "tech/techfile.hpp"
 #include "util/error.hpp"
@@ -101,6 +102,22 @@ TechnologyFit corner_calibrated_fit(TechNode node, const Corner& corner,
            "' (this runs transistor-level sims)");
   count_corner(corner, "compute");
   const CellLibrary library = characterize_library(tech, characterization);
+  // A deadline/cancel stop during characterization yields a
+  // neighbor-patched, biased library. Charlib flows have partial
+  // semantics for it; a calibrated fit does not — and the cache key
+  // carries no deadline state, so storing a fit regressed from patched
+  // tables would poison warm full-budget runs. Refuse with the typed
+  // stop error instead (docs/robustness.md: flows without partial
+  // semantics surface deadline_exceeded/cancelled).
+  if (library.partial()) {
+    const deadline::StopReason reason = library.stop_reason();
+    count_corner(corner, "truncated");
+    throw Error("calibrated_fit: characterization of " + tech.name + " at corner '" +
+                    corner.name + "' was truncated (" +
+                    deadline::stop_reason_name(reason) +
+                    "); refusing to fit or cache biased coefficients",
+                deadline::error_code_for(reason));
+  }
   TechnologyFit fit = calibrate_composition(tech, fit_technology(tech, library), composition);
   // Leakage is exponential in threshold voltage, so it cannot be derived
   // from the strength/cap derates; corners carry it as an explicit factor

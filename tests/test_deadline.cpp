@@ -16,11 +16,15 @@
 #include <unistd.h>
 
 #include <cmath>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "api/pim_api.hpp"
+#include "cache/store.hpp"
 #include "charlib/characterize.hpp"
+#include "charlib/coeffs_io.hpp"
+#include "sta/calibrated.hpp"
 #include "cosi/synthesis.hpp"
 #include "deadline/deadline.hpp"
 #include "exec/engine.hpp"
@@ -364,6 +368,70 @@ TEST_F(DeadlineFixture, CharlibPatchesTruncatedTailWhenQuorumHolds) {
   EXPECT_EQ(cell.rise.delay(0, 0), ref.rise.delay(0, 0));
   EXPECT_EQ(cell.rise.delay(0, 1), ref.rise.delay(0, 1));
   EXPECT_EQ(cell.rise.delay(1, 0), ref.rise.delay(1, 0));
+}
+
+TEST_F(DeadlineFixture, CalibratedFitRefusesTruncatedLibraryAndNeverCaches) {
+  // A fit has no partial semantics and its cache key carries no deadline
+  // state: a stop that leaves charlib's quorum intact must surface the
+  // typed error from corner_calibrated_fit, and neither cache tier may
+  // keep coefficients regressed from the patched tables.
+  struct ScratchCache {
+    std::string dir;
+    ScratchCache() : dir(::testing::TempDir() + "pim_deadline_fit_cache") {
+      std::filesystem::remove_all(dir);
+      cache::set_dir(dir);
+      cache::set_mode(cache::Mode::ReadWrite);
+      cache::Store::global().clear_memory();
+    }
+    ~ScratchCache() {
+      cache::Store::global().clear_memory();
+      cache::reset_mode();
+      cache::set_dir("");
+      std::filesystem::remove_all(dir);
+    }
+  } scratch;
+
+  CharacterizationOptions copt;
+  copt.slew_axis = {20 * ps, 100 * ps};
+  copt.fanout_axis = {2.0, 8.0};
+  copt.drives = {2, 8, 32};
+  copt.buffers = false;
+  CompositionOptions comp;
+  comp.drives = {8, 32};
+  comp.segment_lengths = {0.5e-3, 1.5e-3};
+  comp.input_slews = {50e-12, 300e-12};
+  comp.chain_lengths = {1, 3};
+
+  // Seed whose first fire lands on the last of the 2x2 sweep's four
+  // points, so the quorum holds and characterization itself degrades to
+  // a partial library instead of throwing below the fit layer.
+  uint64_t chosen = 0;
+  for (uint64_t seed = 1; seed < 400 && chosen == 0; ++seed) {
+    fault::configure("cancel-midchunk:0.3:" + std::to_string(seed));
+    if (predicted_cutoff(fault::kCancelMidchunk, 4) == 3) chosen = seed;
+  }
+  ASSERT_NE(chosen, 0u) << "no seed with cutoff 3 in range";
+  fault::configure("cancel-midchunk:0.3:" + std::to_string(chosen));
+
+  try {
+    corner_calibrated_fit(TechNode::N65, Corner{}, "", copt, comp);
+    FAIL() << "expected cancelled";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::cancelled);
+  }
+  // Nothing reached the store (charlib itself never writes entries).
+  EXPECT_EQ(cache::Store::global().memory_entries(), 0u);
+
+  // A clean retry recomputes from scratch; bit-identity against a
+  // cache-off ground truth proves no biased entry was served.
+  fault::clear();
+  const TechnologyFit clean =
+      corner_calibrated_fit(TechNode::N65, Corner{}, "", copt, comp);
+  EXPECT_EQ(cache::Store::global().memory_entries(), 1u);
+  cache::set_mode(cache::Mode::Off);
+  const TechnologyFit truth =
+      corner_calibrated_fit(TechNode::N65, Corner{}, "", copt, comp);
+  EXPECT_EQ(write_fit(clean), write_fit(truth));
 }
 
 // ------------------------------------------------------------------ cosi
