@@ -24,6 +24,7 @@ done
 cd ..
 scripts/check_metrics.sh
 scripts/check_cache.sh
+scripts/check_incremental.sh
 scripts/check_deadline.sh
 scripts/check_corners.sh
 scripts/check_perf.sh

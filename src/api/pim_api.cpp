@@ -4,9 +4,12 @@
 #include <memory>
 
 #include "buffering/optimize.hpp"
+#include "cache/invalidate.hpp"
+#include "cache/store.hpp"
 #include "charlib/coeffs_io.hpp"
 #include "cosi/mesh.hpp"
 #include "deadline/deadline.hpp"
+#include "obs/metrics.hpp"
 #include "cosi/specfile.hpp"
 #include "cosi/synthesis.hpp"
 #include "cosi/testcases.hpp"
@@ -68,9 +71,13 @@ Expected<R> guarded(const char* who, int64_t deadline_ms, F&& body) {
   }
 }
 
-TechNode node_of(const std::string& tech, const char* who) {
+// Every entry point resolves its tech spec — a built-in node name or a
+// .tech file path — to a stable base descriptor. File specs re-read the
+// bytes per call, so an on-disk edit is visible to the very next request
+// (the invalidation flow depends on this).
+const Technology& base_tech_of(const std::string& tech, const char* who) {
   require(!tech.empty(), std::string(who) + ": tech is required", ErrorCode::bad_input);
-  return tech_node_from_name(tech);
+  return technology_from_spec(tech);
 }
 
 DesignStyle style_of(const std::string& style) {
@@ -85,22 +92,22 @@ int resolved_repeaters(const LinkSpec& link) {
   return static_cast<int>(std::max(1L, std::lround(link.length_mm)));
 }
 
-// Resolves a corner name against the node's scenario set. The empty spec
-// is the nominal corner, so requests that never mention corners run the
-// exact flow they always did (all derating factors are 1.0).
-Corner corner_of(TechNode node, const std::string& spec) {
+// Resolves a corner name against the base descriptor's scenario set. The
+// empty spec is the nominal corner, so requests that never mention
+// corners run the exact flow they always did (all derating factors 1.0).
+Corner corner_of(const Technology& base, const std::string& spec) {
   if (spec.empty()) return Corner{};
-  return technology(node).scenario_set().corner(spec);
+  return base.scenario_set().corner(spec);
 }
 
-LinkContext context_of(TechNode node, const LinkSpec& link, const char* who) {
+LinkContext context_of(const Technology& base, const LinkSpec& link, const char* who) {
   require(link.length_mm > 0.0, std::string(who) + ": link.length_mm must be positive",
           ErrorCode::bad_input);
   LinkContext ctx;
   ctx.length = link.length_mm * mm;
   ctx.style = style_of(link.style);
   ctx.input_slew = link.input_slew_ps * ps;
-  ctx.frequency = technology(node).clock_frequency;
+  ctx.frequency = base.clock_frequency;
   return ctx;
 }
 
@@ -111,10 +118,10 @@ LinkDesign design_of(const LinkSpec& link) {
   return design;
 }
 
-TechnologyFit fit_of(TechNode node, const Corner& corner,
+TechnologyFit fit_of(const Technology& base, const Corner& corner,
                      const std::string& coeffs_path) {
   obs::TraceSpan span("api.calibrate");
-  return corner_calibrated_fit(node, corner, coeffs_path);
+  return corner_calibrated_fit(base, corner, coeffs_path);
 }
 
 SocSpec spec_of(const std::string& which, const char* who) {
@@ -128,11 +135,11 @@ SocSpec spec_of(const std::string& which, const char* who) {
   return load_soc_spec(which);
 }
 
-std::unique_ptr<InterconnectModel> model_of(const std::string& name, TechNode node,
+std::unique_ptr<InterconnectModel> model_of(const std::string& name,
+                                            const Technology& tech,
                                             const std::string& coeffs_path) {
-  const Technology& tech = technology(node);
   if (name == "proposed")
-    return std::make_unique<ProposedModel>(tech, fit_of(node, Corner{}, coeffs_path));
+    return std::make_unique<ProposedModel>(tech, fit_of(tech, Corner{}, coeffs_path));
   if (name == "bakoglu") return std::make_unique<BakogluModel>(tech);
   if (name == "pamunuwa") return std::make_unique<PamunuwaModel>(tech);
   fail("model must be proposed, bakoglu, or pamunuwa", ErrorCode::bad_input);
@@ -144,7 +151,7 @@ Expected<TechfileResult> run_techfile(const TechfileRequest& request) {
   return guarded<TechfileResult>("run_techfile", request.deadline_ms, [&] {
     check_version(request.api_version, "run_techfile");
     TechfileResult result;
-    result.text = write_techfile(technology(node_of(request.tech, "run_techfile")));
+    result.text = write_techfile(base_tech_of(request.tech, "run_techfile"));
     return result;
   });
 }
@@ -152,8 +159,8 @@ Expected<TechfileResult> run_techfile(const TechfileRequest& request) {
 Expected<CharlibResult> run_charlib(const CharlibRequest& request) {
   return guarded<CharlibResult>("run_charlib", request.deadline_ms, [&] {
     check_version(request.api_version, "run_charlib");
-    const TechNode node = node_of(request.tech, "run_charlib");
-    const Technology& tech = corner_technology(node, corner_of(node, request.corner));
+    const Technology& base = base_tech_of(request.tech, "run_charlib");
+    const Technology& tech = corner_technology(base, corner_of(base, request.corner));
     CharacterizationOptions opt;
     if (!request.drives.empty()) opt.drives = request.drives;
     const CellLibrary lib = characterize_library(tech, opt);
@@ -169,10 +176,10 @@ Expected<CharlibResult> run_charlib(const CharlibRequest& request) {
 Expected<FitResult> run_fit(const FitRequest& request) {
   return guarded<FitResult>("run_fit", request.deadline_ms, [&] {
     check_version(request.api_version, "run_fit");
-    const TechNode node = node_of(request.tech, "run_fit");
+    const Technology& base = base_tech_of(request.tech, "run_fit");
     FitResult result;
     result.fit_text =
-        write_fit(fit_of(node, corner_of(node, request.corner), request.coeffs_path));
+        write_fit(fit_of(base, corner_of(base, request.corner), request.coeffs_path));
     return result;
   });
 }
@@ -180,12 +187,12 @@ Expected<FitResult> run_fit(const FitRequest& request) {
 Expected<LinkEvalResult> run_evaluate(const LinkEvalRequest& request) {
   return guarded<LinkEvalResult>("run_evaluate", request.deadline_ms, [&] {
     check_version(request.api_version, "run_evaluate");
-    const TechNode node = node_of(request.link.tech, "run_evaluate");
-    const Corner corner = corner_of(node, request.link.corner);
-    const Technology& tech = corner_technology(node, corner);
-    const LinkContext ctx = context_of(node, request.link, "run_evaluate");
+    const Technology& base = base_tech_of(request.link.tech, "run_evaluate");
+    const Corner corner = corner_of(base, request.link.corner);
+    const Technology& tech = corner_technology(base, corner);
+    const LinkContext ctx = context_of(base, request.link, "run_evaluate");
     const LinkDesign design = design_of(request.link);
-    const ProposedModel model(tech, fit_of(node, corner, request.link.coeffs_path));
+    const ProposedModel model(tech, fit_of(base, corner, request.link.coeffs_path));
     const LinkEstimate est = model.evaluate(ctx, design);
     LinkEvalResult result;
     result.tech_name = tech.name;
@@ -211,14 +218,14 @@ Expected<LinkEvalResult> run_evaluate(const LinkEvalRequest& request) {
 Expected<BufferResult> run_buffer(const BufferRequest& request) {
   return guarded<BufferResult>("run_buffer", request.deadline_ms, [&] {
     check_version(request.api_version, "run_buffer");
-    const TechNode node = node_of(request.link.tech, "run_buffer");
-    const Corner corner = corner_of(node, request.link.corner);
-    const Technology& tech = corner_technology(node, corner);
-    const LinkContext ctx = context_of(node, request.link, "run_buffer");
+    const Technology& base = base_tech_of(request.link.tech, "run_buffer");
+    const Corner corner = corner_of(base, request.link.corner);
+    const Technology& tech = corner_technology(base, corner);
+    const LinkContext ctx = context_of(base, request.link, "run_buffer");
     BufferingOptions opt;
     opt.weight = request.weight;
     if (request.budget_ps > 0.0) opt.max_delay = request.budget_ps * ps;
-    const ProposedModel model(tech, fit_of(node, corner, request.link.coeffs_path));
+    const ProposedModel model(tech, fit_of(base, corner, request.link.coeffs_path));
     const BufferingResult best = optimize_buffering_cached(model, ctx, opt);
     BufferResult result;
     result.feasible = best.feasible;
@@ -241,12 +248,12 @@ Expected<YieldResult> run_yield(const YieldRequest& request) {
     check_version(request.api_version, "run_yield");
     require(request.samples >= 1, "run_yield: samples must be at least 1",
             ErrorCode::bad_input);
-    const TechNode node = node_of(request.link.tech, "run_yield");
-    const Corner corner = corner_of(node, request.link.corner);
-    const Technology& tech = corner_technology(node, corner);
-    const LinkContext ctx = context_of(node, request.link, "run_yield");
+    const Technology& base = base_tech_of(request.link.tech, "run_yield");
+    const Corner corner = corner_of(base, request.link.corner);
+    const Technology& tech = corner_technology(base, corner);
+    const LinkContext ctx = context_of(base, request.link, "run_yield");
     const LinkDesign design = design_of(request.link);
-    const ProposedModel model(tech, fit_of(node, corner, request.link.coeffs_path));
+    const ProposedModel model(tech, fit_of(base, corner, request.link.coeffs_path));
     const MonteCarloResult mc = monte_carlo_link_at_corner(
         model, corner, ctx, design, request.samples, request.seed);
     YieldResult result;
@@ -268,13 +275,13 @@ Expected<YieldResult> run_yield(const YieldRequest& request) {
 Expected<NoiseResult> run_noise(const NoiseRequest& request) {
   return guarded<NoiseResult>("run_noise", request.deadline_ms, [&] {
     check_version(request.api_version, "run_noise");
-    const TechNode node = node_of(request.link.tech, "run_noise");
-    const Corner corner = corner_of(node, request.link.corner);
-    const Technology& tech = corner_technology(node, corner);
-    const LinkContext ctx = context_of(node, request.link, "run_noise");
+    const Technology& base = base_tech_of(request.link.tech, "run_noise");
+    const Corner corner = corner_of(base, request.link.corner);
+    const Technology& tech = corner_technology(base, corner);
+    const LinkContext ctx = context_of(base, request.link, "run_noise");
     LinkDesign design = design_of(request.link);
     design.num_repeaters = 1;  // noise is per wire segment
-    const TechnologyFit fit = fit_of(node, corner, request.link.coeffs_path);
+    const TechnologyFit fit = fit_of(base, corner, request.link.coeffs_path);
     const NoiseCalibration cal = calibrate_noise(tech, fit);
     const double golden = golden_noise_peak(tech, ctx, design);
     const double model = noise_peak_model(tech, fit, ctx, design, cal.kappa_n);
@@ -292,9 +299,9 @@ Expected<NoiseResult> run_noise(const NoiseRequest& request) {
 Expected<TimerResult> run_timer(const TimerRequest& request) {
   return guarded<TimerResult>("run_timer", request.deadline_ms, [&] {
     check_version(request.api_version, "run_timer");
-    const TechNode node = node_of(request.link.tech, "run_timer");
-    const Technology& tech = corner_technology(node, corner_of(node, request.link.corner));
-    const LinkContext ctx = context_of(node, request.link, "run_timer");
+    const Technology& base = base_tech_of(request.link.tech, "run_timer");
+    const Technology& tech = corner_technology(base, corner_of(base, request.link.corner));
+    const LinkContext ctx = context_of(base, request.link, "run_timer");
     const LinkDesign design = design_of(request.link);
     CharacterizationOptions copt;
     copt.drives = {design.drive};
@@ -319,13 +326,12 @@ Expected<TimerResult> run_timer(const TimerRequest& request) {
 Expected<CornersResult> run_corners(const CornersRequest& request) {
   return guarded<CornersResult>("run_corners", request.deadline_ms, [&] {
     check_version(request.api_version, "run_corners");
-    const TechNode node = node_of(request.link.tech, "run_corners");
-    const Technology& tech = technology(node);
-    const LinkContext ctx = context_of(node, request.link, "run_corners");
+    const Technology& tech = base_tech_of(request.link.tech, "run_corners");
+    const LinkContext ctx = context_of(tech, request.link, "run_corners");
     const LinkDesign design = design_of(request.link);
     const std::vector<Corner> corners = tech.scenario_set().resolve(request.corners);
     const CornerModelSet set =
-        corner_model_set(node, corners, request.link.coeffs_path);
+        corner_model_set(tech, corners, request.link.coeffs_path);
     CornerSignoffOptions opt;
     opt.target_period = request.target_period_ps * ps;
     const CornerSignoffResult signoff = signoff_corners(set, ctx, design, opt);
@@ -352,9 +358,9 @@ Expected<CornersResult> run_corners(const CornersRequest& request) {
 Expected<ExportResult> run_export(const ExportRequest& request) {
   return guarded<ExportResult>("run_export", request.deadline_ms, [&] {
     check_version(request.api_version, "run_export");
-    const TechNode node = node_of(request.link.tech, "run_export");
-    const Technology& tech = corner_technology(node, corner_of(node, request.link.corner));
-    const LinkContext ctx = context_of(node, request.link, "run_export");
+    const Technology& base = base_tech_of(request.link.tech, "run_export");
+    const Technology& tech = corner_technology(base, corner_of(base, request.link.corner));
+    const LinkContext ctx = context_of(base, request.link, "run_export");
     const LinkDesign design = design_of(request.link);
     ExportResult result;
     if (request.want_deck) {
@@ -371,10 +377,10 @@ Expected<ExportResult> run_export(const ExportRequest& request) {
 Expected<SynthesisResult> run_synthesis(const SynthesisRequest& request) {
   return guarded<SynthesisResult>("run_synthesis", request.deadline_ms, [&] {
     check_version(request.api_version, "run_synthesis");
-    const TechNode node = node_of(request.tech, "run_synthesis");
+    const Technology& base = base_tech_of(request.tech, "run_synthesis");
     const SocSpec spec = spec_of(request.spec, "run_synthesis");
     const std::unique_ptr<InterconnectModel> model = [&]() -> std::unique_ptr<InterconnectModel> {
-      if (request.corners.empty()) return model_of(request.model, node, request.coeffs_path);
+      if (request.corners.empty()) return model_of(request.model, base, request.coeffs_path);
       // Worst-corner synthesis: every link the optimizer sizes is
       // evaluated at the per-metric worst case over the corner set, so
       // the synthesized NoC closes at every corner of it.
@@ -383,9 +389,9 @@ Expected<SynthesisResult> run_synthesis(const SynthesisRequest& request) {
               "no per-corner calibration)",
               ErrorCode::bad_input);
       const std::vector<Corner> corners =
-          technology(node).scenario_set().resolve(request.corners);
+          base.scenario_set().resolve(request.corners);
       return std::make_unique<WorstCornerModel>(
-          corner_model_set(node, corners, request.coeffs_path));
+          corner_model_set(base, corners, request.coeffs_path));
     }();
     const NocSynthesisResult r = [&] {
       if (request.mesh) {
@@ -402,7 +408,7 @@ Expected<SynthesisResult> run_synthesis(const SynthesisRequest& request) {
     const NocMetrics& m = r.metrics;
     SynthesisResult result;
     result.spec_name = spec.name;
-    result.tech_name = technology(node).name;
+    result.tech_name = base.name;
     result.model_name = model->name();
     result.dynamic_power_mw = m.dynamic_power() / mW;
     result.leakage_power_mw = m.leakage_power() / mW;
@@ -417,6 +423,85 @@ Expected<SynthesisResult> run_synthesis(const SynthesisRequest& request) {
     result.partial = r.partial;
     if (request.want_dot) result.dot_text = to_dot(r.architecture);
     return result;
+  });
+}
+
+Expected<InvalidateResult> run_invalidate(const InvalidateRequest& request) {
+  return guarded<InvalidateResult>("run_invalidate", request.deadline_ms, [&] {
+    check_version(request.api_version, "run_invalidate");
+    const Technology& base = base_tech_of(request.tech, "run_invalidate");
+    const std::vector<cache::Facet> changed = technology_facets(base);
+    const std::vector<cache::Manifest> manifests = cache::scan_manifests(cache::dir());
+    const cache::DirtyCone cone = cache::dirty_cone(manifests, changed);
+    InvalidateResult result;
+    result.manifests = static_cast<int>(manifests.size());
+    result.dirty_keys = static_cast<int>(cone.dirty.size());
+    result.reuse_keys = static_cast<int>(cone.reuse.size());
+    // Ledger-visible proof of the delta: how much of the cached graph the
+    // edit stales vs preserves (docs/observability.md).
+    PIM_COUNT_N("cache.dirty.keys", result.dirty_keys);
+    PIM_COUNT_N("cache.reuse.keys", result.reuse_keys);
+    std::map<std::string, InvalidateKindRow> by_kind;
+    for (const cache::CacheKey& key : cone.dirty) ++by_kind[key.kind].dirty;
+    for (const cache::CacheKey& key : cone.reuse) ++by_kind[key.kind].reuse;
+    for (auto& [kind, row] : by_kind) {
+      row.kind = kind;
+      result.kinds.push_back(row);
+    }
+    if (request.apply) {
+      result.applied = true;
+      result.evicted =
+          static_cast<int>(cache::evict_keys(cache::Store::global(), cone.dirty));
+    }
+    return result;
+  });
+}
+
+Expected<CacheAdminResult> run_cache_admin(const CacheAdminRequest& request) {
+  return guarded<CacheAdminResult>("run_cache_admin", request.deadline_ms, [&] {
+    check_version(request.api_version, "run_cache_admin");
+    CacheAdminResult result;
+    result.action = request.action;
+    result.dir = cache::dir();
+    if (request.action == "stats") {
+      for (const cache::KindStats& k : cache::cache_stats(result.dir)) {
+        CacheKindRow row;
+        row.kind = k.kind;
+        row.entries = static_cast<int64_t>(k.entries);
+        row.payload_bytes = static_cast<int64_t>(k.payload_bytes);
+        row.manifest_bytes = static_cast<int64_t>(k.manifest_bytes);
+        result.total_bytes += row.payload_bytes + row.manifest_bytes;
+        result.kinds.push_back(row);
+      }
+      return result;
+    }
+    if (request.action == "prune") {
+      require(request.budget_bytes >= 0,
+              "run_cache_admin: prune budget_bytes must be non-negative",
+              ErrorCode::bad_input);
+      const cache::PruneResult pruned = cache::prune_cache(
+          result.dir, static_cast<size_t>(request.budget_bytes));
+      result.scanned_entries = static_cast<int64_t>(pruned.scanned_entries);
+      result.removed_entries = static_cast<int64_t>(pruned.removed_entries);
+      result.removed_bytes = static_cast<int64_t>(pruned.removed_bytes);
+      result.kept_bytes = static_cast<int64_t>(pruned.kept_bytes);
+      // Pruned disk entries may still be in the memory LRU; dropping it
+      // keeps the two tiers consistent with the budget just enforced.
+      if (pruned.removed_entries > 0) cache::Store::global().clear_memory();
+      return result;
+    }
+    if (request.action == "verify") {
+      const cache::VerifyResult verified = cache::verify_cache(result.dir);
+      result.entries = static_cast<int64_t>(verified.entries);
+      result.manifests = static_cast<int64_t>(verified.manifests);
+      result.orphan_manifests = static_cast<int64_t>(verified.orphan_manifests);
+      result.unmanifested_entries = static_cast<int64_t>(verified.unmanifested_entries);
+      result.corrupt_manifests = static_cast<int64_t>(verified.corrupt_manifests);
+      result.scrubbed = static_cast<int64_t>(verified.scrubbed());
+      return result;
+    }
+    fail("run_cache_admin: action must be stats, prune, or verify",
+         ErrorCode::bad_input);
   });
 }
 

@@ -51,7 +51,7 @@ inline constexpr int kApiVersion = kApiVersionNumber;
 /// One point-to-point wire plus its repeaters — the unit the paper's
 /// models evaluate. Used by the link-level requests below.
 struct LinkSpec {
-  std::string tech;          ///< "90nm" ... "16nm"
+  std::string tech;          ///< "90nm" ... "16nm", or a .tech file path
   double length_mm = 0.0;    ///< wire length [mm]; must be positive
   std::string style = "SS";  ///< "SS", "DS", or "SH" (docs/cli.md)
   double input_slew_ps = 100.0;
@@ -335,5 +335,78 @@ struct SynthesisResult {
   std::string dot_text;  ///< when want_dot
 };
 Expected<SynthesisResult> run_synthesis(const SynthesisRequest& request);
+
+// ---------------------------------------------------------------------------
+// Incremental recomputation: provenance diff + cache administration
+// ---------------------------------------------------------------------------
+
+/// Diffs the provenance facets of `tech` (typically an edited tech file)
+/// against every recorded cache manifest and partitions the cached
+/// artifact graph into the dirty cone (fits, buffering searches,
+/// Monte-Carlo runs whose inputs the edit changed, plus everything
+/// derived from them) and the reusable remainder. With `apply` the dirty
+/// cone is evicted, so the next run recomputes exactly the delta — see
+/// docs/caching.md.
+struct InvalidateRequest {
+  int api_version = kApiVersion;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  int64_t deadline_ms = 0;
+  /// The edited technology: a .tech file path or a built-in node name.
+  /// Its per-corner facets define the "new" state manifests diff against.
+  std::string tech;
+  /// false = report the dirty/reuse partition only; true = also evict
+  /// the dirty cone from the cache.
+  bool apply = false;
+};
+struct InvalidateKindRow {
+  std::string kind;  ///< artifact kind ("fit", "buffering", "yield", ...)
+  int dirty = 0;
+  int reuse = 0;
+};
+struct InvalidateResult {
+  int manifests = 0;   ///< provenance records scanned
+  int dirty_keys = 0;  ///< stale artifacts (also the cache.dirty.keys metric)
+  int reuse_keys = 0;  ///< still-valid artifacts (cache.reuse.keys metric)
+  int evicted = 0;     ///< entries removed (apply only)
+  bool applied = false;
+  std::vector<InvalidateKindRow> kinds;  ///< kind-sorted breakdown
+};
+Expected<InvalidateResult> run_invalidate(const InvalidateRequest& request);
+
+/// Cache administration: per-kind census, disk prune to a byte budget,
+/// and manifest<->entry consistency verification (docs/caching.md).
+struct CacheAdminRequest {
+  int api_version = kApiVersion;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  int64_t deadline_ms = 0;
+  std::string action;        ///< "stats" | "prune" | "verify"
+  int64_t budget_bytes = 0;  ///< prune: target total (entry + manifest) bytes
+};
+struct CacheKindRow {
+  std::string kind;
+  int64_t entries = 0;
+  int64_t payload_bytes = 0;
+  int64_t manifest_bytes = 0;
+};
+struct CacheAdminResult {
+  std::string action;
+  std::string dir;  ///< the cache root the action ran against
+  // stats
+  std::vector<CacheKindRow> kinds;  ///< kind-sorted census
+  int64_t total_bytes = 0;          ///< entry + manifest bytes across kinds
+  // prune
+  int64_t scanned_entries = 0;
+  int64_t removed_entries = 0;
+  int64_t removed_bytes = 0;
+  int64_t kept_bytes = 0;
+  // verify
+  int64_t entries = 0;
+  int64_t manifests = 0;
+  int64_t orphan_manifests = 0;
+  int64_t unmanifested_entries = 0;
+  int64_t corrupt_manifests = 0;
+  int64_t scrubbed = 0;
+};
+Expected<CacheAdminResult> run_cache_admin(const CacheAdminRequest& request);
 
 }  // namespace pim::api

@@ -183,16 +183,26 @@ BufferingResult optimize_buffering_cached(const InterconnectModel& model,
                                           const BufferingOptions& options) {
   const std::string signature = model.cache_signature();
   if (signature.empty()) return optimize_buffering(model, ctx, options);
+  // Provenance scope: the context/option fields fold into a "params"
+  // facet, and the fit artifacts the model signature embeds become
+  // upstream edges — so a stale fit drags its buffering entries along
+  // when the invalidation cone is walked.
+  cache::Tracked scope;
   const cache::CacheKey key = buffering_cache_key(signature, ctx, options);
+  for (const cache::CacheKey& fit : cache::resolve_artifacts(signature))
+    scope.upstream(fit);
   if (auto payload = cache::Store::global().get(key)) {
     try {
-      return parse_buffering(*payload);
+      BufferingResult cached = parse_buffering(*payload);
+      scope.publish(key);
+      return cached;
     } catch (const Error&) {
       PIM_COUNT("cache.corrupt");  // fail-open: recompute below
     }
   }
   const BufferingResult best = optimize_buffering(model, ctx, options);
   cache::Store::global().put(key, serialize_buffering(best));
+  scope.publish(key);
   return best;
 }
 

@@ -1,0 +1,225 @@
+#include "cache/invalidate.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace pim::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kEntryExt = ".pimcache";
+constexpr const char* kManifestExt = ".pimmanifest";
+
+std::string key_id(const CacheKey& key) { return key.kind + "/" + key.hex; }
+
+// The kind of an entry/manifest path: <root>/<kind>/<xx>/<hex>.<ext>.
+std::string kind_of(const fs::path& path) {
+  return path.parent_path().parent_path().filename().string();
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return false;
+  out = buffer.str();
+  return true;
+}
+
+// Path-sorted file census of one cache root. Missing root = empty cache.
+std::vector<fs::path> files_with_ext(const std::string& root, const char* ext) {
+  std::vector<fs::path> out;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec) && it->path().extension() == ext)
+      out.push_back(it->path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t bytes_of(const fs::path& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<size_t>(size);
+}
+
+void remove_quiet(const fs::path& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+}  // namespace
+
+std::vector<Manifest> scan_manifests(const std::string& root) {
+  std::vector<Manifest> out;
+  for (const fs::path& path : files_with_ext(root, kManifestExt)) {
+    std::string image;
+    if (!read_file(path, image)) continue;
+    Expected<Manifest> manifest = decode_manifest(image);
+    if (!manifest.ok()) continue;  // fail-open; verify_cache scrubs these
+    out.push_back(manifest.take());
+  }
+  return out;
+}
+
+DirtyCone dirty_cone(const std::vector<Manifest>& manifests,
+                     const std::vector<Facet>& changed) {
+  auto directly_dirty = [&changed](const Manifest& m) {
+    for (const Facet& f : m.facets)
+      for (const Facet& c : changed)
+        if (f.type == c.type && f.name == c.name && f.id != c.id) return true;
+    return false;
+  };
+  std::set<std::string> dirty_ids;
+  for (const Manifest& m : manifests)
+    if (directly_dirty(m)) dirty_ids.insert(key_id(m.key));
+  // Propagate along upstream edges to a fixpoint. Quadratic in the worst
+  // case, but cones are shallow (fit -> buffering/mc -> cosi) and the
+  // loop exits the first pass that adds nothing.
+  for (bool grew = true; grew;) {
+    grew = false;
+    for (const Manifest& m : manifests) {
+      if (dirty_ids.count(key_id(m.key)) > 0) continue;
+      for (const CacheKey& up : m.upstream) {
+        if (dirty_ids.count(key_id(up)) > 0) {
+          dirty_ids.insert(key_id(m.key));
+          grew = true;
+          break;
+        }
+      }
+    }
+  }
+  DirtyCone cone;
+  for (const Manifest& m : manifests) {
+    if (dirty_ids.count(key_id(m.key)) > 0) {
+      cone.dirty.push_back(m.key);
+    } else {
+      cone.reuse.push_back(m.key);
+    }
+  }
+  return cone;
+}
+
+size_t evict_keys(Store& store, const std::vector<CacheKey>& keys) {
+  size_t removed = 0;
+  for (const CacheKey& key : keys)
+    if (store.erase(key)) ++removed;
+  return removed;
+}
+
+std::vector<KindStats> cache_stats(const std::string& root) {
+  std::map<std::string, KindStats> by_kind;
+  for (const fs::path& path : files_with_ext(root, kEntryExt)) {
+    KindStats& stats = by_kind[kind_of(path)];
+    ++stats.entries;
+    stats.payload_bytes += bytes_of(path);
+  }
+  for (const fs::path& path : files_with_ext(root, kManifestExt))
+    by_kind[kind_of(path)].manifest_bytes += bytes_of(path);
+  std::vector<KindStats> out;
+  for (auto& [kind, stats] : by_kind) {
+    stats.kind = kind;
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+PruneResult prune_cache(const std::string& root, size_t budget_bytes) {
+  struct Candidate {
+    fs::path entry;
+    fs::path manifest;
+    size_t bytes = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Candidate> candidates;
+  size_t total = 0;
+  for (const fs::path& path : files_with_ext(root, kEntryExt)) {
+    Candidate c;
+    c.entry = path;
+    c.manifest = fs::path(path).replace_extension(kManifestExt);
+    c.bytes = bytes_of(c.entry) + bytes_of(c.manifest);
+    std::error_code ec;
+    c.mtime = fs::last_write_time(c.entry, ec);
+    if (ec) c.mtime = fs::file_time_type::min();
+    total += c.bytes;
+    candidates.push_back(std::move(c));
+  }
+  // Oldest-modified first; path as the deterministic tiebreak.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.mtime != b.mtime ? a.mtime < b.mtime : a.entry < b.entry;
+            });
+  PruneResult result;
+  result.scanned_entries = candidates.size();
+  result.kept_bytes = total;
+  for (const Candidate& c : candidates) {
+    if (result.kept_bytes <= budget_bytes) break;
+    remove_quiet(c.entry);
+    remove_quiet(c.manifest);
+    ++result.removed_entries;
+    result.removed_bytes += c.bytes;
+    result.kept_bytes -= c.bytes;
+  }
+  return result;
+}
+
+VerifyResult verify_cache(const std::string& root) {
+  VerifyResult result;
+  std::set<fs::path> entries, manifests;
+  for (const fs::path& p : files_with_ext(root, kEntryExt)) entries.insert(p);
+  for (const fs::path& p : files_with_ext(root, kManifestExt)) manifests.insert(p);
+  result.entries = entries.size();
+  result.manifests = manifests.size();
+  for (const fs::path& entry : entries) {
+    const fs::path sidecar = fs::path(entry).replace_extension(kManifestExt);
+    if (manifests.count(sidecar) == 0) {
+      // An entry the reader would refuse anyway: scrub it now.
+      PIM_COUNT("cache.corrupt");
+      ++result.unmanifested_entries;
+      log_warn("cache verify: entry without manifest, scrubbing '",
+               entry.string(), "'");
+      remove_quiet(entry);
+    }
+  }
+  for (const fs::path& sidecar : manifests) {
+    const fs::path entry = fs::path(sidecar).replace_extension(kEntryExt);
+    if (entries.count(entry) == 0) {
+      PIM_COUNT("cache.corrupt");
+      ++result.orphan_manifests;
+      log_warn("cache verify: orphan manifest, scrubbing '", sidecar.string(), "'");
+      remove_quiet(sidecar);
+      continue;
+    }
+    std::string image;
+    Expected<Manifest> manifest =
+        read_file(sidecar, image)
+            ? decode_manifest(image)
+            : Expected<Manifest>(Error("unreadable", ErrorCode::io_parse));
+    const std::string hex = sidecar.stem().string();
+    if (manifest.ok() && (manifest.value().key.hex != hex ||
+                          manifest.value().key.kind != kind_of(sidecar)))
+      manifest = Error("key does not match path", ErrorCode::io_parse);
+    if (!manifest.ok()) {
+      PIM_COUNT("cache.corrupt");
+      ++result.corrupt_manifests;
+      log_warn("cache verify: corrupt manifest, scrubbing pair '",
+               sidecar.string(), "': ", manifest.error().message());
+      remove_quiet(sidecar);
+      remove_quiet(entry);
+    }
+  }
+  return result;
+}
+
+}  // namespace pim::cache

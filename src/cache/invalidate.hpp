@@ -1,0 +1,90 @@
+// The invalidation engine over the provenance-tracked artifact graph.
+//
+// scan_manifests() loads every sidecar under a cache root; dirty_cone()
+// partitions those artifacts into stale vs reusable for a set of changed
+// facets (tech edit, corner retune, deck knob change) by walking facet
+// matches and then propagating along upstream edges to a fixpoint; and
+// evict_keys() removes the stale cone so the next run recomputes exactly
+// it. cache_stats / prune_cache / verify_cache are the admin surface the
+// `pim cache` subcommand exposes (docs/caching.md).
+//
+// Everything here is fail-open, like the store: an unreadable manifest
+// is skipped by scans (and scrubbed, with its entry, by verify_cache),
+// so damage can cost warm starts but never correctness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cache/manifest.hpp"
+#include "cache/store.hpp"
+
+namespace pim::cache {
+
+/// Every parseable manifest under `root` (all kinds), in a deterministic
+/// (path-sorted) order. Unreadable sidecars are skipped fail-open.
+std::vector<Manifest> scan_manifests(const std::string& root);
+
+/// The dirty/reuse partition of `manifests` under `changed` facets.
+struct DirtyCone {
+  std::vector<CacheKey> dirty;  ///< stale: direct facet hit or stale upstream
+  std::vector<CacheKey> reuse;  ///< still valid after the edit
+};
+
+/// An artifact is DIRECTLY dirty when one of its facets shares (type,
+/// name) with a changed facet but differs in id — the same logical input
+/// with different content. Dirtiness then propagates along upstream
+/// edges to a fixpoint: an artifact derived from a dirty one is dirty.
+/// Facets with a (type, name) no changed facet mentions are untouched
+/// inputs; artifacts with no dirty facet and no dirty upstream land in
+/// `reuse` — their content-addressed keys still resolve after the edit.
+DirtyCone dirty_cone(const std::vector<Manifest>& manifests,
+                     const std::vector<Facet>& changed);
+
+/// Evicts `keys` from `store` (memory + disk entry + manifest); returns
+/// how many had on-disk or in-memory state to remove.
+size_t evict_keys(Store& store, const std::vector<CacheKey>& keys);
+
+/// Per-kind entry/byte census of a disk cache root, kind-sorted.
+struct KindStats {
+  std::string kind;
+  size_t entries = 0;
+  size_t payload_bytes = 0;   ///< entry-file bytes (header + payload)
+  size_t manifest_bytes = 0;  ///< provenance-sidecar bytes
+};
+std::vector<KindStats> cache_stats(const std::string& root);
+
+/// Result of prune_cache.
+struct PruneResult {
+  size_t scanned_entries = 0;
+  size_t removed_entries = 0;
+  size_t removed_bytes = 0;  ///< entry + manifest bytes reclaimed
+  size_t kept_bytes = 0;
+};
+
+/// Shrinks the disk tier under `root` to at most `budget_bytes` (entry +
+/// manifest bytes), removing least-recently-modified entry/manifest
+/// pairs first — the disk analogue of the memory tier's LRU.
+PruneResult prune_cache(const std::string& root, size_t budget_bytes);
+
+/// Result of verify_cache.
+struct VerifyResult {
+  size_t entries = 0;                ///< entry files seen
+  size_t manifests = 0;              ///< manifest sidecars seen
+  size_t orphan_manifests = 0;       ///< manifest without entry (scrubbed)
+  size_t unmanifested_entries = 0;   ///< entry without manifest (scrubbed)
+  size_t corrupt_manifests = 0;      ///< sidecar failed to parse (pair scrubbed)
+
+  size_t scrubbed() const {
+    return orphan_manifests + unmanifested_entries + corrupt_manifests;
+  }
+};
+
+/// Manifest<->entry consistency check: every entry must have a parseable
+/// sidecar naming its own key and vice versa. Violations are scrubbed
+/// fail-open (the affected artifact recomputes on next use) and counted
+/// under the cache.corrupt metric.
+VerifyResult verify_cache(const std::string& root);
+
+}  // namespace pim::cache

@@ -1,5 +1,6 @@
 #include "cache/key.hpp"
 
+#include "cache/manifest.hpp"
 #include "util/strings.hpp"
 
 namespace pim::cache {
@@ -11,18 +12,30 @@ constexpr char kRecordSep = '\x1e';  // after each field
 }  // namespace
 
 KeyBuilder::KeyBuilder(std::string kind) : kind_(std::move(kind)) {
+  internal_ = true;
   raw("pim-cache");
   field("format", static_cast<int64_t>(kFormatVersion));
   field("kind", kind_);
+  internal_ = false;
 }
 
 void KeyBuilder::raw(std::string_view bytes) { hasher_.update(bytes); }
+
+void KeyBuilder::note_param(std::string_view name, std::string_view value) {
+  if (internal_) return;
+  params_hasher_.update(name);
+  params_hasher_.update(&kUnitSep, 1);
+  params_hasher_.update(value);
+  params_hasher_.update(&kRecordSep, 1);
+  has_params_ = true;
+}
 
 KeyBuilder& KeyBuilder::field(std::string_view name, std::string_view value) {
   raw(name);
   hasher_.update(&kUnitSep, 1);
   raw(value);
   hasher_.update(&kRecordSep, 1);
+  note_param(name, value);
   return *this;
 }
 
@@ -64,10 +77,29 @@ KeyBuilder& KeyBuilder::blob(std::string_view name, std::string_view bytes) {
   hasher_.update(&kUnitSep, 1);
   raw(bytes);
   hasher_.update(&kRecordSep, 1);
+  note_param(name, bytes);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::facet(std::string_view type, std::string_view name,
+                              std::string_view id) {
+  internal_ = true;
+  std::string field_name(type);
+  field_name += ':';
+  field_name += name;
+  field(field_name, id);
+  internal_ = false;
+  if (Tracked* scope = Tracked::current())
+    scope->facet(Facet{std::string(type), std::string(name), std::string(id)});
   return *this;
 }
 
 CacheKey KeyBuilder::finish() {
+  if (Tracked* scope = Tracked::current()) {
+    if (has_params_)
+      scope->facet(Facet{"params", kind_, params_hasher_.hex_digest()});
+    scope->facet(Facet{"format", "version", std::to_string(kFormatVersion)});
+  }
   CacheKey key;
   key.kind = kind_;
   key.hex = hasher_.hex_digest();

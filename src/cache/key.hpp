@@ -41,6 +41,13 @@ struct CacheKey {
 };
 
 /// Accumulates named fields into a canonical digest.
+///
+/// Provenance capture (cache/manifest.hpp): facet() hashes a typed input
+/// exactly like a field AND records it into the innermost cache::Tracked
+/// scope, so a manifest can never claim inputs the key does not cover.
+/// Plain field()/blob() calls are folded into a secondary params digest
+/// that finish() records as one "params" facet — an edit to any loose
+/// deck knob shows up as a params change without per-knob bookkeeping.
 class KeyBuilder {
  public:
   /// `kind` tags what the key addresses ("fit", "buffering", "mc", ...).
@@ -62,14 +69,26 @@ class KeyBuilder {
   /// Length-prefixed raw bytes (file contents, serialized tables).
   KeyBuilder& blob(std::string_view name, std::string_view bytes);
 
-  /// Finalizes the digest. The builder is spent afterwards.
+  /// A typed provenance facet: hashed into the key as field
+  /// "<type>:<name>" = id, and captured into the active Tracked scope
+  /// (no-op outside one). Use for the inputs invalidation reasons about:
+  /// tech content hashes, corner ids, fit hashes, sampling plans.
+  KeyBuilder& facet(std::string_view type, std::string_view name, std::string_view id);
+
+  /// Finalizes the digest, recording the rolled-up "params" facet and the
+  /// format-version facet into the active Tracked scope. The builder is
+  /// spent afterwards.
   CacheKey finish();
 
  private:
   void raw(std::string_view bytes);
+  void note_param(std::string_view name, std::string_view value);
 
   std::string kind_;
   Sha256 hasher_;
+  Sha256 params_hasher_;
+  bool has_params_ = false;
+  bool internal_ = false;  ///< true while emitting preamble/facet fields
 };
 
 }  // namespace pim::cache

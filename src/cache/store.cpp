@@ -191,6 +191,12 @@ std::string Store::entry_path(const CacheKey& key) const {
          ".pimcache";
 }
 
+std::string Store::manifest_path(const CacheKey& key) const {
+  const std::string root = options_.disk_dir.empty() ? dir() : options_.disk_dir;
+  return root + "/" + key.kind + "/" + key.hex.substr(0, 2) + "/" + key.hex +
+         ".pimmanifest";
+}
+
 std::string Store::encode_entry(const CacheKey& key, std::string_view payload) {
   std::ostringstream os;
   os << "pim-cache v" << kFormatVersion << "\n";
@@ -255,22 +261,25 @@ Expected<std::string> Store::decode_entry(const CacheKey& key, std::string_view 
   return payload;
 }
 
-void Store::insert_memory(const std::string& id, std::string payload) {
+void Store::insert_memory(const std::string& id, std::string payload,
+                          std::string manifest_text, int64_t cost_ns) {
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = index_.find(id); it != index_.end()) {
-    bytes_ -= it->second->payload.size();
-    bytes_ += payload.size();
+    bytes_ -= it->second->payload.size() + it->second->manifest.size();
+    bytes_ += payload.size() + manifest_text.size();
     it->second->payload = std::move(payload);
+    it->second->manifest = std::move(manifest_text);
+    it->second->cost_ns = cost_ns;
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
-    bytes_ += payload.size();
-    lru_.push_front(MemEntry{id, std::move(payload)});
+    bytes_ += payload.size() + manifest_text.size();
+    lru_.push_front(MemEntry{id, std::move(payload), std::move(manifest_text), cost_ns});
     index_[id] = lru_.begin();
   }
   while (!lru_.empty() && (bytes_ > options_.max_memory_bytes ||
                            lru_.size() > options_.max_memory_entries)) {
     const MemEntry& victim = lru_.back();
-    bytes_ -= victim.payload.size();
+    bytes_ -= victim.payload.size() + victim.manifest.size();
     index_.erase(victim.id);
     lru_.pop_back();
     PIM_COUNT("cache.evict");
@@ -297,6 +306,10 @@ std::optional<std::string> Store::get(const CacheKey& key) {
     if (auto it = index_.find(id); it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       PIM_COUNT("cache.hit");
+      // The hit just saved the compute the manifest priced: the
+      // incremental.saved_ns counter is the warm path's receipt.
+      if (it->second->cost_ns > 0)
+        PIM_COUNT_N("incremental.saved_ns", it->second->cost_ns);
       if (metrics) {
         metrics->mem_load.record_ns(obs::now_ns() - start);
         metrics->update_hit_rate();
@@ -312,48 +325,56 @@ std::optional<std::string> Store::get(const CacheKey& key) {
     if (metrics) metrics->update_hit_rate();
     return std::nullopt;
   }
+  // An entry is only served together with its provenance sidecar: put()
+  // writes the manifest first, so a valid entry missing one is damage
+  // (or a pre-manifest leftover) and fails open like any corruption.
+  const std::string mpath = manifest_path(key);
+  std::string manifest_image;
   Expected<std::string> payload = decode_entry(key, image);
-  if (!payload.ok()) {
-    // Fail-open: a corrupt entry is a miss, never an error. Scrub it so
-    // the recompute's put() replaces it with a good one.
+  Expected<Manifest> manifest =
+      payload.ok() && read_entry_file(mpath, manifest_image)
+          ? decode_manifest(manifest_image)
+          : Expected<Manifest>(Error("cache manifest: missing sidecar",
+                                     ErrorCode::io_parse));
+  if (manifest.ok() &&
+      (manifest.value().key.kind != key.kind || manifest.value().key.hex != key.hex))
+    manifest = Error("cache manifest: key mismatch", ErrorCode::io_parse);
+  if (!payload.ok() || !manifest.ok()) {
+    // Fail-open: a corrupt entry (or orphaned/garbled sidecar) is a
+    // miss, never an error. Scrub the pair so the recompute's put()
+    // replaces both with a consistent one.
     PIM_COUNT("cache.corrupt");
     PIM_COUNT("cache.miss");
     if (metrics) metrics->update_hit_rate();
-    log_warn("cache: ignoring corrupt entry '", path, "': ",
-             payload.error().message());
+    const Error& why = payload.ok() ? manifest.error() : payload.error();
+    log_warn("cache: ignoring corrupt entry '", path, "': ", why.message());
     if (mode() == Mode::ReadWrite) {
       std::error_code ec;
       fs::remove(path, ec);
+      fs::remove(mpath, ec);
     }
     return std::nullopt;
   }
   PIM_COUNT("cache.hit");
   PIM_COUNT("cache.disk.hit");
+  const int64_t cost_ns = manifest.value().cost_ns;
+  if (cost_ns > 0) PIM_COUNT_N("incremental.saved_ns", cost_ns);
   std::string value = payload.take();
   if (metrics) {
     metrics->disk_load.record_ns(obs::now_ns() - disk_start);
     metrics->entry_bytes.record_ns(static_cast<int64_t>(value.size()));
     metrics->update_hit_rate();
   }
-  insert_memory(id, value);
+  insert_memory(id, value, std::move(manifest_image), cost_ns);
   return value;
 }
 
-void Store::put(const CacheKey& key, std::string_view payload) {
-  if (fault::armed()) {
-    PIM_COUNT("cache.bypass");
-    return;
-  }
-  if (mode() == Mode::Off) return;
-  if (obs::enabled())
-    CacheMetrics::get().entry_bytes.record_ns(static_cast<int64_t>(payload.size()));
-  insert_memory(key.kind + "/" + key.hex, std::string(payload));
-  if (mode() != Mode::ReadWrite) return;
-  // Disk failures only cost future warm starts, so they retry with
-  // backoff and finally demote to a warning instead of failing the
-  // computation that produced `payload`.
-  const std::string path = entry_path(key);
-  const std::string image = encode_entry(key, payload);
+namespace {
+
+// Atomic file write (tmp + rename) with the store's bounded retry. True
+// on success; a failure is logged and fails open.
+bool write_file_atomic(const std::string& path, const std::string& image,
+                       const char* what) {
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   for (int attempt = 0;; ++attempt) {
@@ -367,22 +388,87 @@ void Store::put(const CacheKey& key, std::string_view payload) {
                 ErrorCode::io_parse);
       }
       fs::rename(tmp, path);
-      PIM_COUNT("cache.write");
-      return;
+      return true;
     } catch (const std::exception& e) {
       // A failed rename (or a later attempt bailing early) must not
       // strand the tmp file in the cache dir.
       std::error_code ec;
       fs::remove(tmp, ec);
       if (attempt + 1 >= kIoAttempts) {
-        log_warn("cache: disk write skipped after ", kIoAttempts,
+        log_warn("cache: ", what, " write skipped after ", kIoAttempts,
                  " attempts: ", e.what());
-        return;
+        return false;
       }
       PIM_COUNT("cache.io.retry");
       backoff_sleep(attempt);
     }
   }
+}
+
+}  // namespace
+
+void Store::put(const CacheKey& key, std::string_view payload) {
+  if (fault::armed()) {
+    PIM_COUNT("cache.bypass");
+    return;
+  }
+  if (mode() == Mode::Off) return;
+  if (obs::enabled())
+    CacheMetrics::get().entry_bytes.record_ns(static_cast<int64_t>(payload.size()));
+  // Provenance travels with the entry: the active Tracked scope (opened
+  // by the cached wrapper that computed `payload`) knows every facet the
+  // key hashed and every upstream artifact consumed. Outside a scope the
+  // manifest is empty but still present, so the entry<->manifest
+  // invariant holds unconditionally.
+  const Manifest manifest = Tracked::current() != nullptr
+                                ? Tracked::current()->manifest(key)
+                                : Manifest{key, {}, {}, 0};
+  const std::string manifest_image = encode_manifest(manifest);
+  insert_memory(key.kind + "/" + key.hex, std::string(payload), manifest_image,
+                manifest.cost_ns);
+  if (mode() != Mode::ReadWrite) return;
+  // Disk failures only cost future warm starts, so they retry with
+  // backoff and finally demote to a warning instead of failing the
+  // computation that produced `payload`. Order matters: the manifest
+  // sidecar lands first, and a sidecar failure downgrades the whole put
+  // to a fail-open full-entry miss — the disk tier must never hold an
+  // entry without provenance (a reader would scrub it as corrupt).
+  const std::string path = entry_path(key);
+  const std::string mpath = manifest_path(key);
+  if (!write_file_atomic(mpath, manifest_image, "manifest")) {
+    PIM_COUNT("cache.manifest.fail");
+    return;
+  }
+  if (!write_file_atomic(path, encode_entry(key, payload), "entry")) {
+    // Entry write failed after the sidecar landed: scrub the sidecar so
+    // verify_cache never reports this put as an orphan manifest.
+    std::error_code ec;
+    fs::remove(mpath, ec);
+    return;
+  }
+  PIM_COUNT("cache.write");
+}
+
+bool Store::erase(const CacheKey& key) {
+  const std::string id = key.kind + "/" + key.hex;
+  bool removed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = index_.find(id); it != index_.end()) {
+      bytes_ -= it->second->payload.size() + it->second->manifest.size();
+      lru_.erase(it->second);
+      index_.erase(it);
+      set_bytes_gauge(bytes_);
+      removed = true;
+    }
+  }
+  if (mode() != Mode::ReadWrite) return removed;
+  std::error_code ec;
+  // Entry first, then manifest: a concurrent reader that loses the race
+  // sees manifest-without-entry (a plain miss), never the reverse.
+  removed = fs::remove(entry_path(key), ec) || removed;
+  removed = fs::remove(manifest_path(key), ec) || removed;
+  return removed;
 }
 
 void Store::clear_memory() {

@@ -23,11 +23,20 @@
 // writes go to a temp file then rename, so concurrent processes sharing
 // one cache directory never observe half-written entries.
 //
+// Provenance: every entry is written together with a manifest sidecar
+// (<hex>.pimmanifest, cache/manifest.hpp) naming the typed input facets
+// and upstream artifacts it was computed from — the metadata the
+// invalidation engine (cache/invalidate.hpp) walks. The sidecar lands
+// before the entry, so a reader never sees an entry without provenance;
+// a hit credits the manifest's recorded compute cost to the
+// incremental.saved_ns counter.
+//
 // Metrics: cache.hit, cache.miss, cache.disk.hit, cache.evict,
-// cache.corrupt, cache.write counters; cache.bytes (memory-tier
-// footprint) and cache.hit_rate gauges; cache.mem.load / cache.disk.load
-// per-tier load-latency histograms and the cache.entry.bytes
-// payload-size histogram (docs/observability.md).
+// cache.corrupt, cache.write, cache.manifest.fail, incremental.saved_ns
+// counters; cache.bytes (memory-tier footprint, payload + manifest) and
+// cache.hit_rate gauges; cache.mem.load / cache.disk.load per-tier
+// load-latency histograms and the cache.entry.bytes payload-size
+// histogram (docs/observability.md).
 #pragma once
 
 #include <cstdint>
@@ -39,6 +48,7 @@
 #include <string_view>
 
 #include "cache/key.hpp"
+#include "cache/manifest.hpp"
 #include "util/expected.hpp"
 
 namespace pim::cache {
@@ -89,9 +99,19 @@ class Store {
   std::optional<std::string> get(const CacheKey& key);
 
   /// Records `payload` under `key` in the memory tier and (in rw mode)
-  /// the disk tier. Disk failures are swallowed after a warning — the
-  /// cache never fails a computation that already succeeded.
+  /// the disk tier, together with its provenance manifest (captured from
+  /// the active cache::Tracked scope; an empty manifest otherwise). The
+  /// sidecar is written BEFORE the entry and a sidecar write failure
+  /// skips the entry entirely (fail-open full-entry miss), so the disk
+  /// tier never holds an entry without provenance. Disk failures are
+  /// swallowed after a warning — the cache never fails a computation
+  /// that already succeeded.
   void put(const CacheKey& key, std::string_view payload);
+
+  /// Removes `key` from the memory tier and (in rw mode) unlinks its
+  /// disk entry + manifest. True when anything was removed. The
+  /// invalidation engine's eviction primitive (cache/invalidate.hpp).
+  bool erase(const CacheKey& key);
 
   /// Empties the memory tier (registrations on disk survive). Tests.
   void clear_memory();
@@ -110,16 +130,24 @@ class Store {
   /// Absolute path an entry for `key` lives at under this store's root.
   std::string entry_path(const CacheKey& key) const;
 
+  /// Absolute path of the provenance-manifest sidecar for `key`.
+  std::string manifest_path(const CacheKey& key) const;
+
  private:
-  void insert_memory(const std::string& id, std::string payload);
+  void insert_memory(const std::string& id, std::string payload,
+                     std::string manifest_text, int64_t cost_ns);
 
   Options options_;
   mutable std::mutex mu_;
   // LRU: most recently used at the front. The map stores list iterators;
-  // list splicing keeps them valid.
+  // list splicing keeps them valid. Byte accounting covers payload AND
+  // manifest sidecar, so prune budgets are honest about the real
+  // footprint an entry carries.
   struct MemEntry {
     std::string id;
     std::string payload;
+    std::string manifest;  ///< serialized sidecar image
+    int64_t cost_ns = 0;   ///< compute cost the hit saves (manifest cost_ns)
   };
   std::list<MemEntry> lru_;
   std::map<std::string, std::list<MemEntry>::iterator> index_;

@@ -19,6 +19,19 @@ LinkImplementer::LinkImplementer(const InterconnectModel& model, LinkContext bas
   buffering_.max_delay = budget_;
 }
 
+namespace {
+
+// Reports the buffering artifacts a link implementation consumed to the
+// caller's provenance scope (if one is open) — memo hits and fresh
+// searches alike, so the reuse path and the search path feed the
+// artifact graph identically.
+void replay_provenance(const std::vector<cache::CacheKey>& keys) {
+  if (cache::Tracked* scope = cache::Tracked::current())
+    for (const cache::CacheKey& key : keys) scope->upstream(key);
+}
+
+}  // namespace
+
 const ImplementedLink& LinkImplementer::implement(double length) const {
   require(length > 0.0, "LinkImplementer::implement: length must be positive");
   const long key = std::max(1L, std::lround(length / kQuantum));
@@ -27,6 +40,7 @@ const ImplementedLink& LinkImplementer::implement(double length) const {
     const auto it = cache_.find(key);
     if (it != cache_.end()) {
       PIM_COUNT("cosi.linkcache.hits");
+      replay_provenance(it->second.provenance);
       return it->second;
     }
   }
@@ -39,15 +53,23 @@ const ImplementedLink& LinkImplementer::implement(double length) const {
   ctx.length = static_cast<double>(key) * kQuantum;
   // Cached search: merge trials re-derive the same quantized lengths over
   // and over, and separate synthesis processes share the on-disk tier.
-  const BufferingResult best = optimize_buffering_cached(*model_, ctx, buffering_);
+  // The Tracked scope captures which buffering artifact the search
+  // resolved to (the cached wrapper publishes its key into it), so the
+  // memo entry can replay that dependency on every later reuse.
   ImplementedLink link;
-  link.feasible = best.feasible;
-  if (best.feasible) {
-    link.design = best.design;
-    link.layer = best.layer;
+  {
+    cache::Tracked scope;
+    const BufferingResult best = optimize_buffering_cached(*model_, ctx, buffering_);
+    link.feasible = best.feasible;
+    if (best.feasible) {
+      link.design = best.design;
+      link.layer = best.layer;
+    }
+    link.provenance = scope.upstream_keys();
   }
+  replay_provenance(link.provenance);
   std::lock_guard<std::mutex> lock(cache_mutex_);
-  return cache_.emplace(key, link).first->second;
+  return cache_.emplace(key, std::move(link)).first->second;
 }
 
 double LinkImplementer::max_feasible_length() const {

@@ -14,8 +14,10 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "buffering/optimize.hpp"
+#include "cache/manifest.hpp"
 #include "models/model.hpp"
 
 namespace pim {
@@ -25,6 +27,11 @@ struct ImplementedLink {
   bool feasible = false;
   LinkDesign design;
   WireLayer layer = WireLayer::Global;  ///< routing layer the optimizer chose
+  /// Keys of the cached buffering artifacts this implementation reused
+  /// (empty when the model is uncacheable). Memo hits replay these into
+  /// the enclosing provenance scope, so the link-search reuse path feeds
+  /// the artifact graph exactly like a fresh search.
+  std::vector<cache::CacheKey> provenance;
 };
 
 class LinkImplementer {

@@ -15,6 +15,15 @@ CornerModelSet::CornerModelSet(
     models_.push_back({corner, ProposedModel(corner_technology(node, corner), fit)});
 }
 
+CornerModelSet::CornerModelSet(
+    const Technology& base, const std::vector<std::pair<Corner, TechnologyFit>>& fits) {
+  require(!fits.empty(), "CornerModelSet: needs at least one corner",
+          ErrorCode::bad_input);
+  models_.reserve(fits.size());
+  for (const auto& [corner, fit] : fits)
+    models_.push_back({corner, ProposedModel(corner_technology(base, corner), fit)});
+}
+
 const CornerModel& CornerModelSet::at(const std::string& name) const {
   for (const CornerModel& m : models_)
     if (m.corner.name == name) return m;

@@ -32,6 +32,11 @@ class CornerModelSet {
  public:
   CornerModelSet(TechNode node, const std::vector<std::pair<Corner, TechnologyFit>>& fits);
 
+  /// Same binding against an arbitrary base descriptor (e.g. one loaded
+  /// from a tech file), via corner_technology(base, corner).
+  CornerModelSet(const Technology& base,
+                 const std::vector<std::pair<Corner, TechnologyFit>>& fits);
+
   const std::vector<CornerModel>& models() const { return models_; }
   size_t size() const { return models_.size(); }
 

@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "cache/manifest.hpp"
+#include "cache/sha256.hpp"
 #include "cache/store.hpp"
 #include "charlib/coeffs_io.hpp"
 #include "deadline/deadline.hpp"
@@ -13,18 +15,22 @@
 namespace pim {
 namespace {
 
-// Everything that determines a calibrated fit: the full technology
-// descriptor (as its canonical tech-file serialization — a parameter
+// Everything that determines a calibrated fit: the technology content
+// (as the SHA-256 of its canonical tech-file serialization — a parameter
 // tweak changes the bytes and hence the key), the corner identity, plus
-// every characterization and composition knob. The corner id covers its
+// every characterization and composition knob. The tech and corner enter
+// as provenance facets, so the manifest records exactly the identities
+// the key covers; the tech facet is named per corner ("<tech>@<corner>")
+// because the derated descriptor is the actual input — retuning one
+// corner must not dirty the others' fits. The corner id covers its
 // factors at full precision, so retuning a corner re-keys its fits even
-// though the derated techfile bytes already differ. See docs/caching.md.
+// though the derated tech hash already differs. See docs/caching.md.
 cache::CacheKey fit_cache_key(const Technology& tech, const Corner& corner,
                               const CharacterizationOptions& copt,
                               const CompositionOptions& compt) {
   cache::KeyBuilder kb("fit");
-  kb.blob("techfile", write_techfile(tech));
-  kb.field("corner", corner.cache_id());
+  kb.facet("tech", tech.name + "@" + corner.name, technology_content_hash(tech));
+  kb.facet("corner", corner.name, corner.cache_id());
   kb.field("char.slew_axis", copt.slew_axis);
   kb.field("char.fanout_axis", copt.fanout_axis);
   kb.field("char.drives", copt.drives);
@@ -48,18 +54,29 @@ void count_corner(const Corner& corner, const char* event) {
   obs::registry().counter("corner." + corner.name + ".fit." + event).add(1);
 }
 
-}  // namespace
-
-TechnologyFit calibrated_fit(TechNode node, const std::string& cache_path,
-                             const CharacterizationOptions& characterization,
-                             const CompositionOptions& composition) {
-  return corner_calibrated_fit(node, Corner{}, cache_path, characterization, composition);
+// Advertises the resolved fit as the artifact behind its coefficient
+// hash — the token model cache signatures embed — and reports it to any
+// enclosing provenance scope, so downstream cached wrappers (buffering,
+// Monte-Carlo, cosi) can record the fit key as an upstream edge. Called
+// on every return path, hit and compute alike, so the graph is complete
+// wherever the fit came from.
+TechnologyFit announce_fit(TechnologyFit fit, const cache::CacheKey& key,
+                           const cache::Tracked& scope) {
+  cache::register_artifact(cache::sha256_hex(write_fit(fit)), key);
+  scope.publish(key);
+  return fit;
 }
 
-TechnologyFit corner_calibrated_fit(TechNode node, const Corner& corner,
-                                    const std::string& cache_path,
-                                    const CharacterizationOptions& characterization,
-                                    const CompositionOptions& composition) {
+TechnologyFit corner_calibrated_fit_impl(const Technology& tech, const Corner& corner,
+                                         const std::string& cache_path,
+                                         const CharacterizationOptions& characterization,
+                                         const CompositionOptions& composition) {
+  const TechNode node = tech.node;
+  // Provenance scope: facets recorded by fit_cache_key (tech content,
+  // corner, deck params) land here and are written as the entry's
+  // manifest by Store::put.
+  cache::Tracked scope;
+  const cache::CacheKey key = fit_cache_key(tech, corner, characterization, composition);
   // The coefficient-file tier carries no corner identity, so it only
   // serves (and is only refreshed by) the nominal corner.
   const bool file_tier = !cache_path.empty() && corner.is_nominal();
@@ -68,18 +85,16 @@ TechnologyFit corner_calibrated_fit(TechNode node, const Corner& corner,
     if (probe.good()) {
       try {
         TechnologyFit cached = load_fit(cache_path);
-        if (cached.node == node) return cached;
+        if (cached.node == node) return announce_fit(std::move(cached), key, scope);
         log_warn("calibrated_fit: cache '", cache_path, "' holds a different node; refitting");
       } catch (const Error& e) {
         log_warn("calibrated_fit: ignoring unreadable cache '", cache_path, "': ", e.what());
       }
     }
   }
-  const Technology& tech = corner_technology(node, corner);
-  // Content-addressed tier: keyed by the derated tech file bytes, the
+  // Content-addressed tier: keyed by the derated tech content, the
   // corner id, and every deck parameter, so a hit is exactly the fit
   // this flow would recompute.
-  const cache::CacheKey key = fit_cache_key(tech, corner, characterization, composition);
   if (auto payload = cache::Store::global().get(key)) {
     try {
       TechnologyFit cached = parse_fit(*payload);
@@ -87,7 +102,7 @@ TechnologyFit corner_calibrated_fit(TechNode node, const Corner& corner,
               ErrorCode::io_parse);
       count_corner(corner, "hit");
       if (file_tier) save_fit(cached, cache_path);
-      return cached;
+      return announce_fit(std::move(cached), key, scope);
     } catch (const Error& e) {
       // Fail-open (the store already verified the payload digest, so
       // this is effectively unreachable): recompute below. The store
@@ -108,7 +123,8 @@ TechnologyFit corner_calibrated_fit(TechNode node, const Corner& corner,
   // carries no deadline state, so storing a fit regressed from patched
   // tables would poison warm full-budget runs. Refuse with the typed
   // stop error instead (docs/robustness.md: flows without partial
-  // semantics surface deadline_exceeded/cancelled).
+  // semantics surface deadline_exceeded/cancelled). The scope unwinds
+  // with the exception, so nothing is cached or manifested.
   if (library.partial()) {
     const deadline::StopReason reason = library.stop_reason();
     count_corner(corner, "truncated");
@@ -128,7 +144,31 @@ TechnologyFit corner_calibrated_fit(TechNode node, const Corner& corner,
   fit.leakage.p1 *= corner.leakage;
   cache::Store::global().put(key, write_fit(fit));
   if (file_tier) save_fit(fit, cache_path);
-  return fit;
+  return announce_fit(std::move(fit), key, scope);
+}
+
+}  // namespace
+
+TechnologyFit calibrated_fit(TechNode node, const std::string& cache_path,
+                             const CharacterizationOptions& characterization,
+                             const CompositionOptions& composition) {
+  return corner_calibrated_fit(node, Corner{}, cache_path, characterization, composition);
+}
+
+TechnologyFit corner_calibrated_fit(TechNode node, const Corner& corner,
+                                    const std::string& cache_path,
+                                    const CharacterizationOptions& characterization,
+                                    const CompositionOptions& composition) {
+  return corner_calibrated_fit_impl(corner_technology(node, corner), corner, cache_path,
+                                    characterization, composition);
+}
+
+TechnologyFit corner_calibrated_fit(const Technology& base, const Corner& corner,
+                                    const std::string& cache_path,
+                                    const CharacterizationOptions& characterization,
+                                    const CompositionOptions& composition) {
+  return corner_calibrated_fit_impl(corner_technology(base, corner), corner, cache_path,
+                                    characterization, composition);
 }
 
 }  // namespace pim

@@ -32,4 +32,12 @@ TechnologyFit corner_calibrated_fit(TechNode node, const Corner& corner,
                                     const CharacterizationOptions& characterization = {},
                                     const CompositionOptions& composition = {});
 
+/// Same flow against an arbitrary base descriptor (e.g. one loaded from
+/// a tech file) instead of the built-in table: derates via
+/// corner_technology(base, corner), so equal-content bases share fits.
+TechnologyFit corner_calibrated_fit(const Technology& base, const Corner& corner,
+                                    const std::string& cache_path = "",
+                                    const CharacterizationOptions& characterization = {},
+                                    const CompositionOptions& composition = {});
+
 }  // namespace pim

@@ -27,8 +27,22 @@ std::vector<std::pair<Corner, TechnologyFit>> corner_fits(
     const CharacterizationOptions& characterization = {},
     const CompositionOptions& composition = {});
 
+/// Same fan-out against an arbitrary base descriptor (e.g. one loaded
+/// from a tech file), via corner_calibrated_fit(base, corner, ...).
+std::vector<std::pair<Corner, TechnologyFit>> corner_fits(
+    const Technology& base, const std::vector<Corner>& corners,
+    const std::string& cache_path = "",
+    const CharacterizationOptions& characterization = {},
+    const CompositionOptions& composition = {});
+
 /// corner_fits() packaged as a corner-indexed model set.
 CornerModelSet corner_model_set(TechNode node, const std::vector<Corner>& corners,
+                                const std::string& cache_path = "",
+                                const CharacterizationOptions& characterization = {},
+                                const CompositionOptions& composition = {});
+
+/// Base-descriptor variant of corner_model_set.
+CornerModelSet corner_model_set(const Technology& base, const std::vector<Corner>& corners,
                                 const std::string& cache_path = "",
                                 const CharacterizationOptions& characterization = {},
                                 const CompositionOptions& composition = {});

@@ -2,8 +2,13 @@
 
 #include <fstream>
 #include <map>
+#include <mutex>
+#include <set>
 #include <sstream>
 
+#include "cache/sha256.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -267,6 +272,106 @@ Technology load_techfile(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse_techfile(buffer.str());
+}
+
+namespace {
+
+// Guards both the stable-address set and the hash memo; content hashing
+// itself runs outside the lock.
+std::mutex& stable_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::set<const Technology*>& stable_addresses() {
+  static std::set<const Technology*> s;
+  return s;
+}
+
+std::map<const Technology*, std::string>& hash_memo() {
+  static std::map<const Technology*, std::string> m;
+  return m;
+}
+
+}  // namespace
+
+void register_stable_technology(const Technology* tech) {
+  std::lock_guard<std::mutex> lock(stable_mutex());
+  stable_addresses().insert(tech);
+}
+
+std::string technology_content_hash(const Technology& tech) {
+  static obs::Timer& timer = obs::registry().timer("cache.key.tech_hash");
+  obs::ScopedTimer span(timer);
+  {
+    std::lock_guard<std::mutex> lock(stable_mutex());
+    const auto it = hash_memo().find(&tech);
+    if (it != hash_memo().end()) return it->second;
+  }
+  // The corner set is deliberately excluded from the content identity:
+  // each corner's factors are tracked by its own `corner` facet
+  // (Corner::cache_id), and derated descriptors inherit the base's
+  // `corners` member verbatim. Hashing it here would make a one-corner
+  // retune shift every corner's tech facet and dirty the whole cache
+  // instead of just that corner's cone.
+  std::string hash;
+  if (tech.corners.empty()) {
+    hash = cache::sha256_hex(write_techfile(tech));
+  } else {
+    Technology stripped = tech;
+    stripped.corners = ScenarioSet();
+    hash = cache::sha256_hex(write_techfile(stripped));
+  }
+  std::lock_guard<std::mutex> lock(stable_mutex());
+  // Memoize only addresses a registry vouched for: a stack-allocated
+  // descriptor can die and a different one reuse its address, so caching
+  // by arbitrary pointer would serve the wrong hash.
+  if (stable_addresses().count(&tech) > 0) hash_memo().emplace(&tech, hash);
+  return hash;
+}
+
+bool is_builtin_tech_spec(const std::string& spec) {
+  for (TechNode n : all_tech_nodes()) {
+    const std::string full = tech_node_name(n);
+    if (spec == full || spec + "nm" == full) return true;
+  }
+  return false;
+}
+
+const Technology& technology_from_spec(const std::string& spec) {
+  if (is_builtin_tech_spec(spec)) return technology(tech_node_from_name(spec));
+  // A tech-file path: re-read the bytes on every call so an edit is
+  // observed the moment it lands (cache invalidation diffs depend on
+  // this), but parse once per distinct content.
+  std::ifstream in(spec);
+  require(in.good(),
+          "technology_from_spec: '" + spec +
+              "' is neither a built-in node nor a readable tech file",
+          ErrorCode::bad_input);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::string hash = cache::sha256_hex(text);
+  static std::mutex mutex;
+  // std::map nodes never move, so returned references stay valid for the
+  // life of the process.
+  static std::map<std::string, Technology> registry;
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = registry.find(hash);
+  if (it != registry.end()) return it->second;
+  Technology& fresh = registry.emplace(hash, parse_techfile(text)).first->second;
+  register_stable_technology(&fresh);
+  return fresh;
+}
+
+std::vector<cache::Facet> technology_facets(const Technology& base) {
+  std::vector<cache::Facet> out;
+  for (const Corner& corner : base.scenario_set().corners()) {
+    out.push_back({"tech", base.name + "@" + corner.name,
+                   technology_content_hash(base.derated(corner))});
+    out.push_back({"corner", corner.name, corner.cache_id()});
+  }
+  return out;
 }
 
 }  // namespace pim

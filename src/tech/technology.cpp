@@ -3,6 +3,7 @@
 #include <map>
 #include <mutex>
 
+#include "tech/techfile.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -146,6 +147,9 @@ const Technology& technology(TechNode node) {
   static const std::map<TechNode, Technology> cache = [] {
     std::map<TechNode, Technology> m;
     for (TechNode n : all_tech_nodes()) m.emplace(n, build(n));
+    // Map nodes survive the move into the static, so these addresses are
+    // process-stable and technology_content_hash may memoize them.
+    for (const auto& [n, t] : m) register_stable_technology(&t);
     return m;
   }();
   return cache.at(node);
@@ -175,7 +179,23 @@ const Technology& corner_technology(TechNode node, const Corner& corner) {
   std::lock_guard<std::mutex> lock(mutex);
   const auto it = registry.find(key);
   if (it != registry.end()) return it->second;
-  return registry.emplace(key, technology(node).derated(corner)).first->second;
+  Technology& fresh = registry.emplace(key, technology(node).derated(corner)).first->second;
+  register_stable_technology(&fresh);
+  return fresh;
+}
+
+const Technology& corner_technology(const Technology& base, const Corner& corner) {
+  static std::mutex mutex;
+  static std::map<std::string, Technology> registry;
+  // Keyed by content, not address: two loads of the same tech file (or a
+  // reload after a no-op edit) share registry entries and hence fits.
+  const std::string key = technology_content_hash(base) + "@" + corner.cache_id();
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = registry.find(key);
+  if (it != registry.end()) return it->second;
+  Technology& fresh = registry.emplace(key, base.derated(corner)).first->second;
+  register_stable_technology(&fresh);
+  return fresh;
 }
 
 }  // namespace pim

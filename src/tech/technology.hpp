@@ -104,4 +104,10 @@ const Technology& technology(TechNode node);
 /// model layers that hold `const Technology*` may point at it safely.
 const Technology& corner_technology(TechNode node, const Corner& corner);
 
+/// Same stable-reference guarantee for an arbitrary base descriptor
+/// (e.g. one loaded from a tech file): the registry is keyed by the
+/// base's content hash plus the corner id, so equal-content bases share
+/// entries regardless of where they were parsed.
+const Technology& corner_technology(const Technology& base, const Corner& corner);
+
 }  // namespace pim

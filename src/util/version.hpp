@@ -11,13 +11,16 @@
 
 namespace pim {
 
-inline constexpr const char* kVersion = "0.7.0";
+inline constexpr const char* kVersion = "0.8.0";
 
 /// Version of the pim::api request/result structs (api/pim_api.hpp).
 /// v2: every request carries deadline_ms; results grew partial flags.
+/// (run_invalidate / run_cache_admin were added additively.)
 inline constexpr int kApiVersionNumber = 2;
 
 /// Cache canonicalization / payload-layout version (cache/key.hpp).
-inline constexpr int kCacheFormatVersion = 2;
+/// v3: provenance manifests recorded alongside every entry; facets are
+/// folded into keys via KeyBuilder::facet (docs/caching.md).
+inline constexpr int kCacheFormatVersion = 3;
 
 }  // namespace pim

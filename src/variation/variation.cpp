@@ -241,13 +241,17 @@ MonteCarloResult monte_carlo_link(const ProposedModel& model, const LinkContext&
 
 namespace {
 
-cache::CacheKey yield_cache_key(const std::string& signature, const std::string& corner_id,
+// The corner and sampling plan enter as provenance facets — the corner
+// so a retune stales exactly its cone, the samples/seed plan so a deck
+// that raises the sample budget shows up as a changed input rather than
+// an unrelated key. Everything else folds into the "params" facet.
+cache::CacheKey yield_cache_key(const std::string& signature, const Corner& corner,
                                 const LinkContext& ctx, const LinkDesign& design,
                                 int samples, uint64_t seed,
                                 const VariationSigmas& sigmas) {
   cache::KeyBuilder kb("yield");
   kb.field("model", signature);
-  kb.field("corner", corner_id);
+  kb.facet("corner", corner.name, corner.cache_id());
   kb.field("ctx.layer", static_cast<int>(ctx.layer));
   kb.field("ctx.style", static_cast<int>(ctx.style));
   kb.field("ctx.length", ctx.length);
@@ -262,8 +266,7 @@ cache::CacheKey yield_cache_key(const std::string& signature, const std::string&
   kb.field("design.drive", design.drive);
   kb.field("design.repeaters", design.num_repeaters);
   kb.field("design.miller", design.miller_factor);
-  kb.field("samples", static_cast<int64_t>(samples));
-  kb.field("seed", seed);
+  kb.facet("samples", "mc", std::to_string(samples) + "/" + std::to_string(seed));
   kb.field("sigmas.drive_strength", sigmas.drive_strength);
   kb.field("sigmas.device_cap", sigmas.device_cap);
   kb.field("sigmas.leakage", sigmas.leakage);
@@ -347,8 +350,13 @@ MonteCarloResult monte_carlo_link_at_corner(const ProposedModel& model,
   const std::string signature = model.cache_signature();
   if (signature.empty())
     return monte_carlo_link(model, context, design, samples, seed, sigmas);
-  const cache::CacheKey key = yield_cache_key(signature, corner.cache_id(), context,
+  // Provenance scope: corner + sampling-plan facets from the key builder
+  // plus upstream edges to the fit artifacts behind the model signature.
+  cache::Tracked scope;
+  const cache::CacheKey key = yield_cache_key(signature, corner, context,
                                               design, samples, seed, sigmas);
+  for (const cache::CacheKey& fit : cache::resolve_artifacts(signature))
+    scope.upstream(fit);
   if (auto payload = cache::Store::global().get(key)) {
     try {
       MonteCarloResult cached = parse_mc(*payload);
@@ -356,6 +364,7 @@ MonteCarloResult monte_carlo_link_at_corner(const ProposedModel& model,
               ErrorCode::io_parse);
       cached.requested_samples = samples;  // only complete runs are cached
       tally_yield(cached);
+      scope.publish(key);
       return cached;
     } catch (const Error&) {
       // The store vouched for the payload digest, so this parse failure
@@ -368,8 +377,12 @@ MonteCarloResult monte_carlo_link_at_corner(const ProposedModel& model,
   const MonteCarloResult result =
       monte_carlo_link(model, context, design, samples, seed, sigmas);
   // A truncated run's statistics cover a prefix of the sampling plan the
-  // key describes — caching it would poison later full-budget lookups.
-  if (!result.partial) cache::Store::global().put(key, serialize_mc(result));
+  // key describes — caching it would poison later full-budget lookups
+  // (and an uncached partial gets no manifest either).
+  if (!result.partial) {
+    cache::Store::global().put(key, serialize_mc(result));
+    scope.publish(key);
+  }
   return result;
 }
 

@@ -4,12 +4,18 @@
 // lookups, and bit-identical cached flows (fit / buffering / yield).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "buffering/optimize.hpp"
+#include "cache/invalidate.hpp"
 #include "cache/key.hpp"
+#include "cache/manifest.hpp"
 #include "cache/sha256.hpp"
 #include "cache/store.hpp"
 #include "charlib/coeffs_io.hpp"
@@ -17,6 +23,7 @@
 #include "models/proposed.hpp"
 #include "obs/metrics.hpp"
 #include "sta/calibrated.hpp"
+#include "tech/techfile.hpp"
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
 #include "util/units.hpp"
@@ -241,15 +248,20 @@ TEST_F(CacheDirFixture, LookupMetricsTrackTiersAndHitRate) {
 }
 
 TEST_F(CacheDirFixture, LruEvictionRespectsBudgets) {
-  Store store(Store::Options{/*max_memory_bytes=*/64, /*max_memory_entries=*/2,
-                             /*disk_dir=*/dir_});
+  // The memory tier charges payload + manifest sidecar per entry, so the
+  // budget is expressed in per-entry footprints (outside a Tracked scope
+  // every entry carries the same empty-manifest image).
   const CacheKey a = key_of("a"), b = key_of("b"), c = key_of("c");
+  const size_t footprint = 4 + encode_manifest(Manifest{a, {}, {}, 0}).size();
+  const size_t budget = 2 * footprint;
+  Store store(Store::Options{/*max_memory_bytes=*/budget, /*max_memory_entries=*/2,
+                             /*disk_dir=*/dir_});
   store.put(a, "aaaa");
   store.put(b, "bbbb");
   EXPECT_EQ(store.memory_entries(), 2u);
   store.put(c, "cccc");  // evicts the least recently used (a)
   EXPECT_LE(store.memory_entries(), 2u);
-  EXPECT_LE(store.memory_bytes(), 64u);
+  EXPECT_LE(store.memory_bytes(), budget);
   // Evicted entries are not lost — the disk tier still has them.
   const auto hit = store.get(a);
   ASSERT_TRUE(hit.has_value());
@@ -257,8 +269,8 @@ TEST_F(CacheDirFixture, LruEvictionRespectsBudgets) {
 
   // The byte budget alone also evicts: one oversized payload cannot wedge
   // the tier above its budget.
-  store.put(key_of("big"), std::string(80, 'x'));
-  EXPECT_LE(store.memory_bytes(), 64u);
+  store.put(key_of("big"), std::string(2 * budget, 'x'));
+  EXPECT_LE(store.memory_bytes(), budget);
 }
 
 TEST_F(CacheDirFixture, OffModeBypassesBothTiers) {
@@ -337,6 +349,308 @@ TEST_F(CacheDirFixture, ConcurrentLookupsAreRaceFree) {
     ASSERT_TRUE(hit.has_value());
     EXPECT_EQ(*hit, "payload-" + std::to_string(g));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Provenance manifests, the Tracked capture scope, and the invalidation
+// engine (cache/manifest.hpp, cache/invalidate.hpp).
+// ---------------------------------------------------------------------------
+
+CacheKey fill_key(const std::string& kind, char fill) {
+  return CacheKey{kind, std::string(64, fill)};
+}
+
+TEST(ManifestCodec, RoundTripPreservesEverything) {
+  Manifest m;
+  m.key = fill_key("fit", 'a');
+  m.facets = {{"tech", "65nm@nominal", std::string(64, 'b')},
+              {"corner", "nominal", "nominal|1|1|1|1|1|1|25|1"},
+              {"params", "fit", std::string(64, 'c')}};
+  m.upstream = {fill_key("fit", 'd'), fill_key("buffering", 'e')};
+  m.cost_ns = 123456789;
+  const std::string image = encode_manifest(m);
+  const auto decoded = decode_manifest(image);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().key.kind, m.key.kind);
+  EXPECT_EQ(decoded.value().key.hex, m.key.hex);
+  EXPECT_EQ(decoded.value().facets, m.facets);
+  ASSERT_EQ(decoded.value().upstream.size(), 2u);
+  EXPECT_EQ(decoded.value().upstream[0].hex, m.upstream[0].hex);
+  EXPECT_EQ(decoded.value().upstream[1].kind, "buffering");
+  EXPECT_EQ(decoded.value().cost_ns, m.cost_ns);
+
+  // Tampering is a named parse failure, never a crash.
+  EXPECT_FALSE(decode_manifest("").ok());
+  EXPECT_FALSE(decode_manifest("garbage\n").ok());
+  EXPECT_FALSE(decode_manifest(image.substr(0, image.size() / 2)).ok());
+}
+
+TEST(TrackedScope, FacetCaptureAndNestedPublish) {
+  clear_artifact_registry();
+  Tracked outer;
+  CacheKey inner_key;
+  {
+    Tracked inner;
+    KeyBuilder kb("fit");
+    kb.facet("tech", "65nm@nominal", std::string(64, 'a'));
+    kb.field("samples", 1000);
+    inner_key = kb.finish();
+    // facet() recorded the typed input; finish() rolled the loose field
+    // into one "params" facet and stamped the cache format version.
+    bool tech = false, params = false, format = false;
+    for (const Facet& f : inner.facets()) {
+      if (f.type == "tech" && f.name == "65nm@nominal") tech = true;
+      if (f.type == "params") params = true;
+      if (f.type == "format") format = true;
+    }
+    EXPECT_TRUE(tech);
+    EXPECT_TRUE(params);
+    EXPECT_TRUE(format);
+    const Manifest m = inner.manifest(inner_key);
+    EXPECT_EQ(m.key.hex, inner_key.hex);
+    EXPECT_EQ(m.facets, inner.facets());
+    // publish() reports the finished artifact to the PARENT scope: this
+    // is the upstream edge a consuming wrapper's manifest records.
+    inner.publish(inner_key);
+    EXPECT_TRUE(inner.upstream_keys().empty());
+  }
+  ASSERT_EQ(outer.upstream_keys().size(), 1u);
+  EXPECT_EQ(outer.upstream_keys()[0].hex, inner_key.hex);
+}
+
+TEST(ArtifactRegistry, ResolvesTokensEmbeddedInSignatures) {
+  clear_artifact_registry();
+  const std::string token(64, 'd');
+  const CacheKey key = fill_key("fit", 'e');
+  register_artifact(token, key);
+  // Composite signatures (e.g. WorstCornerModel's) embed the token in
+  // surrounding text; substring resolution still finds it.
+  const auto hits = resolve_artifacts("worst(nominal=proposed/65nm/" + token + ")");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].hex, key.hex);
+  EXPECT_TRUE(resolve_artifacts("no tokens here").empty());
+  clear_artifact_registry();
+  EXPECT_TRUE(resolve_artifacts(token).empty());
+}
+
+TEST_F(CacheDirFixture, PutWritesManifestSidecarWithTheEntry) {
+  Store& store = Store::global();
+  Tracked scope;
+  KeyBuilder kb("fit");
+  kb.facet("tech", "t@nominal", std::string(64, '1'));
+  const CacheKey key = kb.finish();
+  store.put(key, "payload");
+  ASSERT_TRUE(std::filesystem::exists(store.manifest_path(key)));
+  std::ifstream in(store.manifest_path(key), std::ios::binary);
+  std::string image((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const auto m = decode_manifest(image);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().key.hex, key.hex);
+  EXPECT_EQ(m.value().facets, scope.facets());
+}
+
+TEST_F(CacheDirFixture, EntryWithoutManifestFailsOpenAsCorrupt) {
+  obs::set_enabled(true);
+  Store& store = Store::global();
+  const CacheKey key = key_of("no-sidecar");
+  store.put(key, "payload");
+  store.clear_memory();
+  std::filesystem::remove(store.manifest_path(key));
+  const int64_t before = obs::registry().counter("cache.corrupt").value();
+  EXPECT_FALSE(store.get(key).has_value());
+  EXPECT_EQ(obs::registry().counter("cache.corrupt").value(), before + 1);
+  // rw mode scrubs the damaged pair so a recompute can re-register it.
+  EXPECT_FALSE(std::filesystem::exists(store.entry_path(key)));
+  obs::set_enabled(false);
+}
+
+TEST_F(CacheDirFixture, ManifestWriteFailureDowngradesToFullEntryMiss) {
+  obs::set_enabled(true);
+  Store& store = Store::global();
+  const CacheKey key = key_of("sidecar-blocked");
+  // Occupy the sidecar path with a directory: the atomic rename cannot
+  // land, so the put must skip the entry file too — the disk tier never
+  // holds an entry without provenance.
+  std::filesystem::create_directories(store.manifest_path(key));
+  const int64_t before = obs::registry().counter("cache.manifest.fail").value();
+  store.put(key, "payload");
+  EXPECT_EQ(obs::registry().counter("cache.manifest.fail").value(), before + 1);
+  EXPECT_FALSE(std::filesystem::exists(store.entry_path(key)));
+  store.clear_memory();
+  EXPECT_FALSE(store.get(key).has_value());
+  obs::set_enabled(false);
+}
+
+TEST_F(CacheDirFixture, MemoryTierBytesIncludeManifestSidecar) {
+  Store& store = Store::global();
+  const CacheKey key = key_of("bytes");
+  store.put(key, "0123456789");  // outside a scope: empty manifest, still encoded
+  const std::string image = encode_manifest(Manifest{key, {}, {}, 0});
+  EXPECT_EQ(store.memory_bytes(), 10u + image.size());
+}
+
+TEST_F(CacheDirFixture, LruBudgetCountsManifestBytes) {
+  Store store(Store::Options{/*max_memory_bytes=*/256, /*max_memory_entries=*/64,
+                             /*disk_dir=*/dir_});
+  Tracked scope;
+  for (int i = 0; i < 6; ++i)
+    scope.facet({"tech", "corner-" + std::to_string(i),
+                 std::string(64, static_cast<char>('a' + i))});
+  // Six 16-byte payloads (96 bytes) fit the budget on their own; their
+  // sidecars (several hundred bytes each) do not, so the byte-accounting
+  // fix must evict.
+  for (int i = 0; i < 6; ++i)
+    store.put(key_of("lru-manifest-" + std::to_string(i)), std::string(16, 'x'));
+  EXPECT_LE(store.memory_bytes(), 256u);
+  EXPECT_LT(store.memory_entries(), 6u);
+}
+
+TEST(DirtyCone, DirectFacetMatchAndUpstreamPropagation) {
+  Manifest fit_nom;
+  fit_nom.key = fill_key("fit", 'a');
+  fit_nom.facets = {{"tech", "65nm@nominal", "hash-old"},
+                    {"corner", "nominal", "id-nom"}};
+  Manifest fit_ss;
+  fit_ss.key = fill_key("fit", 'b');
+  fit_ss.facets = {{"tech", "65nm@ss", "hash-ss"}, {"corner", "ss", "id-ss"}};
+  Manifest buf;
+  buf.key = fill_key("buffering", 'c');
+  buf.facets = {{"params", "buffering", "p"}};
+  buf.upstream = {fit_nom.key};
+  Manifest mc;
+  mc.key = fill_key("yield", 'd');
+  mc.facets = {{"corner", "nominal", "id-nom"}, {"samples", "mc", "500/2026"}};
+  mc.upstream = {fit_nom.key};
+  const std::vector<Manifest> manifests = {fit_nom, fit_ss, buf, mc};
+
+  const auto contains = [](const std::vector<CacheKey>& keys, const CacheKey& k) {
+    for (const CacheKey& key : keys)
+      if (key.kind == k.kind && key.hex == k.hex) return true;
+    return false;
+  };
+
+  // A nominal-corner tech edit dirties the fit directly and, through
+  // upstream edges, the buffering search and Monte-Carlo run built on
+  // it; the ss-corner fit is untouched.
+  DirtyCone cone = dirty_cone(manifests, {{"tech", "65nm@nominal", "hash-NEW"}});
+  EXPECT_EQ(cone.dirty.size(), 3u);
+  EXPECT_TRUE(contains(cone.dirty, fit_nom.key));
+  EXPECT_TRUE(contains(cone.dirty, buf.key));
+  EXPECT_TRUE(contains(cone.dirty, mc.key));
+  ASSERT_EQ(cone.reuse.size(), 1u);
+  EXPECT_TRUE(contains(cone.reuse, fit_ss.key));
+
+  // Same (type, name, id) is an unchanged input: nothing is dirty.
+  cone = dirty_cone(manifests, {{"tech", "65nm@nominal", "hash-old"}});
+  EXPECT_TRUE(cone.dirty.empty());
+  EXPECT_EQ(cone.reuse.size(), 4u);
+
+  // A single-corner retune dirties exactly that corner's cone.
+  cone = dirty_cone(manifests, {{"corner", "ss", "id-ss-NEW"}});
+  ASSERT_EQ(cone.dirty.size(), 1u);
+  EXPECT_TRUE(contains(cone.dirty, fit_ss.key));
+
+  // A (type, name) no manifest consumed is irrelevant to all of them.
+  cone = dirty_cone(manifests, {{"corner", "ff", "whatever"}});
+  EXPECT_TRUE(cone.dirty.empty());
+  EXPECT_EQ(cone.reuse.size(), 4u);
+}
+
+TEST_F(CacheDirFixture, ScanManifestsAndEvictKeys) {
+  Store& store = Store::global();
+  CacheKey keys[3];
+  for (int i = 0; i < 3; ++i) {
+    Tracked scope;
+    KeyBuilder kb("fit");
+    kb.facet("tech", "t@c" + std::to_string(i), std::string(64, '0'));
+    keys[i] = kb.finish();
+    store.put(keys[i], "payload-" + std::to_string(i));
+  }
+  EXPECT_EQ(scan_manifests(dir_).size(), 3u);
+  const size_t removed = evict_keys(store, {keys[0], keys[2]});
+  EXPECT_EQ(removed, 2u);
+  EXPECT_FALSE(std::filesystem::exists(store.entry_path(keys[0])));
+  EXPECT_FALSE(std::filesystem::exists(store.manifest_path(keys[0])));
+  EXPECT_FALSE(store.get(keys[0]).has_value());
+  EXPECT_TRUE(store.get(keys[1]).has_value());
+  EXPECT_EQ(scan_manifests(dir_).size(), 1u);
+  // Evicting an absent key is a no-op, not an error.
+  EXPECT_EQ(evict_keys(store, {keys[0]}), 0u);
+}
+
+TEST_F(CacheDirFixture, CacheStatsCensusPerKind) {
+  Store& store = Store::global();
+  store.put(fill_key("fit", '1'), "aaaa");
+  store.put(fill_key("fit", '2'), "bbbbbbbb");
+  store.put(fill_key("yield", '3'), "cc");
+  const std::vector<KindStats> stats = cache_stats(dir_);
+  ASSERT_EQ(stats.size(), 2u);  // kind-sorted
+  EXPECT_EQ(stats[0].kind, "fit");
+  EXPECT_EQ(stats[0].entries, 2u);
+  EXPECT_GT(stats[0].payload_bytes, 0u);
+  EXPECT_GT(stats[0].manifest_bytes, 0u);
+  EXPECT_EQ(stats[1].kind, "yield");
+  EXPECT_EQ(stats[1].entries, 1u);
+}
+
+TEST_F(CacheDirFixture, PruneRemovesOldestPairsFirst) {
+  Store& store = Store::global();
+  const CacheKey old_key = fill_key("fit", '1');
+  const CacheKey new_key = fill_key("fit", '2');
+  store.put(old_key, std::string(100, 'o'));
+  store.put(new_key, std::string(100, 'n'));
+  // Age the first pair well behind the second.
+  const auto stale = std::filesystem::last_write_time(store.entry_path(new_key)) -
+                     std::chrono::hours(1);
+  std::filesystem::last_write_time(store.entry_path(old_key), stale);
+  std::filesystem::last_write_time(store.manifest_path(old_key), stale);
+  const size_t budget = std::filesystem::file_size(store.entry_path(new_key)) +
+                        std::filesystem::file_size(store.manifest_path(new_key));
+  const PruneResult pruned = prune_cache(dir_, budget);
+  EXPECT_EQ(pruned.scanned_entries, 2u);
+  EXPECT_EQ(pruned.removed_entries, 1u);
+  EXPECT_LE(pruned.kept_bytes, budget);
+  EXPECT_FALSE(std::filesystem::exists(store.entry_path(old_key)));
+  EXPECT_FALSE(std::filesystem::exists(store.manifest_path(old_key)));
+  EXPECT_TRUE(std::filesystem::exists(store.entry_path(new_key)));
+  // Pruning to zero empties the cache entirely.
+  EXPECT_EQ(prune_cache(dir_, 0).removed_entries, 1u);
+  EXPECT_TRUE(cache_stats(dir_).empty());
+}
+
+TEST_F(CacheDirFixture, VerifyScrubsOrphansAndCorruptPairs) {
+  obs::set_enabled(true);
+  Store& store = Store::global();
+  const CacheKey good = fill_key("fit", '1');
+  const CacheKey orphan = fill_key("fit", '2');
+  const CacheKey bare = fill_key("fit", '3');
+  const CacheKey corrupt = fill_key("fit", '4');
+  for (const CacheKey* k : {&good, &orphan, &bare, &corrupt})
+    store.put(*k, "payload");
+  std::filesystem::remove(store.entry_path(orphan));     // manifest without entry
+  std::filesystem::remove(store.manifest_path(bare));    // entry without manifest
+  {
+    std::ofstream out(store.manifest_path(corrupt), std::ios::trunc);
+    out << "not a manifest\n";
+  }
+  const int64_t before = obs::registry().counter("cache.corrupt").value();
+  const VerifyResult v = verify_cache(dir_);
+  EXPECT_EQ(v.entries, 3u);
+  EXPECT_EQ(v.manifests, 3u);
+  EXPECT_EQ(v.orphan_manifests, 1u);
+  EXPECT_EQ(v.unmanifested_entries, 1u);
+  EXPECT_EQ(v.corrupt_manifests, 1u);
+  EXPECT_EQ(v.scrubbed(), 3u);
+  EXPECT_EQ(obs::registry().counter("cache.corrupt").value(), before + 3);
+  // Only the consistent pair survives; a second pass is clean.
+  EXPECT_TRUE(std::filesystem::exists(store.entry_path(good)));
+  EXPECT_TRUE(std::filesystem::exists(store.manifest_path(good)));
+  EXPECT_FALSE(std::filesystem::exists(store.entry_path(bare)));
+  EXPECT_FALSE(std::filesystem::exists(store.manifest_path(orphan)));
+  EXPECT_FALSE(std::filesystem::exists(store.entry_path(corrupt)));
+  EXPECT_EQ(verify_cache(dir_).scrubbed(), 0u);
+  obs::set_enabled(false);
 }
 
 // End-to-end bit-identity of the cached flows, on a reduced deck so the
@@ -420,6 +734,112 @@ TEST_F(CachedFlowsFixture, FitBufferingAndYieldHitsAreBitIdentical) {
   const MonteCarloResult other_seed =
       monte_carlo_link_cached(model, ctx(), design, 500, 2027);
   EXPECT_NE(other_seed.delays, mc_cold.delays);
+}
+
+TEST_F(CachedFlowsFixture, WrappersRecordProvenanceAndConesPropagate) {
+  clear_artifact_registry();
+  const TechnologyFit fit =
+      calibrated_fit(TechNode::N65, "", char_options(), comp_options());
+  const ProposedModel model(technology(TechNode::N65), fit);
+  BufferingOptions opt;
+  opt.weight = 0.5;
+  const BufferingResult buf = optimize_buffering_cached(model, ctx(), opt);
+  (void)monte_carlo_link_cached(model, ctx(), buf.design, 200, 2026);
+
+  const std::vector<Manifest> manifests = scan_manifests(dir_);
+  ASSERT_EQ(manifests.size(), 3u);
+  const Manifest* fit_m = nullptr;
+  const Manifest* buf_m = nullptr;
+  const Manifest* mc_m = nullptr;
+  for (const Manifest& m : manifests) {
+    if (m.key.kind == "fit") fit_m = &m;
+    if (m.key.kind == "buffering") buf_m = &m;
+    if (m.key.kind == "yield") mc_m = &m;
+  }
+  ASSERT_NE(fit_m, nullptr);
+  ASSERT_NE(buf_m, nullptr);
+  ASSERT_NE(mc_m, nullptr);
+
+  const auto facet_types = [](const Manifest& m) {
+    std::vector<std::string> out;
+    for (const Facet& f : m.facets) out.push_back(f.type);
+    return out;
+  };
+  const auto has = [](const std::vector<std::string>& v, const char* s) {
+    return std::find(v.begin(), v.end(), s) != v.end();
+  };
+  // The fit consumed the derated tech content and the corner identity.
+  EXPECT_TRUE(has(facet_types(*fit_m), "tech"));
+  EXPECT_TRUE(has(facet_types(*fit_m), "corner"));
+  EXPECT_TRUE(has(facet_types(*fit_m), "format"));
+  // Buffering and Monte-Carlo both derived from the cached fit: the
+  // model signature's coefficient token resolved to its artifact key.
+  ASSERT_EQ(buf_m->upstream.size(), 1u);
+  EXPECT_EQ(buf_m->upstream[0].hex, fit_m->key.hex);
+  ASSERT_EQ(mc_m->upstream.size(), 1u);
+  EXPECT_EQ(mc_m->upstream[0].hex, fit_m->key.hex);
+  EXPECT_TRUE(has(facet_types(*mc_m), "samples"));
+  EXPECT_TRUE(has(facet_types(*mc_m), "corner"));
+
+  // Unchanged inputs: the facets the live technology produces match the
+  // ones the manifests recorded, so everything is reusable. This is the
+  // consistency contract between fit_cache_key and technology_facets.
+  DirtyCone cone =
+      dirty_cone(manifests, technology_facets(technology(TechNode::N65)));
+  EXPECT_TRUE(cone.dirty.empty());
+  EXPECT_EQ(cone.reuse.size(), 3u);
+
+  // A nominal-corner tech edit dirties the fit and drags the buffering
+  // search and the Monte-Carlo run through the upstream edges.
+  std::vector<Facet> edited;
+  for (const Facet& f : fit_m->facets)
+    if (f.type == "tech") edited.push_back({f.type, f.name, "edited:" + f.id});
+  ASSERT_FALSE(edited.empty());
+  cone = dirty_cone(manifests, edited);
+  EXPECT_EQ(cone.dirty.size(), 3u);
+  EXPECT_TRUE(cone.reuse.empty());
+
+  // Retuning a corner this flow never touched dirties nothing.
+  cone = dirty_cone(manifests, {{"corner", "ss", "retuned-id"}});
+  EXPECT_TRUE(cone.dirty.empty());
+}
+
+// The incremental contract: after an edit invalidates a cone, the warm
+// rerun rebuilds exactly the stale artifacts and the results are
+// bit-identical to a cold rerun at ANY thread count. TSan builds
+// (scripts/check_tsan.sh) run this with race detection.
+TEST_F(CachedFlowsFixture, IncrementalRecomputeIsBitIdenticalAcrossThreads) {
+  const TechnologyFit cold_fit =
+      calibrated_fit(TechNode::N65, "", char_options(), comp_options());
+  const ProposedModel cold_model(technology(TechNode::N65), cold_fit);
+  BufferingOptions opt;
+  opt.weight = 0.5;
+  const BufferingResult cold_buf = optimize_buffering_cached(cold_model, ctx(), opt);
+  const MonteCarloResult cold_mc =
+      monte_carlo_link_cached(cold_model, ctx(), cold_buf.design, 200, 2026);
+
+  for (const int threads : {1, 2, 8}) {
+    exec::set_threads(threads);
+    // Evict the full cone, as `pim cache invalidate` would after a tech
+    // edit, then recompute warm.
+    std::vector<CacheKey> stale;
+    for (const Manifest& m : scan_manifests(dir_)) stale.push_back(m.key);
+    evict_keys(Store::global(), stale);
+    const TechnologyFit refit =
+        calibrated_fit(TechNode::N65, "", char_options(), comp_options());
+    EXPECT_EQ(write_fit(refit), write_fit(cold_fit)) << "threads=" << threads;
+    const ProposedModel model(technology(TechNode::N65), refit);
+    const BufferingResult rebuf = optimize_buffering_cached(model, ctx(), opt);
+    EXPECT_EQ(rebuf.cost, cold_buf.cost) << "threads=" << threads;
+    EXPECT_EQ(rebuf.design.num_repeaters, cold_buf.design.num_repeaters);
+    EXPECT_EQ(rebuf.estimate.delay, cold_buf.estimate.delay);
+    const MonteCarloResult remc =
+        monte_carlo_link_cached(model, ctx(), rebuf.design, 200, 2026);
+    EXPECT_EQ(remc.delays, cold_mc.delays) << "threads=" << threads;
+    EXPECT_EQ(remc.mean_delay, cold_mc.mean_delay);
+    EXPECT_EQ(remc.sigma_delay, cold_mc.sigma_delay);
+  }
+  exec::set_threads(0);
 }
 
 }  // namespace

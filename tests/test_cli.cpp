@@ -364,6 +364,121 @@ TEST(CliExitCodes, UnknownCommandIsUsageError) {
   EXPECT_EQ(run_cli("frobnicate"), 2);
 }
 
+// ---------------------------------------------------------------------------
+// pim cache: provenance-aware administration and invalidation
+// ---------------------------------------------------------------------------
+
+std::string run_cli_capture(const std::string& tail, int* exit_code = nullptr) {
+  const std::string cmd = std::string(PIM_CLI_PATH) + " " + tail + " 2>/dev/null";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  std::string out;
+  if (pipe != nullptr) {
+    char buf[512];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) out.append(buf, n);
+    const int status = ::pclose(pipe);
+    if (exit_code != nullptr)
+      *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  } else if (exit_code != nullptr) {
+    *exit_code = -1;
+  }
+  return out;
+}
+
+TEST(CliCache, ActionValidation) {
+  EXPECT_EQ(run_cli("cache"), 2);           // missing action
+  EXPECT_EQ(run_cli("cache frobnicate"), 2);
+  EXPECT_EQ(run_cli("cache diff"), 2);      // diff needs a tech spec
+  EXPECT_EQ(run_cli("cache invalidate"), 2);
+}
+
+TEST(CliCache, StatsDiffInvalidateFlowAgainstEditedTechfile) {
+  const std::string dir = ::testing::TempDir() + "pim_cli_cache_flow";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string cache = dir + "/cache";
+  const std::string tech = dir + "/edit.tech";
+  const std::string common =
+      " --cache-dir " + cache + " --out-dir " + dir + " --log-level off";
+
+  // Materialize a tech file and warm the cache with a fit keyed on it.
+  ASSERT_EQ(std::system((std::string(PIM_CLI_PATH) + " techfile 45nm > " + tech +
+                         " 2>/dev/null")
+                            .c_str()),
+            0);
+  ASSERT_EQ(run_cli("fit " + tech + common), 0);
+
+  int rc = -1;
+  std::string out = run_cli_capture("cache stats" + common, &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("fit"), std::string::npos);
+
+  out = run_cli_capture("cache verify" + common, &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("scrubbed 0"), std::string::npos);
+
+  // Unedited: the whole cache is reusable.
+  out = run_cli_capture("cache diff " + tech + common, &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("0 dirty"), std::string::npos);
+
+  // Edit the file, then diff: the fit's cone goes stale; invalidate
+  // evicts it and leaves an empty cache behind.
+  ASSERT_EQ(std::system(("sed -i '0,/vth /s/vth [0-9.]*/vth 0.399/' " + tech).c_str()),
+            0);
+  out = run_cli_capture("cache diff " + tech + common, &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(out.find("0 dirty"), std::string::npos);
+  EXPECT_NE(out.find("dirty"), std::string::npos);
+
+  out = run_cli_capture("cache invalidate " + tech + common, &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("evicted"), std::string::npos);
+
+  out = run_cli_capture("cache stats" + common, &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("total 0 bytes"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliCache, PruneHonorsByteBudget) {
+  const std::string dir = ::testing::TempDir() + "pim_cli_cache_prune";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string common = " --cache-dir " + dir + "/cache --out-dir " + dir +
+                             " --log-level off";
+  ASSERT_EQ(run_cli("fit 45nm" + common), 0);
+  int rc = -1;
+  const std::string out =
+      run_cli_capture("cache prune --budget-bytes 0" + common, &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("pruned"), std::string::npos);
+  EXPECT_NE(run_cli_capture("cache stats" + common, &rc).find("total 0 bytes"),
+            std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliTechSpec, TechfilePathAcceptedWhereverATechNameIs) {
+  const std::string dir = ::testing::TempDir() + "pim_cli_techspec";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string tech = dir + "/n45.tech";
+  ASSERT_EQ(std::system((std::string(PIM_CLI_PATH) + " techfile 45nm > " + tech +
+                         " 2>/dev/null")
+                            .c_str()),
+            0);
+  // The dump of a file-loaded tech equals the builtin's dump: the two
+  // spec forms resolve to identical descriptors (and share cache keys).
+  int rc = -1;
+  const std::string via_file = run_cli_capture("techfile " + tech, &rc);
+  EXPECT_EQ(rc, 0);
+  const std::string via_name = run_cli_capture("techfile 45nm", &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(via_file, via_name);
+  EXPECT_EQ(run_cli("techfile " + dir + "/missing.tech"), 2);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(CliExitCodes, BadCacheModeIsUsageError) {
   EXPECT_EQ(run_cli("techfile 45nm --cache bogus"), 2);
   EXPECT_EQ(run_cli("techfile 45nm --cache=off"), 0);

@@ -5,6 +5,7 @@
 // characterization is required.
 #include <gtest/gtest.h>
 
+#include "cache/manifest.hpp"
 #include "cosi/architecture.hpp"
 #include "cosi/mesh.hpp"
 #include "cosi/specfile.hpp"
@@ -144,6 +145,31 @@ TEST(LinkImplementerTest, MemoizesAndBoundsLength) {
   EXPECT_GT(max_len, 0.5 * mm);
   EXPECT_TRUE(impl.implement(0.8 * max_len).feasible);
   EXPECT_FALSE(impl.implement(2.5 * max_len).feasible);
+}
+
+TEST(LinkImplementerTest, RecordsProvenanceOfCachedSearches) {
+  const BakogluModel model(technology(TechNode::N45));
+  LinkContext base;
+  base.input_slew = 100 * unit::ps;
+  base.frequency = 3 * unit::GHz;
+  LinkImplementer impl(model, base, 0.9 / (3 * unit::GHz));
+  cache::Tracked scope;
+  const ImplementedLink& a = impl.implement(1.0 * unit::mm);
+  // The fresh search records which buffering artifacts it consumed, and
+  // replays them into the enclosing provenance scope.
+  ASSERT_FALSE(a.provenance.empty());
+  EXPECT_EQ(a.provenance[0].kind, "buffering");
+  ASSERT_EQ(scope.upstream_keys().size(), a.provenance.size());
+  EXPECT_EQ(scope.upstream_keys()[0].hex, a.provenance[0].hex);
+  {
+    // A memo hit replays the SAME provenance — reuse and fresh-search
+    // paths feed the invalidation graph identically.
+    cache::Tracked rescope;
+    const ImplementedLink& b = impl.implement(1.0 * unit::mm);
+    EXPECT_EQ(&a, &b);
+    ASSERT_EQ(rescope.upstream_keys().size(), a.provenance.size());
+    EXPECT_EQ(rescope.upstream_keys()[0].hex, a.provenance[0].hex);
+  }
 }
 
 TEST(LinkImplementerTest, LongerBudgetAllowsLongerWires) {

@@ -2,6 +2,10 @@
 // and tech-file round trips.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <vector>
+
+#include "cache/sha256.hpp"
 #include "tech/techfile.hpp"
 #include "tech/technology.hpp"
 #include "tech/wire.hpp"
@@ -185,6 +189,120 @@ TEST(Techfile, FileRoundTrip) {
   const Technology r = load_techfile(path);
   EXPECT_EQ(r.node, TechNode::N22);
   EXPECT_THROW(load_techfile("/nonexistent/dir/x.tech"), Error);
+}
+
+TEST(TechHash, ContentHashMatchesTechfileBytesAndIsStable) {
+  const Technology& t = technology(TechNode::N45);
+  const std::string h = technology_content_hash(t);
+  EXPECT_EQ(h, cache::sha256_hex(write_techfile(t)));
+  // Registry instances memoize; the repeat answer must not drift.
+  EXPECT_EQ(technology_content_hash(t), h);
+  // A local (unregistered) copy hashes identically — the memo is a perf
+  // shortcut for registry-stable instances, not a semantic change.
+  Technology copy = t;
+  EXPECT_EQ(technology_content_hash(copy), h);
+  // Any content edit moves the hash.
+  copy.vdd *= 1.01;
+  EXPECT_NE(technology_content_hash(copy), h);
+}
+
+TEST(TechSpec, BuiltinNamesResolveToTheRegistry) {
+  EXPECT_TRUE(is_builtin_tech_spec("45nm"));
+  EXPECT_TRUE(is_builtin_tech_spec("45"));
+  EXPECT_FALSE(is_builtin_tech_spec("44nm"));
+  EXPECT_FALSE(is_builtin_tech_spec("/tmp/nope.tech"));
+  // Builtin specs return the registry instance itself, so flows keyed on
+  // either path share cache entries byte for byte.
+  EXPECT_EQ(&technology_from_spec("45nm"), &technology(TechNode::N45));
+  EXPECT_EQ(&technology_from_spec("45"), &technology(TechNode::N45));
+  EXPECT_THROW(technology_from_spec("/nonexistent/dir/x.tech"), Error);
+}
+
+TEST(TechSpec, FileSpecsReloadOnEditAndMemoizeByContent) {
+  const std::string path = testing::TempDir() + "/pim_tech_spec_test.tech";
+  const Technology& base = technology(TechNode::N65);
+  save_techfile(base, path);
+  const Technology& a = technology_from_spec(path);
+  EXPECT_EQ(technology_content_hash(a), technology_content_hash(base));
+  // Unchanged content parses once: same stable reference on re-read.
+  EXPECT_EQ(&a, &technology_from_spec(path));
+  // An on-disk edit is picked up on the next resolution — this is what
+  // `pim cache diff <edited.tech>` keys invalidation from.
+  Technology edited = base;
+  edited.nmos.vth *= 1.05;
+  save_techfile(edited, path);
+  const Technology& b = technology_from_spec(path);
+  EXPECT_NE(&a, &b);
+  EXPECT_NE(technology_content_hash(b), technology_content_hash(a));
+  std::filesystem::remove(path);
+}
+
+TEST(TechFacets, PerCornerFacetsTrackDeratedContent) {
+  const Technology& base = technology(TechNode::N45);
+  const std::vector<cache::Facet> facets = technology_facets(base);
+  const std::vector<Corner>& corners = base.scenario_set().corners();
+  ASSERT_EQ(facets.size(), 2 * corners.size());
+  // Per corner: a tech facet carrying the derated descriptor's content
+  // hash, then a corner facet carrying the full-precision cache id.
+  for (size_t i = 0; i < corners.size(); ++i) {
+    const cache::Facet& tech_facet = facets[2 * i];
+    const cache::Facet& corner_facet = facets[2 * i + 1];
+    EXPECT_EQ(tech_facet.type, "tech");
+    EXPECT_EQ(tech_facet.name, base.name + "@" + corners[i].name);
+    EXPECT_EQ(tech_facet.id, technology_content_hash(base.derated(corners[i])));
+    EXPECT_EQ(corner_facet.type, "corner");
+    EXPECT_EQ(corner_facet.name, corners[i].name);
+    EXPECT_EQ(corner_facet.id, corners[i].cache_id());
+  }
+  // A base edit moves every per-corner tech hash (the whole cone goes
+  // stale); the corner ids stay put.
+  Technology edited = base;
+  edited.vdd *= 1.02;
+  const std::vector<cache::Facet> after = technology_facets(edited);
+  for (size_t i = 0; i < corners.size(); ++i) {
+    EXPECT_NE(after[2 * i].id, facets[2 * i].id);
+    EXPECT_EQ(after[2 * i + 1].id, facets[2 * i + 1].id);
+  }
+}
+
+TEST(TechFacets, CornerRetuneMovesOnlyThatCornersCone) {
+  // A techfile-defined corner set: the corners block must NOT feed the
+  // per-corner content hashes (technology_content_hash strips it), or a
+  // one-corner retune would shift every corner's tech facet and dirty
+  // the whole cache instead of just that corner's cone.
+  Technology base = technology(TechNode::N45);
+  Corner slow;
+  slow.name = "slow";
+  slow.nmos_strength = 0.9;
+  slow.pmos_strength = 0.9;
+  base.corners = ScenarioSet({Corner{}, slow});
+  const std::vector<cache::Facet> before = technology_facets(base);
+  ASSERT_EQ(before.size(), 4u);  // nominal + slow, tech + corner each
+  // Hash identity ignores the corner set: nominal's derated content is
+  // the base itself, so its hash matches the builtin-set descriptor's.
+  EXPECT_EQ(before[0].id, technology_content_hash(technology(TechNode::N45)));
+  // Retune the slow corner only.
+  Technology edited = base;
+  slow.nmos_strength = 0.8;
+  edited.corners = ScenarioSet({Corner{}, slow});
+  const std::vector<cache::Facet> after = technology_facets(edited);
+  ASSERT_EQ(after.size(), 4u);
+  EXPECT_EQ(after[0].id, before[0].id);  // nominal tech hash untouched
+  EXPECT_EQ(after[1].id, before[1].id);  // nominal corner id untouched
+  EXPECT_NE(after[2].id, before[2].id);  // slow derated content moved
+  EXPECT_NE(after[3].id, before[3].id);  // slow cache_id moved
+}
+
+TEST(CornerTechnologyTest, BaseOverloadMatchesNodeOverloadAndIsStable) {
+  const Technology& base = technology(TechNode::N45);
+  const Corner& ss = base.scenario_set().corner("ss");
+  const Technology& via_node = corner_technology(TechNode::N45, ss);
+  const Technology& via_base = corner_technology(base, ss);
+  // Content-identical through either path, so fits keyed on the derated
+  // content are shared between TechNode and file-loaded flows.
+  EXPECT_EQ(write_techfile(via_base), write_techfile(via_node));
+  // Registry-stable: repeated resolution returns the same instance.
+  EXPECT_EQ(&via_base, &corner_technology(base, ss));
 }
 
 }  // namespace

@@ -190,6 +190,11 @@ const std::vector<CommandSpec>& command_registry() {
         corner_flag(),
         {"deck", FlagType::String, "out.sp", "", "write the SPICE deck here"},
         {"spef", FlagType::String, "out.spef", "stdout", "write the SPEF here"}}},
+      {"cache",
+       "<stats|prune|verify|diff|invalidate> [tech]",
+       "provenance-aware cache administration (docs/caching.md)",
+       {{"budget-bytes", FlagType::Int, "n", "0",
+         "prune: target on-disk size, entries + manifests (0 empties the cache)"}}},
   };
   return commands;
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "buffering/optimize.hpp"
+#include "cache/invalidate.hpp"
 #include "cache/store.hpp"
 #include "common.hpp"
 #include "deadline/deadline.hpp"
@@ -144,6 +145,58 @@ std::vector<BenchMetric> bench_cache_roundtrip() {
   return {{"mem_get_ns", mem_ns, "ns", 0.6}, {"disk_get_us", disk_us, "us", 0.8}};
 }
 
+// Provenance-graph operations at the scale of a multi-corner sweep: scan
+// every manifest sidecar under a populated root, then partition a
+// 128-artifact graph (64 fits, each feeding one buffering search) for an
+// 8-corner retune. The dirty/reuse counts are exact by construction, so
+// they gate at rel_tol 0 — a dirty-rule regression fails check_perf.sh,
+// not just a latency budget.
+std::vector<BenchMetric> bench_incremental_recompute() {
+  namespace fs = std::filesystem;
+  const std::string root =
+      (fs::temp_directory_path() / "pim_bench_incr").string();
+  fs::remove_all(root);
+  cache::Store::Options opt;
+  opt.disk_dir = root;
+  cache::Store store(opt);
+  constexpr int kCorners = 64;
+  std::vector<cache::CacheKey> fit_keys;
+  for (int i = 0; i < kCorners; ++i) {
+    cache::Tracked scope;
+    cache::KeyBuilder kb("fit");
+    kb.facet("tech", "bench@corner-" + std::to_string(i),
+             "content-" + std::to_string(i));
+    const cache::CacheKey key = kb.finish();
+    store.put(key, "fit-payload");
+    fit_keys.push_back(key);
+  }
+  for (int i = 0; i < kCorners; ++i) {
+    cache::Tracked scope;
+    cache::KeyBuilder kb("buffering");
+    kb.field("i", static_cast<int64_t>(i));
+    const cache::CacheKey key = kb.finish();
+    scope.upstream(fit_keys[i]);
+    store.put(key, "buffering-payload");
+  }
+  auto start = Clock::now();
+  const std::vector<cache::Manifest> manifests = cache::scan_manifests(root);
+  const double scan_us = seconds_since(start) * 1e6;
+  std::vector<cache::Facet> changed;
+  for (int i = 0; i < 8; ++i)
+    changed.push_back(
+        {"tech", "bench@corner-" + std::to_string(i), "retuned"});
+  constexpr int kReps = 200;
+  start = Clock::now();
+  cache::DirtyCone cone;
+  for (int r = 0; r < kReps; ++r) cone = cache::dirty_cone(manifests, changed);
+  const double cone_us = seconds_since(start) * 1e6 / kReps;
+  fs::remove_all(root);
+  return {{"scan_us", scan_us, "us", 0.8},
+          {"cone_us", cone_us, "us", 0.8},
+          {"dirty_keys", static_cast<double>(cone.dirty.size()), "keys", 0.0},
+          {"reuse_keys", static_cast<double>(cone.reuse.size()), "keys", 0.0}};
+}
+
 // Engine dispatch overhead: many small regions through the pool path
 // (threads pinned to 2 so the pool engages even on one core).
 std::vector<BenchMetric> bench_exec_engine() {
@@ -226,6 +279,8 @@ const BenchRegistrar kCases[] = {
     BenchRegistrar{{"buffering_search", /*smoke=*/false, bench_buffering_search}},
     BenchRegistrar{{"mc_yield", /*smoke=*/false, bench_mc_yield}},
     BenchRegistrar{{"cache_roundtrip", /*smoke=*/true, bench_cache_roundtrip}},
+    BenchRegistrar{{"incremental_recompute", /*smoke=*/true,
+                    bench_incremental_recompute}},
     BenchRegistrar{{"deadline", /*smoke=*/true, bench_deadline}},
     BenchRegistrar{{"exec_engine", /*smoke=*/true, bench_exec_engine}},
     BenchRegistrar{{"hist_timer", /*smoke=*/true, bench_hist_timer}},

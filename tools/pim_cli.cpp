@@ -305,6 +305,65 @@ int cmd_mesh(const Args& args) {
   return 0;
 }
 
+int cmd_cache(const Args& args) {
+  obs::TraceSpan span("cli.cache");
+  const std::string action = args.positional(0);
+  require(!action.empty(),
+          "cli: cache needs an action (stats, prune, verify, diff, invalidate)",
+          ErrorCode::bad_input);
+  if (action == "diff" || action == "invalidate") {
+    api::InvalidateRequest req;
+    req.deadline_ms = resolved_deadline_ms(args);
+    req.tech = tech_arg(args, 1);
+    req.apply = action == "invalidate";
+    const api::InvalidateResult r = api::run_invalidate(req).take();
+    std::printf("%d manifests against %s: %d dirty, %d reusable\n", r.manifests,
+                req.tech.c_str(), r.dirty_keys, r.reuse_keys);
+    for (const api::InvalidateKindRow& row : r.kinds)
+      std::printf("  %-12s %6d dirty %6d reuse\n", row.kind.c_str(), row.dirty,
+                  row.reuse);
+    if (r.applied)
+      std::printf("evicted %d stale entries\n", r.evicted);
+    else if (r.dirty_keys > 0)
+      std::printf("(dry run; `pim cache invalidate` evicts the dirty cone)\n");
+    return 0;
+  }
+  api::CacheAdminRequest req;
+  req.deadline_ms = resolved_deadline_ms(args);
+  req.action = action;
+  req.budget_bytes = args.get_long("budget-bytes", 0);
+  const api::CacheAdminResult r = api::run_cache_admin(req).take();
+  if (action == "stats") {
+    std::printf("cache at %s:\n", r.dir.c_str());
+    std::printf("  %-12s %8s %14s %14s\n", "kind", "entries", "payload B",
+                "manifest B");
+    for (const api::CacheKindRow& row : r.kinds)
+      std::printf("  %-12s %8lld %14lld %14lld\n", row.kind.c_str(),
+                  static_cast<long long>(row.entries),
+                  static_cast<long long>(row.payload_bytes),
+                  static_cast<long long>(row.manifest_bytes));
+    std::printf("total %lld bytes\n", static_cast<long long>(r.total_bytes));
+  } else if (action == "prune") {
+    std::printf("pruned %s to %lld bytes: removed %lld of %lld entries (%lld bytes)\n",
+                r.dir.c_str(), static_cast<long long>(r.kept_bytes),
+                static_cast<long long>(r.removed_entries),
+                static_cast<long long>(r.scanned_entries),
+                static_cast<long long>(r.removed_bytes));
+  } else {  // verify (run_cache_admin rejects anything else)
+    std::printf("verified %s: %lld entries, %lld manifests\n", r.dir.c_str(),
+                static_cast<long long>(r.entries),
+                static_cast<long long>(r.manifests));
+    std::printf("  orphan manifests %lld | unmanifested entries %lld | corrupt %lld "
+                "| scrubbed %lld\n",
+                static_cast<long long>(r.orphan_manifests),
+                static_cast<long long>(r.unmanifested_entries),
+                static_cast<long long>(r.corrupt_manifests),
+                static_cast<long long>(r.scrubbed));
+    if (r.scrubbed > 0) return 1;
+  }
+  return 0;
+}
+
 int run_command(const CommandSpec& spec, const Args& args) {
   if (spec.name == "techfile") return cmd_techfile(args);
   if (spec.name == "characterize") return cmd_characterize(args);
@@ -318,6 +377,7 @@ int run_command(const CommandSpec& spec, const Args& args) {
   if (spec.name == "timer") return cmd_timer(args);
   if (spec.name == "mesh") return cmd_mesh(args);
   if (spec.name == "export") return cmd_export(args);
+  if (spec.name == "cache") return cmd_cache(args);
   fail("cli: command '" + spec.name + "' is registered but not dispatched");
 }
 
