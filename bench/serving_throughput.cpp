@@ -1,0 +1,164 @@
+// EXTENSION bench (beyond the paper): the serving load generator behind
+// the daemon's acceptance bar (docs/serving.md).
+//
+// Spins an in-process pim::serve::Server on a Unix socket — the same
+// core tools/pimd.cpp wraps — warms it with the cached 65nm calibrated
+// fit, then drives the three load shapes from bench/serving_load.hpp:
+// a pipelined burst of single evaluate requests (sustained
+// requests/sec), lock-step round trips (p50/p90/p99/max tail latency),
+// and one large batch line (per-item cost with the envelope
+// amortized). It also re-executes the same request line in-process
+// through wire::execute_line and requires the warm daemon response to
+// be byte-identical — the codec-sharing contract the serving docs
+// promise.
+//
+// Exits nonzero when the warm daemon sustains < 10k simple model-eval
+// requests/sec or the identity check fails, so CI can gate on it.
+//
+//   serving_throughput [--requests N] [--lockstep N] [--batch N]
+//                      [--workers N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "api/wire.hpp"
+#include "cache/store.hpp"
+#include "serve/server.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include "common.hpp"
+#include "serving_load.hpp"
+
+using namespace pim;
+
+int main(int argc, char** argv) {
+  int requests = 8192, lockstep = 512, batch = 512, workers = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> int {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "serving_throughput: %s needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return std::atoi(argv[++i]);
+    };
+    if (arg == "--requests") {
+      requests = value();
+    } else if (arg == "--lockstep") {
+      lockstep = value();
+    } else if (arg == "--batch") {
+      batch = value();
+    } else if (arg == "--workers") {
+      workers = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: serving_throughput [--requests N] [--lockstep N] "
+                   "[--batch N] [--workers N]\n");
+      return 2;
+    }
+  }
+
+  pim::bench::MetricsArtifact metrics("serving_throughput");
+
+  // Scratch cache directory, like cache_effect: the run must not read
+  // or pollute the user's cache, and a wiped store makes the warm-up
+  // cost reproducible.
+  const std::string cache_dir =
+      pim::bench::out_dir() + "/serving_throughput.cache";
+  std::filesystem::remove_all(cache_dir);
+  cache::set_dir(cache_dir);
+  cache::set_mode(cache::Mode::ReadWrite);
+
+  // Materialize the coeffs cache before the daemon starts so the first
+  // request loads a fit instead of characterizing for seconds.
+  { const auto warm = pim::bench::cached_model(TechNode::N65); (void)warm; }
+
+  serve::ServerOptions opt;
+  opt.socket_path = pim::bench::out_dir() + "/serving_throughput.sock";
+  opt.workers = workers;
+  opt.queue_limit = requests + 64;  // admission must never reject the burst
+  serve::Server server(opt);
+  server.start();
+
+  printf("Serving throughput against an in-process daemon (%d workers)\n\n",
+         workers);
+
+  pim::bench::serving::LoadReport report;
+  try {
+    report = pim::bench::serving::drive(opt.socket_path, requests, lockstep,
+                                        batch);
+  } catch (...) {
+    server.stop();
+    throw;
+  }
+
+  // Byte-identity: the warm daemon response vs the same line executed
+  // in-process through the shared codec.
+  const std::string direct =
+      api::wire::execute_line(pim::bench::serving::eval_request_line(1));
+  const bool identical = direct == report.warm_response;
+
+  server.stop();
+  std::filesystem::remove(opt.socket_path);
+  cache::set_dir("");
+
+  const double req_per_s =
+      report.pipelined_seconds > 0.0
+          ? report.pipelined_requests / report.pipelined_seconds
+          : 0.0;
+  const double us_per_req =
+      report.pipelined_seconds * 1e6 / report.pipelined_requests;
+  const double p50 = pim::bench::serving::rtt_quantile(report.rtt_us, 0.5);
+  const double p90 = pim::bench::serving::rtt_quantile(report.rtt_us, 0.9);
+  const double p99 = pim::bench::serving::rtt_quantile(report.rtt_us, 0.99);
+  const double rtt_max = report.rtt_us.empty() ? 0.0 : report.rtt_us.back();
+  const double batch_item_us =
+      report.batch_items > 0 ? report.batch_seconds * 1e6 / report.batch_items
+                             : 0.0;
+
+  Table table({"shape", "requests", "metric", "value"});
+  table.add_row({"pipelined", format("%d", report.pipelined_requests),
+                 "req/s", format("%.0f", req_per_s)});
+  table.add_row({"pipelined", format("%d", report.pipelined_requests),
+                 "us/req", format("%.2f", us_per_req)});
+  table.add_row({"lock-step", format("%d", lockstep), "p50 us",
+                 format("%.1f", p50)});
+  table.add_row({"lock-step", format("%d", lockstep), "p90 us",
+                 format("%.1f", p90)});
+  table.add_row({"lock-step", format("%d", lockstep), "p99 us",
+                 format("%.1f", p99)});
+  table.add_row({"lock-step", format("%d", lockstep), "max us",
+                 format("%.1f", rtt_max)});
+  table.add_row({"batch", format("%d", report.batch_items), "us/item",
+                 format("%.2f", batch_item_us)});
+  table.add_row({"identity", "1", "byte-identical", identical ? "yes" : "NO"});
+  printf("%s\n", table.to_string().c_str());
+
+  CsvWriter csv({"metric", "value"});
+  csv.add_row({"req_per_s", format("%.1f", req_per_s)});
+  csv.add_row({"us_per_req", format("%.3f", us_per_req)});
+  csv.add_row({"rtt_p50_us", format("%.2f", p50)});
+  csv.add_row({"rtt_p90_us", format("%.2f", p90)});
+  csv.add_row({"rtt_p99_us", format("%.2f", p99)});
+  csv.add_row({"rtt_max_us", format("%.2f", rtt_max)});
+  csv.add_row({"batch_item_us", format("%.3f", batch_item_us)});
+  csv.add_row({"byte_identical", identical ? "1" : "0"});
+  pim::bench::export_csv(csv, "serving_throughput.csv");
+
+  obs::registry().gauge("bench.serving.req_per_s").set(req_per_s);
+  obs::registry().gauge("bench.serving.rtt_p99_us").set(p99);
+  obs::registry().gauge("bench.serving.batch_item_us").set(batch_item_us);
+
+  constexpr double kFloorReqPerS = 10000.0;
+  const bool fast_enough = req_per_s >= kFloorReqPerS;
+  printf("%s: %.0f req/s warm (floor %.0f), responses %s\n",
+         fast_enough && identical ? "PASS" : "FAIL", req_per_s, kFloorReqPerS,
+         identical ? "byte-identical to in-process calls"
+                   : "DIFFER from in-process calls");
+  return fast_enough && identical ? 0 : 1;
+}

@@ -3,20 +3,21 @@
 # runs the concurrency-sensitive test binaries under it: the pim::exec
 # engine suite, the fault-injection matrix (which exercises the
 # parallel Monte-Carlo and characterization paths), the result-cache
-# store (concurrent get/put from exec workers), and the deadline /
-# cancellation suite (stop polls racing worker chunks). Any data race
-# fails
+# store (concurrent get/put from exec workers), the deadline /
+# cancellation suite (stop polls racing worker chunks), and the serving
+# daemon (accept/reader/worker threads racing admission, flush, and
+# drain). Any data race fails
 # the script. Uses its own build directory so the main build/ tree and
 # the ASan tree stay untouched.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -G Ninja -DPIM_SANITIZE=thread >/dev/null
-cmake --build build-tsan --target test_exec test_faults test_cache test_deadline >/dev/null
+cmake --build build-tsan --target test_exec test_faults test_cache test_deadline test_serve >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
-for t in test_exec test_faults test_cache test_deadline; do
+for t in test_exec test_faults test_cache test_deadline test_serve; do
   echo "=== tsan: $t ==="
   ./build-tsan/tests/"$t"
 done

@@ -20,6 +20,8 @@ for b in fig1_intrinsic_delay table1_coefficients table2_accuracy \
   ./bench/"$b"
 done
 ./bench/model_runtime --benchmark_min_time=0.1
+echo "=== bench/serving_throughput ==="
+./bench/serving_throughput
 
 cd ..
 scripts/check_metrics.sh
@@ -27,6 +29,7 @@ scripts/check_cache.sh
 scripts/check_incremental.sh
 scripts/check_deadline.sh
 scripts/check_corners.sh
+scripts/check_serve.sh
 scripts/check_perf.sh
 scripts/check_sanitize.sh
 scripts/check_tsan.sh

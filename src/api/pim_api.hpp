@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "util/expected.hpp"
@@ -408,5 +409,56 @@ struct CacheAdminResult {
   int64_t scrubbed = 0;
 };
 Expected<CacheAdminResult> run_cache_admin(const CacheAdminRequest& request);
+
+// ---------------------------------------------------------------------------
+// Batched execution
+// ---------------------------------------------------------------------------
+
+/// Any single request the facade accepts. Batches hold these; a batch
+/// cannot nest another batch (the variant has no BatchRequest member), so
+/// the shared-budget semantics below stay one level deep by construction.
+using AnyRequest =
+    std::variant<TechfileRequest, CharlibRequest, FitRequest, LinkEvalRequest,
+                 BufferRequest, YieldRequest, NoiseRequest, TimerRequest,
+                 CornersRequest, ExportRequest, SynthesisRequest,
+                 InvalidateRequest, CacheAdminRequest>;
+
+/// The matching result alternatives, index-aligned with AnyRequest.
+using AnyResult =
+    std::variant<TechfileResult, CharlibResult, FitResult, LinkEvalResult,
+                 BufferResult, YieldResult, NoiseResult, TimerResult,
+                 CornersResult, ExportResult, SynthesisResult,
+                 InvalidateResult, CacheAdminResult>;
+
+/// Dispatches one AnyRequest to its run_* entry point. The item's own
+/// api_version / deadline_ms fields apply exactly as in a direct call.
+Expected<AnyResult> run_any(const AnyRequest& request);
+
+/// A heterogeneous batch executed in order under ONE shared wall-clock
+/// budget. Per-item outcomes are independent: item 3 failing bad_input
+/// does not stop item 4. When the shared budget expires (or the process
+/// is cancelled) mid-batch, items already completed keep their results,
+/// the in-flight item degrades by its own flow's partial semantics, and
+/// every not-yet-started item comes back as a typed deadline_exceeded /
+/// cancelled error without starting work — so a batch always returns in
+/// bounded time with exactly `items.size()` entries.
+struct BatchRequest {
+  int api_version = kApiVersion;
+  /// Shared budget across ALL items, in milliseconds; 0 = unlimited.
+  /// Item-level deadline_ms fields still apply (the tighter one wins
+  /// while that item runs).
+  int64_t deadline_ms = 0;
+  std::vector<AnyRequest> items;
+};
+struct BatchResult {
+  /// One entry per request item, order-preserving.
+  std::vector<Expected<AnyResult>> items;
+  int failed = 0;         ///< items that came back as errors
+  int partial_items = 0;  ///< items whose result carries partial = true
+  /// True when the shared budget truncated the batch: at least one item
+  /// was skipped or degraded by the deadline/cancel stop.
+  bool partial = false;
+};
+Expected<BatchResult> run_batch(const BatchRequest& request);
 
 }  // namespace pim::api

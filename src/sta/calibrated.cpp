@@ -1,6 +1,8 @@
 #include "sta/calibrated.hpp"
 
 #include <fstream>
+#include <map>
+#include <mutex>
 
 #include "cache/manifest.hpp"
 #include "cache/sha256.hpp"
@@ -10,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "tech/techfile.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/log.hpp"
 
 namespace pim {
@@ -147,7 +150,78 @@ TechnologyFit corner_calibrated_fit_impl(const Technology& tech, const Corner& c
   return announce_fit(std::move(fit), key, scope);
 }
 
+// ---------------------------------------------------------------- residency
+
+// The process-wide resident tier: parsed fits keyed by their content-
+// cache key, shared immutably across threads. Bounded only by the number
+// of distinct (tech, corner, deck-knob) combinations a process touches —
+// a fit is ~2 KB, so even a server holding every built-in node at every
+// corner stays in the tens of kilobytes.
+struct ResidentEntry {
+  std::shared_ptr<const TechnologyFit> fit;
+  std::string coeff_hash;
+};
+
+std::mutex& resident_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, ResidentEntry>& resident_memo() {
+  static std::map<std::string, ResidentEntry> m;
+  return m;
+}
+
 }  // namespace
+
+ResidentFit resident_corner_fit(const Technology& base, const Corner& corner,
+                                const std::string& cache_path,
+                                const CharacterizationOptions& characterization,
+                                const CompositionOptions& composition) {
+  const Technology& tech = corner_technology(base, corner);
+  // Mirror the store's bypass semantics: with the cache off or the fault
+  // harness armed, injected faults and cache-off runs must exercise the
+  // real compute path instead of yesterday's resident copy.
+  const bool memo_enabled = cache::mode() != cache::Mode::Off && !fault::armed();
+  std::string key_hex;
+  {
+    // A local provenance scope absorbs the facets fit_cache_key records,
+    // exactly like the store path's scope — the caller's manifest must
+    // see the fit as one upstream key, never its raw facets.
+    const cache::Tracked scope;
+    const cache::CacheKey key =
+        fit_cache_key(tech, corner, characterization, composition);
+    key_hex = key.hex;
+    if (memo_enabled) {
+      std::lock_guard<std::mutex> lock(resident_mutex());
+      const auto it = resident_memo().find(key.hex);
+      if (it != resident_memo().end()) {
+        // Same observable side effects as a store hit (minus the store
+        // I/O): the corner hit counter, the artifact registration, and
+        // the provenance edge into the enclosing scope.
+        count_corner(corner, "hit");
+        PIM_COUNT("fit.resident.hit");
+        cache::register_artifact(it->second.coeff_hash, key);
+        scope.publish(key);
+        return {it->second.fit, key.hex, it->second.coeff_hash};
+      }
+    }
+  }
+  auto fit = std::make_shared<const TechnologyFit>(
+      corner_calibrated_fit_impl(tech, corner, cache_path, characterization,
+                                 composition));
+  const std::string coeff_hash = cache::sha256_hex(write_fit(*fit));
+  if (memo_enabled) {
+    std::lock_guard<std::mutex> lock(resident_mutex());
+    resident_memo()[key_hex] = {fit, coeff_hash};
+  }
+  return {std::move(fit), key_hex, coeff_hash};
+}
+
+void clear_resident_fits() {
+  std::lock_guard<std::mutex> lock(resident_mutex());
+  resident_memo().clear();
+}
 
 TechnologyFit calibrated_fit(TechNode node, const std::string& cache_path,
                              const CharacterizationOptions& characterization,

@@ -11,6 +11,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::internal: return "internal";
     case ErrorCode::deadline_exceeded: return "deadline_exceeded";
     case ErrorCode::cancelled: return "cancelled";
+    case ErrorCode::overloaded: return "overloaded";
   }
   return "internal";
 }

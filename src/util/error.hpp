@@ -25,6 +25,8 @@ enum class ErrorCode {
   internal,         ///< invariant violation inside the library
   deadline_exceeded,///< wall-clock budget expired before the work finished
   cancelled,        ///< external cancellation (SIGINT/SIGTERM or API cancel)
+  overloaded,       ///< admission control rejected the request (queue full);
+                    ///< retryable by contract — the work was never started
 };
 
 /// Stable lowercase name of a code, e.g. "singular_matrix".

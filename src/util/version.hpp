@@ -11,12 +11,21 @@
 
 namespace pim {
 
-inline constexpr const char* kVersion = "0.8.0";
+inline constexpr const char* kVersion = "0.9.0";
 
 /// Version of the pim::api request/result structs (api/pim_api.hpp).
 /// v2: every request carries deadline_ms; results grew partial flags.
 /// (run_invalidate / run_cache_admin were added additively.)
-inline constexpr int kApiVersionNumber = 2;
+/// v3: the canonical JSON wire codec (api/wire.hpp) makes every request
+/// and result FIELD NAME part of the public contract, and run_batch
+/// executes heterogeneous sub-requests under one shared budget. The
+/// evolution rule applied: adding run_batch alone would have been
+/// additive (no bump), but binding the structs to canonical wire names
+/// changes what an api_version means — a v2 peer cannot assume its field
+/// spellings are contractual — so the number moves. Future additive
+/// fields (new optional members with defaults) keep v3; any rename or
+/// meaning change bumps again.
+inline constexpr int kApiVersionNumber = 3;
 
 /// Cache canonicalization / payload-layout version (cache/key.hpp).
 /// v3: provenance manifests recorded alongside every entry; facets are

@@ -14,6 +14,7 @@
 
 #include "../tools/cli_args.hpp"
 #include "api/pim_api.hpp"
+#include "api/wire.hpp"
 #include "cache/key.hpp"
 #include "cache/store.hpp"
 #include "exec/engine.hpp"
@@ -194,6 +195,76 @@ TEST(CliExitCodes, InjectedIoFaultIsRuntimeError) {
                     " --inject-fault io.open:1"),
             3);
   std::remove(deck.c_str());
+}
+
+// One exit-code contract across both surfaces (docs/api.md): the number
+// cli::exit_code_for maps an Error to is the same number the wire
+// protocol embeds as "exit_code" in every error envelope.
+TEST(CliExitCodes, ContractMatchesTheWireEnvelope) {
+  using pim::Error;
+  using pim::ErrorCode;
+  const auto code = [](ErrorCode c) {
+    return exit_code_for(Error("probe", c));
+  };
+  EXPECT_EQ(code(ErrorCode::bad_input), 2);
+  EXPECT_EQ(code(ErrorCode::internal), 4);
+  EXPECT_EQ(code(ErrorCode::deadline_exceeded), 5);
+  EXPECT_EQ(code(ErrorCode::cancelled), 5);
+  EXPECT_EQ(code(ErrorCode::io_parse), 3);
+  EXPECT_EQ(code(ErrorCode::overloaded), 3);
+  EXPECT_EQ(code(ErrorCode::singular_matrix), 3);
+  EXPECT_EQ(code(ErrorCode::bad_input), api::wire::exit_code_for(ErrorCode::bad_input));
+  EXPECT_EQ(code(ErrorCode::internal), api::wire::exit_code_for(ErrorCode::internal));
+  EXPECT_EQ(code(ErrorCode::cancelled), api::wire::exit_code_for(ErrorCode::cancelled));
+  EXPECT_EQ(code(ErrorCode::io_parse), api::wire::exit_code_for(ErrorCode::io_parse));
+}
+
+// `pim serve` exits with the worst exit_code any response carried, so
+// scripted wire sessions compose with the same contract.
+int run_cli_stdin(const std::string& input, const std::string& tail) {
+  const std::string cmd = "printf '%s\\n' '" + input + "' | " +
+                          std::string(PIM_CLI_PATH) + " " + tail +
+                          " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(CliServeExitCodes, NoTransportSelectedIsUsageError) {
+  EXPECT_EQ(run_cli("serve"), 2);
+  EXPECT_EQ(run_cli("serve --local --socket /tmp/x.sock"), 2);  // exclusive
+}
+
+TEST(CliServeExitCodes, LocalSuccessIsZero) {
+  EXPECT_EQ(run_cli_stdin("{\"op\":\"techfile\",\"tech\":\"45nm\"}",
+                          "serve --local"),
+            0);
+}
+
+TEST(CliServeExitCodes, MalformedLineIsUsageError) {
+  EXPECT_EQ(run_cli_stdin("not json", "serve --local"), 2);
+}
+
+TEST(CliServeExitCodes, WorstResponseWins) {
+  // A good line followed by a malformed one: the session exits 2.
+  const std::string input =
+      "{\"op\":\"techfile\",\"tech\":\"45nm\"}\\nnot json";
+  EXPECT_EQ(run_cli_stdin(input, "serve --local"), 2);
+}
+
+TEST(CliServeExitCodes, ConnectFailureIsRuntimeError) {
+  EXPECT_EQ(run_cli_stdin("{\"op\":\"techfile\",\"tech\":\"45nm\"}",
+                          "serve --socket /tmp/pim-no-such-daemon.sock"),
+            3);
+}
+
+TEST(CliServeExitCodes, DeadlineStopIsPartialExit) {
+  // The deadline-expire fault site makes the first deadline poll fire, so
+  // the stop is deterministic, not a wall-clock race. exit_code 5 rides
+  // the error envelope back through the client.
+  EXPECT_EQ(run_cli_stdin(
+                "{\"op\":\"fit\",\"tech\":\"45nm\",\"deadline_ms\":60000}",
+                "serve --local --cache off --inject-fault deadline-expire:1"),
+            5);
 }
 
 // ---------------------------------------------------------------------------

@@ -195,6 +195,13 @@ const std::vector<CommandSpec>& command_registry() {
        "provenance-aware cache administration (docs/caching.md)",
        {{"budget-bytes", FlagType::Int, "n", "0",
          "prune: target on-disk size, entries + manifests (0 empties the cache)"}}},
+      {"serve",
+       "",
+       "wire-protocol client: send request lines from stdin (docs/serving.md)",
+       {{"socket", FlagType::String, "path", "", "connect to a pimd Unix socket"},
+        {"tcp", FlagType::Int, "port", "", "connect to pimd at 127.0.0.1:<port>"},
+        {"local", FlagType::Switch, "", "",
+         "execute lines in-process through the same codec (no daemon)"}}},
   };
   return commands;
 }

@@ -37,6 +37,8 @@
 #include "models/baseline.hpp"
 #include "obs/ledger.hpp"
 #include "obs/report.hpp"
+#include "serve/server.hpp"
+#include "serving_load.hpp"
 #include "util/version.hpp"
 #include "variation/variation.hpp"
 
@@ -273,11 +275,58 @@ std::vector<BenchMetric> bench_deadline() {
           {"armed_region_us", region_us, "us", 0.8}};
 }
 
+// Warm-daemon serving throughput over the wire protocol (src/serve,
+// docs/serving.md), via the load driver shared with the standalone
+// bench/serving_throughput load generator. An in-process Server on a
+// Unix socket serves a pipelined burst of single evaluate requests,
+// lock-step round trips, and one large batch line; the warm-up round
+// trip (fit load + resident-model build) happens before any clock
+// starts. us_per_req, the latency quantiles, and batch_item_us gate
+// the perf trajectory; req_per_s restates the burst median as the
+// throughput the serving docs promise (>= 10k simple model evals/s
+// warm) — it carries an effectively unbounded rel_tol because the
+// gate hunts increases and for a throughput a higher fresh number is
+// the improvement.
+std::vector<BenchMetric> bench_serving_throughput() {
+  static const BenchModel bm = cached_model(TechNode::N65);
+  (void)bm;  // materializes bench_out/coeffs_65nm.pimfit for the daemon
+  const std::string cache_dir = out_dir() + "/serving_bench.cache";
+  cache::set_dir(cache_dir);
+  serve::ServerOptions sopt;
+  sopt.socket_path = out_dir() + "/pim_bench_serving.sock";
+  sopt.workers = 2;
+  constexpr int kPipelined = 8192;
+  sopt.queue_limit = kPipelined + 64;  // admission must never reject the burst
+  serve::Server server(sopt);
+  server.start();
+  serving::LoadReport r;
+  try {
+    r = serving::drive(sopt.socket_path, kPipelined, /*lockstep=*/512,
+                       /*batch_items=*/512);
+  } catch (...) {
+    server.stop();
+    cache::set_dir("");
+    throw;
+  }
+  server.stop();
+  cache::set_dir("");
+  std::filesystem::remove(sopt.socket_path);
+  return {{"us_per_req", r.pipelined_seconds * 1e6 / r.pipelined_requests,
+           "us", 0.8},
+          {"req_per_s", r.pipelined_requests / r.pipelined_seconds, "req/s",
+           1e9},
+          {"rtt_p50_us", serving::rtt_quantile(r.rtt_us, 0.5), "us", 0.8},
+          {"rtt_p99_us", serving::rtt_quantile(r.rtt_us, 0.99), "us", 1.5},
+          {"batch_item_us", r.batch_seconds * 1e6 / r.batch_items, "us", 0.8}};
+}
+
 const BenchRegistrar kCases[] = {
     BenchRegistrar{{"baseline_eval", /*smoke=*/true, bench_baseline_eval}},
     BenchRegistrar{{"model_eval", /*smoke=*/false, bench_model_eval}},
     BenchRegistrar{{"buffering_search", /*smoke=*/false, bench_buffering_search}},
     BenchRegistrar{{"mc_yield", /*smoke=*/false, bench_mc_yield}},
+    BenchRegistrar{{"serving_throughput", /*smoke=*/false,
+                    bench_serving_throughput}},
     BenchRegistrar{{"cache_roundtrip", /*smoke=*/true, bench_cache_roundtrip}},
     BenchRegistrar{{"incremental_recompute", /*smoke=*/true,
                     bench_incremental_recompute}},
