@@ -29,4 +29,32 @@ mkdir -p build/bench_out  # shared coefficient cache location
 echo "=== bench_compare against $baseline ==="
 ./build/tools/bench_compare "$baseline" "$workdir/fresh.json"
 
+# Speedup floors from the fresh run (docs/kernels.md). These are ratios
+# of two metrics measured in the same process, so unlike the absolute
+# medians above they are stable across machines: the batched transient
+# engine must keep charlib sweeps >= 2x over the scalar reference
+# engine, and the Monte-Carlo fast path >= 3x over per-sample model
+# construction.
+echo "=== speedup floors ==="
+python3 - "$workdir/fresh.json" <<'EOF'
+import json, sys
+
+metrics = json.load(open(sys.argv[1]))["metrics"]
+floors = [
+    ("transient_kernel.ms_per_sweep_reference",
+     "transient_kernel.ms_per_sweep_batched", 2.0, "charlib sweep"),
+    ("mc_batch.us_per_sample_modelpath",
+     "mc_batch.us_per_sample_fastpath", 3.0, "MC sample evaluation"),
+]
+failed = False
+for slow, fast, floor, label in floors:
+    ratio = metrics[slow]["median"] / metrics[fast]["median"]
+    status = "ok" if ratio >= floor else "FAIL"
+    if ratio < floor:
+        failed = True
+    print(f"  {label}: {ratio:.2f}x (floor {floor}x) {status}")
+if failed:
+    sys.exit("check_perf: speedup below floor")
+EOF
+
 echo "check_perf: OK"

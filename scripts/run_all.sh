@@ -30,6 +30,7 @@ scripts/check_incremental.sh
 scripts/check_deadline.sh
 scripts/check_corners.sh
 scripts/check_serve.sh
+scripts/check_kernels.sh
 scripts/check_perf.sh
 scripts/check_sanitize.sh
 scripts/check_tsan.sh

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "deadline/deadline.hpp"
 #include "exec/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "spice/batch.hpp"
 #include "spice/measure.hpp"
+#include "spice/plan.hpp"
 #include "spice/transient.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -61,27 +65,128 @@ struct TimingPoint {
   double out_slew;
 };
 
+// Output polarity follows the input for buffers and inverts for
+// inverters.
+bool input_rises_for(CellKind kind, EdgeKind out_edge) {
+  return (kind == CellKind::Inverter) == (out_edge == EdgeKind::Falling);
+}
+
+Waveform input_ramp(const Technology& tech, bool input_rises, double slew) {
+  const double v0 = input_rises ? 0.0 : tech.vdd;
+  return Waveform::ramp(v0, tech.vdd - v0, kEdgeStart, slew);
+}
+
+TimingPoint extract_timing(const TransientResult& res, NodeId in, NodeId out,
+                           EdgeKind out_edge, bool input_rises, double vdd) {
+  const EdgeKind in_edge = input_rises ? EdgeKind::Rising : EdgeKind::Falling;
+  TimingPoint pt;
+  pt.delay = delay_50(res.time, res.trace(in), in_edge, res.trace(out),
+                      out_edge, vdd);
+  pt.out_slew = measure_slew(res.time, res.trace(out), out_edge, vdd);
+  return pt;
+}
+
+// Scalar reference path: builds and solves one deck per (edge, slew,
+// load) point with the original per-Mosfet engine. Kept for A/B
+// verification against the batched path and as the charlib_sweep
+// benchmark baseline.
 TimingPoint measure_timing(const Technology& tech, CellKind kind,
                            const RepeaterSizing& sz, EdgeKind out_edge,
                            double slew, double load, double dt_max) {
-  // Output polarity follows the input for buffers and inverts for
-  // inverters.
   PIM_COUNT("charlib.deck.simulated");
-  const bool input_rises = (kind == CellKind::Inverter) == (out_edge == EdgeKind::Falling);
-  const double v0 = input_rises ? 0.0 : tech.vdd;
-  const Waveform input = Waveform::ramp(v0, tech.vdd - v0, kEdgeStart, slew);
-
-  CellUnderTest cut = build_cell(tech, kind, sz, input);
+  const bool input_rises = input_rises_for(kind, out_edge);
+  CellUnderTest cut = build_cell(tech, kind, sz, input_ramp(tech, input_rises, slew));
   cut.circuit.add_capacitor(cut.out, cut.circuit.ground(), load);
+  const TransientResult res = run_transient_reference(
+      cut.circuit, sim_options(slew, dt_max), {cut.in, cut.out});
+  return extract_timing(res, cut.in, cut.out, out_edge, input_rises, tech.vdd);
+}
 
-  const TransientResult res =
-      run_transient(cut.circuit, sim_options(slew, dt_max), {cut.in, cut.out});
-  const EdgeKind in_edge = input_rises ? EdgeKind::Rising : EdgeKind::Falling;
-  TimingPoint pt;
-  pt.delay = delay_50(res.time, res.trace(cut.in), in_edge, res.trace(cut.out),
-                      out_edge, tech.vdd);
-  pt.out_slew = measure_slew(res.time, res.trace(cut.out), out_edge, tech.vdd);
-  return pt;
+// Compiled measurement fixture, built once per cell: the deck is
+// constructed and compiled a single time, and every (edge, slew, load)
+// measurement re-stamps it through lane overrides instead of re-building
+// the netlist (docs/kernels.md). The plan is immutable after compile and
+// shared read-only across the sweep's exec workers.
+struct CellFixture {
+  CompiledCircuit plan;
+  NodeId in = 0;
+  NodeId out = 0;
+  size_t input_vsource = 1;  ///< vsources: vdd first, input second
+  size_t load_cap = 0;       ///< placeholder load, overridden per lane
+};
+
+CellFixture compile_cell(const Technology& tech, CellKind kind,
+                         const RepeaterSizing& sz) {
+  // Placeholder input wave and load value: every lane overrides both, so
+  // the nominal values never reach a solve. The load capacitor is
+  // appended last, exactly where measure_timing adds it, keeping the
+  // stamp emission order — and therefore every result bit — identical to
+  // a deck built directly for the point.
+  CellUnderTest cut = build_cell(tech, kind, sz, Waveform::dc(0.0));
+  cut.circuit.add_capacitor(cut.out, cut.circuit.ground(), 1e-15);
+  CellFixture fx;
+  fx.in = cut.in;
+  fx.out = cut.out;
+  fx.load_cap = cut.circuit.capacitors().size() - 1;
+  fx.plan = CompiledCircuit::compile(cut.circuit, TransientOptions{}.band_threshold);
+  return fx;
+}
+
+// Both output edges of one (slew, load) operating point. Each edge
+// carries its own outcome so the rise and fall tables keep independent
+// failure bookkeeping (and independent quorums) even though they now
+// share one simulation batch.
+struct EdgeOutcome {
+  std::optional<TimingPoint> point;
+  std::optional<Error> error;
+};
+struct PointOutcome {
+  EdgeOutcome rise, fall;
+};
+
+constexpr EdgeKind kTableEdges[2] = {EdgeKind::Rising, EdgeKind::Falling};
+
+PointOutcome measure_point(const Technology& tech, CellKind kind,
+                           const RepeaterSizing& sz, const CellFixture* fx,
+                           double slew, double load, double dt_max) {
+  PointOutcome out;
+  EdgeOutcome* edges[2] = {&out.rise, &out.fall};
+  if (fx == nullptr) {  // scalar reference engine
+    for (int e = 0; e < 2; ++e) {
+      try {
+        edges[e]->point =
+            measure_timing(tech, kind, sz, kTableEdges[e], slew, load, dt_max);
+      } catch (const Error& err) {
+        edges[e]->error = err;
+      }
+    }
+    return out;
+  }
+  // Batched path: both edges of the point ride one two-lane lockstep
+  // batch over the cell's compiled plan (rise lane first, matching the
+  // table order). A lane failure is typed and isolated, so one edge can
+  // fail while its sibling survives.
+  std::vector<LaneSpec> lanes(2);
+  bool in_rises[2];
+  for (int e = 0; e < 2; ++e) {
+    PIM_COUNT("charlib.deck.simulated");
+    in_rises[e] = input_rises_for(kind, kTableEdges[e]);
+    lanes[e].vsource_wave.emplace_back(fx->input_vsource,
+                                       input_ramp(tech, in_rises[e], slew));
+    lanes[e].cap_farads.emplace_back(fx->load_cap, load);
+  }
+  TransientBatch batch = run_transient_batch(fx->plan, sim_options(slew, dt_max),
+                                             {fx->in, fx->out}, lanes);
+  for (int e = 0; e < 2; ++e) {
+    try {
+      const TransientResult res = std::move(batch.lanes[e]).take();
+      edges[e]->point = extract_timing(res, fx->in, fx->out, kTableEdges[e],
+                                       in_rises[e], tech.vdd);
+    } catch (const Error& err) {
+      edges[e]->error = err;
+    }
+  }
+  return out;
 }
 
 // Input capacitance: charge the input source delivers over a full swing.
@@ -99,108 +204,131 @@ double measure_input_cap(const Technology& tech, CellKind kind,
   return std::fabs(q_in) / tech.vdd;
 }
 
-TimingTable characterize_table(const Technology& tech, CellKind kind,
-                               const RepeaterSizing& sz, EdgeKind out_edge,
-                               const Vector& slew_axis, const Vector& load_axis,
-                               double dt_max, double quorum) {
+struct SweepTables {
+  TimingTable rise, fall;
+};
+
+SweepTables characterize_tables(const Technology& tech, CellKind kind,
+                                const RepeaterSizing& sz, const Vector& slew_axis,
+                                const Vector& load_axis, double dt_max,
+                                double quorum, bool reference_engine) {
   PIM_OBS_SPAN("charlib.sweep.characterize");
-  TimingTable t;
-  t.slew_axis = slew_axis;
-  t.load_axis = load_axis;
-  t.delay = Matrix(slew_axis.size(), load_axis.size());
-  t.out_slew = Matrix(slew_axis.size(), load_axis.size());
 
-  // The decks are independent, so the (slew x load) sweep fans out over
-  // the exec engine; results land by flattened index, which keeps the
-  // table — and the failure bookkeeping below — bit-identical at any
-  // thread count. Graceful degradation: a failed deck (Newton
-  // non-convergence, singular system, injected fault) is skipped and
-  // recorded rather than aborting the sweep; the fit only fails when
-  // survivors drop below the quorum.
+  // The points are independent, so the (slew x load) sweep fans out over
+  // the exec engine; results land by flattened index, which keeps both
+  // tables — and the failure bookkeeping below — bit-identical at any
+  // thread count. One exec item covers both output edges of its point
+  // (a two-lane batch on the compiled plan), so the per-item deadline
+  // draw pattern truncates the rise and fall tables at the same cutoff.
+  std::optional<CellFixture> fixture;
+  if (!reference_engine) fixture = compile_cell(tech, kind, sz);
   const size_t cols = load_axis.size();
-  const auto batch = exec::parallel_try_map<TimingPoint>(
+  const auto batch = exec::parallel_try_map<PointOutcome>(
       slew_axis.size() * cols, [&](size_t idx) {
-        return measure_timing(tech, kind, sz, out_edge, slew_axis[idx / cols],
-                              load_axis[idx % cols], dt_max);
+        return measure_point(tech, kind, sz, fixture ? &*fixture : nullptr,
+                             slew_axis[idx / cols], load_axis[idx % cols], dt_max);
       });
-  std::vector<std::pair<size_t, size_t>> failed;
-  std::string first_failure;
-  for (size_t idx = 0; idx < batch.values.size(); ++idx) {
-    if (!batch.values[idx]) continue;
-    t.delay(idx / cols, idx % cols) = batch.values[idx]->delay;
-    t.out_slew(idx / cols, idx % cols) = batch.values[idx]->out_slew;
-  }
-  for (size_t k = 0; k < batch.failed.size(); ++k) {
-    const size_t i = batch.failed[k] / cols;
-    const size_t j = batch.failed[k] % cols;
-    PIM_COUNT("charlib.deck.error");
-    if (first_failure.empty()) first_failure = batch.errors[k].what();
-    log_warn("characterize: deck failed at slew ", format_sig(slew_axis[i] / 1e-12, 3),
-             " ps, load ", format_sig(load_axis[j] / 1e-15, 3), " fF: ",
-             batch.errors[k].message());
-    failed.emplace_back(i, j);
-  }
-  // A deadline/cancel stop leaves the tail of the sweep un-run; those
-  // points join the failed list so the same quorum + neighbor-patching
-  // path bounds and repairs them. The batch's prefix cutoff is identical
-  // at any thread count, so the patched table is too.
-  if (batch.truncated()) {
-    t.partial = true;
-    t.stop = batch.stop;
-    for (size_t idx = batch.completed; idx < batch.values.size(); ++idx) {
-      if (batch.values[idx]) continue;  // defensive: engine already discarded
+
+  SweepTables out;
+  TimingTable* tables[2] = {&out.rise, &out.fall};
+  for (int e = 0; e < 2; ++e) {
+    TimingTable& t = *tables[e];
+    t.slew_axis = slew_axis;
+    t.load_axis = load_axis;
+    t.delay = Matrix(slew_axis.size(), load_axis.size());
+    t.out_slew = Matrix(slew_axis.size(), load_axis.size());
+
+    // Graceful degradation: a failed deck (Newton non-convergence,
+    // singular system, injected fault) is skipped and recorded rather
+    // than aborting the sweep; the fit only fails when survivors drop
+    // below the quorum. Each table judges only its own edge's failures.
+    std::vector<std::pair<size_t, size_t>> failed;
+    std::string first_failure;
+    const auto record_failure = [&](size_t idx, const Error& err) {
+      PIM_COUNT("charlib.deck.error");
+      if (first_failure.empty()) first_failure = err.what();
+      log_warn("characterize: ", e == 0 ? "rise" : "fall", " deck failed at slew ",
+               format_sig(slew_axis[idx / cols] / 1e-12, 3), " ps, load ",
+               format_sig(load_axis[idx % cols] / 1e-15, 3), " fF: ",
+               err.message());
       failed.emplace_back(idx / cols, idx % cols);
-    }
-    log_warn("characterize: sweep stopped after ", batch.completed, " of ",
-             batch.values.size(), " points (",
-             deadline::stop_reason_name(batch.stop), "); patching the tail");
-  }
-  if (failed.empty()) return t;
-
-  const size_t total = slew_axis.size() * load_axis.size();
-  const size_t surviving = total - failed.size();
-  if (static_cast<double>(surviving) < quorum * static_cast<double>(total)) {
-    // Below the quorum nothing trustworthy can be patched. When the
-    // shortfall came from a stop, surface the typed deadline/cancel
-    // error (the CLI maps it to its own exit code) instead of
-    // no_convergence.
-    if (batch.truncated())
-      throw deadline::stop_error(batch.stop, batch.completed, total);
-    throw Error("characterize_table: only " + std::to_string(surviving) + " of " +
-                    std::to_string(total) + " sweep points survived (quorum " +
-                    format_sig(100.0 * quorum, 3) + " %); first failure: " + first_failure,
-                ErrorCode::no_convergence);
-  }
-
-  // Patch each hole from its nearest surviving neighbor (index-space
-  // Manhattan distance) so interpolation and the downstream regressions
-  // stay well-posed. The patched values slightly bias the fit, which the
-  // quorum bounds.
-  auto is_failed = [&](size_t i, size_t j) {
-    for (const auto& [fi, fj] : failed)
-      if (fi == i && fj == j) return true;
-    return false;
-  };
-  for (const auto& [i, j] : failed) {
-    size_t best_i = 0;
-    size_t best_j = 0;
-    size_t best_d = static_cast<size_t>(-1);
-    for (size_t a = 0; a < slew_axis.size(); ++a) {
-      for (size_t b = 0; b < load_axis.size(); ++b) {
-        if (is_failed(a, b)) continue;
-        const size_t d = (a > i ? a - i : i - a) + (b > j ? b - j : j - b);
-        if (d < best_d) {
-          best_d = d;
-          best_i = a;
-          best_j = b;
-        }
+    };
+    for (size_t idx = 0; idx < batch.values.size(); ++idx) {
+      if (!batch.values[idx]) continue;
+      const EdgeOutcome& eo = e == 0 ? batch.values[idx]->rise : batch.values[idx]->fall;
+      if (eo.point) {
+        t.delay(idx / cols, idx % cols) = eo.point->delay;
+        t.out_slew(idx / cols, idx % cols) = eo.point->out_slew;
+      } else if (eo.error) {
+        record_failure(idx, *eo.error);
       }
     }
-    t.delay(i, j) = t.delay(best_i, best_j);
-    t.out_slew(i, j) = t.out_slew(best_i, best_j);
-    PIM_COUNT("charlib.point.recovered");
+    // A whole-item failure (an exception escaped the point measurement)
+    // loses both edges.
+    for (size_t k = 0; k < batch.failed.size(); ++k)
+      record_failure(batch.failed[k], batch.errors[k]);
+    // A deadline/cancel stop leaves the tail of the sweep un-run; those
+    // points join the failed list so the same quorum + neighbor-patching
+    // path bounds and repairs them. The batch's prefix cutoff is
+    // identical at any thread count, so the patched tables are too.
+    if (batch.truncated()) {
+      t.partial = true;
+      t.stop = batch.stop;
+      for (size_t idx = batch.completed; idx < batch.values.size(); ++idx) {
+        if (batch.values[idx]) continue;  // defensive: engine already discarded
+        failed.emplace_back(idx / cols, idx % cols);
+      }
+      log_warn("characterize: sweep stopped after ", batch.completed, " of ",
+               batch.values.size(), " points (",
+               deadline::stop_reason_name(batch.stop), "); patching the tail");
+    }
+    if (failed.empty()) continue;
+
+    const size_t total = slew_axis.size() * load_axis.size();
+    const size_t surviving = total - failed.size();
+    if (static_cast<double>(surviving) < quorum * static_cast<double>(total)) {
+      // Below the quorum nothing trustworthy can be patched. When the
+      // shortfall came from a stop, surface the typed deadline/cancel
+      // error (the CLI maps it to its own exit code) instead of
+      // no_convergence.
+      if (batch.truncated())
+        throw deadline::stop_error(batch.stop, batch.completed, total);
+      throw Error("characterize_table: only " + std::to_string(surviving) + " of " +
+                      std::to_string(total) + " sweep points survived (quorum " +
+                      format_sig(100.0 * quorum, 3) + " %); first failure: " + first_failure,
+                  ErrorCode::no_convergence);
+    }
+
+    // Patch each hole from its nearest surviving neighbor (index-space
+    // Manhattan distance) so interpolation and the downstream regressions
+    // stay well-posed. The patched values slightly bias the fit, which the
+    // quorum bounds.
+    const auto is_failed = [&](size_t i, size_t j) {
+      for (const auto& [fi, fj] : failed)
+        if (fi == i && fj == j) return true;
+      return false;
+    };
+    for (const auto& [i, j] : failed) {
+      size_t best_i = 0;
+      size_t best_j = 0;
+      size_t best_d = static_cast<size_t>(-1);
+      for (size_t a = 0; a < slew_axis.size(); ++a) {
+        for (size_t b = 0; b < load_axis.size(); ++b) {
+          if (is_failed(a, b)) continue;
+          const size_t d = (a > i ? a - i : i - a) + (b > j ? b - j : j - b);
+          if (d < best_d) {
+            best_d = d;
+            best_i = a;
+            best_j = b;
+          }
+        }
+      }
+      t.delay(i, j) = t.delay(best_i, best_j);
+      t.out_slew(i, j) = t.out_slew(best_i, best_j);
+      PIM_COUNT("charlib.point.recovered");
+    }
   }
-  return t;
+  return out;
 }
 
 }  // namespace
@@ -295,10 +423,11 @@ RepeaterCell characterize_cell(const Technology& tech, CellKind kind, int drive,
   for (size_t i = 0; i < loads.size(); ++i) loads[i] = options.fanout_axis[i] * cell.input_cap;
 
   try {
-    cell.rise = characterize_table(tech, kind, sz, EdgeKind::Rising, options.slew_axis,
-                                   loads, options.dt_max, options.sweep_quorum);
-    cell.fall = characterize_table(tech, kind, sz, EdgeKind::Falling, options.slew_axis,
-                                   loads, options.dt_max, options.sweep_quorum);
+    SweepTables tables =
+        characterize_tables(tech, kind, sz, options.slew_axis, loads, options.dt_max,
+                            options.sweep_quorum, options.reference_engine);
+    cell.rise = std::move(tables.rise);
+    cell.fall = std::move(tables.fall);
   } catch (const Error& e) {
     throw e.with_context("characterizing cell " + cell.name);
   }

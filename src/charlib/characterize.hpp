@@ -41,6 +41,12 @@ struct CharacterizationOptions {
   /// "charlib.deck.error" counter, and patched from their nearest
   /// surviving neighbor so the downstream fits stay well-posed.
   double sweep_quorum = 0.7;
+  /// Use the scalar reference transient engine (one netlist build and
+  /// solve per table point) instead of the compiled-plan batched path.
+  /// The tables are bit-identical either way (docs/kernels.md); this
+  /// exists for A/B verification and as the charlib_sweep benchmark
+  /// baseline.
+  bool reference_engine = false;
 };
 
 /// Widths of the devices making up one repeater cell. For inverters only

@@ -17,10 +17,9 @@ ProposedModel::ProposedModel(const Technology& tech, TechnologyFit fit)
   signature_ = "proposed/" + tech.name + "/" + cache::sha256_hex(write_fit(fit_));
 }
 
-LinkEstimate ProposedModel::evaluate(const LinkContext& ctx,
-                                     const LinkDesign& design) const {
+LinkEstimate evaluate_link(const Technology& tech, const TechnologyFit& fit,
+                           const LinkContext& ctx, const LinkDesign& design) {
   PIM_COUNT("model.link.evaluations");
-  const Technology& tech = *tech_;
   const LinkGeometry g(tech, ctx, design);
   const RepeaterSizing sz = repeater_sizing(tech, design.kind, design.drive);
 
@@ -28,10 +27,10 @@ LinkEstimate ProposedModel::evaluate(const LinkContext& ctx,
   // stage for inverters, the quarter-size first stage for buffers.
   const double win_n = design.kind == CellKind::Inverter ? sz.wn_out : sz.wn_in;
   const double win_p = design.kind == CellKind::Inverter ? sz.wp_out : sz.wp_in;
-  const double ci = fit_.gamma * (win_n + win_p);
+  const double ci = fit.gamma * (win_n + win_p);
 
   const double mf = design.miller_factor;
-  const CompositionWeights& comp = fit_.composition(ctx.style);
+  const CompositionWeights& comp = fit.composition(ctx.style);
   // Miller-weighted wire capacitance of one segment, and the effective
   // loads the calibrated composition applies to the two parts of the
   // drive resistance (see CompositionWeights).
@@ -57,7 +56,7 @@ LinkEstimate ProposedModel::evaluate(const LinkContext& ctx,
     for (int k = 0; k < design.num_repeaters; ++k) {
       const bool out_rising =
           design.kind == CellKind::Inverter ? !edge_rising : edge_rising;
-      const RepeaterEdgeFit& f = fit_.edge_fit(design.kind, out_rising);
+      const RepeaterEdgeFit& f = fit.edge_fit(design.kind, out_rising);
       const double wr = out_rising ? sz.wp_out : sz.wn_out;
       const double intrinsic = f.a0 + f.a1 * slew + f.a2 * slew * slew;
       const double d_repeater =
@@ -81,19 +80,24 @@ LinkEstimate ProposedModel::evaluate(const LinkContext& ctx,
   est.dynamic_power =
       ctx.activity * est.switched_cap * tech.vdd * tech.vdd * ctx.frequency;
 
-  double leak_per_repeater = fit_.leakage.eval_avg(sz.wn_out, sz.wp_out);
+  double leak_per_repeater = fit.leakage.eval_avg(sz.wn_out, sz.wp_out);
   if (design.kind == CellKind::Buffer)
-    leak_per_repeater += fit_.leakage.eval_avg(sz.wn_in, sz.wp_in);
+    leak_per_repeater += fit.leakage.eval_avg(sz.wn_in, sz.wp_in);
   est.leakage_power = design.num_repeaters * leak_per_repeater;
 
   // Area (§III-C): regressed repeater area (per stage; buffers pay for
   // their first stage too) plus routed track area.
-  double area_per_repeater = fit_.area0 + fit_.area1 * sz.wn_out;
+  double area_per_repeater = fit.area0 + fit.area1 * sz.wn_out;
   if (design.kind == CellKind::Buffer)
-    area_per_repeater += fit_.area0 + fit_.area1 * sz.wn_in;
+    area_per_repeater += fit.area0 + fit.area1 * sz.wn_in;
   est.repeater_area = design.num_repeaters * area_per_repeater;
   est.wire_area = bus_wire_area(tech, ctx.layer, ctx.style, 1, ctx.length);
   return est;
+}
+
+LinkEstimate ProposedModel::evaluate(const LinkContext& ctx,
+                                     const LinkDesign& design) const {
+  return evaluate_link(*tech_, fit_, ctx, design);
 }
 
 }  // namespace pim

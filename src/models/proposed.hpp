@@ -19,6 +19,16 @@
 
 namespace pim {
 
+/// The paper's closed-form link evaluation as a free function over raw
+/// (technology, fit) coefficients. ProposedModel::evaluate forwards
+/// here; Monte-Carlo sampling calls it directly on perturbed fit copies
+/// so the hot loop skips per-sample model construction — a ProposedModel
+/// hashes its serialized fit (SHA-256) into a cache signature on
+/// construction, which costs orders of magnitude more than one
+/// evaluation.
+LinkEstimate evaluate_link(const Technology& tech, const TechnologyFit& fit,
+                           const LinkContext& context, const LinkDesign& design);
+
 class ProposedModel final : public InterconnectModel {
  public:
   /// Binds the model to a technology and its fitted coefficients (the

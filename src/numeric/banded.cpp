@@ -52,7 +52,26 @@ Matrix BandedMatrix::to_dense() const {
 }
 
 BandedLu::BandedLu(BandedMatrix a) : lu_(std::move(a)) {
+  Expected<void> done = eliminate();
+  if (!done.ok()) throw done.error();
+}
+
+BandedLu::BandedLu(size_t n, size_t lower, size_t upper)
+    : lu_(n, lower, upper) {}
+
+Expected<void> BandedLu::refactor(const BandedMatrix& a) {
+  // Not require(): this runs per Newton iteration, and require's message
+  // argument would build a heap std::string on every call.
+  if (a.n_ != lu_.n_ || a.lower_ != lu_.lower_ || a.upper_ != lu_.upper_)
+    fail("BandedLu::refactor: shape mismatch with symbolic analysis",
+         ErrorCode::bad_input);
+  lu_.band_ = a.band_;  // value copy into preallocated storage
+  return eliminate();
+}
+
+Expected<void> BandedLu::eliminate() {
   PIM_COUNT("numeric.banded.factorizations");
+  factored_ = false;
   const size_t n = lu_.n_;
   const size_t kl = lu_.lower_;
   const size_t ku = lu_.upper_;
@@ -69,10 +88,11 @@ BandedLu::BandedLu(BandedMatrix a) : lu_(std::move(a)) {
     if (inject && k == n - 1) pivot = 0.0;
     if (!(std::fabs(pivot) > 1e-300)) {
       PIM_COUNT("numeric.lu.error");
-      fail("BandedLu: zero pivot at column " + std::to_string(k) + " of " +
-               std::to_string(n) + " (matrix singular or needs pivoting)" +
-               (inject ? " [injected]" : ""),
-           ErrorCode::singular_matrix);
+      return Error("BandedLu: zero pivot at column " + std::to_string(k) +
+                       " of " + std::to_string(n) +
+                       " (matrix singular or needs pivoting)" +
+                       (inject ? " [injected]" : ""),
+                   ErrorCode::singular_matrix);
     }
     const double inv = 1.0 / pivot;
     const size_t r_hi = std::min(n - 1, k + kl);
@@ -84,14 +104,26 @@ BandedLu::BandedLu(BandedMatrix a) : lu_(std::move(a)) {
       for (size_t c = k + 1; c <= c_hi; ++c) entry(r, c) -= factor * entry(k, c);
     }
   }
+  factored_ = true;
+  return {};
 }
 
 Vector BandedLu::solve(const Vector& b) const {
+  require(b.size() == lu_.n_, "BandedLu::solve: dimension mismatch");
+  Vector x = b;
+  solve_in_place(x);
+  return x;
+}
+
+void BandedLu::solve_in_place(Vector& x) const {
   const size_t n = lu_.n_;
-  require(b.size() == n, "BandedLu::solve: dimension mismatch");
+  // Lazy-built messages: this is the per-iteration hot path.
+  if (x.size() != n) fail("BandedLu::solve: dimension mismatch");
+  if (!factored_)
+    fail("BandedLu::solve: factorization missing (call refactor)",
+         ErrorCode::internal);
   const size_t kl = lu_.lower_;
   const size_t ku = lu_.upper_;
-  Vector x = b;
   // Forward substitution (unit-lower factor).
   for (size_t k = 0; k < n; ++k) {
     const double xk = x[k];
@@ -106,7 +138,10 @@ Vector BandedLu::solve(const Vector& b) const {
     for (size_t c = ri + 1; c <= c_hi; ++c) acc -= lu_.at(ri, c) * x[c];
     x[ri] = acc / lu_.at(ri, ri);
   }
-  return x;
+}
+
+void BandedLu::solve_many_in_place(std::vector<Vector>& xs) const {
+  for (Vector& x : xs) solve_in_place(x);
 }
 
 }  // namespace pim

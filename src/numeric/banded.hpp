@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "numeric/matrix.hpp"
+#include "util/expected.hpp"
 
 namespace pim {
 
@@ -52,6 +53,12 @@ class BandedMatrix {
   /// Expands to a dense matrix (tests and fallbacks).
   Matrix to_dense() const;
 
+  /// Raw column-compressed storage; entry (r, c) lives at
+  /// (upper + r - c) * n + c. The batched transient engine stamps through
+  /// precomputed slots of this layout (see spice/plan.hpp).
+  std::vector<double>& storage() { return band_; }
+  const std::vector<double>& storage() const { return band_; }
+
  private:
   friend class BandedLu;
   size_t n_;
@@ -61,16 +68,57 @@ class BandedMatrix {
 };
 
 /// LU factorization of a banded matrix without pivoting.
+///
+/// Because the elimination never pivots, the fill pattern depends only on
+/// (n, lower, upper) — the symbolic analysis is the shape itself. The
+/// symbolic constructor allocates factor storage once for a topology;
+/// refactor() then re-runs the numeric elimination in place for each new
+/// set of values (Newton iterations, timesteps) without reallocating.
 class BandedLu {
  public:
   /// Factors `a` in place; throws pim::Error on a (near-)zero pivot.
   explicit BandedLu(BandedMatrix a);
 
+  /// Symbolic-only constructor: allocates factor storage for matrices of
+  /// this shape without factoring. Call refactor() before solving.
+  BandedLu(size_t n, size_t lower, size_t upper);
+
+  /// Numeric refactor: copies `a`'s values into the preallocated storage
+  /// and re-runs the elimination. Identical arithmetic (and identical
+  /// metric/fault behavior) to constructing a fresh BandedLu, but with no
+  /// allocation. Returns singular_matrix instead of throwing.
+  Expected<void> refactor(const BandedMatrix& a);
+
+  /// The factor's raw column-compressed storage, laid out exactly like
+  /// BandedMatrix::storage(). Callers on a hot path may assemble matrix
+  /// values directly here and call refactor() with no arguments, skipping
+  /// the copy that refactor(const BandedMatrix&) performs.
+  std::vector<double>& values() { return lu_.band_; }
+
+  /// In-place numeric refactor: eliminates whatever values() currently
+  /// holds. Same arithmetic and metric/fault behavior as the copying
+  /// overload.
+  Expected<void> refactor() { return eliminate(); }
+
   /// Solves A x = b.
   Vector solve(const Vector& b) const;
 
+  /// Solves A x = b in place: `x` holds b on entry, the solution on exit.
+  /// Same arithmetic as solve(), without the allocation.
+  void solve_in_place(Vector& x) const;
+
+  /// Batched right-hand sides: solve_in_place over every vector.
+  void solve_many_in_place(std::vector<Vector>& xs) const;
+
+  bool factored() const { return factored_; }
+
  private:
+  /// Shared elimination loop; both the throwing constructor and
+  /// refactor() run exactly this code.
+  Expected<void> eliminate();
+
   BandedMatrix lu_;
+  bool factored_ = false;
 };
 
 }  // namespace pim

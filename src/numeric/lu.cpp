@@ -12,6 +12,7 @@ namespace pim {
 
 Expected<void> LuDecomposition::factor() {
   PIM_COUNT("numeric.lu.factorizations");
+  factored_ = false;
   const size_t n = lu_.rows();
   perm_.resize(n);
   for (size_t i = 0; i < n; ++i) perm_[i] = i;
@@ -55,6 +56,37 @@ Expected<void> LuDecomposition::factor() {
     }
   }
   cond_ = n == 0 || diag_min == 0.0 ? 0.0 : diag_max / diag_min;
+  factored_ = true;
+  return {};
+}
+
+Expected<void> LuDecomposition::refactor(const Matrix& a) {
+  require(a.rows() == a.cols(), "LuDecomposition: matrix must be square",
+          ErrorCode::bad_input);
+  const size_t n = a.rows();
+  lu_ = a;
+  col_scale_.clear();
+  equilibrated_ = false;
+  Expected<void> first = factor();
+  if (first.ok()) return {};
+
+  // Same guardrail as create(): retry on a column-equilibrated copy,
+  // scaling directly into the reused factor storage.
+  PIM_COUNT("numeric.lu.error");
+  PIM_COUNT("numeric.lu.equilibrate.retries");
+  col_scale_.assign(n, 1.0);
+  for (size_t c = 0; c < n; ++c) {
+    double mag = 0.0;
+    for (size_t r = 0; r < n; ++r) mag = std::max(mag, std::fabs(a(r, c)));
+    if (mag > 0.0) col_scale_[c] = 1.0 / mag;
+    for (size_t r = 0; r < n; ++r) lu_(r, c) = a(r, c) * col_scale_[c];
+  }
+  equilibrated_ = true;
+  Expected<void> second = factor();
+  if (!second.ok())
+    return std::move(second).with_context(
+        "retrying the factorization with column equilibration");
+  PIM_COUNT("numeric.lu.recovered");
   return {};
 }
 
@@ -95,10 +127,18 @@ Expected<LuDecomposition> LuDecomposition::create(Matrix a) {
 LuDecomposition::LuDecomposition(Matrix a) : LuDecomposition(create(std::move(a)).take()) {}
 
 Vector LuDecomposition::solve(const Vector& b) const {
+  Vector x;
+  solve_into(b, x);
+  return x;
+}
+
+void LuDecomposition::solve_into(const Vector& b, Vector& x) const {
   const size_t n = lu_.rows();
   require(b.size() == n, "LuDecomposition::solve: dimension mismatch",
           ErrorCode::bad_input);
-  Vector x(n);
+  require(factored_, "LuDecomposition::solve: factorization missing (call refactor)",
+          ErrorCode::internal);
+  x.resize(n);
   // Forward substitution with the permuted right-hand side.
   for (size_t r = 0; r < n; ++r) {
     double acc = b[perm_[r]];
@@ -115,7 +155,12 @@ Vector LuDecomposition::solve(const Vector& b) const {
   // solution is s .* y.
   if (!col_scale_.empty())
     for (size_t i = 0; i < n; ++i) x[i] *= col_scale_[i];
-  return x;
+}
+
+void LuDecomposition::solve_many_into(const std::vector<Vector>& bs,
+                                      std::vector<Vector>& xs) const {
+  xs.resize(bs.size());
+  for (size_t i = 0; i < bs.size(); ++i) solve_into(bs[i], xs[i]);
 }
 
 Vector solve_dense(Matrix a, const Vector& b) {

@@ -21,6 +21,11 @@ namespace pim {
 /// Factor once, solve many right-hand sides.
 class LuDecomposition {
  public:
+  /// Empty, unfactored slot. Pair with refactor(): declare the slot once
+  /// per topology, refactor per Newton iteration / timestep. Solving an
+  /// unfactored slot throws.
+  LuDecomposition() = default;
+
   /// Factors `a`; throws pim::Error(singular_matrix) if the matrix is
   /// singular to working precision even after the equilibrated retry.
   explicit LuDecomposition(Matrix a);
@@ -30,8 +35,26 @@ class LuDecomposition {
   /// without throwing.
   static Expected<LuDecomposition> create(Matrix a);
 
+  /// Numeric refactor reusing this object's storage (pivoting is
+  /// value-dependent, so unlike the banded path only the workspace — not
+  /// the pivot order — is reused). Runs the same attempt sequence as
+  /// create(), including the column-equilibrated retry, with identical
+  /// arithmetic and metric/fault behavior; no allocation after the first
+  /// call at a given size.
+  Expected<void> refactor(const Matrix& a);
+
   /// Solves A x = b for the factored A.
   Vector solve(const Vector& b) const;
+
+  /// Solves A x = b into a caller-provided vector (resized to fit).
+  /// Same arithmetic as solve(), without the per-call allocation.
+  void solve_into(const Vector& b, Vector& x) const;
+
+  /// Batched right-hand sides: solve_into for each pair.
+  void solve_many_into(const std::vector<Vector>& bs,
+                       std::vector<Vector>& xs) const;
+
+  bool factored() const { return factored_; }
 
   size_t size() const { return lu_.rows(); }
 
@@ -45,8 +68,6 @@ class LuDecomposition {
   bool equilibrated() const { return equilibrated_; }
 
  private:
-  LuDecomposition() = default;
-
   /// One in-place factorization attempt over lu_/perm_.
   Expected<void> factor();
 
@@ -55,6 +76,7 @@ class LuDecomposition {
   Vector col_scale_;  ///< empty unless equilibrated: x = scale .* y
   double cond_ = 0.0;
   bool equilibrated_ = false;
+  bool factored_ = false;
 };
 
 /// One-shot convenience: factor `a` and solve for `b`. Throws on singular.

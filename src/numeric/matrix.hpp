@@ -41,6 +41,12 @@ class Matrix {
   /// Transposed copy.
   Matrix transposed() const;
 
+  /// Raw row-major storage; entry (r, c) lives at r * cols() + c. The
+  /// batched transient engine stamps through precomputed slots of this
+  /// layout (see spice/plan.hpp).
+  std::vector<double>& storage() { return data_; }
+  const std::vector<double>& storage() const { return data_; }
+
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;

@@ -2,77 +2,23 @@
 
 #include <cmath>
 
+#include "spice/kernels.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace pim {
-namespace {
 
-// Softplus-smoothed gate overdrive and its derivative w.r.t. vgs.
-// veff -> vgt for strong inversion, -> n*vT*exp(vgt/(n*vT)) in
-// subthreshold, giving an emergent exponential subthreshold slope of
-// ln(10)*n*vT/alpha volts per decade.
-struct Overdrive {
-  double veff;
-  double dveff;  // d veff / d vgs
-};
-
-Overdrive smooth_overdrive(double vgt, double nvt) {
-  const double z = vgt / nvt;
-  if (z > 40.0) return {vgt, 1.0};
-  if (z < -40.0) {
-    const double e = std::exp(z);
-    return {nvt * e, e};
-  }
-  const double e = std::exp(z);
-  return {nvt * std::log1p(e), e / (1.0 + e)};
-}
-
-// Forward-conduction evaluation (vds >= 0).
-MosEval eval_forward(const MosfetParams& p, double w, double vgs, double vds) {
-  const double nvt = p.n_sub * constant::v_thermal_300k;
-  const auto [veff, dveff] = smooth_overdrive(vgs - p.vth, nvt);
-
-  const double i0 = p.k_sat * w * std::pow(veff, p.alpha);
-  const double di0 = p.k_sat * w * p.alpha * std::pow(veff, p.alpha - 1.0) * dveff;
-  const double vdsat = p.k_vdsat * std::pow(veff, 0.5 * p.alpha);
-  const double clm = 1.0 + p.lambda * vds;
-
-  MosEval out;
-  if (vdsat < 1e-12 || vds >= vdsat) {
-    // Saturation.
-    out.ids = i0 * clm;
-    out.g_ds = i0 * p.lambda;
-    out.g_m = di0 * clm;
-  } else {
-    // Triode; the quadratic (2 - x)x matches the saturation current and
-    // its vds-derivative at x = 1.
-    const double x = vds / vdsat;
-    const double f = (2.0 - x) * x;
-    const double dvdsat = p.k_vdsat * 0.5 * p.alpha * std::pow(veff, 0.5 * p.alpha - 1.0) * dveff;
-    const double dx_dvgs = -vds / (vdsat * vdsat) * dvdsat;
-    out.ids = i0 * clm * f;
-    out.g_ds = i0 * (p.lambda * f + clm * (2.0 - 2.0 * x) / vdsat);
-    out.g_m = di0 * clm * f + i0 * clm * (2.0 - 2.0 * x) * dx_dvgs;
-  }
-  return out;
-}
-
-}  // namespace
-
+// The model math lives in spice/kernels.hpp so the scalar entry point and
+// the batched SoA engine compile the exact same inline functions (the
+// determinism contract requires bit-identical currents from both). The
+// folded products below associate the same way the original expressions
+// did, so no floating-point result changes.
 MosEval eval_alpha_power(const MosfetParams& p, double w, double vgs, double vds) {
   require(w > 0.0, "eval_alpha_power: width must be positive");
-  if (vds >= 0.0) return eval_forward(p, w, vgs, vds);
-
-  // Reverse conduction: swap source and drain. With the swapped device
-  // I'(vgs', vds') where vgs' = vgs - vds, vds' = -vds, the original
-  // current is I = -I', and the chain rule gives the derivatives below.
-  const MosEval r = eval_forward(p, w, vgs - vds, -vds);
-  MosEval out;
-  out.ids = -r.ids;
-  out.g_m = -r.g_m;
-  out.g_ds = r.g_m + r.g_ds;
-  return out;
+  return kernels::eval_alpha_power_folded(p.k_sat * w, p.vth, p.alpha, p.k_vdsat,
+                                          p.lambda,
+                                          p.n_sub * constant::v_thermal_300k,
+                                          vgs, vds);
 }
 
 double off_current(const MosfetParams& p, double w, double vdd) {

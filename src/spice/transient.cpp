@@ -16,9 +16,19 @@
 namespace pim {
 
 const std::vector<double>& TransientResult::trace(NodeId node) const {
-  for (const auto& t : traces)
-    if (t.node == node) return t.values;
-  fail("TransientResult::trace: node was not probed");
+  if (trace_index_.size() != traces.size()) {
+    trace_index_.clear();
+    trace_index_.reserve(traces.size());
+    for (size_t i = 0; i < traces.size(); ++i) trace_index_.emplace_back(traces[i].node, i);
+    std::sort(trace_index_.begin(), trace_index_.end());
+  }
+  const auto it = std::lower_bound(
+      trace_index_.begin(), trace_index_.end(), node,
+      [](const std::pair<NodeId, size_t>& e, NodeId n) { return e.first < n; });
+  if (it == trace_index_.end() || it->first != node)
+    fail("TransientResult::trace: node " + std::to_string(node) + " was not probed",
+         ErrorCode::bad_input);
+  return traces[it->second].values;
 }
 
 namespace {
@@ -391,19 +401,10 @@ class TransientSolver {
 
 }  // namespace
 
-TransientResult run_transient(const Circuit& circuit, const TransientOptions& options,
-                              const std::vector<NodeId>& probes) {
+TransientResult run_transient_reference(const Circuit& circuit,
+                                        const TransientOptions& options,
+                                        const std::vector<NodeId>& probes) {
   return TransientSolver(circuit, options, probes).run();
-}
-
-Expected<TransientResult> try_run_transient(const Circuit& circuit,
-                                            const TransientOptions& options,
-                                            const std::vector<NodeId>& probes) {
-  try {
-    return run_transient(circuit, options, probes);
-  } catch (const Error& e) {
-    return e;
-  }
 }
 
 }  // namespace pim

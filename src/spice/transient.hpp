@@ -14,6 +14,7 @@
 // RC + CMOS circuits this library builds.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "spice/circuit.hpp"
@@ -60,8 +61,14 @@ struct TransientResult {
   std::vector<Trace> traces;        ///< one per requested probe
   std::vector<SourceTotals> sources;///< per voltage source
 
-  /// The trace for `node`; throws if it was not probed.
+  /// The trace for `node`; throws pim::Error(bad_input) naming the node
+  /// when it was not probed. Builds a sorted index on first use (and
+  /// whenever `traces` changed size), so repeated measurement lookups on
+  /// wide decks are O(log n) instead of a linear scan per call.
   const std::vector<double>& trace(NodeId node) const;
+
+ private:
+  mutable std::vector<std::pair<NodeId, size_t>> trace_index_;
 };
 
 /// Runs a transient analysis of `circuit`, recording the `probes` nodes.
@@ -76,5 +83,14 @@ TransientResult run_transient(const Circuit& circuit,
 Expected<TransientResult> try_run_transient(const Circuit& circuit,
                                             const TransientOptions& options,
                                             const std::vector<NodeId>& probes);
+
+/// Reference scalar implementation. run_transient() routes through the
+/// batched SoA engine (spice/batch.hpp); this entry point keeps the
+/// original element-by-element solver, whose output the batched engine is
+/// required to reproduce bit-for-bit (tests/test_spice.cpp pins this, and
+/// `pim_bench transient_kernel` re-asserts it on every benchmark run).
+TransientResult run_transient_reference(const Circuit& circuit,
+                                        const TransientOptions& options,
+                                        const std::vector<NodeId>& probes);
 
 }  // namespace pim

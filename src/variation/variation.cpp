@@ -73,11 +73,14 @@ VariationSample sample_variation(Rng& rng, const VariationSigmas& sigmas) {
 LinkEstimate evaluate_with_variation(const ProposedModel& model, const LinkContext& context,
                                      const LinkDesign& design,
                                      const VariationSample& sample) {
-  const ProposedModel perturbed(model.tech(), perturb_fit(model.fit(), sample));
+  // evaluate_link instead of ProposedModel(...).evaluate(): constructing
+  // a model hashes its serialized fit into a cache signature, which at
+  // Monte-Carlo sample rates costs far more than the evaluation itself.
+  // The perturbed fit never touches the cache, so it needs no signature.
   LinkContext ctx = context;
   ctx.wire_options.res_scale *= sample.wire_res;
   ctx.wire_options.cap_scale *= sample.wire_cap;
-  return perturbed.evaluate(ctx, design);
+  return evaluate_link(model.tech(), perturb_fit(model.fit(), sample), ctx, design);
 }
 
 double MonteCarloResult::yield_at(double max_delay) const {

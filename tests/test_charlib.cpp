@@ -8,6 +8,8 @@
 
 #include "charlib/characterize.hpp"
 #include "charlib/fit.hpp"
+#include "exec/engine.hpp"
+#include "liberty/library.hpp"
 #include "numeric/regression.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
@@ -256,6 +258,33 @@ TEST_F(CharacterizedFixture, CoefficientsMatchCheckedInReference) {
   EXPECT_NEAR(fit_->inv_fall.rho1, 2.29e6, 0.08 * 2.29e6);   // ohm*m/s
   EXPECT_NEAR(fit_->inv_fall.a0, 2.23e-12, 0.4e-12);
   EXPECT_NEAR(fit_->leakage.n1, 0.0427, 0.15 * 0.0427);      // W/m (42.7 nW/um)
+}
+
+// The batched compiled-plan sweep must reproduce the scalar reference
+// engine's tables bit-for-bit, at any thread count (docs/kernels.md).
+TEST(BatchedSweep, TablesBitIdenticalToReferenceEngineAtAnyThreadCount) {
+  const Technology& tech = technology(TechNode::N65);
+  CharacterizationOptions ref_opt = fast_options();
+  ref_opt.reference_engine = true;
+  const RepeaterCell ref = characterize_cell(tech, CellKind::Buffer, 8, ref_opt);
+
+  const CharacterizationOptions batched = fast_options();
+  for (int threads : {1, 2, 8}) {
+    exec::set_threads(threads);
+    const RepeaterCell cell = characterize_cell(tech, CellKind::Buffer, 8, batched);
+    EXPECT_EQ(cell.input_cap, ref.input_cap) << threads;
+    const TimingTable* got[2] = {&cell.rise, &cell.fall};
+    const TimingTable* want[2] = {&ref.rise, &ref.fall};
+    for (int e = 0; e < 2; ++e)
+      for (size_t i = 0; i < want[e]->slew_axis.size(); ++i)
+        for (size_t j = 0; j < want[e]->load_axis.size(); ++j) {
+          EXPECT_EQ(got[e]->delay(i, j), want[e]->delay(i, j))
+              << threads << " " << e << " " << i << "," << j;
+          EXPECT_EQ(got[e]->out_slew(i, j), want[e]->out_slew(i, j))
+              << threads << " " << e << " " << i << "," << j;
+        }
+  }
+  exec::set_threads(0);
 }
 
 TEST(FitValidation, RequiresEnoughCells) {

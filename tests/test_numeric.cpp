@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "numeric/banded.hpp"
 #include "numeric/interp.hpp"
@@ -437,6 +439,98 @@ INSTANTIATE_TEST_SUITE_P(Shapes, BandedAsymmetric,
 TEST(Interp, BadAxisRejected) {
   EXPECT_THROW(interp_linear({1.0, 1.0}, {0.0, 0.0}, 0.5), Error);
   EXPECT_THROW(interp_linear({1.0}, {0.0}, 0.5), Error);
+}
+
+// ------------------------------------------- symbolic/numeric LU reuse
+
+// The batched transient engine leans on refactor() being *exactly* the
+// fresh factorization (same elimination, same metric/fault draws), so
+// these pin bitwise identity, not closeness.
+
+BandedMatrix random_banded(size_t n, size_t band, uint64_t seed) {
+  BandedMatrix a(n, band, band);
+  Rng rng(seed);
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < n; ++c)
+      if (a.in_band(r, c)) a.add(r, c, r == c ? 8.0 + rng.uniform(0, 1) : rng.uniform(-1, 1));
+  return a;
+}
+
+TEST(BandedLu, RefactorIsBitwiseIdenticalToFreshFactorization) {
+  const size_t n = 24, band = 3;
+  BandedLu reused(n, band, band);
+  EXPECT_FALSE(reused.factored());
+  // Two different value sets through the same symbolic shape: each
+  // refactor must match a from-scratch BandedLu on the same matrix.
+  for (uint64_t seed : {11u, 12u}) {
+    const BandedMatrix a = random_banded(n, band, seed);
+    ASSERT_TRUE(reused.refactor(a).ok());
+    EXPECT_TRUE(reused.factored());
+    const BandedLu fresh(a);
+    Rng rng(99 + seed);
+    Vector b(n);
+    for (double& v : b) v = rng.uniform(-1, 1);
+    const Vector x_fresh = fresh.solve(b);
+    Vector x_reused = b;
+    reused.solve_in_place(x_reused);
+    for (size_t i = 0; i < n; ++i)
+      EXPECT_EQ(std::memcmp(&x_fresh[i], &x_reused[i], sizeof(double)), 0) << i;
+  }
+}
+
+TEST(BandedLu, RefactorRejectsShapeMismatchAndBatchedSolveMatches) {
+  BandedLu lu(8, 2, 2);
+  EXPECT_THROW(lu.refactor(random_banded(8, 1, 5)), Error);
+  EXPECT_THROW(lu.refactor(random_banded(9, 2, 5)), Error);
+
+  const BandedMatrix a = random_banded(8, 2, 21);
+  ASSERT_TRUE(lu.refactor(a).ok());
+  std::vector<Vector> rhs;
+  Rng rng(7);
+  for (int k = 0; k < 3; ++k) {
+    Vector b(8);
+    for (double& v : b) v = rng.uniform(-1, 1);
+    rhs.push_back(b);
+  }
+  std::vector<Vector> batched = rhs;
+  lu.solve_many_in_place(batched);
+  for (int k = 0; k < 3; ++k) {
+    const Vector solo = lu.solve(rhs[static_cast<size_t>(k)]);
+    for (size_t i = 0; i < 8; ++i)
+      EXPECT_EQ(batched[static_cast<size_t>(k)][i], solo[i]);
+  }
+}
+
+TEST(Lu, RefactorMatchesCreateBitwiseAndRecoversAfterSingular) {
+  const size_t n = 12;
+  Matrix a(n, n);
+  Rng rng(31);
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < n; ++c) a(r, c) = (r == c ? 6.0 : 0.0) + rng.uniform(-1, 1);
+
+  LuDecomposition reused;
+  EXPECT_FALSE(reused.factored());
+  ASSERT_TRUE(reused.refactor(a).ok());
+  const LuDecomposition fresh(a);
+  Vector b(n);
+  for (double& v : b) v = rng.uniform(-1, 1);
+  const Vector x_fresh = fresh.solve(b);
+  Vector x_reused;
+  reused.solve_into(b, x_reused);
+  for (size_t i = 0; i < n; ++i)
+    EXPECT_EQ(std::memcmp(&x_fresh[i], &x_reused[i], sizeof(double)), 0) << i;
+
+  // A singular refactor reports typed failure without poisoning the
+  // object: the next refactor on a good matrix works again.
+  Matrix singular(n, n);  // all zeros
+  const Expected<void> bad = reused.refactor(singular);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ErrorCode::singular_matrix);
+  EXPECT_FALSE(reused.factored());
+  ASSERT_TRUE(reused.refactor(a).ok());
+  Vector again;
+  reused.solve_into(b, again);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(again[i], x_fresh[i]);
 }
 
 }  // namespace

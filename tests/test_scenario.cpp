@@ -4,6 +4,7 @@
 // corner-aware Monte-Carlo — plus the Liberty round-trip at a derated
 // corner.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <string>
@@ -263,7 +264,11 @@ TEST(TechfileCorners, ParseRequiresANominalCorner) {
 class CornerFlowFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dir_ = new std::string(::testing::TempDir() + "pim_scenario_cache");
+    // Per-process suffix: ctest runs each test in its own process, and a
+    // shared path would let one process's TearDownTestSuite remove_all
+    // the cache out from under a sibling still reading it.
+    dir_ = new std::string(::testing::TempDir() + "pim_scenario_cache_" +
+                           std::to_string(::getpid()));
     std::filesystem::remove_all(*dir_);
     cache::set_dir(*dir_);
     cache::set_mode(cache::Mode::ReadWrite);

@@ -5,13 +5,21 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
 #include <tuple>
 
+#include "deadline/deadline.hpp"
+#include "spice/batch.hpp"
 #include "spice/circuit.hpp"
 #include "spice/measure.hpp"
 #include "spice/mosfet.hpp"
 #include "spice/transient.hpp"
+
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/units.hpp"
 
 namespace pim {
@@ -443,6 +451,301 @@ TEST(Measure, FallingEdge) {
   }
   EXPECT_NEAR(crossing_time(t, v, 0.5, EdgeKind::Falling), 20.0 * ps, 0.01 * ps);
   EXPECT_NEAR(measure_slew(t, v, EdgeKind::Falling, 1.0), 40.0 * ps, 0.5 * ps);
+}
+
+// ------------------------------------------------ batched engine identity
+
+// Byte-level equality: the contract is bit-identity, not closeness, so
+// compare the raw representations (EXPECT_EQ would let -0.0 == +0.0 slip).
+bool bits_equal(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+void expect_bit_identical(const TransientResult& a, const TransientResult& b) {
+  ASSERT_EQ(a.time.size(), b.time.size());
+  for (size_t i = 0; i < a.time.size(); ++i)
+    ASSERT_TRUE(bits_equal(a.time[i], b.time[i])) << "time[" << i << "]";
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  for (size_t t = 0; t < a.traces.size(); ++t) {
+    ASSERT_EQ(a.traces[t].node, b.traces[t].node);
+    ASSERT_EQ(a.traces[t].values.size(), b.traces[t].values.size());
+    for (size_t i = 0; i < a.traces[t].values.size(); ++i)
+      ASSERT_TRUE(bits_equal(a.traces[t].values[i], b.traces[t].values[i]))
+          << "trace " << t << " sample " << i;
+  }
+  ASSERT_EQ(a.sources.size(), b.sources.size());
+  for (size_t s = 0; s < a.sources.size(); ++s) {
+    ASSERT_TRUE(bits_equal(a.sources[s].charge, b.sources[s].charge)) << s;
+    ASSERT_TRUE(bits_equal(a.sources[s].energy, b.sources[s].energy)) << s;
+  }
+}
+
+// 12-segment RC ladder (banded path) driven by a ramp.
+std::pair<Circuit, NodeId> build_ladder() {
+  Circuit c;
+  const NodeId in = c.add_node();
+  c.add_vsource(in, Waveform::ramp(0.0, 1.0, 0.0, 50.0 * ps));
+  NodeId prev = in;
+  for (int i = 0; i < 12; ++i) {
+    const NodeId next = c.add_node();
+    c.add_resistor(prev, next, 250.0);
+    c.add_capacitor(next, c.ground(), 20.0 * fF);
+    prev = next;
+  }
+  return {std::move(c), prev};
+}
+
+// Inverter built from explicit add_mosfet calls so width perturbations
+// change only the device drive (LaneSpec semantics), not the parasitics
+// that add_inverter derives from the width.
+struct ManualInverter {
+  Circuit c;
+  NodeId in = 0, out = 0;
+};
+
+ManualInverter manual_inverter(double wn_um_val, double wp_um_val, double load_ff,
+                               double slew_ps) {
+  ManualInverter m;
+  const NodeId vdd = m.c.add_node("vdd");
+  m.in = m.c.add_node("in");
+  m.out = m.c.add_node("out");
+  m.c.add_vsource(vdd, Waveform::dc(kVdd));
+  m.c.add_vsource(m.in, Waveform::ramp(0.0, kVdd, 20.0 * ps, slew_ps * ps));
+  m.c.add_mosfet(MosType::Nmos, test_nmos(), wn_um_val * um, m.in, m.out, m.c.ground());
+  m.c.add_mosfet(MosType::Pmos, test_pmos(), wp_um_val * um, m.in, m.out, vdd);
+  m.c.add_capacitor(m.out, m.c.ground(), load_ff * fF);
+  return m;
+}
+
+TransientOptions batch_test_options() {
+  TransientOptions opt;
+  opt.t_stop = 0.5 * ns;
+  opt.dt = 1.0 * ps;
+  return opt;
+}
+
+TEST(TransientBatch, SingleLaneMatchesReferenceBitExact) {
+  // RC ladder, trapezoidal + backward Euler, banded path.
+  auto [ladder, tail] = build_ladder();
+  for (Integrator integ : {Integrator::Trapezoidal, Integrator::BackwardEuler}) {
+    TransientOptions opt = batch_test_options();
+    opt.integrator = integ;
+    expect_bit_identical(run_transient(ladder, opt, {tail}),
+                         run_transient_reference(ladder, opt, {tail}));
+  }
+  // Inverter, banded and forced-dense paths.
+  ManualInverter inv = manual_inverter(1.0, 2.0, 10.0, 30.0);
+  for (size_t threshold : {size_t{48}, size_t{0}}) {
+    TransientOptions opt = batch_test_options();
+    opt.band_threshold = threshold;
+    expect_bit_identical(run_transient(inv.c, opt, {inv.in, inv.out}),
+                         run_transient_reference(inv.c, opt, {inv.in, inv.out}));
+  }
+}
+
+TEST(TransientBatch, PerturbedLanesMatchSoloScalarRunsBitExact) {
+  const TransientOptions opt = batch_test_options();
+  ManualInverter base = manual_inverter(1.0, 2.0, 10.0, 30.0);
+  const CompiledCircuit plan = CompiledCircuit::compile(base.c, opt.band_threshold);
+  const Waveform slow_in = Waveform::ramp(0.0, kVdd, 20.0 * ps, 60.0 * ps);
+
+  std::vector<LaneSpec> lanes(4);
+  lanes[1].cap_farads.push_back({0, 15.0 * fF});
+  lanes[2].mosfet_width.push_back({0, 1.25 * um});
+  lanes[3].vsource_wave.push_back({1, slow_in});
+
+  // Scalar references: the same perturbations baked into fresh netlists.
+  std::vector<TransientResult> ref;
+  ref.push_back(run_transient_reference(base.c, opt, {base.in, base.out}));
+  ManualInverter heavy = manual_inverter(1.0, 2.0, 15.0, 30.0);
+  ref.push_back(run_transient_reference(heavy.c, opt, {heavy.in, heavy.out}));
+  ManualInverter wide = manual_inverter(1.25, 2.0, 10.0, 30.0);
+  ref.push_back(run_transient_reference(wide.c, opt, {wide.in, wide.out}));
+  ManualInverter slow = manual_inverter(1.0, 2.0, 10.0, 60.0);
+  ref.push_back(run_transient_reference(slow.c, opt, {slow.in, slow.out}));
+
+  // Lane results must not depend on the cohort width either.
+  for (size_t wave_width : {size_t{1}, size_t{2}, size_t{8}}) {
+    BatchOptions bopt;
+    bopt.wave_width = wave_width;
+    TransientBatch batch =
+        run_transient_batch(plan, opt, {base.in, base.out}, lanes, bopt);
+    EXPECT_FALSE(batch.truncated());
+    ASSERT_EQ(batch.lanes.size(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(batch.lanes[i].ok()) << "lane " << i;
+      expect_bit_identical(batch.lanes[i].value(), ref[i]);
+    }
+  }
+}
+
+TEST(TransientBatch, SteadyStateReplayIsBitExactAndActuallySkipsSolves) {
+  // Long flat tail after a 30 ps edge: the converged state settles into
+  // a short bit-exact cycle, which the engine replays instead of
+  // re-solving (docs/kernels.md). The replayed result must match full
+  // stepping bit-for-bit — traces AND accumulated source charge/energy.
+  TransientOptions opt = batch_test_options();
+  opt.t_stop = 2.0 * ns;
+  opt.t_settle = 0.5 * ns;
+  opt.settle_steps = 120;
+  ManualInverter inv = manual_inverter(1.0, 2.0, 10.0, 30.0);
+  const CompiledCircuit plan = CompiledCircuit::compile(inv.c, opt.band_threshold);
+  std::vector<LaneSpec> lanes(2);
+  lanes[1].cap_farads.push_back({0, 15.0 * fF});
+
+  obs::registry().reset();
+  obs::set_enabled(true);
+  BatchOptions full;
+  full.steady_skip = false;
+  TransientBatch stepped = run_transient_batch(plan, opt, {inv.in, inv.out}, lanes, full);
+  const int64_t solves_full = obs::registry().counter("spice.lu.solves").value();
+
+  obs::registry().reset();
+  TransientBatch replayed = run_transient_batch(plan, opt, {inv.in, inv.out}, lanes);
+  const int64_t solves_skip = obs::registry().counter("spice.lu.solves").value();
+  const int64_t steps_skip = obs::registry().counter("spice.timestep.count").value();
+  obs::set_enabled(false);
+  obs::registry().reset();
+
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    ASSERT_TRUE(stepped.lanes[i].ok());
+    ASSERT_TRUE(replayed.lanes[i].ok());
+    expect_bit_identical(replayed.lanes[i].value(), stepped.lanes[i].value());
+  }
+  // The skip must be real work avoidance, not a no-op: most of the tail
+  // is replayed, while every advanced step still counts as a timestep.
+  EXPECT_LT(solves_skip, solves_full / 2) << "steady-state replay never engaged";
+  EXPECT_GT(steps_skip, solves_skip);
+}
+
+TEST(TransientBatch, BadLaneIsIsolatedFromSiblings) {
+  const TransientOptions opt = batch_test_options();
+  ManualInverter base = manual_inverter(1.0, 2.0, 10.0, 30.0);
+  const CompiledCircuit plan = CompiledCircuit::compile(base.c, opt.band_threshold);
+
+  std::vector<LaneSpec> lanes(4);
+  lanes[1].cap_farads.push_back({0, std::numeric_limits<double>::quiet_NaN()});
+  lanes[2].mosfet_width.push_back({0, std::numeric_limits<double>::infinity()});
+  TransientBatch batch = run_transient_batch(plan, opt, {base.out}, lanes);
+
+  ASSERT_FALSE(batch.lanes[1].ok());
+  EXPECT_EQ(batch.lanes[1].error().code(), ErrorCode::bad_input);
+  ASSERT_FALSE(batch.lanes[2].ok());
+  EXPECT_EQ(batch.lanes[2].error().code(), ErrorCode::bad_input);
+  // Healthy siblings are untouched: bit-identical to a solo scalar run,
+  // with every sample finite.
+  const TransientResult ref = run_transient_reference(base.c, opt, {base.out});
+  for (size_t i : {size_t{0}, size_t{3}}) {
+    ASSERT_TRUE(batch.lanes[i].ok()) << "lane " << i;
+    expect_bit_identical(batch.lanes[i].value(), ref);
+    for (double v : batch.lanes[i].value().trace(base.out)) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(TransientResultTrace, MissingProbeIsTypedAndNamesTheNode) {
+  auto [ladder, tail] = build_ladder();
+  const TransientResult res = run_transient(ladder, batch_test_options(), {tail});
+  EXPECT_EQ(res.trace(tail).size(), res.time.size());
+  try {
+    res.trace(tail - 1);
+    FAIL() << "expected bad_input";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::bad_input);
+    EXPECT_NE(std::string(e.what()).find("node " + std::to_string(tail - 1)),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("was not probed"), std::string::npos);
+  }
+}
+
+// Fault-driven paths: the batched engine must reproduce the scalar
+// solver's draw sequence (one Newton-diverge draw per step attempt, one
+// LU draw per factorization), so injected retries land on the same steps
+// and the outputs stay bit-identical.
+class BatchFaultFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::clear();
+    deadline::reset();
+  }
+  void TearDown() override {
+    fault::clear();
+    deadline::reset();
+  }
+};
+
+TEST_F(BatchFaultFixture, HalvingRetriesStayBitIdenticalToReference) {
+  auto [ladder, tail] = build_ladder();
+  TransientOptions opt = batch_test_options();
+  opt.t_stop = 2.0 * ns;
+
+  fault::configure("newton.diverge:0.02:3");
+  const TransientResult faulty_batch = run_transient(ladder, opt, {tail});
+  EXPECT_GT(fault::fired_count(fault::kNewtonDiverge), 0);
+
+  fault::configure("newton.diverge:0.02:3");  // identical replay
+  const TransientResult faulty_ref = run_transient_reference(ladder, opt, {tail});
+  expect_bit_identical(faulty_batch, faulty_ref);
+
+  fault::configure("lu.singular:0.05:7");
+  const TransientResult singular_batch = run_transient(ladder, opt, {tail});
+  EXPECT_GT(fault::fired_count(fault::kLuSingular), 0);
+  fault::configure("lu.singular:0.05:7");
+  const TransientResult singular_ref = run_transient_reference(ladder, opt, {tail});
+  expect_bit_identical(singular_batch, singular_ref);
+}
+
+TEST_F(BatchFaultFixture, PerLaneDeadlineCutoffIsAPureFunctionOfIndex) {
+  constexpr size_t kLanes = 6;
+  // Find a seed whose deadline-expire stream first fires strictly inside
+  // the batch, replaying the engine's per-lane admission poll.
+  auto predicted = [] {
+    for (size_t i = 0; i < kLanes; ++i) {
+      fault::ScopedStream stream(i);
+      if (fault::should_fire(fault::kDeadlineExpire)) return i;
+    }
+    return kLanes;
+  };
+  std::string spec;
+  size_t cutoff = 0;
+  for (int seed = 1; seed < 64; ++seed) {
+    spec = "deadline-expire:0.3:" + std::to_string(seed);
+    fault::configure(spec);
+    cutoff = predicted();
+    if (cutoff > 0 && cutoff < kLanes) break;
+  }
+  ASSERT_GT(cutoff, 0u);
+  ASSERT_LT(cutoff, kLanes);
+
+  const TransientOptions opt = batch_test_options();
+  ManualInverter base = manual_inverter(1.0, 2.0, 10.0, 30.0);
+  const CompiledCircuit plan = CompiledCircuit::compile(base.c, opt.band_threshold);
+  std::vector<LaneSpec> lanes(kLanes);
+  for (size_t i = 0; i < kLanes; ++i)
+    lanes[i].cap_farads.push_back({0, (10.0 + static_cast<double>(i)) * fF});
+
+  std::vector<TransientResult> ref;
+  for (size_t i = 0; i < kLanes; ++i) {
+    ManualInverter solo = manual_inverter(1.0, 2.0, 10.0 + static_cast<double>(i), 30.0);
+    ref.push_back(run_transient_reference(solo.c, opt, {solo.out}));
+  }
+
+  // The same prefix must complete at any cohort width.
+  for (size_t wave_width : {size_t{1}, size_t{2}, size_t{8}}) {
+    fault::configure(spec);
+    BatchOptions bopt;
+    bopt.wave_width = wave_width;
+    bopt.poll_deadline = true;
+    TransientBatch batch = run_transient_batch(plan, opt, {base.out}, lanes, bopt);
+    EXPECT_TRUE(batch.truncated()) << wave_width;
+    EXPECT_EQ(batch.stop, deadline::StopReason::deadline_exceeded) << wave_width;
+    EXPECT_EQ(batch.cutoff, cutoff) << wave_width;
+    for (size_t i = 0; i < cutoff; ++i) {
+      ASSERT_TRUE(batch.lanes[i].ok()) << wave_width << " lane " << i;
+      expect_bit_identical(batch.lanes[i].value(), ref[i]);
+    }
+    for (size_t i = cutoff; i < kLanes; ++i) {
+      ASSERT_FALSE(batch.lanes[i].ok()) << wave_width << " lane " << i;
+      EXPECT_EQ(batch.lanes[i].error().code(), ErrorCode::deadline_exceeded);
+    }
+  }
 }
 
 }  // namespace

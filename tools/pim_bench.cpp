@@ -32,7 +32,11 @@
 #include "buffering/optimize.hpp"
 #include "cache/invalidate.hpp"
 #include "cache/store.hpp"
+#include "charlib/characterize.hpp"
 #include "common.hpp"
+#include "spice/batch.hpp"
+#include "spice/plan.hpp"
+#include "spice/transient.hpp"
 #include "deadline/deadline.hpp"
 #include "models/baseline.hpp"
 #include "obs/ledger.hpp"
@@ -110,6 +114,133 @@ std::vector<BenchMetric> bench_mc_yield() {
   const double ms = seconds_since(start) * 1e3;
   return {{"ms_per_sweep", ms, "ms", 0.6},
           {"mean_delay_ps", mc.mean_delay * 1e12, "ps", 0.0}};
+}
+
+// Charlib sweep A/B over the same cell: the scalar reference engine (one
+// netlist build + solve per table point) against the batched
+// compiled-plan path the sweeps now run on (docs/kernels.md). The tables
+// must match bit for bit — the ratio is only meaningful for identical
+// results — and check_perf.sh gates ms_per_sweep_reference /
+// ms_per_sweep_batched at >= 2x.
+std::vector<BenchMetric> bench_transient_kernel() {
+  const Technology& tech = technology(TechNode::N65);
+  CharacterizationOptions opt;
+  opt.slew_axis = {20e-12, 100e-12, 300e-12};
+  opt.fanout_axis = {2.0, 8.0, 20.0};
+  CharacterizationOptions ref_opt = opt;
+  ref_opt.reference_engine = true;
+
+  auto start = Clock::now();
+  const RepeaterCell ref = characterize_cell(tech, CellKind::Buffer, 8, ref_opt);
+  const double ref_ms = seconds_since(start) * 1e3;
+  start = Clock::now();
+  const RepeaterCell fast = characterize_cell(tech, CellKind::Buffer, 8, opt);
+  const double fast_ms = seconds_since(start) * 1e3;
+
+  const TimingTable* a[2] = {&ref.rise, &ref.fall};
+  const TimingTable* b[2] = {&fast.rise, &fast.fall};
+  for (int e = 0; e < 2; ++e)
+    for (size_t i = 0; i < a[e]->slew_axis.size(); ++i)
+      for (size_t j = 0; j < a[e]->load_axis.size(); ++j)
+        require(a[e]->delay(i, j) == b[e]->delay(i, j) &&
+                    a[e]->out_slew(i, j) == b[e]->out_slew(i, j),
+                "transient_kernel: batched sweep diverged from the reference engine");
+  return {{"ms_per_sweep_reference", ref_ms, "ms", 0.6},
+          {"ms_per_sweep_batched", fast_ms, "ms", 0.6}};
+}
+
+// Monte-Carlo cost centers A/B, both legs asserted bit-identical
+// in-bench. Deck level: 32 width/load-perturbed variants of one inverter
+// deck run as a single lockstep transient batch vs scalar reference runs
+// of the same perturbed netlists. Model level: the per-sample evaluation
+// monte_carlo_link historically performed (construct a ProposedModel per
+// corner, which hashes the fit into a cache signature) vs the
+// evaluate_link fast path it uses now; check_perf.sh gates the
+// model-path ratio at >= 3x — the speedup behind mc_yield.
+std::vector<BenchMetric> bench_mc_batch() {
+  const Technology& tech = technology(TechNode::N65);
+  const RepeaterSizing sz = repeater_sizing(tech, CellKind::Inverter, 8);
+  const double load0 = 10e-15;
+  const auto build_deck = [&](double wn, double wp, double load) {
+    struct Deck {
+      Circuit c;
+      NodeId in = 0, out = 0;
+    } d;
+    const NodeId vdd = d.c.add_node("vdd");
+    d.in = d.c.add_node("in");
+    d.out = d.c.add_node("out");
+    d.c.add_vsource(vdd, Waveform::dc(tech.vdd));
+    d.c.add_vsource(d.in, Waveform::ramp(0.0, tech.vdd, 20e-12, 50e-12));
+    d.c.add_mosfet(MosType::Nmos, tech.nmos, wn, d.in, d.out, d.c.ground());
+    d.c.add_mosfet(MosType::Pmos, tech.pmos, wp, d.in, d.out, vdd);
+    d.c.add_capacitor(d.out, d.c.ground(), load);
+    return d;
+  };
+  TransientOptions topt;
+  topt.t_stop = 0.5e-9;
+  topt.dt = 1e-12;
+
+  constexpr int kLanes = 32;
+  Rng rng(2026);
+  std::vector<LaneSpec> lanes(kLanes);
+  std::vector<std::array<double, 3>> corners(kLanes);  // wn, wp, load
+  for (int i = 0; i < kLanes; ++i) {
+    corners[i] = {sz.wn_out * rng.normal(1.0, 0.05),
+                  sz.wp_out * rng.normal(1.0, 0.05),
+                  load0 * rng.normal(1.0, 0.05)};
+    lanes[i].mosfet_width = {{0, corners[i][0]}, {1, corners[i][1]}};
+    lanes[i].cap_farads = {{0, corners[i][2]}};
+  }
+
+  const auto base = build_deck(sz.wn_out, sz.wp_out, load0);
+  auto start = Clock::now();
+  const CompiledCircuit plan =
+      CompiledCircuit::compile(base.c, topt.band_threshold);
+  const TransientBatch batch =
+      run_transient_batch(plan, topt, {base.in, base.out}, lanes);
+  const double batch_us = seconds_since(start) * 1e6 / kLanes;
+
+  start = Clock::now();
+  std::vector<TransientResult> solo;
+  solo.reserve(kLanes);
+  for (int i = 0; i < kLanes; ++i) {
+    const auto deck = build_deck(corners[i][0], corners[i][1], corners[i][2]);
+    solo.push_back(run_transient_reference(deck.c, topt, {deck.in, deck.out}));
+  }
+  const double solo_us = seconds_since(start) * 1e6 / kLanes;
+  for (int i = 0; i < kLanes; ++i) {
+    const TransientResult& lane = batch.lanes[i].value();
+    bool same = lane.time == solo[i].time && lane.traces.size() == solo[i].traces.size();
+    for (size_t t = 0; same && t < lane.traces.size(); ++t)
+      same = lane.traces[t].node == solo[i].traces[t].node &&
+             lane.traces[t].values == solo[i].traces[t].values;
+    require(same, "mc_batch: lockstep lane diverged from its scalar reference run");
+  }
+
+  static const BenchModel bm = cached_model(TechNode::N65);
+  const LinkContext ctx = link_context(bm.tech, 5.0);
+  LinkDesign design;
+  design.num_repeaters = 5;
+  constexpr int kSamples = 200;
+  double sink_model = 0.0;
+  start = Clock::now();
+  for (int i = 0; i < kSamples; ++i) {
+    const ProposedModel per_sample(bm.tech, bm.fit);
+    sink_model += per_sample.evaluate(ctx, design).delay;
+  }
+  const double model_us = seconds_since(start) * 1e6 / kSamples;
+  double sink_fast = 0.0;
+  start = Clock::now();
+  for (int i = 0; i < kSamples; ++i)
+    sink_fast += evaluate_link(bm.tech, bm.fit, ctx, design).delay;
+  const double fast_us = seconds_since(start) * 1e6 / kSamples;
+  require(sink_model == sink_fast,
+          "mc_batch: evaluate_link diverged from ProposedModel::evaluate");
+
+  return {{"us_per_lane_batched", batch_us, "us", 0.6},
+          {"us_per_lane_reference", solo_us, "us", 0.6},
+          {"us_per_sample_modelpath", model_us, "us", 0.6},
+          {"us_per_sample_fastpath", fast_us, "us", 0.8}};
 }
 
 // Cache tiers in isolation, on a scratch store: memory-hit and disk-hit
@@ -325,6 +456,8 @@ const BenchRegistrar kCases[] = {
     BenchRegistrar{{"model_eval", /*smoke=*/false, bench_model_eval}},
     BenchRegistrar{{"buffering_search", /*smoke=*/false, bench_buffering_search}},
     BenchRegistrar{{"mc_yield", /*smoke=*/false, bench_mc_yield}},
+    BenchRegistrar{{"transient_kernel", /*smoke=*/false, bench_transient_kernel}},
+    BenchRegistrar{{"mc_batch", /*smoke=*/false, bench_mc_batch}},
     BenchRegistrar{{"serving_throughput", /*smoke=*/false,
                     bench_serving_throughput}},
     BenchRegistrar{{"cache_roundtrip", /*smoke=*/true, bench_cache_roundtrip}},
